@@ -1,0 +1,143 @@
+//! Versioned JSON envelope for sharing archives (requirement R2).
+//!
+//! Archives are the unit of sharing between analysts: the format carries a
+//! version so future Granula releases can evolve the schema while still
+//! reading old archives.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::archive::JobArchive;
+
+/// Current archive format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors raised while encoding/decoding archive envelopes.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The envelope's version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// Underlying JSON error.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "archive format version {v} is newer than supported {FORMAT_VERSION}"
+                )
+            }
+            FormatError::Json(e) => write!(f, "archive JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<serde_json::Error> for FormatError {
+    fn from(e: serde_json::Error) -> Self {
+        FormatError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    format_version: u32,
+    generator: String,
+    archive: JobArchive,
+}
+
+/// Serializes an archive into the standardized JSON envelope.
+pub fn to_json(archive: &JobArchive) -> Result<String, FormatError> {
+    let env = Envelope {
+        format_version: FORMAT_VERSION,
+        generator: format!("granula-rs {}", env!("CARGO_PKG_VERSION")),
+        archive: archive.clone(),
+    };
+    Ok(serde_json::to_string(&env)?)
+}
+
+/// Pretty-printed variant of [`to_json`] for human inspection.
+pub fn to_json_pretty(archive: &JobArchive) -> Result<String, FormatError> {
+    let env = Envelope {
+        format_version: FORMAT_VERSION,
+        generator: format!("granula-rs {}", env!("CARGO_PKG_VERSION")),
+        archive: archive.clone(),
+    };
+    Ok(serde_json::to_string_pretty(&env)?)
+}
+
+/// Reads an archive from its JSON envelope, rejecting unknown versions.
+pub fn from_json(json: &str) -> Result<JobArchive, FormatError> {
+    let env: Envelope = serde_json::from_str(json)?;
+    if env.format_version > FORMAT_VERSION {
+        return Err(FormatError::UnsupportedVersion(env.format_version));
+    }
+    Ok(env.archive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn archive() -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::END_TIME, InfoValue::Int(42)))
+            .unwrap();
+        t.set_info(
+            job,
+            Info::raw("Cpu", InfoValue::Series(vec![(0, 1.5), (10, 2.5)])),
+        )
+        .unwrap();
+        JobArchive::new(
+            JobMeta {
+                job_id: "j".into(),
+                ..Default::default()
+            },
+            t,
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_archive() {
+        let a = archive();
+        let json = to_json(&a).unwrap();
+        let b = from_json(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pretty_json_also_roundtrips() {
+        let a = archive();
+        let json = to_json_pretty(&a).unwrap();
+        assert_eq!(from_json(&json).unwrap(), a);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let a = archive();
+        let json = to_json(&a)
+            .unwrap()
+            .replace("\"format_version\":1", "\"format_version\":99");
+        match from_json(&json) {
+            Err(FormatError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_json_error() {
+        assert!(matches!(from_json("not json"), Err(FormatError::Json(_))));
+    }
+}

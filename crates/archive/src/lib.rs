@@ -1,0 +1,34 @@
+//! # granula-archive
+//!
+//! The Granula **performance archive** (paper §3.3, P3).
+//!
+//! After experiments, the info of each job is collected, filtered, and stored
+//! in a performance archive with a standardized format. The archive
+//! encapsulates the performance results of one job — its full operation tree
+//! with raw and derived infos — and lets users *query* the contents
+//! systematically (path expressions over the operation hierarchy), *share*
+//! results (a versioned JSON envelope), and *compare* jobs across platforms
+//! and configurations (the [`store::ArchiveStore`]).
+//!
+//! ```
+//! use granula_archive::{JobArchive, JobMeta, Query};
+//! use granula_model::{Actor, Mission, OperationTree};
+//!
+//! let mut tree = OperationTree::new();
+//! let job = tree.add_root(Actor::new("Job", "0"), Mission::new("Job", "0")).unwrap();
+//! tree.add_child(job, Actor::new("Worker", "1"), Mission::new("Compute", "4")).unwrap();
+//! let archive = JobArchive::new(JobMeta::default(), tree);
+//!
+//! let q = Query::parse("Job/Compute-4@Worker-1").unwrap();
+//! assert_eq!(q.select(&archive.tree).len(), 1);
+//! ```
+
+pub mod archive;
+pub mod format;
+pub mod query;
+pub mod store;
+
+pub use archive::{JobArchive, JobMeta};
+pub use format::{from_json, to_json, to_json_pretty, FormatError, FORMAT_VERSION};
+pub use query::{Query, QueryError, Segment};
+pub use store::{ArchiveStore, ComparisonRow};

@@ -1,0 +1,330 @@
+//! Path queries over archived operation trees.
+//!
+//! Analysts "query the contents systematically" (paper §3.3). The query
+//! language is a small path grammar over the operation hierarchy:
+//!
+//! ```text
+//! query    := segment ("/" segment)*
+//! segment  := mission ("@" actor)?
+//! mission  := kind ("-" id)?            kind/id may be "*"
+//! actor    := kind ("-" id)?            kind/id may be "*"
+//! ```
+//!
+//! Examples:
+//!
+//! * `GiraphJob/ProcessGraph/Superstep-4` — superstep 4 of the job;
+//! * `*/ProcessGraph/Superstep/Compute@Worker-*` — every worker-level
+//!   Compute under any superstep;
+//! * a single segment such as `LoadGraph` can also be searched anywhere in
+//!   the tree via [`Query::find_all`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use granula_model::{OpId, Operation, OperationTree};
+
+/// Errors raised while parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query string was empty.
+    Empty,
+    /// A segment was malformed (e.g. empty mission, dangling `@`).
+    BadSegment(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "empty query"),
+            QueryError::BadSegment(s) => write!(f, "malformed query segment `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A `kind(-id)?` pattern where both parts may be wildcards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindPattern {
+    /// Kind to match; `None` means any.
+    pub kind: Option<String>,
+    /// Instance id to match; `None` means any.
+    pub id: Option<String>,
+}
+
+impl KindPattern {
+    fn parse(s: &str) -> Result<Self, QueryError> {
+        if s.is_empty() {
+            return Err(QueryError::BadSegment(s.to_string()));
+        }
+        let (kind, id) = match s.rsplit_once('-') {
+            Some((k, i)) if !k.is_empty() => (k, Some(i)),
+            _ => (s, None),
+        };
+        let norm = |p: &str| if p == "*" { None } else { Some(p.to_string()) };
+        Ok(KindPattern {
+            kind: norm(kind),
+            id: id.and_then(norm),
+        })
+    }
+
+    fn matches(&self, kind: &str, id: &str) -> bool {
+        self.kind.as_deref().is_none_or(|k| k == kind) && self.id.as_deref().is_none_or(|i| i == id)
+    }
+
+    /// `true` when both kind and id are wildcards.
+    pub fn is_any(&self) -> bool {
+        self.kind.is_none() && self.id.is_none()
+    }
+}
+
+/// One path segment: a mission pattern plus an optional actor pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Pattern over the mission.
+    pub mission: KindPattern,
+    /// Pattern over the actor (`kind: None, id: None` = any actor).
+    pub actor: KindPattern,
+}
+
+impl Segment {
+    /// Parses a single segment.
+    pub fn parse(s: &str) -> Result<Self, QueryError> {
+        let (mission_s, actor_s) = match s.split_once('@') {
+            Some((m, a)) => (m, Some(a)),
+            None => (s, None),
+        };
+        let mission = KindPattern::parse(mission_s)?;
+        let actor = match actor_s {
+            Some(a) => KindPattern::parse(a)?,
+            None => KindPattern {
+                kind: None,
+                id: None,
+            },
+        };
+        Ok(Segment { mission, actor })
+    }
+
+    /// Does this segment match the operation?
+    pub fn matches(&self, op: &Operation) -> bool {
+        self.mission.matches(&op.mission.kind, &op.mission.id)
+            && self.actor.matches(&op.actor.kind, &op.actor.id)
+    }
+}
+
+/// A parsed path query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Segments from root to target.
+    pub segments: Vec<Segment>,
+}
+
+impl Query {
+    /// Parses a `/`-separated query string.
+    pub fn parse(s: &str) -> Result<Self, QueryError> {
+        if s.trim().is_empty() {
+            return Err(QueryError::Empty);
+        }
+        let segments = s
+            .split('/')
+            .map(Segment::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Query { segments })
+    }
+
+    /// Evaluates the query as an *absolute path* from the root: the first
+    /// segment must match the root, each following segment matches children
+    /// of the previous matches.
+    pub fn select(&self, tree: &OperationTree) -> Vec<OpId> {
+        let Some(root) = tree.root() else {
+            return vec![];
+        };
+        let mut frontier: Vec<OpId> = if self.segments[0].matches(tree.op(root)) {
+            vec![root]
+        } else {
+            vec![]
+        };
+        for seg in &self.segments[1..] {
+            let mut next = Vec::new();
+            for &id in &frontier {
+                for &c in &tree.op(id).children {
+                    if seg.matches(tree.op(c)) {
+                        next.push(c);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// Evaluates the *last* segment anywhere in the tree (descendant search);
+    /// preceding segments, if any, must match the chain of ancestors
+    /// immediately above the hit.
+    pub fn find_all(&self, tree: &OperationTree) -> Vec<OpId> {
+        let last = self.segments.last().expect("parse guarantees >= 1 segment");
+        let mut out = Vec::new();
+        'op: for op in tree.iter() {
+            if !last.matches(op) {
+                continue;
+            }
+            // Walk ancestors to match the remaining segments right-to-left.
+            let mut cur = op.parent;
+            for seg in self.segments[..self.segments.len() - 1].iter().rev() {
+                match cur {
+                    Some(pid) if seg.matches(tree.op(pid)) => cur = tree.op(pid).parent,
+                    _ => continue 'op,
+                }
+            }
+            out.push(op.id);
+        }
+        out
+    }
+
+    /// Collects the values of info `name` on all operations selected by
+    /// [`Query::select`].
+    pub fn select_info_f64(&self, tree: &OperationTree, name: &str) -> Vec<f64> {
+        self.select(tree)
+            .into_iter()
+            .filter_map(|id| tree.op(id).info_f64(name))
+            .collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            let m = &seg.mission;
+            write!(f, "{}", m.kind.as_deref().unwrap_or("*"))?;
+            if let Some(id) = &m.id {
+                write!(f, "-{id}")?;
+            }
+            if !seg.actor.is_any() {
+                write!(f, "@{}", seg.actor.kind.as_deref().unwrap_or("*"))?;
+                if let Some(id) = &seg.actor.id {
+                    write!(f, "-{id}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_model::{Actor, Info, InfoValue, Mission};
+
+    /// Job -> ProcessGraph -> Superstep-{0,1} -> Compute@Worker-{0,1}
+    fn tree() -> OperationTree {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("GiraphJob", "0"))
+            .unwrap();
+        let pg = t
+            .add_child(
+                job,
+                Actor::new("Job", "0"),
+                Mission::new("ProcessGraph", "0"),
+            )
+            .unwrap();
+        for s in 0..2 {
+            let ss = t
+                .add_child(
+                    pg,
+                    Actor::new("Job", "0"),
+                    Mission::new("Superstep", s.to_string()),
+                )
+                .unwrap();
+            for w in 0..2 {
+                let c = t
+                    .add_child(
+                        ss,
+                        Actor::new("Worker", w.to_string()),
+                        Mission::new("Compute", "0"),
+                    )
+                    .unwrap();
+                t.set_info(c, Info::raw("Work", InfoValue::Int((s * 10 + w) as i64)))
+                    .unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn absolute_path_selects_single_op() {
+        let t = tree();
+        let q = Query::parse("GiraphJob/ProcessGraph/Superstep-1").unwrap();
+        let hits = q.select(&t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.op(hits[0]).mission.id, "1");
+    }
+
+    #[test]
+    fn wildcards_fan_out() {
+        let t = tree();
+        let q = Query::parse("*/ProcessGraph/Superstep/Compute@Worker-*").unwrap();
+        assert_eq!(q.select(&t).len(), 4);
+        let q1 = Query::parse("*/ProcessGraph/Superstep/Compute@Worker-1").unwrap();
+        assert_eq!(q1.select(&t).len(), 2);
+    }
+
+    #[test]
+    fn find_all_matches_anywhere() {
+        let t = tree();
+        let q = Query::parse("Compute").unwrap();
+        assert_eq!(q.find_all(&t).len(), 4);
+        // With an ancestor constraint.
+        let q2 = Query::parse("Superstep-0/Compute").unwrap();
+        assert_eq!(q2.find_all(&t).len(), 2);
+    }
+
+    #[test]
+    fn select_info_values() {
+        let t = tree();
+        let q = Query::parse("*/ProcessGraph/Superstep-1/Compute").unwrap();
+        let mut vals = q.select_info_f64(&t, "Work");
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![10.0, 11.0]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Query::parse(""), Err(QueryError::Empty));
+        assert!(Query::parse("A/@Worker").is_err());
+        assert!(Query::parse("A//B").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "GiraphJob/ProcessGraph/Superstep-4",
+            "*/Compute@Worker-1",
+            "LoadGraph@*-3",
+        ] {
+            let q = Query::parse(s).unwrap();
+            assert_eq!(Query::parse(&q.to_string()).unwrap(), q, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let t = tree();
+        let q = Query::parse("GiraphJob/LoadGraph").unwrap();
+        assert!(q.select(&t).is_empty());
+    }
+
+    #[test]
+    fn root_mismatch_returns_empty() {
+        let t = tree();
+        let q = Query::parse("PowerGraphJob/ProcessGraph").unwrap();
+        assert!(q.select(&t).is_empty());
+    }
+}

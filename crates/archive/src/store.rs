@@ -1,0 +1,193 @@
+//! A collection of archives, for cross-job and cross-platform comparison.
+//!
+//! Identical domain-level operations "allow us to derive common performance
+//! metrics across all platforms, enabling cross-platform performance
+//! comparison and benchmarking" (paper §4.1). The store groups archives and
+//! produces comparison tables over any mission kind.
+
+use serde::{Deserialize, Serialize};
+
+use crate::archive::JobArchive;
+
+/// One row of a cross-archive comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Job id of the archive the row describes.
+    pub job_id: String,
+    /// Platform name.
+    pub platform: String,
+    /// Total job runtime in microseconds.
+    pub total_us: u64,
+    /// Aggregated duration of the compared mission kind, microseconds.
+    pub mission_us: u64,
+    /// `mission_us / total_us`.
+    pub fraction: f64,
+}
+
+/// In-memory collection of performance archives.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ArchiveStore {
+    archives: Vec<JobArchive>,
+}
+
+impl ArchiveStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an archive.
+    pub fn add(&mut self, archive: JobArchive) {
+        self.archives.push(archive);
+    }
+
+    /// Number of archives held.
+    pub fn len(&self) -> usize {
+        self.archives.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.archives.is_empty()
+    }
+
+    /// Iterates over all archives.
+    pub fn iter(&self) -> impl Iterator<Item = &JobArchive> {
+        self.archives.iter()
+    }
+
+    /// Finds an archive by job id.
+    pub fn get(&self, job_id: &str) -> Option<&JobArchive> {
+        self.archives.iter().find(|a| a.meta.job_id == job_id)
+    }
+
+    /// Archives for one platform.
+    pub fn by_platform<'a>(&'a self, platform: &'a str) -> impl Iterator<Item = &'a JobArchive> {
+        self.archives
+            .iter()
+            .filter(move |a| a.meta.platform == platform)
+    }
+
+    /// Archives for one `(algorithm, dataset)` workload across platforms.
+    pub fn by_workload<'a>(
+        &'a self,
+        algorithm: &'a str,
+        dataset: &'a str,
+    ) -> impl Iterator<Item = &'a JobArchive> {
+        self.archives
+            .iter()
+            .filter(move |a| a.meta.algorithm == algorithm && a.meta.dataset == dataset)
+    }
+
+    /// Builds a comparison table: for every archive, the total runtime and
+    /// the aggregated duration of `mission_kind`. Archives without a total
+    /// runtime are skipped.
+    pub fn compare(&self, mission_kind: &str) -> Vec<ComparisonRow> {
+        self.archives
+            .iter()
+            .filter_map(|a| {
+                let total = a.total_runtime_us()?;
+                if total == 0 {
+                    return None;
+                }
+                let mission = a.total_duration_of_us(mission_kind);
+                Some(ComparisonRow {
+                    job_id: a.meta.job_id.clone(),
+                    platform: a.meta.platform.clone(),
+                    total_us: total,
+                    mission_us: mission,
+                    fraction: mission as f64 / total as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// Relative change of total runtime between a baseline and a candidate
+    /// archive: `(candidate - baseline) / baseline`. Positive values mean the
+    /// candidate got slower — the basis of performance-regression testing
+    /// (paper §6, future work).
+    pub fn regression(&self, baseline_id: &str, candidate_id: &str) -> Option<f64> {
+        let base = self.get(baseline_id)?.total_runtime_us()? as f64;
+        let cand = self.get(candidate_id)?.total_runtime_us()? as f64;
+        if base <= 0.0 {
+            return None;
+        }
+        Some((cand - base) / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn archive(job_id: &str, platform: &str, total_us: i64, load_us: i64) -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::END_TIME, InfoValue::Int(total_us)))
+            .unwrap();
+        let l = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        t.set_info(l, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(l, Info::raw(names::END_TIME, InfoValue::Int(load_us)))
+            .unwrap();
+        JobArchive::new(
+            JobMeta {
+                job_id: job_id.into(),
+                platform: platform.into(),
+                algorithm: "BFS".into(),
+                dataset: "d".into(),
+                nodes: 8,
+                model: "m".into(),
+            },
+            t,
+        )
+    }
+
+    fn store() -> ArchiveStore {
+        let mut s = ArchiveStore::new();
+        s.add(archive("g0", "Giraph", 80_000_000, 35_000_000));
+        s.add(archive("p0", "PowerGraph", 400_000_000, 380_000_000));
+        s
+    }
+
+    #[test]
+    fn compare_builds_fraction_rows() {
+        let rows = store().compare("LoadGraph");
+        assert_eq!(rows.len(), 2);
+        let g = rows.iter().find(|r| r.platform == "Giraph").unwrap();
+        assert!((g.fraction - 0.4375).abs() < 1e-9);
+        let p = rows.iter().find(|r| r.platform == "PowerGraph").unwrap();
+        assert!((p.fraction - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_by_platform_and_workload() {
+        let s = store();
+        assert_eq!(s.by_platform("Giraph").count(), 1);
+        assert_eq!(s.by_workload("BFS", "d").count(), 2);
+        assert_eq!(s.by_workload("PageRank", "d").count(), 0);
+    }
+
+    #[test]
+    fn regression_is_relative_slowdown() {
+        let mut s = store();
+        s.add(archive("g1", "Giraph", 88_000_000, 35_000_000));
+        let r = s.regression("g0", "g1").unwrap();
+        assert!((r - 0.1).abs() < 1e-9);
+        // Speedup is negative.
+        assert!(s.regression("g1", "g0").unwrap() < 0.0);
+    }
+
+    #[test]
+    fn regression_unknown_job_is_none() {
+        assert_eq!(store().regression("g0", "nope"), None);
+    }
+}

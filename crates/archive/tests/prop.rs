@@ -1,0 +1,111 @@
+//! Property-based tests of the archive: serialization fidelity and query
+//! semantics.
+
+use proptest::prelude::*;
+
+use granula_archive::{from_json, to_json, JobArchive, JobMeta, Query};
+use granula_model::{Actor, Info, InfoValue, Mission, OperationTree};
+
+fn arb_value() -> impl Strategy<Value = InfoValue> {
+    prop_oneof![
+        any::<i64>().prop_map(InfoValue::Int),
+        (-1.0e15f64..1.0e15).prop_map(InfoValue::Float),
+        "[ -~]{0,32}".prop_map(InfoValue::Text),
+        prop::collection::vec((any::<u32>().prop_map(u64::from), -1.0e9f64..1.0e9), 0..8)
+            .prop_map(InfoValue::Series),
+    ]
+}
+
+fn arb_archive() -> impl Strategy<Value = JobArchive> {
+    (
+        prop::collection::vec((0usize..100, "[A-Za-z]{1,8}", "[0-9]{1,2}"), 0..40),
+        prop::collection::vec(("[A-Za-z]{1,10}", arb_value()), 0..60),
+    )
+        .prop_map(|(nodes, infos)| {
+            let mut tree = OperationTree::new();
+            let root = tree
+                .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+                .expect("fresh tree");
+            let mut ids = vec![root];
+            for (pick, kind, mid) in nodes {
+                let parent = ids[pick % ids.len()];
+                let id = tree
+                    .add_child(
+                        parent,
+                        Actor::new("W", mid.clone()),
+                        Mission::new(kind, mid),
+                    )
+                    .expect("parent exists");
+                ids.push(id);
+            }
+            for (i, (name, value)) in infos.into_iter().enumerate() {
+                let target = ids[i % ids.len()];
+                tree.set_info(target, Info::raw(name, value))
+                    .expect("target exists");
+            }
+            JobArchive::new(
+                JobMeta {
+                    job_id: "prop".into(),
+                    platform: "P".into(),
+                    algorithm: "A".into(),
+                    dataset: "D".into(),
+                    nodes: 8,
+                    model: "m".into(),
+                },
+                tree,
+            )
+        })
+}
+
+proptest! {
+    /// The JSON envelope preserves archives bit-for-bit, including floats
+    /// and time series.
+    #[test]
+    fn json_roundtrip(archive in arb_archive()) {
+        let json = to_json(&archive).expect("serializable");
+        let back = from_json(&json).expect("deserializable");
+        prop_assert_eq!(back, archive);
+    }
+
+    /// `select` results always satisfy the query's last segment, and
+    /// `find_all` is a superset of `select` for the same query.
+    #[test]
+    fn select_subset_of_find_all(archive in arb_archive(), kind in "[A-Za-z]{1,8}") {
+        let query = Query::parse(&format!("Job/{kind}")).expect("valid");
+        let selected = query.select(&archive.tree);
+        let found = query.find_all(&archive.tree);
+        for id in &selected {
+            prop_assert!(found.contains(id), "select must be a subset of find_all");
+            prop_assert_eq!(&archive.tree.op(*id).mission.kind, &kind);
+        }
+    }
+
+    /// Query display/parse roundtrip for structured queries.
+    #[test]
+    fn query_display_roundtrip(
+        kinds in prop::collection::vec(("[A-Za-z]{1,8}", prop::option::of("[0-9]{1,2}")), 1..5)
+    ) {
+        let text = kinds
+            .iter()
+            .map(|(k, id)| match id {
+                Some(id) => format!("{k}-{id}"),
+                None => k.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let q = Query::parse(&text).expect("constructed to be valid");
+        let q2 = Query::parse(&q.to_string()).expect("display output re-parses");
+        prop_assert_eq!(q, q2);
+    }
+
+    /// Mission-kind durations never exceed the sum of all durations.
+    #[test]
+    fn duration_aggregation_bounded(archive in arb_archive(), kind in "[A-Za-z]{1,8}") {
+        let total: u64 = archive
+            .tree
+            .iter()
+            .filter_map(|o| o.duration_us())
+            .sum();
+        prop_assert!(archive.total_duration_of_us(&kind) <= total);
+    }
+}

@@ -1,0 +1,166 @@
+//! Criterion benches of the Granula pipeline itself: log assembly, rule
+//! derivation, path queries, archive serialization.
+//!
+//! These quantify Issue 4 (the *cost* of fine-grained evaluation): how much
+//! archiving work a given monitoring volume causes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use granula::models::giraph_model;
+use granula_archive::{from_json, to_json, JobArchive, JobMeta, Query};
+use granula_model::{rules::derive_all_durations, RuleEngine};
+use granula_model::{Actor, Mission};
+use granula_monitor::{Assembler, LogEvent};
+
+/// Synthesizes a well-formed event stream: `supersteps x workers` compute
+/// operations under a job/process hierarchy.
+fn synth_events(supersteps: u32, workers: u32) -> Vec<LogEvent> {
+    let job = (Actor::new("Job", "0"), Mission::new("GiraphJob", "0"));
+    let proc_ = (Actor::new("Job", "0"), Mission::new("ProcessGraph", "0"));
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    events.push(LogEvent::start(
+        t,
+        "n0",
+        "client",
+        job.0.clone(),
+        job.1.clone(),
+        None,
+    ));
+    events.push(LogEvent::start(
+        t,
+        "n0",
+        "client",
+        proc_.0.clone(),
+        proc_.1.clone(),
+        Some(job.clone()),
+    ));
+    for s in 0..supersteps {
+        let ss = (
+            Actor::new("Job", "0"),
+            Mission::new("Superstep", s.to_string()),
+        );
+        events.push(LogEvent::start(
+            t,
+            "n0",
+            "master",
+            ss.0.clone(),
+            ss.1.clone(),
+            Some(proc_.clone()),
+        ));
+        for w in 0..workers {
+            let c = (
+                Actor::new("Worker", w.to_string()),
+                Mission::new("Compute", s.to_string()),
+            );
+            let node = format!("n{}", w % 8);
+            events.push(LogEvent::start(
+                t,
+                &node,
+                "worker",
+                c.0.clone(),
+                c.1.clone(),
+                Some(ss.clone()),
+            ));
+            events.push(LogEvent::info(
+                t,
+                &node,
+                "worker",
+                c.0.clone(),
+                c.1.clone(),
+                "EdgesScanned",
+                granula_model::InfoValue::Int((s * w) as i64),
+            ));
+            t += 1_000;
+            events.push(LogEvent::end(t, &node, "worker", c.0, c.1));
+        }
+        t += 10_000;
+        events.push(LogEvent::end(t, "n0", "master", ss.0, ss.1));
+    }
+    events.push(LogEvent::end(t, "n0", "client", proc_.0, proc_.1));
+    events.push(LogEvent::end(t, "n0", "client", job.0, job.1));
+    events
+}
+
+fn assembled(supersteps: u32, workers: u32) -> JobArchive {
+    let outcome = Assembler::new().assemble(synth_events(supersteps, workers));
+    JobArchive::new(JobMeta::default(), outcome.tree)
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    for &(s, w) in &[(10u32, 8u32), (50, 8), (50, 64)] {
+        let events = synth_events(s, w);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}events", events.len())),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let outcome = Assembler::new().assemble(black_box(events.clone()));
+                    black_box(outcome.tree.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parse_lines(c: &mut Criterion) {
+    let lines: Vec<String> = synth_events(50, 8).iter().map(|e| e.to_line()).collect();
+    c.bench_function("parse_log_lines_1700", |b| {
+        b.iter(|| {
+            let n = lines
+                .iter()
+                .filter_map(|l| granula_monitor::parse_line(l))
+                .count();
+            black_box(n)
+        })
+    });
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let archive = assembled(50, 64);
+    let model = giraph_model();
+    c.bench_function("derive_rules_3k_ops", |b| {
+        b.iter(|| {
+            let mut tree = archive.tree.clone();
+            let n = derive_all_durations(&mut tree) + RuleEngine::apply(&model, &mut tree);
+            black_box(n)
+        })
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut archive = assembled(50, 64);
+    derive_all_durations(&mut archive.tree);
+    let q = Query::parse("GiraphJob/ProcessGraph/Superstep/Compute@Worker-7").unwrap();
+    c.bench_function("path_query_3k_ops", |b| {
+        b.iter(|| black_box(q.select(&archive.tree).len()))
+    });
+    let find = Query::parse("Compute").unwrap();
+    c.bench_function("find_all_3k_ops", |b| {
+        b.iter(|| black_box(find.find_all(&archive.tree).len()))
+    });
+}
+
+fn bench_archive_json(c: &mut Criterion) {
+    let archive = assembled(50, 8);
+    let json = to_json(&archive).unwrap();
+    c.bench_function("archive_to_json", |b| {
+        b.iter(|| black_box(to_json(black_box(&archive)).unwrap().len()))
+    });
+    c.bench_function("archive_from_json", |b| {
+        b.iter(|| black_box(from_json(black_box(&json)).unwrap().num_operations()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_parse_lines,
+    bench_rules,
+    bench_query,
+    bench_archive_json
+);
+criterion_main!(benches);

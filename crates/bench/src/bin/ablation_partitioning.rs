@@ -1,0 +1,66 @@
+//! Ablation: edge-cut (Pregel family) vs vertex-cut (GAS family)
+//! partitioning across graph families.
+//!
+//! Table 1 distinguishes the studied platforms by data layout; this
+//! ablation quantifies why: on power-law graphs the greedy vertex-cut keeps
+//! the replication factor low while the hash edge-cut cuts most edges —
+//! PowerGraph's design premise.
+
+use gpsim_graph::gen::{datagen_like, rmat, uniform, GenConfig};
+use gpsim_graph::{DegreeStats, EdgeCutPartition, Graph, VertexCutPartition};
+use granula_bench::header;
+
+fn row(name: &str, g: &Graph, k: u16) {
+    let ec = EdgeCutPartition::hash(g.num_vertices(), k);
+    let vc = VertexCutPartition::greedy(g, k);
+    let cut_frac = ec.cut_edges(g) as f64 / g.num_edges() as f64;
+    let sizes = vc.sizes();
+    let max = *sizes.iter().max().expect("k > 0") as f64;
+    let mean = g.num_edges() as f64 / k as f64;
+    let in_stats = DegreeStats::in_degrees(g);
+    println!(
+        "  {:<10} {:>9} {:>9} {:>8.2} {:>12.1}% {:>12.2} {:>12.2}",
+        name,
+        g.num_vertices(),
+        g.num_edges(),
+        in_stats.gini,
+        100.0 * cut_frac,
+        vc.replication_factor(),
+        max / mean,
+    );
+}
+
+fn main() {
+    header("Ablation — edge-cut vs vertex-cut across graph families (k = 8)");
+    println!(
+        "  {:<10} {:>9} {:>9} {:>8} {:>13} {:>12} {:>12}",
+        "graph", "|V|", "|E|", "skew", "edge-cut %", "repl.factor", "vc imbalance"
+    );
+    let n = 30_000u32;
+    row("datagen", &datagen_like(&GenConfig::datagen(n, 7)), 8);
+    row("rmat", &rmat(15, n as u64 * 9, 7), 8);
+    row("uniform", &uniform(n, n as u64 * 9, 7), 8);
+
+    println!("\nScaling the machine count on the datagen graph:");
+    println!(
+        "  {:<10} {:>13} {:>12}",
+        "machines", "edge-cut %", "repl.factor"
+    );
+    let g = datagen_like(&GenConfig::datagen(n, 7));
+    for k in [2u16, 4, 8, 16, 32] {
+        let ec = EdgeCutPartition::hash(g.num_vertices(), k);
+        let vc = VertexCutPartition::greedy(&g, k);
+        println!(
+            "  {:<10} {:>12.1}% {:>12.2}",
+            k,
+            100.0 * ec.cut_edges(&g) as f64 / g.num_edges() as f64,
+            vc.replication_factor(),
+        );
+    }
+    println!(
+        "\nInterpretation: hash edge-cuts cut (k-1)/k of all edges regardless\n\
+         of structure; the greedy vertex-cut's replication factor grows only\n\
+         slowly with k, and more slowly on skewed graphs — the reason the GAS\n\
+         family wins on power-law inputs."
+    );
+}

@@ -1,0 +1,70 @@
+//! Ablation: straggler detection — a degraded node found from the archive
+//! alone.
+//!
+//! One node of the cluster runs at a fraction of its capacity (thermal
+//! throttling, a noisy neighbour, failing DIMMs). Coarse-grained timing
+//! only shows "the job got slower"; the Granula archive names the node:
+//! per-worker Compute durations skew, the imbalance choke-point fires, and
+//! the slowest worker maps to the degraded node.
+
+use gpsim_cluster::ClusterSpec;
+use granula::analysis::{find_choke_points, ChokePointConfig, ChokePointKind};
+use granula::calibration;
+use granula::experiment::{run_experiment_on, Platform};
+use granula::metrics::worker_imbalance;
+use granula_bench::header;
+
+fn main() {
+    header("Ablation — straggler detection (Giraph, BFS, dg1000, 8 nodes)");
+    let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
+    let mut cfg = calibration::giraph_dg1000_job();
+    cfg.scale_factor = scale;
+
+    for (label, straggler) in [
+        ("healthy cluster", None),
+        ("node305 at 1/4 capacity", Some(5u16)),
+    ] {
+        let mut cluster = ClusterSpec::das5(8);
+        if let Some(i) = straggler {
+            cluster.nodes[i as usize].cores /= 4;
+        }
+        let result =
+            run_experiment_on(Platform::Giraph, &graph, &cfg, &cluster).expect("simulation runs");
+        println!("\n--- {label} ---");
+        println!("total runtime: {:.2}s", result.breakdown.total_s());
+
+        // Worst imbalance across supersteps, and who causes it.
+        let stats = worker_imbalance(&result.report.archive, "Compute");
+        let worst = stats
+            .iter()
+            .filter(|s| s.mean_us > 1e5) // ignore trivial supersteps
+            .max_by(|a, b| a.imbalance.total_cmp(&b.imbalance));
+        if let Some(w) = worst {
+            println!(
+                "worst Compute imbalance: superstep {} at max/mean {:.2}",
+                w.iteration, w.imbalance
+            );
+        }
+
+        // The imbalance choke points name the slow worker.
+        let findings = find_choke_points(&result.report.archive, &ChokePointConfig::default());
+        let imbalances: Vec<_> = findings
+            .iter()
+            .filter(|c| matches!(c.kind, ChokePointKind::Imbalance { .. }))
+            .take(3)
+            .collect();
+        if imbalances.is_empty() {
+            println!("no imbalance choke points (workers healthy)");
+        } else {
+            println!("imbalance choke points (slowest actor named):");
+            for c in &imbalances {
+                println!("  severity {:>5.1}%  {}", c.severity * 100.0, c.label);
+            }
+        }
+    }
+    println!(
+        "\nInterpretation: the slow node never appears in any configuration\n\
+         file — Granula's archive identifies it from per-worker operation\n\
+         durations alone, turning `the job got slower` into `node305 is sick`."
+    );
+}

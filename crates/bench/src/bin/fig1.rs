@@ -1,0 +1,30 @@
+//! Regenerates **Figure 1**: the Granula performance model — a job as a
+//! hierarchy of operations (actor × mission), each with an information set.
+//!
+//! The figure is conceptual; we instantiate it by archiving a real
+//! (simulated, small-scale) Giraph job and rendering its operation tree
+//! with infos.
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula_bench::header;
+use granula_viz::tree::render_operation_tree;
+
+fn main() {
+    header("Figure 1 — The Granula performance model (instantiated)");
+    let result = dg1000_quick(Platform::Giraph, 4_000);
+    let archive = &result.report.archive;
+    println!(
+        "Job archive `{}`: {} operations, {} infos\n",
+        archive.meta.job_id,
+        archive.num_operations(),
+        archive.num_infos()
+    );
+    print!("{}", render_operation_tree(&archive.tree, 2));
+    println!("\nInformation set of one operation (the job root):");
+    if let Some(job) = archive.job() {
+        for info in &job.infos {
+            let provenance = if info.is_derived() { "derived" } else { "raw" };
+            println!("  Info [{}] = {:?}  ({provenance})", info.name, info.value);
+        }
+    }
+}

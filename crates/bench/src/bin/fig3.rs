@@ -1,0 +1,28 @@
+//! Regenerates **Figure 3**: the high-level breakdown of a graph
+//! processing job — Setup (startup/cleanup), Input/output (load/offload),
+//! Processing.
+
+use granula::metrics::Phase;
+use granula::models::domain_model;
+use granula_bench::header;
+use granula_viz::tree::render_model;
+
+fn main() {
+    header("Figure 3 — High-level breakdown of a graph processing job");
+    println!(
+        r#"
+  |-- startup --|-- load --|===== processing =====|-- offload --|-- cleanup --|
+  \____Setup____/\___________Input/output____________________/  (interleaved)
+        Ts              Td                   Tp
+"#
+    );
+    for phase in [Phase::Setup, Phase::InputOutput, Phase::Processing] {
+        println!(
+            "  {:<13} <- {}",
+            phase.label(),
+            phase.mission_kinds().join(" + ")
+        );
+    }
+    println!("\nAs a Granula domain-level performance model:");
+    print!("{}", render_model(&domain_model("AnyPlatform", "Job")));
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Figure 4**: the 4-level Granula performance model of
+//! Giraph (domain → system → implementation levels), plus the PowerGraph
+//! model built with the same methodology.
+
+use granula::models::{giraph_model, powergraph_model};
+use granula_bench::header;
+use granula_model::AbstractionLevel;
+use granula_viz::tree::{render_level, render_model};
+
+fn main() {
+    header("Figure 4 — A Granula performance model of Giraph (4 levels)");
+    print!("{}", render_model(&giraph_model()));
+
+    println!("\nPer-level view (the incremental-refinement axis):");
+    for depth in 1..=4 {
+        print!(
+            "{}",
+            render_level(&giraph_model(), AbstractionLevel::from_depth(depth))
+        );
+    }
+
+    header("The PowerGraph model, built with the same methodology");
+    print!("{}", render_model(&powergraph_model()));
+}

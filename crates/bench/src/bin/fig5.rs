@@ -1,0 +1,84 @@
+//! Regenerates **Figure 5**: domain-level job decomposition of BFS on
+//! dg1000 over 8 nodes — Giraph vs PowerGraph.
+//!
+//! Paper reference (§4.2): Giraph spends 30.9 % in setup, 43.3 % in
+//! input/output and 25.8 % in processing of an 81.59 s run; PowerGraph
+//! spends 94.8 % in input/output and under 3.1 % in processing of a
+//! 400.38 s run.
+
+use granula::calibration::PAPER;
+use granula::experiment::{dg1000, Platform};
+use granula::metrics::Phase;
+use granula_bench::{compare, header, save_figure};
+use granula_viz::{BreakdownChart, BreakdownRow};
+
+fn main() {
+    header("Figure 5 — Domain-level job decomposition (BFS, dg1000, 8 nodes)");
+    let mut chart = BreakdownChart::new();
+
+    for platform in [Platform::Giraph, Platform::PowerGraph] {
+        println!("running {} ...", platform.name());
+        let result = dg1000(platform);
+        let b = &result.breakdown;
+        let mut row = BreakdownRow::new(platform.name(), b.total_us);
+        let archive = &result.report.archive;
+        for kind in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            let d = archive.total_duration_of_us(kind);
+            if d > 0 {
+                row = row.with_segment(kind, d);
+            }
+        }
+        chart.add_row(row);
+
+        println!("\n{} measured vs paper:", platform.name());
+        match platform {
+            Platform::Giraph => {
+                compare("total runtime", PAPER.giraph_total_s, b.total_s(), "s");
+                compare(
+                    "setup fraction",
+                    100.0 * PAPER.giraph_fractions[0],
+                    100.0 * b.fraction(Phase::Setup),
+                    "%",
+                );
+                compare(
+                    "input/output fraction",
+                    100.0 * PAPER.giraph_fractions[1],
+                    100.0 * b.fraction(Phase::InputOutput),
+                    "%",
+                );
+                compare(
+                    "processing fraction",
+                    100.0 * PAPER.giraph_fractions[2],
+                    100.0 * b.fraction(Phase::Processing),
+                    "%",
+                );
+            }
+            Platform::GraphMat => unreachable!("fig5 compares the paper's two platforms"),
+            Platform::PowerGraph => {
+                compare("total runtime", PAPER.powergraph_total_s, b.total_s(), "s");
+                compare(
+                    "input/output fraction",
+                    100.0 * PAPER.powergraph_io_fraction,
+                    100.0 * b.fraction(Phase::InputOutput),
+                    "%",
+                );
+                println!(
+                    "  {:<34} paper   < {:>6.2}%   measured {:>9.2}%",
+                    "processing fraction",
+                    100.0 * PAPER.powergraph_processing_max,
+                    100.0 * b.fraction(Phase::Processing)
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("{}", chart.render_text(72));
+    save_figure("fig5_decomposition.svg", &chart.render_svg());
+}

@@ -1,0 +1,9 @@
+//! Regenerates **Table 1**: diversity in (large-scale) graph processing
+//! platforms.
+
+use granula_bench::header;
+
+fn main() {
+    header("Table 1 — Diversity in (large-scale) graph processing platforms");
+    print!("{}", granula::registry::render_table1());
+}

@@ -1,0 +1,58 @@
+//! # granula-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper
+//! (`table1`, `fig1` … `fig8`), ablation studies beyond the paper
+//! (`ablation_*`), and Criterion micro-benchmarks (`benches/`).
+//!
+//! Every figure binary prints the paper's reference values next to the
+//! measured ones and writes SVG renderings under `figures/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory figure SVGs are written to (`$GRANULA_FIGURES` or `figures/`).
+pub fn figures_dir() -> PathBuf {
+    let dir = std::env::var("GRANULA_FIGURES").unwrap_or_else(|_| "figures".into());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create figures directory");
+    path
+}
+
+/// Saves an artifact under the figures directory and reports the path.
+pub fn save_figure(name: &str, content: &str) {
+    let path = figures_dir().join(name);
+    fs::write(&path, content).expect("write figure");
+    println!("  [saved {}]", path.display());
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a `paper vs measured` comparison row with a relative error.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    let err = if paper != 0.0 {
+        100.0 * (measured - paper) / paper
+    } else {
+        0.0
+    };
+    println!(
+        "  {label:<34} paper {paper:>9.2}{unit}   measured {measured:>9.2}{unit}   ({err:+.1}%)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_dir_is_created() {
+        std::env::set_var("GRANULA_FIGURES", "/tmp/granula-fig-test");
+        let d = figures_dir();
+        assert!(d.exists());
+        save_figure("probe.txt", "x");
+        assert!(d.join("probe.txt").exists());
+        std::env::remove_var("GRANULA_FIGURES");
+    }
+}

@@ -1,0 +1,218 @@
+//! Activity DAGs: the unit of work the simulator executes.
+//!
+//! An [`Activity`] is a single-resource demand (an amount of compute work,
+//! bytes of disk or network traffic, or a fixed latency) bound to nodes and
+//! ordered by dependencies. Platforms *tag* activities with the operation
+//! they belong to; after simulation, an operation's start/end is the
+//! min/max over its tagged activities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// Index of an activity within an [`ActivityGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActivityId(pub u32);
+
+/// What an activity consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// CPU work on one node. `work_core_us` core-microseconds are processed
+    /// at a rate of up to `parallelism` cores (further limited by fair
+    /// sharing of the node's cores).
+    Compute {
+        /// Node executing the work.
+        node: NodeId,
+        /// Total work, core-microseconds.
+        work_core_us: f64,
+        /// Maximum cores the activity can use at once.
+        parallelism: u32,
+    },
+    /// Read from the node's local disk.
+    DiskRead {
+        /// Node whose disk is read.
+        node: NodeId,
+        /// Bytes read.
+        bytes: f64,
+    },
+    /// Write to the node's local disk.
+    DiskWrite {
+        /// Node whose disk is written.
+        node: NodeId,
+        /// Bytes written.
+        bytes: f64,
+    },
+    /// Network transfer between two nodes (consumes `src` NIC-out and `dst`
+    /// NIC-in). Same-node transfers complete at memory speed and are modeled
+    /// as free.
+    Transfer {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Bytes moved.
+        bytes: f64,
+    },
+    /// Read from the shared filesystem server (consumes the server's
+    /// aggregate bandwidth and the reader's NIC-in).
+    SharedRead {
+        /// Node performing the read.
+        node: NodeId,
+        /// Bytes read.
+        bytes: f64,
+    },
+    /// A fixed latency (resource-manager round-trips, process launches…).
+    Delay {
+        /// Duration, microseconds.
+        duration_us: f64,
+    },
+    /// Zero-duration synchronization point (barrier / join marker).
+    Barrier,
+}
+
+impl ActivityKind {
+    /// Total amount to process, in the kind's own unit.
+    pub fn amount(&self) -> f64 {
+        match self {
+            ActivityKind::Compute { work_core_us, .. } => *work_core_us,
+            ActivityKind::DiskRead { bytes, .. }
+            | ActivityKind::DiskWrite { bytes, .. }
+            | ActivityKind::SharedRead { bytes, .. } => *bytes,
+            ActivityKind::Transfer { src, dst, bytes } => {
+                if src == dst {
+                    0.0
+                } else {
+                    *bytes
+                }
+            }
+            ActivityKind::Delay { duration_us } => *duration_us,
+            ActivityKind::Barrier => 0.0,
+        }
+    }
+}
+
+/// One node of the activity DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Identity within the graph.
+    pub id: ActivityId,
+    /// Resource demand.
+    pub kind: ActivityKind,
+    /// Activities that must complete before this one starts.
+    pub deps: Vec<ActivityId>,
+    /// Free-form tag linking the activity to a platform operation, e.g.
+    /// `"LoadGraph/LocalLoad@Worker-3"`.
+    pub tag: String,
+}
+
+/// A DAG of activities.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityGraph {
+    acts: Vec<Activity>,
+}
+
+impl ActivityGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an activity with dependencies; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a dependency id is not already in the graph (dependencies
+    /// must be added first, which also guarantees acyclicity).
+    pub fn add(
+        &mut self,
+        kind: ActivityKind,
+        deps: &[ActivityId],
+        tag: impl Into<String>,
+    ) -> ActivityId {
+        let id = ActivityId(self.acts.len() as u32);
+        for d in deps {
+            assert!(
+                (d.0 as usize) < self.acts.len(),
+                "dependency {d:?} added after dependent activity"
+            );
+        }
+        self.acts.push(Activity {
+            id,
+            kind,
+            deps: deps.to_vec(),
+            tag: tag.into(),
+        });
+        id
+    }
+
+    /// Adds a barrier joining `deps`; returns its id. Useful as a compact
+    /// fan-in point for superstep synchronization.
+    pub fn barrier(&mut self, deps: &[ActivityId], tag: impl Into<String>) -> ActivityId {
+        self.add(ActivityKind::Barrier, deps, tag)
+    }
+
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// True when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.acts.is_empty()
+    }
+
+    /// Borrows an activity.
+    pub fn get(&self, id: ActivityId) -> &Activity {
+        &self.acts[id.0 as usize]
+    }
+
+    /// Iterates over all activities.
+    pub fn iter(&self) -> impl Iterator<Item = &Activity> {
+        self.acts.iter()
+    }
+
+    /// All activities whose tag starts with `prefix`.
+    pub fn tagged<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Activity> {
+        self.acts.iter().filter(move |a| a.tag.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(ActivityKind::Delay { duration_us: 1.0 }, &[], "a");
+        let b = g.add(ActivityKind::Delay { duration_us: 1.0 }, &[a], "b");
+        assert_eq!(a, ActivityId(0));
+        assert_eq!(b, ActivityId(1));
+        assert_eq!(g.get(b).deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency")]
+    fn forward_dependency_panics() {
+        let mut g = ActivityGraph::new();
+        g.add(ActivityKind::Barrier, &[ActivityId(5)], "bad");
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let k = ActivityKind::Transfer {
+            src: NodeId(1),
+            dst: NodeId(1),
+            bytes: 1e9,
+        };
+        assert_eq!(k.amount(), 0.0);
+    }
+
+    #[test]
+    fn tagged_prefix_lookup() {
+        let mut g = ActivityGraph::new();
+        g.add(ActivityKind::Barrier, &[], "LoadGraph/a");
+        g.add(ActivityKind::Barrier, &[], "LoadGraph/b");
+        g.add(ActivityKind::Barrier, &[], "Process/x");
+        assert_eq!(g.tagged("LoadGraph").count(), 2);
+    }
+}

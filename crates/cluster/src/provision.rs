@@ -1,0 +1,309 @@
+//! Provisioning models: how workers get deployed on the cluster.
+//!
+//! Table 1 distinguishes platforms by provisioning: YARN (Giraph, Hadoop),
+//! MPI (PowerGraph, GraphMat) or native/OS-only (OpenG, TOTEM). Each model
+//! plans the startup activities whose completion means "worker `i` is ready"
+//! and the teardown activities of the cleanup phase. The latencies are what
+//! makes Giraph's `Startup`/`Cleanup` a third of its runtime in Figure 5
+//! while contributing almost nothing for MPI platforms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activity::{ActivityGraph, ActivityId, ActivityKind};
+use crate::topology::NodeId;
+
+/// A deployment mechanism that can plan startup and teardown.
+pub trait Provisioner {
+    /// Plans worker deployment on `nodes`. Returns one activity per node;
+    /// its completion means the worker on that node is ready.
+    fn deploy(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> Vec<ActivityId>;
+
+    /// Plans teardown. Returns the activity whose completion means all
+    /// resources are released.
+    fn teardown(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> ActivityId;
+}
+
+/// YARN-like provisioning: a resource-negotiation round trip with the
+/// ResourceManager, then per-container allocation + JVM launch, then a
+/// ZooKeeper-like service registration barrier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YarnProvisioner {
+    /// Client ↔ ResourceManager negotiation, microseconds.
+    pub negotiation_us: f64,
+    /// Per-container allocation latency, microseconds.
+    pub container_alloc_us: f64,
+    /// JVM/process start per container, microseconds.
+    pub jvm_startup_us: f64,
+    /// Service (ZooKeeper) registration sync, microseconds.
+    pub zk_sync_us: f64,
+    /// Client/AppMaster/ZooKeeper teardown, microseconds.
+    pub cleanup_us: f64,
+}
+
+impl Default for YarnProvisioner {
+    fn default() -> Self {
+        // Defaults in the range observed for Giraph-on-YARN deployments.
+        YarnProvisioner {
+            negotiation_us: 2.5e6,
+            container_alloc_us: 1.2e6,
+            jvm_startup_us: 4.0e6,
+            zk_sync_us: 1.5e6,
+            cleanup_us: 6.0e6,
+        }
+    }
+}
+
+impl Provisioner for YarnProvisioner {
+    fn deploy(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> Vec<ActivityId> {
+        let negotiate = g.add(
+            ActivityKind::Delay {
+                duration_us: self.negotiation_us,
+            },
+            deps,
+            format!("{tag}/negotiate"),
+        );
+        let mut ready = Vec::with_capacity(nodes.len());
+        for (i, _node) in nodes.iter().enumerate() {
+            // Containers are allocated with a slight serial component at the
+            // ResourceManager: the i-th allocation waits i * 10% extra.
+            let alloc = g.add(
+                ActivityKind::Delay {
+                    duration_us: self.container_alloc_us * (1.0 + 0.1 * i as f64),
+                },
+                &[negotiate],
+                format!("{tag}/alloc-{i}"),
+            );
+            let jvm = g.add(
+                ActivityKind::Delay {
+                    duration_us: self.jvm_startup_us,
+                },
+                &[alloc],
+                format!("{tag}/launch-{i}"),
+            );
+            let zk = g.add(
+                ActivityKind::Delay {
+                    duration_us: self.zk_sync_us,
+                },
+                &[jvm],
+                format!("{tag}/zk-register-{i}"),
+            );
+            ready.push(zk);
+        }
+        ready
+    }
+
+    fn teardown(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> ActivityId {
+        let mut ends = Vec::with_capacity(nodes.len());
+        for (i, _) in nodes.iter().enumerate() {
+            ends.push(g.add(
+                ActivityKind::Delay {
+                    duration_us: self.cleanup_us * 0.25,
+                },
+                deps,
+                format!("{tag}/abort-worker-{i}"),
+            ));
+        }
+        let joined = g.barrier(&ends, format!("{tag}/workers-stopped"));
+        g.add(
+            ActivityKind::Delay {
+                duration_us: self.cleanup_us,
+            },
+            &[joined],
+            format!("{tag}/release"),
+        )
+    }
+}
+
+/// MPI-like provisioning: one `mpirun` startup plus a small per-rank
+/// handshake; teardown is nearly free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpiLauncher {
+    /// `mpirun` + daemon startup, microseconds.
+    pub mpirun_us: f64,
+    /// Per-rank handshake, microseconds.
+    pub per_rank_us: f64,
+    /// Finalize latency, microseconds.
+    pub finalize_us: f64,
+}
+
+impl Default for MpiLauncher {
+    fn default() -> Self {
+        MpiLauncher {
+            mpirun_us: 1.5e6,
+            per_rank_us: 0.15e6,
+            finalize_us: 0.8e6,
+        }
+    }
+}
+
+impl Provisioner for MpiLauncher {
+    fn deploy(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> Vec<ActivityId> {
+        let mpirun = g.add(
+            ActivityKind::Delay {
+                duration_us: self.mpirun_us,
+            },
+            deps,
+            format!("{tag}/mpirun"),
+        );
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                g.add(
+                    ActivityKind::Delay {
+                        duration_us: self.per_rank_us,
+                    },
+                    &[mpirun],
+                    format!("{tag}/rank-{i}"),
+                )
+            })
+            .collect()
+    }
+
+    fn teardown(
+        &self,
+        g: &mut ActivityGraph,
+        _nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> ActivityId {
+        g.add(
+            ActivityKind::Delay {
+                duration_us: self.finalize_us,
+            },
+            deps,
+            format!("{tag}/finalize"),
+        )
+    }
+}
+
+/// Native (single-node / OS-only) provisioning: no cost at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NativeLauncher;
+
+impl Provisioner for NativeLauncher {
+    fn deploy(
+        &self,
+        g: &mut ActivityGraph,
+        nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> Vec<ActivityId> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| g.barrier(deps, format!("{tag}/spawn-{i}")))
+            .collect()
+    }
+
+    fn teardown(
+        &self,
+        g: &mut ActivityGraph,
+        _nodes: &[NodeId],
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> ActivityId {
+        g.barrier(deps, format!("{tag}/exit"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::topology::{ClusterSpec, NodeSpec};
+
+    fn cluster(n: u16) -> ClusterSpec {
+        ClusterSpec::homogeneous(
+            n,
+            NodeSpec {
+                name: String::new(),
+                cores: 8,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        )
+    }
+
+    fn node_ids(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn yarn_deploy_dominates_mpi() {
+        let nodes = node_ids(8);
+        let mut gy = ActivityGraph::new();
+        let ready = YarnProvisioner::default().deploy(&mut gy, &nodes, &[], "startup");
+        gy.barrier(&ready, "all-ready");
+        let yarn = Simulation::new(cluster(8)).run(&gy).unwrap().makespan_us;
+
+        let mut gm = ActivityGraph::new();
+        let ready = MpiLauncher::default().deploy(&mut gm, &nodes, &[], "startup");
+        gm.barrier(&ready, "all-ready");
+        let mpi = Simulation::new(cluster(8)).run(&gm).unwrap().makespan_us;
+
+        assert!(yarn > 4.0 * mpi, "yarn={yarn} mpi={mpi}");
+    }
+
+    #[test]
+    fn yarn_last_container_is_slowest() {
+        let nodes = node_ids(4);
+        let mut g = ActivityGraph::new();
+        let ready = YarnProvisioner::default().deploy(&mut g, &nodes, &[], "s");
+        let res = Simulation::new(cluster(4)).run(&g).unwrap();
+        let ends: Vec<f64> = ready.iter().map(|&id| res.of(id).end_us).collect();
+        assert!(ends.windows(2).all(|w| w[0] < w[1]), "{ends:?}");
+    }
+
+    #[test]
+    fn native_costs_nothing() {
+        let nodes = node_ids(2);
+        let mut g = ActivityGraph::new();
+        let ready = NativeLauncher.deploy(&mut g, &nodes, &[], "s");
+        NativeLauncher.teardown(&mut g, &nodes, &ready, "t");
+        let res = Simulation::new(cluster(2)).run(&g).unwrap();
+        assert_eq!(res.makespan_us, 0.0);
+    }
+
+    #[test]
+    fn yarn_teardown_joins_then_releases() {
+        let nodes = node_ids(3);
+        let mut g = ActivityGraph::new();
+        let end = YarnProvisioner::default().teardown(&mut g, &nodes, &[], "cleanup");
+        let res = Simulation::new(cluster(3)).run(&g).unwrap();
+        let p = YarnProvisioner::default();
+        let expected = p.cleanup_us * 0.25 + p.cleanup_us;
+        assert!((res.of(end).end_us - expected).abs() < 1.0);
+    }
+}

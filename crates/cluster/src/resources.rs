@@ -1,0 +1,349 @@
+//! Max-min fair rate assignment (progressive filling).
+//!
+//! Every running activity demands one or two resources (node cores, disk
+//! bandwidth, NIC in/out, the shared-FS server). Rates are assigned by
+//! progressive filling: all unfrozen activities' rates rise together; when a
+//! resource saturates, its users freeze; when an activity reaches its own
+//! cap (e.g. a compute activity's parallelism), it freezes. The result is
+//! the classic max-min fair allocation, which models processor sharing and
+//! TCP-like bandwidth sharing closely enough for the phenomena Granula
+//! observes (contention, stragglers, sequential bottlenecks).
+
+use crate::activity::ActivityKind;
+use crate::topology::{ClusterSpec, NodeId};
+
+/// A resource index in the flattened capacity table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Res {
+    Cpu(NodeId),
+    Disk(NodeId),
+    NicIn(NodeId),
+    NicOut(NodeId),
+    SharedFs,
+}
+
+/// Flattened view of all cluster resources with capacities in unit/µs.
+pub(crate) struct ResourceTable {
+    /// Capacity per resource index.
+    caps: Vec<f64>,
+    nodes: usize,
+}
+
+impl ResourceTable {
+    pub(crate) fn new(cluster: &ClusterSpec) -> Self {
+        let n = cluster.len();
+        let mut caps = vec![0.0; 4 * n + 1];
+        for (id, spec) in cluster.iter() {
+            let i = id.0 as usize;
+            caps[i] = spec.cores as f64; // cores (core-µs per µs)
+            caps[n + i] = spec.disk_bps / 1e6; // bytes per µs
+            caps[2 * n + i] = spec.nic_bps / 1e6;
+            caps[3 * n + i] = spec.nic_bps / 1e6;
+        }
+        caps[4 * n] = cluster.shared_fs_bps / 1e6;
+        ResourceTable { caps, nodes: n }
+    }
+
+    fn index(&self, r: Res) -> usize {
+        match r {
+            Res::Cpu(n) => n.0 as usize,
+            Res::Disk(n) => self.nodes + n.0 as usize,
+            Res::NicIn(n) => 2 * self.nodes + n.0 as usize,
+            Res::NicOut(n) => 3 * self.nodes + n.0 as usize,
+            Res::SharedFs => 4 * self.nodes,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.caps.len()
+    }
+}
+
+/// The resources and cap of one running activity.
+pub(crate) struct Demand {
+    /// Resource indices (0, 1 or 2 entries).
+    pub resources: [usize; 2],
+    /// Number of valid entries in `resources`.
+    pub n_resources: u8,
+    /// Per-activity rate cap (f64::INFINITY when only resource-limited).
+    pub cap: f64,
+}
+
+/// Builds the demand of one activity kind against the table.
+pub(crate) fn demand(table: &ResourceTable, kind: &ActivityKind) -> Demand {
+    match kind {
+        ActivityKind::Compute {
+            node, parallelism, ..
+        } => Demand {
+            resources: [table.index(Res::Cpu(*node)), 0],
+            n_resources: 1,
+            cap: *parallelism as f64,
+        },
+        ActivityKind::DiskRead { node, .. } | ActivityKind::DiskWrite { node, .. } => Demand {
+            resources: [table.index(Res::Disk(*node)), 0],
+            n_resources: 1,
+            cap: f64::INFINITY,
+        },
+        ActivityKind::Transfer { src, dst, .. } => {
+            if src == dst {
+                Demand {
+                    resources: [0, 0],
+                    n_resources: 0,
+                    cap: f64::INFINITY,
+                }
+            } else {
+                Demand {
+                    resources: [
+                        table.index(Res::NicOut(*src)),
+                        table.index(Res::NicIn(*dst)),
+                    ],
+                    n_resources: 2,
+                    cap: f64::INFINITY,
+                }
+            }
+        }
+        ActivityKind::SharedRead { node, .. } => Demand {
+            resources: [table.index(Res::SharedFs), table.index(Res::NicIn(*node))],
+            n_resources: 2,
+            cap: f64::INFINITY,
+        },
+        // A delay progresses at exactly 1 µs/µs.
+        ActivityKind::Delay { .. } => Demand {
+            resources: [0, 0],
+            n_resources: 0,
+            cap: 1.0,
+        },
+        ActivityKind::Barrier => Demand {
+            resources: [0, 0],
+            n_resources: 0,
+            cap: f64::INFINITY,
+        },
+    }
+}
+
+/// Progressive-filling max-min fair allocation. Returns one rate per demand.
+pub(crate) fn assign_rates(table: &ResourceTable, demands: &[Demand]) -> Vec<f64> {
+    let m = demands.len();
+    let mut rate = vec![0.0f64; m];
+    let mut frozen = vec![false; m];
+    let mut remaining = table.caps.clone();
+    let mut users = vec![0u32; table.len()];
+
+    for d in demands {
+        for r in &d.resources[..d.n_resources as usize] {
+            users[*r] += 1;
+        }
+    }
+    // Items with no resources jump straight to their cap (delays) or stay
+    // unconstrained (they are completed instantly by the caller when their
+    // amount is zero).
+    for (i, d) in demands.iter().enumerate() {
+        if d.n_resources == 0 {
+            rate[i] = if d.cap.is_finite() { d.cap } else { 1.0 };
+            frozen[i] = true;
+        }
+    }
+
+    const EPS: f64 = 1e-12;
+    loop {
+        // Smallest headroom: per-resource equal share, per-item cap distance.
+        let mut delta = f64::INFINITY;
+        for (r, &rem) in remaining.iter().enumerate() {
+            if users[r] > 0 {
+                delta = delta.min(rem / users[r] as f64);
+            }
+        }
+        for (i, d) in demands.iter().enumerate() {
+            if !frozen[i] {
+                delta = delta.min(d.cap - rate[i]);
+            }
+        }
+        if !delta.is_finite() || delta < 0.0 {
+            break; // nothing left to fill
+        }
+
+        let mut any_unfrozen = false;
+        for (i, d) in demands.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            any_unfrozen = true;
+            rate[i] += delta;
+            for r in &d.resources[..d.n_resources as usize] {
+                remaining[*r] -= delta;
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+
+        // Freeze items at their cap, and items using a saturated resource.
+        for (i, d) in demands.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = rate[i] >= d.cap - EPS;
+            let saturated = d.resources[..d.n_resources as usize]
+                .iter()
+                .any(|&r| remaining[r] <= EPS * table.caps[r].max(1.0));
+            if capped || saturated {
+                frozen[i] = true;
+                for r in &d.resources[..d.n_resources as usize] {
+                    users[*r] -= 1;
+                }
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(
+            2,
+            NodeSpec {
+                name: String::new(),
+                cores: 8,
+                disk_bps: 100e6,
+                nic_bps: 10e6,
+                mem_bytes: 1 << 30,
+            },
+        )
+    }
+
+    fn rates(kinds: &[ActivityKind]) -> Vec<f64> {
+        let c = cluster();
+        let table = ResourceTable::new(&c);
+        let demands: Vec<Demand> = kinds.iter().map(|k| demand(&table, k)).collect();
+        assign_rates(&table, &demands)
+    }
+
+    #[test]
+    fn single_compute_capped_by_parallelism() {
+        let r = rates(&[ActivityKind::Compute {
+            node: NodeId(0),
+            work_core_us: 1.0,
+            parallelism: 4,
+        }]);
+        assert!((r[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_shares_cores_fairly_with_spillover() {
+        // Two activities on an 8-core node: caps 2 and 16. The small one gets
+        // its 2 cores; the big one takes the remaining 6.
+        let r = rates(&[
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1.0,
+                parallelism: 2,
+            },
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1.0,
+                parallelism: 16,
+            },
+        ]);
+        assert!((r[0] - 2.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 6.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn compute_on_different_nodes_does_not_contend() {
+        let r = rates(&[
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1.0,
+                parallelism: 8,
+            },
+            ActivityKind::Compute {
+                node: NodeId(1),
+                work_core_us: 1.0,
+                parallelism: 8,
+            },
+        ]);
+        assert!((r[0] - 8.0).abs() < 1e-9 && (r[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_readers_split_bandwidth() {
+        let r = rates(&[
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 1.0,
+            },
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 1.0,
+            },
+        ]);
+        // 100 MB/s = 100 bytes/µs split two ways.
+        assert!((r[0] - 50.0).abs() < 1e-6, "{r:?}");
+        assert!((r[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_limited_by_both_nics() {
+        // Two transfers into node 1 from node 0: they share node0 NIC-out
+        // and node1 NIC-in (both 10 bytes/µs) -> 5 each.
+        let r = rates(&[
+            ActivityKind::Transfer {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1.0,
+            },
+            ActivityKind::Transfer {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1.0,
+            },
+        ]);
+        assert!((r[0] - 5.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn delay_progresses_at_unit_rate() {
+        let r = rates(&[ActivityKind::Delay { duration_us: 100.0 }]);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_fs_single_reader_gets_full_server_bw() {
+        let c = cluster(); // shared_fs_bps = 1e9 -> 1000 bytes/µs, NIC 10
+        let table = ResourceTable::new(&c);
+        let demands = vec![demand(
+            &table,
+            &ActivityKind::SharedRead {
+                node: NodeId(0),
+                bytes: 1.0,
+            },
+        )];
+        let r = assign_rates(&table, &demands);
+        // Limited by the reader's NIC (10 bytes/µs), not the 1000 of the server.
+        assert!((r[0] - 10.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn mixed_unrelated_resources_fill_independently() {
+        let r = rates(&[
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1.0,
+                parallelism: 8,
+            },
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 1.0,
+            },
+        ]);
+        assert!((r[0] - 8.0).abs() < 1e-9);
+        assert!((r[1] - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,379 @@
+//! Choke-point analysis and failure diagnosis (paper §6, future work).
+//!
+//! "…to further enhance Granula's ability to support performance analysis,
+//! for example on choke-point analysis and failure diagnosis." Both are
+//! archive walks: choke points are operations that dominate their parent,
+//! idle the CPU while taking long, or skew across parallel actors; failure
+//! diagnosis works backwards from unclosed operations and assembly damage.
+
+use granula_archive::JobArchive;
+use granula_model::{OpId, Operation};
+use granula_monitor::AssemblyWarning;
+use serde::{Deserialize, Serialize};
+
+/// Why an operation is a choke point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChokePointKind {
+    /// The operation consumes most of its parent's duration.
+    DominantFraction {
+        /// `duration / parent duration`.
+        fraction: f64,
+    },
+    /// Long duration with idle CPU: latency- (not compute-) bound.
+    LatencyBound {
+        /// Mean busy cores on the operation's node while it ran.
+        cpu_mean: f64,
+    },
+    /// Parallel siblings (same mission, different actors) are skewed: the
+    /// slowest holds everyone at the barrier.
+    Imbalance {
+        /// Slowest sibling / mean sibling duration.
+        max_over_mean: f64,
+        /// Number of parallel siblings compared.
+        actors: usize,
+    },
+}
+
+/// One ranked finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChokePoint {
+    /// Operation id in the archive's tree.
+    pub op: OpId,
+    /// Human-readable operation label.
+    pub label: String,
+    /// Category and evidence.
+    pub kind: ChokePointKind,
+    /// Share of the total job runtime attributable to this finding —
+    /// findings are returned sorted by this, largest first.
+    pub severity: f64,
+}
+
+/// Tunable thresholds of the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChokePointConfig {
+    /// Minimum `duration / parent` to call an operation dominant.
+    pub dominant_fraction: f64,
+    /// Maximum mean busy cores to call an operation latency-bound.
+    pub idle_cpu_cores: f64,
+    /// Minimum `max / mean` across parallel siblings to call imbalance.
+    pub imbalance_ratio: f64,
+    /// Findings below this share of total runtime are dropped.
+    pub min_severity: f64,
+}
+
+impl Default for ChokePointConfig {
+    fn default() -> Self {
+        ChokePointConfig {
+            dominant_fraction: 0.60,
+            idle_cpu_cores: 1.0,
+            imbalance_ratio: 1.25,
+            min_severity: 0.02,
+        }
+    }
+}
+
+/// Walks the archive and returns choke points sorted by severity.
+pub fn find_choke_points(archive: &JobArchive, config: &ChokePointConfig) -> Vec<ChokePoint> {
+    let Some(total) = archive.total_runtime_us().filter(|&t| t > 0) else {
+        return Vec::new();
+    };
+    let total = total as f64;
+    let tree = &archive.tree;
+    let mut findings = Vec::new();
+
+    for op in tree.iter() {
+        let Some(duration) = op.duration_us() else {
+            continue;
+        };
+        let share = duration as f64 / total;
+
+        // Dominant fraction of the parent (skip the root and trivial ops).
+        if let Some(parent) = op.parent.map(|p| tree.op(p)) {
+            if let Some(pd) = parent.duration_us().filter(|&d| d > 0) {
+                let fraction = duration as f64 / pd as f64;
+                // Only flag sequential composites: parents with siblings of
+                // *other* kinds. A parallel worker op covering its whole
+                // fork-join container is expected, not a choke point.
+                let has_other_kinds = parent
+                    .children
+                    .iter()
+                    .any(|&c| tree.op(c).mission.kind != op.mission.kind);
+                if fraction >= config.dominant_fraction
+                    && has_other_kinds
+                    && share >= config.min_severity
+                {
+                    findings.push(ChokePoint {
+                        op: op.id,
+                        label: op.label(),
+                        kind: ChokePointKind::DominantFraction { fraction },
+                        severity: share * fraction,
+                    });
+                }
+            }
+        }
+
+        // Latency-bound: long but CPU-idle (needs the env mapping infos).
+        if let Some(cpu) = op.info_f64("CpuMean") {
+            if cpu <= config.idle_cpu_cores && share >= config.min_severity {
+                findings.push(ChokePoint {
+                    op: op.id,
+                    label: op.label(),
+                    kind: ChokePointKind::LatencyBound { cpu_mean: cpu },
+                    severity: share,
+                });
+            }
+        }
+    }
+
+    // Imbalance across parallel siblings: group children of each parent by
+    // mission identity, compare across actors.
+    for parent in tree.iter() {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(String, String), Vec<&Operation>> = BTreeMap::new();
+        for &c in &parent.children {
+            let child = tree.op(c);
+            groups
+                .entry((child.mission.kind.clone(), child.mission.id.clone()))
+                .or_default()
+                .push(child);
+        }
+        for ((kind, id), members) in groups {
+            if members.len() < 2 {
+                continue;
+            }
+            let durations: Vec<u64> = members.iter().filter_map(|m| m.duration_us()).collect();
+            if durations.len() < 2 {
+                continue;
+            }
+            let max = *durations.iter().max().expect("non-empty") as f64;
+            let mean = durations.iter().sum::<u64>() as f64 / durations.len() as f64;
+            if mean <= 0.0 {
+                continue;
+            }
+            let ratio = max / mean;
+            let wasted = (max - mean) / total; // barrier idle time share
+            if ratio >= config.imbalance_ratio && wasted >= config.min_severity {
+                let slowest = members
+                    .iter()
+                    .max_by_key(|m| m.duration_us().unwrap_or(0))
+                    .expect("non-empty");
+                findings.push(ChokePoint {
+                    op: slowest.id,
+                    label: format!("{kind}-{id} (slowest: {})", slowest.label()),
+                    kind: ChokePointKind::Imbalance {
+                        max_over_mean: ratio,
+                        actors: members.len(),
+                    },
+                    severity: wasted,
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| b.severity.total_cmp(&a.severity));
+    findings
+}
+
+/// What failure diagnosis concluded about one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Operations that started but never ended — the crash frontier.
+    pub unclosed: Vec<String>,
+    /// The node most implicated by the unclosed operations, if any.
+    pub suspected_node: Option<String>,
+    /// Count of `END`/`INFO` events whose operation was never seen
+    /// starting (evidence of log loss rather than a crash).
+    pub orphan_events: usize,
+    /// Whether the job root itself closed.
+    pub job_completed: bool,
+}
+
+impl FailureReport {
+    /// True when nothing suspicious was found.
+    pub fn is_healthy(&self) -> bool {
+        self.unclosed.is_empty() && self.orphan_events == 0 && self.job_completed
+    }
+}
+
+/// Diagnoses a job from its archive and the assembly warnings.
+pub fn diagnose(archive: &JobArchive, warnings: &[AssemblyWarning]) -> FailureReport {
+    let tree = &archive.tree;
+    let unclosed_ids = archive.unclosed_operations();
+    let unclosed: Vec<String> = unclosed_ids.iter().map(|&id| tree.op(id).label()).collect();
+
+    // Majority vote over the Node info of unclosed operations.
+    use std::collections::BTreeMap;
+    let mut votes: BTreeMap<&str, usize> = BTreeMap::new();
+    for &id in &unclosed_ids {
+        if let Some(node) = tree
+            .op(id)
+            .info_value(granula_model::names::NODE)
+            .and_then(|v| v.as_text())
+        {
+            *votes.entry(node).or_insert(0) += 1;
+        }
+    }
+    let suspected_node = votes
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .filter(|&(_, n)| n > 0)
+        .map(|(node, _)| node.to_string());
+
+    let orphan_events = warnings
+        .iter()
+        .filter(|w| {
+            matches!(
+                w,
+                AssemblyWarning::EndWithoutStart { .. } | AssemblyWarning::InfoWithoutStart { .. }
+            )
+        })
+        .count();
+
+    let job_completed = archive.job().is_some_and(|j| j.end_us().is_some());
+    FailureReport {
+        unclosed,
+        suspected_node,
+        orphan_events,
+        job_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn stamped(
+        tree: &mut OperationTree,
+        parent: Option<OpId>,
+        actor: (&str, &str),
+        mission: (&str, &str),
+        s: i64,
+        e: i64,
+    ) -> OpId {
+        let id = match parent {
+            Some(p) => tree
+                .add_child(
+                    p,
+                    Actor::new(actor.0, actor.1),
+                    Mission::new(mission.0, mission.1),
+                )
+                .expect("parent exists"),
+            None => tree
+                .add_root(
+                    Actor::new(actor.0, actor.1),
+                    Mission::new(mission.0, mission.1),
+                )
+                .expect("fresh tree"),
+        };
+        tree.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(s)))
+            .expect("id valid");
+        tree.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(e)))
+            .expect("id valid");
+        id
+    }
+
+    #[test]
+    fn dominant_child_detected() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 100);
+        let load = stamped(&mut t, Some(job), ("Job", "0"), ("LoadGraph", "0"), 0, 90);
+        stamped(&mut t, Some(job), ("Job", "0"), ("Cleanup", "0"), 90, 100);
+        let a = JobArchive::new(JobMeta::default(), t);
+        let found = find_choke_points(&a, &ChokePointConfig::default());
+        assert!(found.iter().any(|c| c.op == load
+            && matches!(c.kind, ChokePointKind::DominantFraction { fraction } if fraction > 0.8)));
+    }
+
+    #[test]
+    fn latency_bound_detected_via_cpu_mapping() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 100);
+        let startup = stamped(&mut t, Some(job), ("Job", "0"), ("Startup", "0"), 0, 40);
+        stamped(&mut t, Some(job), ("Job", "0"), ("Rest", "0"), 40, 100);
+        t.set_info(startup, Info::raw("CpuMean", InfoValue::Float(0.2)))
+            .unwrap();
+        let a = JobArchive::new(JobMeta::default(), t);
+        let found = find_choke_points(&a, &ChokePointConfig::default());
+        assert!(found
+            .iter()
+            .any(|c| c.op == startup && matches!(c.kind, ChokePointKind::LatencyBound { .. })));
+    }
+
+    #[test]
+    fn imbalance_detected_across_workers() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 100);
+        let ss = stamped(&mut t, Some(job), ("Job", "0"), ("Superstep", "4"), 0, 60);
+        stamped(&mut t, Some(ss), ("Worker", "0"), ("Compute", "4"), 0, 20);
+        stamped(&mut t, Some(ss), ("Worker", "1"), ("Compute", "4"), 0, 60);
+        let a = JobArchive::new(JobMeta::default(), t);
+        let found = find_choke_points(&a, &ChokePointConfig::default());
+        let imb = found
+            .iter()
+            .find(|c| matches!(c.kind, ChokePointKind::Imbalance { .. }))
+            .expect("imbalance found");
+        assert!(imb.label.contains("Compute-4"));
+        assert!(imb.label.contains("Worker-1"));
+    }
+
+    #[test]
+    fn healthy_archive_yields_no_findings_or_failures() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 100);
+        stamped(&mut t, Some(job), ("Job", "0"), ("A", "0"), 0, 50);
+        stamped(&mut t, Some(job), ("Job", "0"), ("B", "0"), 50, 100);
+        let a = JobArchive::new(JobMeta::default(), t);
+        assert!(find_choke_points(&a, &ChokePointConfig::default()).is_empty());
+        let report = diagnose(&a, &[]);
+        assert!(report.is_healthy());
+    }
+
+    #[test]
+    fn crash_diagnosis_points_at_the_node() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 100);
+        // Two unclosed worker operations on nodeX.
+        for w in 0..2 {
+            let id = t
+                .add_child(
+                    job,
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("Compute", "3"),
+                )
+                .unwrap();
+            t.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(10)))
+                .unwrap();
+            t.set_info(id, Info::raw(names::NODE, InfoValue::Text("nodeX".into())))
+                .unwrap();
+        }
+        let a = JobArchive::new(JobMeta::default(), t);
+        let warnings = vec![AssemblyWarning::EndWithoutStart {
+            label: "x".into(),
+            time_us: 5,
+        }];
+        let report = diagnose(&a, &warnings);
+        assert!(!report.is_healthy());
+        assert_eq!(report.unclosed.len(), 2);
+        assert_eq!(report.suspected_node.as_deref(), Some("nodeX"));
+        assert_eq!(report.orphan_events, 1);
+        assert!(report.job_completed);
+    }
+
+    #[test]
+    fn findings_sorted_by_severity() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 1000);
+        let big = stamped(&mut t, Some(job), ("Job", "0"), ("Big", "0"), 0, 900);
+        stamped(&mut t, Some(job), ("Job", "0"), ("Small", "0"), 900, 1000);
+        t.set_info(big, Info::raw("CpuMean", InfoValue::Float(0.1)))
+            .unwrap();
+        let a = JobArchive::new(JobMeta::default(), t);
+        let found = find_choke_points(&a, &ChokePointConfig::default());
+        assert!(found.len() >= 2);
+        for pair in found.windows(2) {
+            assert!(pair[0].severity >= pair[1].severity);
+        }
+    }
+}

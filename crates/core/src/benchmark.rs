@@ -1,0 +1,214 @@
+//! A Graphalytics-style benchmark-suite runner.
+//!
+//! The paper positions Granula as the fine-grained complement to the
+//! authors' LDBC Graphalytics benchmark (paper reference 18): Graphalytics ranks platforms,
+//! Granula explains the ranking. This module runs the cross product of
+//! platforms × algorithms, archives every job, verifies every output
+//! against the sequential references, and reports both the coarse ranking
+//! *and* the domain decomposition that explains it.
+
+use gpsim_graph::gen::with_uniform_weights;
+use gpsim_graph::Graph;
+use gpsim_platforms::{common::reference_output, Algorithm};
+use granula_archive::ArchiveStore;
+use serde::{Deserialize, Serialize};
+
+use crate::calibration;
+use crate::experiment::{run_experiment, Platform};
+use crate::metrics::Phase;
+
+/// Configuration of one suite run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSuite {
+    /// Platforms to compare.
+    pub platforms: Vec<Platform>,
+    /// Algorithms to run.
+    pub algorithms: Vec<Algorithm>,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Logical graph size (volumes are scaled to dg1000 regardless).
+    pub vertices: u32,
+    /// Graph seed.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkSuite {
+    fn default() -> Self {
+        BenchmarkSuite {
+            platforms: vec![Platform::Giraph, Platform::PowerGraph, Platform::GraphMat],
+            algorithms: vec![
+                Algorithm::Bfs { source: 1 },
+                Algorithm::PageRank { iterations: 10 },
+                Algorithm::Wcc,
+                Algorithm::Cdlp { iterations: 5 },
+                Algorithm::Sssp { source: 1 },
+            ],
+            nodes: 8,
+            vertices: 10_000,
+            seed: calibration::DG_SEED,
+        }
+    }
+}
+
+/// One completed benchmark job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRow {
+    /// Platform name.
+    pub platform: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Total runtime, µs.
+    pub total_us: u64,
+    /// Processing time `Tp`, µs — the Graphalytics ranking metric.
+    pub processing_us: u64,
+    /// I/O time `Td`, µs.
+    pub io_us: u64,
+    /// Setup time `Ts`, µs.
+    pub setup_us: u64,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Output matched the sequential reference implementation.
+    pub validated: bool,
+}
+
+/// The outcome of a suite run.
+#[derive(Debug)]
+pub struct BenchmarkReport {
+    /// One row per (platform, algorithm).
+    pub rows: Vec<BenchmarkRow>,
+    /// Every job's archive, for fine-grained follow-up.
+    pub store: ArchiveStore,
+}
+
+impl BenchmarkReport {
+    /// The platform with the smallest `metric` for an algorithm.
+    pub fn winner(&self, algorithm: &str, metric: fn(&BenchmarkRow) -> u64) -> Option<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.algorithm == algorithm)
+            .min_by_key(|r| metric(r))
+            .map(|r| r.platform.as_str())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{:<12} {:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
+            "platform", "algorithm", "total", "setup", "io", "proc", "iters", "valid"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:<10} {:>8.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>7} {:>6}\n",
+                r.platform,
+                r.algorithm,
+                r.total_us as f64 / 1e6,
+                r.setup_us as f64 / 1e6,
+                r.io_us as f64 / 1e6,
+                r.processing_us as f64 / 1e6,
+                r.iterations,
+                if r.validated { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+impl BenchmarkSuite {
+    /// Runs the full cross product.
+    pub fn run(&self) -> BenchmarkReport {
+        let (graph, scale) = calibration::dg_graph_small(self.vertices, self.seed);
+        let weighted = with_uniform_weights(&graph, 4.0, self.seed);
+        let mut rows = Vec::new();
+        let mut store = ArchiveStore::new();
+        for &platform in &self.platforms {
+            for &algorithm in &self.algorithms {
+                let g: &Graph = if matches!(algorithm, Algorithm::Sssp { .. }) {
+                    &weighted
+                } else {
+                    &graph
+                };
+                let mut cfg = match platform {
+                    Platform::Giraph => calibration::giraph_dg1000_job(),
+                    Platform::PowerGraph => calibration::powergraph_dg1000_job(),
+                    Platform::GraphMat => calibration::graphmat_dg1000_job(),
+                };
+                cfg.algorithm = algorithm;
+                cfg.nodes = self.nodes;
+                cfg.scale_factor = scale;
+                cfg.job_id = format!(
+                    "suite-{}-{}",
+                    platform.name().to_lowercase(),
+                    algorithm.name().to_lowercase()
+                );
+                let result =
+                    run_experiment(platform, g, &cfg).expect("suite simulations are well-formed");
+                let validated = result.run.output.matches(&reference_output(g, algorithm));
+                let b = &result.breakdown;
+                rows.push(BenchmarkRow {
+                    platform: platform.name().into(),
+                    algorithm: algorithm.name().into(),
+                    total_us: b.total_us,
+                    processing_us: b.phase_us(Phase::Processing),
+                    io_us: b.phase_us(Phase::InputOutput),
+                    setup_us: b.phase_us(Phase::Setup),
+                    iterations: result.run.iterations,
+                    validated,
+                });
+                store.add(result.report.archive);
+            }
+        }
+        BenchmarkReport { rows, store }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_suite() -> BenchmarkSuite {
+        BenchmarkSuite {
+            platforms: vec![Platform::Giraph, Platform::PowerGraph],
+            algorithms: vec![Algorithm::Bfs { source: 1 }, Algorithm::Wcc],
+            nodes: 4,
+            vertices: 2_000,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn suite_runs_cross_product_and_validates() {
+        let report = small_suite().run();
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().all(|r| r.validated), "{report:?}");
+        assert_eq!(report.store.len(), 4);
+    }
+
+    #[test]
+    fn coarse_and_fine_rankings_differ() {
+        // The paper's motivating split: PowerGraph wins processing,
+        // Giraph wins end-to-end.
+        let report = small_suite().run();
+        assert_eq!(
+            report.winner("BFS", |r| r.processing_us),
+            Some("PowerGraph")
+        );
+        assert_eq!(report.winner("BFS", |r| r.total_us), Some("Giraph"));
+    }
+
+    #[test]
+    fn report_renders_every_row() {
+        let report = small_suite().run();
+        let text = report.render_text();
+        assert_eq!(text.lines().count(), 5); // header + 4 rows
+        assert!(text.contains("Giraph"));
+        assert!(text.contains("WCC"));
+    }
+
+    #[test]
+    fn archives_in_store_are_queryable() {
+        let report = small_suite().run();
+        let archive = report.store.get("suite-giraph-bfs").expect("archived");
+        assert!(archive.total_runtime_us().unwrap() > 0);
+        assert_eq!(archive.meta.algorithm, "BFS");
+    }
+}

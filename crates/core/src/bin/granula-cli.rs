@@ -1,0 +1,429 @@
+//! `granula-cli` — drive the Granula pipeline from the command line.
+//!
+//! ```text
+//! granula-cli run       --platform giraph --algorithm bfs --out a.json [--report r.html]
+//! granula-cli inspect   a.json [--depth 3]
+//! granula-cli query     a.json "GiraphJob/ProcessGraph/Superstep" [--info Duration]
+//! granula-cli breakdown a.json
+//! granula-cli chokepoints a.json
+//! granula-cli diagnose  a.json
+//! granula-cli regression baseline.json candidate.json [--tolerance 0.10]
+//! ```
+//!
+//! Archives are the standardized JSON envelopes of `granula-archive`; every
+//! subcommand other than `run` operates on shared archives, which is the
+//! collaboration workflow the paper's requirement R2 calls for.
+
+use std::fs;
+use std::process::ExitCode;
+
+use gpsim_graph::gen::{datagen_like, GenConfig};
+use gpsim_platforms::{Algorithm, JobConfig};
+use granula::analysis::{diagnose, find_choke_points, ChokePointConfig, ChokePointKind};
+use granula::experiment::{run_experiment, Platform};
+use granula::metrics::{DomainBreakdown, Phase};
+use granula::regression::RegressionSuite;
+use granula_archive::{from_json, to_json_pretty, JobArchive, Query};
+use granula_viz::tree::render_operation_tree;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("breakdown") => cmd_breakdown(&args[1..]),
+        Some("chokepoints") => cmd_chokepoints(&args[1..]),
+        Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("regression") => cmd_regression(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("model") => cmd_model(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "granula-cli — fine-grained performance analysis of graph-processing platforms\n\n\
+         subcommands:\n\
+         \x20 run        --platform <giraph|powergraph|graphmat> [--algorithm <bfs|pagerank|wcc|cdlp|sssp>]\n\
+         \x20            [--vertices N] [--nodes K] [--seed S] --out <archive.json> [--report <report.html>]\n\
+         \x20 inspect    <archive.json> [--depth N]\n\
+         \x20 query      <archive.json> <path-query> [--info <name>]\n\
+         \x20 breakdown  <archive.json>\n\
+         \x20 chokepoints <archive.json>\n\
+         \x20 diagnose   <archive.json>\n\
+         \x20 regression <baseline.json> <candidate.json> [--tolerance 0.10]\n\
+         \x20 diff       <baseline.json> <candidate.json> [--min-delta-ms 50] [--limit 20]\n\
+         \x20 model      <giraph|powergraph|graphmat> [--out model.json]\n\
+         \x20 suite      --out-dir <dir> [--vertices N] [--nodes K]"
+    );
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The `index`-th positional argument: flags and the values that follow
+/// them are skipped, so `regression --tolerance 0.2 a.json b.json` yields
+/// `a.json` at index 0.
+fn positional(args: &[String], index: usize) -> Option<&String> {
+    let mut seen = 0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if seen == index {
+            return Some(&args[i]);
+        }
+        seen += 1;
+        i += 1;
+    }
+    None
+}
+
+fn load_archive(path: &str) -> Result<JobArchive, String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let platform = match flag(args, "--platform").as_deref() {
+        Some("giraph") => Platform::Giraph,
+        Some("powergraph") => Platform::PowerGraph,
+        Some("graphmat") => Platform::GraphMat,
+        Some(other) => return Err(format!("unknown platform `{other}`")),
+        None => return Err("--platform is required".into()),
+    };
+    let vertices: u32 = flag(args, "--vertices")
+        .map(|v| v.parse().map_err(|e| format!("--vertices: {e}")))
+        .transpose()?
+        .unwrap_or(20_000);
+    let nodes: u16 = flag(args, "--nodes")
+        .map(|v| v.parse().map_err(|e| format!("--nodes: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let algorithm = match flag(args, "--algorithm").as_deref() {
+        None | Some("bfs") => Algorithm::Bfs { source: 1 },
+        Some("pagerank") => Algorithm::PageRank { iterations: 10 },
+        Some("wcc") => Algorithm::Wcc,
+        Some("cdlp") => Algorithm::Cdlp { iterations: 5 },
+        Some("sssp") => Algorithm::Sssp { source: 1 },
+        Some(other) => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let out = flag(args, "--out").ok_or("--out is required")?;
+
+    println!(
+        "running {} {} on {} nodes ({} vertices, seed {seed}) ...",
+        platform.name(),
+        algorithm.name(),
+        nodes,
+        vertices
+    );
+    let graph = if matches!(algorithm, Algorithm::Sssp { .. }) {
+        gpsim_graph::gen::with_uniform_weights(
+            &datagen_like(&GenConfig::datagen(vertices, seed)),
+            4.0,
+            seed,
+        )
+    } else {
+        datagen_like(&GenConfig::datagen(vertices, seed))
+    };
+    let costs = match platform {
+        Platform::Giraph => granula::calibration::giraph_costs(),
+        Platform::PowerGraph => granula::calibration::powergraph_costs(),
+        Platform::GraphMat => granula::calibration::graphmat_costs(),
+    };
+    let cfg = JobConfig::new(
+        format!(
+            "cli-{}-{}",
+            platform.name().to_lowercase(),
+            algorithm.name().to_lowercase()
+        ),
+        format!("datagen-{vertices}"),
+        algorithm,
+        nodes,
+        costs,
+    )
+    .with_scale(1.03e9 / (vertices as f64 * 10.0));
+
+    let result = run_experiment(platform, &graph, &cfg).map_err(|e| e.to_string())?;
+    let json = to_json_pretty(&result.report.archive).map_err(|e| e.to_string())?;
+    fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "archived {} operations / {} infos to {out} ({} bytes); validation {}",
+        result.report.archive.num_operations(),
+        result.report.archive.num_infos(),
+        json.len(),
+        if result.report.validation.is_clean() {
+            "clean"
+        } else {
+            "has issues"
+        }
+    );
+
+    if let Some(report_path) = flag(args, "--report") {
+        let html = granula_viz::report::html_report(&result.report.archive, &result.report.env);
+        fs::write(&report_path, html).map_err(|e| format!("writing {report_path}: {e}"))?;
+        println!("HTML report written to {report_path}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("usage: inspect <archive.json> [--depth N]")?;
+    let depth: usize = flag(args, "--depth")
+        .map(|v| v.parse().map_err(|e| format!("--depth: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let archive = load_archive(path)?;
+    let meta = &archive.meta;
+    println!(
+        "{}: {} on {} ({} nodes), model `{}`",
+        meta.job_id, meta.algorithm, meta.platform, meta.nodes, meta.model
+    );
+    println!(
+        "{} operations, {} infos, total runtime {:.2}s\n",
+        archive.num_operations(),
+        archive.num_infos(),
+        archive.total_runtime_us().unwrap_or(0) as f64 / 1e6
+    );
+    print!("{}", render_operation_tree(&archive.tree, depth));
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("usage: query <archive.json> <query>")?;
+    let text = positional(args, 1).ok_or("usage: query <archive.json> <query>")?;
+    let archive = load_archive(path)?;
+    let query = Query::parse(text).map_err(|e| e.to_string())?;
+    let mut hits = query.select(&archive.tree);
+    if hits.is_empty() {
+        hits = query.find_all(&archive.tree);
+        if !hits.is_empty() {
+            println!("(no absolute-path match; showing find-all results)");
+        }
+    }
+    let info = flag(args, "--info");
+    println!("{} operations match `{query}`:", hits.len());
+    for id in hits {
+        let op = archive.tree.op(id);
+        match &info {
+            Some(name) => println!(
+                "  {:<40} {name}={:?}",
+                op.label(),
+                op.info_value(name)
+                    .cloned()
+                    .unwrap_or(granula_model::InfoValue::Text("-".into()))
+            ),
+            None => println!(
+                "  {:<40} duration {:.3}s, {} infos",
+                op.label(),
+                op.duration_us().unwrap_or(0) as f64 / 1e6,
+                op.infos.len()
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_breakdown(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("usage: breakdown <archive.json>")?;
+    let archive = load_archive(path)?;
+    let b = DomainBreakdown::from_archive(&archive).ok_or("archive has no runtime")?;
+    println!("total runtime: {:.2}s", b.total_s());
+    for phase in [Phase::Setup, Phase::InputOutput, Phase::Processing] {
+        println!(
+            "  {:<14} {:>9.2}s  ({:>5.1}%)",
+            phase.label(),
+            b.phase_us(phase) as f64 / 1e6,
+            100.0 * b.fraction(phase)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_chokepoints(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("usage: chokepoints <archive.json>")?;
+    let archive = load_archive(path)?;
+    let findings = find_choke_points(&archive, &ChokePointConfig::default());
+    if findings.is_empty() {
+        println!("no choke points above thresholds");
+        return Ok(());
+    }
+    for c in findings.iter().take(10) {
+        let kind = match &c.kind {
+            ChokePointKind::DominantFraction { fraction } => {
+                format!("dominates parent ({:.0}%)", fraction * 100.0)
+            }
+            ChokePointKind::LatencyBound { cpu_mean } => {
+                format!("latency-bound ({cpu_mean:.2} busy cores)")
+            }
+            ChokePointKind::Imbalance {
+                max_over_mean,
+                actors,
+            } => {
+                format!("imbalance across {actors} actors (max/mean {max_over_mean:.2})")
+            }
+        };
+        println!(
+            "severity {:>5.1}%  {:<46} {}",
+            c.severity * 100.0,
+            c.label,
+            kind
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("usage: diagnose <archive.json>")?;
+    let archive = load_archive(path)?;
+    // Offline archives carry no assembly warnings; diagnose from structure.
+    let report = diagnose(&archive, &[]);
+    println!("healthy: {}", report.is_healthy());
+    println!("job completed: {}", report.job_completed);
+    if !report.unclosed.is_empty() {
+        println!("unclosed operations:");
+        for label in &report.unclosed {
+            println!("  {label}");
+        }
+    }
+    if let Some(node) = report.suspected_node {
+        println!("suspected node: {node}");
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let out_dir = flag(args, "--out-dir").ok_or("--out-dir is required")?;
+    let mut suite = granula::BenchmarkSuite::default();
+    if let Some(v) = flag(args, "--vertices") {
+        suite.vertices = v.parse().map_err(|e| format!("--vertices: {e}"))?;
+    }
+    if let Some(n) = flag(args, "--nodes") {
+        suite.nodes = n.parse().map_err(|e| format!("--nodes: {e}"))?;
+    }
+    println!(
+        "running {} jobs ({} platforms x {} algorithms) ...",
+        suite.platforms.len() * suite.algorithms.len(),
+        suite.platforms.len(),
+        suite.algorithms.len()
+    );
+    let report = suite.run();
+    print!("{}", report.render_text());
+    fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let mut written = 0;
+    for archive in report.store.iter() {
+        let path = format!("{out_dir}/{}.json", archive.meta.job_id);
+        let json = to_json_pretty(archive).map_err(|e| e.to_string())?;
+        fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        written += 1;
+    }
+    println!("{written} archives written to {out_dir}/ (inspect/query/diff them)");
+    if report.rows.iter().any(|r| !r.validated) {
+        return Err("some outputs failed validation".into());
+    }
+    Ok(())
+}
+
+fn cmd_model(args: &[String]) -> Result<(), String> {
+    let model = match positional(args, 0).map(String::as_str) {
+        Some("giraph") => granula::models::giraph_model(),
+        Some("powergraph") => granula::models::powergraph_model(),
+        Some("graphmat") => granula::models::graphmat_model(),
+        Some(other) => return Err(format!("unknown model `{other}`")),
+        None => return Err("usage: model <giraph|powergraph|graphmat> [--out file]".into()),
+    };
+    print!("{}", granula_viz::tree::render_model(&model));
+    if let Some(out) = flag(args, "--out") {
+        let json = granula_model::model_to_json(&model).map_err(|e| e.to_string())?;
+        fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("model written to {out} (shareable JSON)");
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let baseline = positional(args, 0).ok_or("usage: diff <baseline> <candidate>")?;
+    let candidate = positional(args, 1).ok_or("usage: diff <baseline> <candidate>")?;
+    let min_delta_ms: u64 = flag(args, "--min-delta-ms")
+        .map(|v| v.parse().map_err(|e| format!("--min-delta-ms: {e}")))
+        .transpose()?
+        .unwrap_or(50);
+    let limit: usize = flag(args, "--limit")
+        .map(|v| v.parse().map_err(|e| format!("--limit: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let rows = granula_viz::diff_archives(
+        &load_archive(baseline)?,
+        &load_archive(candidate)?,
+        min_delta_ms * 1_000,
+    );
+    print!("{}", granula_viz::render_diff(&rows, limit));
+    Ok(())
+}
+
+fn cmd_regression(args: &[String]) -> Result<(), String> {
+    let baseline = positional(args, 0).ok_or("usage: regression <baseline> <candidate>")?;
+    let candidate = positional(args, 1).ok_or("usage: regression <baseline> <candidate>")?;
+    let tolerance: f64 = flag(args, "--tolerance")
+        .map(|v| v.parse().map_err(|e| format!("--tolerance: {e}")))
+        .transpose()?
+        .unwrap_or(0.10);
+    let mut suite = RegressionSuite::new(tolerance);
+    suite.add_baseline(load_archive(baseline)?);
+    let cand = load_archive(candidate)?;
+    let report = suite
+        .check(&cand)
+        .ok_or("baseline and candidate do not share (platform, algorithm, dataset)")?;
+    if report.passed() {
+        println!("PASS: no phase regressed beyond {:.0}%", tolerance * 100.0);
+    } else {
+        println!("FAIL:");
+        for r in &report.regressions {
+            println!(
+                "  {:<14} {:>9.2}s -> {:>9.2}s  ({:+.1}%)",
+                r.subject,
+                r.baseline_us as f64 / 1e6,
+                r.candidate_us as f64 / 1e6,
+                100.0 * r.change
+            );
+        }
+    }
+    for r in &report.improvements {
+        println!(
+            "  improved: {:<14} {:>9.2}s -> {:>9.2}s  ({:+.1}%)",
+            r.subject,
+            r.baseline_us as f64 / 1e6,
+            r.candidate_us as f64 / 1e6,
+            100.0 * r.change
+        );
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("performance regression detected".into())
+    }
+}

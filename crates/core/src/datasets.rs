@@ -1,0 +1,83 @@
+//! Dataset catalog: LDBC-Datagen-like datasets at Graphalytics scales.
+//!
+//! `dg1000` — the paper's dataset — sits at the top of a family of Datagen
+//! graphs (dgX ≈ X million vertices+edges × 10.3). The catalog lets
+//! experiments sweep dataset scale with one logical graph: the entry's
+//! `scale_factor(vertices)` maps a down-sampled graph onto the emulated
+//! volume, exactly like [`crate::calibration`] does for dg1000.
+
+use serde::{Deserialize, Serialize};
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Name, e.g. `"dg1000"`.
+    pub name: &'static str,
+    /// Total vertices + edges, the sizing metric the paper quotes for
+    /// dg1000 (1.03e9).
+    pub elements: f64,
+    /// Approximate on-disk size at 20 B/edge (for intuition only).
+    pub approx_bytes: f64,
+}
+
+impl Dataset {
+    /// The volume multiplier that makes a logical graph of `vertices`
+    /// vertices (at the Datagen 9:1 edge ratio) emulate this dataset.
+    pub fn scale_factor(&self, vertices: u32) -> f64 {
+        self.elements / (vertices as f64 * 10.0)
+    }
+}
+
+/// The Datagen family at Graphalytics scales (dg100 … dg1000), sized
+/// relative to the paper's dg1000.
+pub fn datagen_family() -> Vec<Dataset> {
+    [
+        ("dg10", 1.03e7),
+        ("dg30", 3.09e7),
+        ("dg100", 1.03e8),
+        ("dg300", 3.09e8),
+        ("dg1000", 1.03e9),
+        ("dg3000", 3.09e9),
+    ]
+    .into_iter()
+    .map(|(name, elements)| Dataset {
+        name,
+        elements,
+        approx_bytes: elements * 0.9 * 20.0, // ~90 % of elements are edges
+    })
+    .collect()
+}
+
+/// Looks up a dataset by name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    datagen_family().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dg1000_matches_the_paper() {
+        let d = by_name("dg1000").unwrap();
+        assert_eq!(d.elements, 1.03e9);
+        // Matches the calibration constant for the 100k-vertex graph.
+        assert!(
+            (d.scale_factor(crate::calibration::DG_VERTICES) - crate::calibration::DG1000_SCALE)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn family_is_ordered_by_size() {
+        let family = datagen_family();
+        assert!(family.windows(2).all(|w| w[0].elements < w[1].elements));
+        assert_eq!(family.len(), 6);
+    }
+
+    #[test]
+    fn unknown_dataset_is_none() {
+        assert!(by_name("twitter").is_none());
+    }
+}

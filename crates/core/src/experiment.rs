@@ -1,0 +1,207 @@
+//! Experiment drivers: run a platform job through the full Granula pipeline.
+//!
+//! These are the entry points the figure-regeneration binaries and examples
+//! use: pick a platform, a graph, and a job config; get back the archive,
+//! the environment log, the domain breakdown, and all feedback.
+
+use gpsim_cluster::SimError;
+use gpsim_graph::Graph;
+use gpsim_platforms::{
+    GiraphPlatform, GraphMatPlatform, JobConfig, PlatformRun, PowerGraphPlatform,
+};
+use granula_archive::JobMeta;
+
+use crate::calibration;
+use crate::metrics::DomainBreakdown;
+use crate::models;
+use crate::process::{EvaluationProcess, EvaluationReport};
+
+/// The platforms under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// The Giraph-like Pregel platform.
+    Giraph,
+    /// The PowerGraph-like GAS platform.
+    PowerGraph,
+    /// The GraphMat-like SpMV platform (Table 1 extension).
+    GraphMat,
+}
+
+impl Platform {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Giraph => "Giraph",
+            Platform::PowerGraph => "PowerGraph",
+            Platform::GraphMat => "GraphMat",
+        }
+    }
+
+    /// The platform's full performance model.
+    pub fn model(self) -> granula_model::PerformanceModel {
+        match self {
+            Platform::Giraph => models::giraph_model(),
+            Platform::PowerGraph => models::powergraph_model(),
+            Platform::GraphMat => models::graphmat_model(),
+        }
+    }
+}
+
+/// Everything one experiment produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The Granula evaluation output (archive + feedback).
+    pub report: EvaluationReport,
+    /// The raw platform run (events, samples, algorithm output).
+    pub run: PlatformRun,
+    /// Domain-level breakdown (Figure 5 row).
+    pub breakdown: DomainBreakdown,
+}
+
+/// Runs one job on one platform and evaluates it with the platform's full
+/// model, on the default DAS5-like cluster.
+pub fn run_experiment(
+    platform: Platform,
+    graph: &Graph,
+    cfg: &JobConfig,
+) -> Result<ExperimentResult, SimError> {
+    run_experiment_on(
+        platform,
+        graph,
+        cfg,
+        &gpsim_cluster::ClusterSpec::das5(cfg.nodes),
+    )
+}
+
+/// Like [`run_experiment`], on an explicit (possibly heterogeneous)
+/// cluster — e.g. one with a straggler node.
+pub fn run_experiment_on(
+    platform: Platform,
+    graph: &Graph,
+    cfg: &JobConfig,
+    cluster: &gpsim_cluster::ClusterSpec,
+) -> Result<ExperimentResult, SimError> {
+    let run = match platform {
+        Platform::Giraph => GiraphPlatform::default().run_on(graph, cfg, cluster)?,
+        Platform::PowerGraph => PowerGraphPlatform::default().run_on(graph, cfg, cluster)?,
+        Platform::GraphMat => GraphMatPlatform::default().run_on(graph, cfg, cluster)?,
+    };
+    let process = EvaluationProcess::new(platform.model());
+    let meta = JobMeta {
+        job_id: cfg.job_id.clone(),
+        platform: platform.name().into(),
+        algorithm: cfg.algorithm.name().into(),
+        dataset: cfg.dataset.clone(),
+        nodes: cfg.nodes as u32,
+        model: String::new(),
+    };
+    let report = process.evaluate(&run, meta);
+    let breakdown = DomainBreakdown::from_archive(&report.archive)
+        .expect("archive of a simulated run always has a runtime");
+    Ok(ExperimentResult {
+        report,
+        run,
+        breakdown,
+    })
+}
+
+/// The paper's dg1000 experiment on the full down-sampled graph
+/// (100 k vertices): the configuration behind Figures 5–8. Takes a few
+/// seconds of real time per platform.
+pub fn dg1000(platform: Platform) -> ExperimentResult {
+    let graph = calibration::dg_graph();
+    let cfg = match platform {
+        Platform::Giraph => calibration::giraph_dg1000_job(),
+        Platform::PowerGraph => calibration::powergraph_dg1000_job(),
+        Platform::GraphMat => calibration::graphmat_dg1000_job(),
+    };
+    run_experiment(platform, &graph, &cfg).expect("dg1000 simulation is well-formed")
+}
+
+/// A fast variant of [`dg1000`] on a smaller logical graph with the scale
+/// factor adjusted to keep emulating the full dataset. Used by tests.
+pub fn dg1000_quick(platform: Platform, vertices: u32) -> ExperimentResult {
+    let (graph, scale) = calibration::dg_graph_small(vertices, calibration::DG_SEED);
+    let mut cfg = match platform {
+        Platform::Giraph => calibration::giraph_dg1000_job(),
+        Platform::PowerGraph => calibration::powergraph_dg1000_job(),
+        Platform::GraphMat => calibration::graphmat_dg1000_job(),
+    };
+    cfg.scale_factor = scale;
+    run_experiment(platform, &graph, &cfg).expect("dg1000 simulation is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PAPER;
+    use crate::metrics::Phase;
+
+    #[test]
+    fn quick_giraph_experiment_has_paper_shape() {
+        let r = dg1000_quick(Platform::Giraph, 8_000);
+        let b = &r.breakdown;
+        // Shape targets (§4.2): every phase substantial; I/O largest.
+        let setup = b.fraction(Phase::Setup);
+        let io = b.fraction(Phase::InputOutput);
+        let proc_ = b.fraction(Phase::Processing);
+        assert!(setup > 0.10 && setup < 0.55, "setup {setup}");
+        assert!(io > 0.25 && io < 0.60, "io {io}");
+        assert!(proc_ > 0.08 && proc_ < 0.50, "proc {proc_}");
+        assert!(io > proc_, "I/O should exceed processing: {io} vs {proc_}");
+        // Total within 2x of the paper's 81.59 s.
+        assert!(
+            b.total_s() > PAPER.giraph_total_s / 2.0 && b.total_s() < PAPER.giraph_total_s * 2.0,
+            "total {}",
+            b.total_s()
+        );
+    }
+
+    #[test]
+    fn quick_powergraph_experiment_is_io_dominated() {
+        let r = dg1000_quick(Platform::PowerGraph, 8_000);
+        let b = &r.breakdown;
+        let io = b.fraction(Phase::InputOutput);
+        let proc_ = b.fraction(Phase::Processing);
+        assert!(io > 0.85, "io {io}");
+        assert!(proc_ < 0.10, "proc {proc_}");
+        assert!(
+            b.total_s() > PAPER.powergraph_total_s / 2.0
+                && b.total_s() < PAPER.powergraph_total_s * 2.0,
+            "total {}",
+            b.total_s()
+        );
+    }
+
+    #[test]
+    fn powergraph_is_much_slower_than_giraph_end_to_end() {
+        // The paper's headline comparison: PowerGraph processes faster but
+        // its sequential loader makes the end-to-end job ~5x slower.
+        let g = dg1000_quick(Platform::Giraph, 5_000);
+        let p = dg1000_quick(Platform::PowerGraph, 5_000);
+        assert!(
+            p.breakdown.total_us > 3 * g.breakdown.total_us,
+            "PowerGraph {}s vs Giraph {}s",
+            p.breakdown.total_s(),
+            g.breakdown.total_s()
+        );
+        assert!(
+            p.breakdown.processing_us < g.breakdown.processing_us,
+            "PowerGraph processing should be faster"
+        );
+    }
+
+    #[test]
+    fn experiments_validate_cleanly() {
+        for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
+            let r = dg1000_quick(platform, 4_000);
+            assert!(
+                r.report.validation.is_clean(),
+                "{}: {:?}",
+                platform.name(),
+                &r.report.validation.issues[..3.min(r.report.validation.issues.len())]
+            );
+            assert!(r.report.assembly_warnings.is_empty());
+        }
+    }
+}

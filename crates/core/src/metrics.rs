@@ -1,0 +1,256 @@
+//! Domain-level metrics: Ts, Td, Tp and the cross-platform breakdown
+//! (paper §3.4 and Figure 5).
+//!
+//! Identical domain-level operations across platforms let Granula derive
+//! common metrics: setup time `Ts` (Startup + Cleanup), input/output time
+//! `Td` (LoadGraph + OffloadGraph), and processing time `Tp`
+//! (ProcessGraph). These power the Figure 5 comparison.
+
+use granula_archive::JobArchive;
+use serde::{Deserialize, Serialize};
+
+/// The three domain phases of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Startup + Cleanup (`Ts`).
+    Setup,
+    /// LoadGraph + OffloadGraph (`Td`).
+    InputOutput,
+    /// ProcessGraph (`Tp`).
+    Processing,
+}
+
+impl Phase {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Setup => "Setup",
+            Phase::InputOutput => "Input/output",
+            Phase::Processing => "Processing",
+        }
+    }
+
+    /// The mission kinds aggregated into this phase.
+    pub fn mission_kinds(self) -> &'static [&'static str] {
+        match self {
+            Phase::Setup => &["Startup", "Cleanup"],
+            Phase::InputOutput => &["LoadGraph", "OffloadGraph"],
+            Phase::Processing => &["ProcessGraph"],
+        }
+    }
+}
+
+/// The domain-level decomposition of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainBreakdown {
+    /// Platform name (from the archive).
+    pub platform: String,
+    /// Job id.
+    pub job_id: String,
+    /// Setup time `Ts`, µs.
+    pub setup_us: u64,
+    /// I/O time `Td`, µs.
+    pub io_us: u64,
+    /// Processing time `Tp`, µs.
+    pub processing_us: u64,
+    /// Total job runtime, µs.
+    pub total_us: u64,
+}
+
+impl DomainBreakdown {
+    /// Computes the breakdown from an archive assembled under a domain-level
+    /// (or finer) model. Returns `None` when the archive has no runtime.
+    pub fn from_archive(archive: &JobArchive) -> Option<DomainBreakdown> {
+        let total_us = archive.total_runtime_us()?;
+        if total_us == 0 {
+            return None;
+        }
+        let sum = |phase: Phase| -> u64 {
+            phase
+                .mission_kinds()
+                .iter()
+                .map(|k| archive.total_duration_of_us(k))
+                .sum()
+        };
+        Some(DomainBreakdown {
+            platform: archive.meta.platform.clone(),
+            job_id: archive.meta.job_id.clone(),
+            setup_us: sum(Phase::Setup),
+            io_us: sum(Phase::InputOutput),
+            processing_us: sum(Phase::Processing),
+            total_us,
+        })
+    }
+
+    /// Duration of one phase, µs.
+    pub fn phase_us(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Setup => self.setup_us,
+            Phase::InputOutput => self.io_us,
+            Phase::Processing => self.processing_us,
+        }
+    }
+
+    /// Fraction of the total runtime spent in a phase.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        self.phase_us(phase) as f64 / self.total_us as f64
+    }
+
+    /// Total runtime in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_us as f64 / 1e6
+    }
+
+    /// Time not attributed to any domain phase (gaps between operations);
+    /// small values indicate good model coverage.
+    pub fn unattributed_us(&self) -> i64 {
+        self.total_us as i64 - (self.setup_us + self.io_us + self.processing_us) as i64
+    }
+}
+
+/// Per-worker imbalance of an iterative operation: the data behind
+/// Figure 8's observation that "some workers take more time to complete
+/// their computation than others".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceStats {
+    /// Mission id of the iteration (e.g. superstep number).
+    pub iteration: String,
+    /// Fastest worker's duration, µs.
+    pub min_us: u64,
+    /// Slowest worker's duration, µs.
+    pub max_us: u64,
+    /// Mean duration, µs.
+    pub mean_us: f64,
+    /// `max / mean` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+}
+
+/// Computes per-iteration worker imbalance over operations of
+/// `mission_kind` (e.g. `"Compute"`) grouped by mission id.
+pub fn worker_imbalance(archive: &JobArchive, mission_kind: &str) -> Vec<ImbalanceStats> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for op in archive.tree.by_mission_kind(mission_kind) {
+        if let Some(d) = op.duration_us() {
+            groups.entry(op.mission.id.clone()).or_default().push(d);
+        }
+    }
+    groups
+        .into_iter()
+        .filter(|(_, ds)| !ds.is_empty())
+        .map(|(iteration, ds)| {
+            let min_us = *ds.iter().min().expect("non-empty");
+            let max_us = *ds.iter().max().expect("non-empty");
+            let mean_us = ds.iter().sum::<u64>() as f64 / ds.len() as f64;
+            ImbalanceStats {
+                iteration,
+                min_us,
+                max_us,
+                mean_us,
+                imbalance: if mean_us > 0.0 {
+                    max_us as f64 / mean_us
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn archive() -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let mut set = |id, s: i64, e: i64| {
+            t.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(s)))
+                .unwrap();
+            t.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(e)))
+                .unwrap();
+        };
+        set(job, 0, 100);
+        let phases = [
+            ("Startup", 0, 20),
+            ("LoadGraph", 20, 55),
+            ("ProcessGraph", 55, 80),
+            ("OffloadGraph", 80, 85),
+            ("Cleanup", 85, 100),
+        ];
+        let mut t2 = t.clone();
+        for (kind, s, e) in phases {
+            let id = t2
+                .add_child(job, Actor::new("Job", "0"), Mission::new(kind, "0"))
+                .unwrap();
+            t2.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(s)))
+                .unwrap();
+            t2.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(e)))
+                .unwrap();
+        }
+        JobArchive::new(
+            JobMeta {
+                job_id: "j".into(),
+                platform: "P".into(),
+                ..Default::default()
+            },
+            t2,
+        )
+    }
+
+    #[test]
+    fn breakdown_sums_phases() {
+        let b = DomainBreakdown::from_archive(&archive()).unwrap();
+        assert_eq!(b.setup_us, 35); // 20 + 15
+        assert_eq!(b.io_us, 40); // 35 + 5
+        assert_eq!(b.processing_us, 25);
+        assert_eq!(b.total_us, 100);
+        assert_eq!(b.unattributed_us(), 0);
+        assert!((b.fraction(Phase::InputOutput) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_archive_yields_none() {
+        let a = JobArchive::new(JobMeta::default(), OperationTree::new());
+        assert!(DomainBreakdown::from_archive(&a).is_none());
+    }
+
+    #[test]
+    fn imbalance_groups_by_iteration() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        for (w, d) in [(0u32, 10i64), (1, 20), (2, 30)] {
+            let id = t
+                .add_child(
+                    job,
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("Compute", "4"),
+                )
+                .unwrap();
+            t.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(0)))
+                .unwrap();
+            t.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(d)))
+                .unwrap();
+        }
+        let a = JobArchive::new(JobMeta::default(), t);
+        let stats = worker_imbalance(&a, "Compute");
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.iteration, "4");
+        assert_eq!((s.min_us, s.max_us), (10, 30));
+        assert!((s.mean_us - 20.0).abs() < 1e-9);
+        assert!((s.imbalance - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_labels_and_kinds() {
+        assert_eq!(Phase::Setup.mission_kinds(), &["Startup", "Cleanup"]);
+        assert_eq!(Phase::InputOutput.label(), "Input/output");
+    }
+}

@@ -1,0 +1,459 @@
+//! The performance-model library (paper §4.1, Figure 4).
+//!
+//! Models are built top-down: the **domain** level shared by every
+//! graph-processing platform (Figure 3), the **system** level describing
+//! each platform's workflow, and the **implementation** levels added by
+//! refinement. [`giraph_model`] reconstructs the four-level Giraph model of
+//! Figure 4 verbatim; [`powergraph_model`] models the GAS workflow.
+
+use granula_model::{
+    AbstractionLevel, ChildSelector, DerivationRule, InfoRequirement, OperationTypeDef,
+    OperationTypeId, PerformanceModel,
+};
+
+/// The domain-level model every graph-processing platform shares: a job
+/// decomposing into Startup, LoadGraph, ProcessGraph, OffloadGraph and
+/// Cleanup (paper Figure 3). `root_mission` is the platform's job mission
+/// kind, e.g. `"GiraphJob"`.
+pub fn domain_model(platform: &str, root_mission: &str) -> PerformanceModel {
+    let mut m = PerformanceModel::new(format!("{}-domain", platform.to_lowercase()), platform);
+    let mut root = OperationTypeDef::new("Job", root_mission, AbstractionLevel::Domain)
+        .describe("The graph-processing job, end to end");
+    // Domain metrics Ts / Td / Tp (paper §3.4) derived on the root.
+    for (kind, output) in [
+        ("Startup", "StartupDuration"),
+        ("LoadGraph", "LoadDuration"),
+        ("ProcessGraph", "ProcessDuration"),
+        ("OffloadGraph", "OffloadDuration"),
+        ("Cleanup", "CleanupDuration"),
+    ] {
+        root = root.with_rule(DerivationRule::SumChildren {
+            info: "Duration".into(),
+            select: ChildSelector::MissionKind(kind.into()),
+            output: output.into(),
+        });
+    }
+    m.add_type(root).expect("fresh model");
+    for (kind, desc) in [
+        (
+            "Startup",
+            "Reserve computational resources and prepare the system",
+        ),
+        ("LoadGraph", "Transfer graph data from storage into memory"),
+        ("ProcessGraph", "Execute the user-defined algorithm"),
+        ("OffloadGraph", "Write results back to storage"),
+        ("Cleanup", "Release resources"),
+    ] {
+        m.add_type(
+            OperationTypeDef::new("Job", kind, AbstractionLevel::Domain)
+                .child_of("Job", root_mission)
+                .with_rule(DerivationRule::FractionOfParent {
+                    info: "Duration".into(),
+                    output: "RuntimeFraction".into(),
+                })
+                .describe(desc),
+        )
+        .expect("unique domain kinds");
+    }
+    m
+}
+
+/// The 4-level Giraph performance model of paper Figure 4.
+pub fn giraph_model() -> PerformanceModel {
+    let mut m = domain_model("Giraph", "GiraphJob");
+    m.name = "giraph-v4".into();
+
+    // ---- Level 2 (system): Startup workflow.
+    m.refine(
+        &OperationTypeId::new("Job", "Startup"),
+        vec![
+            OperationTypeDef::new("Master", "JobStartup", AbstractionLevel::System)
+                .describe("Client negotiates with the YARN ResourceManager"),
+            OperationTypeDef::new("Master", "LaunchWorkers", AbstractionLevel::System)
+                .describe("Allocate containers and launch worker JVMs"),
+        ],
+    )
+    .expect("fresh refinement");
+    // ---- Level 2: LoadGraph / OffloadGraph / Cleanup workflows.
+    m.refine(
+        &OperationTypeId::new("Job", "LoadGraph"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalLoad", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::required("InputBytes"))
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "InputBytes".into(),
+                    output: "LoadThroughput".into(),
+                })
+                .describe("One worker loads its partition"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Job", "Superstep", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .with_info(InfoRequirement::optional("MessagesSent"))
+                .describe("One BSP superstep"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "OffloadGraph"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalOffload", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("OutputBytes"))
+                .describe("One worker writes its results"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Cleanup"),
+        vec![
+            OperationTypeDef::new("Master", "AbortWorkers", AbstractionLevel::System),
+            OperationTypeDef::new("Master", "ClientCleanup", AbstractionLevel::System),
+            OperationTypeDef::new("Master", "ServerCleanup", AbstractionLevel::System),
+            OperationTypeDef::new("Master", "ZkCleanup", AbstractionLevel::System),
+        ],
+    )
+    .expect("fresh refinement");
+
+    // ---- Level 3 (implementation).
+    m.refine(
+        &OperationTypeId::new("Master", "LaunchWorkers"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalStartup", AbstractionLevel::System)
+                .parallel()
+                .describe("Container allocation + JVM start + ZooKeeper registration"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Worker", "LocalLoad"),
+        vec![
+            OperationTypeDef::new("Worker", "LoadHdfsData", AbstractionLevel::System)
+                .describe("HDFS block reads (local + remote replicas)"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Superstep"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalSuperstep", AbstractionLevel::System)
+                .parallel()
+                .describe("One worker's share of the superstep"),
+            OperationTypeDef::new("Master", "SyncZookeeper", AbstractionLevel::System)
+                .describe("Global superstep barrier via ZooKeeper"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Worker", "LocalOffload"),
+        vec![
+            OperationTypeDef::new("Worker", "OffloadHdfsData", AbstractionLevel::System)
+                .describe("HDFS writes with replication pipeline"),
+        ],
+    )
+    .expect("fresh refinement");
+
+    // ---- Level 4 (implementation): inside a local superstep.
+    m.refine(
+        &OperationTypeId::new("Worker", "LocalSuperstep"),
+        vec![
+            OperationTypeDef::new("Worker", "PreStep", AbstractionLevel::System)
+                .describe("Superstep entry coordination (barrier wait)"),
+            OperationTypeDef::new("Worker", "Compute", AbstractionLevel::System)
+                .with_info(InfoRequirement::optional("EdgesScanned"))
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .describe("Vertex-program execution"),
+            OperationTypeDef::new("Worker", "Message", AbstractionLevel::System)
+                .with_info(InfoRequirement::optional("RemoteMessages"))
+                .describe("Message flushing to remote workers"),
+            OperationTypeDef::new("Worker", "PostStep", AbstractionLevel::System)
+                .describe("Superstep exit coordination (barrier wait)"),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The PowerGraph performance model (GAS workflow, sequential loader).
+pub fn powergraph_model() -> PerformanceModel {
+    let mut m = domain_model("PowerGraph", "PowerGraphJob");
+    m.name = "powergraph-v3".into();
+
+    m.refine(
+        &OperationTypeId::new("Job", "Startup"),
+        vec![
+            OperationTypeDef::new("Master", "MpiSetup", AbstractionLevel::System)
+                .describe("mpirun daemon startup and rank handshakes"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "LoadGraph"),
+        vec![
+            OperationTypeDef::new("Machine", "SequentialLoad", AbstractionLevel::System)
+                .with_info(InfoRequirement::required("InputBytes"))
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "InputBytes".into(),
+                    output: "LoadThroughput".into(),
+                })
+                .describe("One machine reads and parses the whole input"),
+            OperationTypeDef::new("Machine", "DistributeEdges", AbstractionLevel::System)
+                .describe("Ship edge partitions to their machines"),
+            OperationTypeDef::new("Machine", "FinalizeGraph", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("LocalEdges"))
+                .describe("Build local in-memory structures"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Job", "Iteration", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .describe("One GAS iteration"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "OffloadGraph"),
+        vec![
+            OperationTypeDef::new("Machine", "LocalOffload", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("OutputBytes")),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Cleanup"),
+        vec![OperationTypeDef::new(
+            "Master",
+            "MpiFinalize",
+            AbstractionLevel::System,
+        )],
+    )
+    .expect("fresh refinement");
+
+    // Level 3: GAS minor-steps inside an iteration.
+    m.refine(
+        &OperationTypeId::new("Job", "Iteration"),
+        vec![
+            OperationTypeDef::new("Machine", "Gather", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("GatherEdges")),
+            OperationTypeDef::new("Master", "Exchange", AbstractionLevel::System)
+                .with_info(InfoRequirement::optional("SyncMessages"))
+                .describe("Replica synchronization (mirrors ↔ masters)"),
+            OperationTypeDef::new("Machine", "Apply", AbstractionLevel::System).parallel(),
+            OperationTypeDef::new("Machine", "Scatter", AbstractionLevel::System).parallel(),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The GraphMat performance model (SpMV workflow, parallel loader with an
+/// expensive format conversion).
+pub fn graphmat_model() -> PerformanceModel {
+    let mut m = domain_model("GraphMat", "GraphMatJob");
+    m.name = "graphmat-v3".into();
+
+    m.refine(
+        &OperationTypeId::new("Job", "Startup"),
+        vec![
+            OperationTypeDef::new("Master", "MpiSetup", AbstractionLevel::System)
+                .describe("mpiexec daemon startup and rank handshakes"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "LoadGraph"),
+        vec![
+            OperationTypeDef::new("Machine", "LocalLoad", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::required("InputBytes"))
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "InputBytes".into(),
+                    output: "LoadThroughput".into(),
+                })
+                .describe("Each rank loads its row block in parallel"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Machine", "LocalLoad"),
+        vec![
+            OperationTypeDef::new("Machine", "ReadInput", AbstractionLevel::System)
+                .describe("Shared-filesystem block read"),
+            OperationTypeDef::new("Machine", "ConvertFormat", AbstractionLevel::System)
+                .describe("Conversion to the internal SpMV matrix format"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Job", "Iteration", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .describe("One generalized SpMV iteration"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Iteration"),
+        vec![
+            OperationTypeDef::new("Machine", "Multiply", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("EdgesProcessed")),
+            OperationTypeDef::new("Master", "Exchange", AbstractionLevel::System)
+                .describe("All-to-all message exchange"),
+            OperationTypeDef::new("Machine", "Apply", AbstractionLevel::System).parallel(),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "OffloadGraph"),
+        vec![
+            OperationTypeDef::new("Machine", "LocalOffload", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("OutputBytes")),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Cleanup"),
+        vec![OperationTypeDef::new(
+            "Master",
+            "MpiFinalize",
+            AbstractionLevel::System,
+        )],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giraph_model_has_four_levels() {
+        let m = giraph_model();
+        assert_eq!(m.max_depth(), 4);
+        // Figure 4 level-1 (domain) operations.
+        for kind in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(
+                m.get_type(&OperationTypeId::new("Job", kind)).is_some(),
+                "{kind}"
+            );
+        }
+        // Figure 4 deepest level: PreStep/Compute/Message/PostStep.
+        for kind in ["PreStep", "Compute", "Message", "PostStep"] {
+            let t = m.get_type(&OperationTypeId::new("Worker", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Worker", "LocalSuperstep")),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn superstep_is_iterative_and_local_ops_parallel() {
+        let m = giraph_model();
+        assert!(
+            m.get_type(&OperationTypeId::new("Job", "Superstep"))
+                .unwrap()
+                .iterative
+        );
+        assert!(
+            m.get_type(&OperationTypeId::new("Worker", "LocalLoad"))
+                .unwrap()
+                .parallel
+        );
+    }
+
+    #[test]
+    fn truncation_produces_domain_only_model() {
+        let m = giraph_model().truncated(AbstractionLevel::Domain);
+        assert_eq!(m.max_depth(), 1);
+        assert_eq!(m.types.len(), 6); // job + 5 domain phases
+    }
+
+    #[test]
+    fn powergraph_model_has_gas_minor_steps() {
+        let m = powergraph_model();
+        for kind in ["Gather", "Apply", "Scatter"] {
+            let t = m.get_type(&OperationTypeId::new("Machine", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Job", "Iteration")),
+                "{kind}"
+            );
+        }
+        assert!(m
+            .get_type(&OperationTypeId::new("Machine", "SequentialLoad"))
+            .is_some());
+    }
+
+    #[test]
+    fn domain_models_share_phase_kinds() {
+        for m in [giraph_model(), powergraph_model(), graphmat_model()] {
+            for kind in [
+                "Startup",
+                "LoadGraph",
+                "ProcessGraph",
+                "OffloadGraph",
+                "Cleanup",
+            ] {
+                assert!(
+                    m.get_type(&OperationTypeId::new("Job", kind)).is_some(),
+                    "{kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graphmat_model_has_spmv_steps() {
+        let m = graphmat_model();
+        for kind in ["Multiply", "Apply", "ConvertFormat", "ReadInput"] {
+            assert!(
+                m.get_type(&OperationTypeId::new("Machine", kind)).is_some(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_derives_phase_durations() {
+        let m = giraph_model();
+        let root = m
+            .get_type(&OperationTypeId::new("Job", "GiraphJob"))
+            .unwrap();
+        let outputs: Vec<&str> = root
+            .rules
+            .iter()
+            .filter_map(|r| match r {
+                DerivationRule::SumChildren { output, .. } => Some(output.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(outputs.contains(&"LoadDuration"));
+        assert!(outputs.contains(&"ProcessDuration"));
+    }
+}

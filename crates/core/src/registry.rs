@@ -1,0 +1,227 @@
+//! The platform-diversity registry: paper Table 1.
+//!
+//! "Diversity in (large-scale) graph processing platforms" — 7 platforms
+//! across 8 high-level characteristics. The registry is the data source of
+//! the `table1` bench binary and of documentation.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformEntry {
+    /// Platform name.
+    pub name: &'static str,
+    /// Vendor / origin.
+    pub vendor: &'static str,
+    /// Version evaluated (empty = unspecified in the paper).
+    pub version: &'static str,
+    /// Implementation language.
+    pub language: &'static str,
+    /// Distributed execution supported.
+    pub distributed: bool,
+    /// Provisioning mechanism.
+    pub provisioning: &'static str,
+    /// Programming model.
+    pub programming_model: &'static str,
+    /// Internal data format.
+    pub data_format: &'static str,
+    /// File system used.
+    pub file_system: &'static str,
+    /// Focus of the paper's experiments (bold rows in Table 1).
+    pub studied: bool,
+}
+
+/// The full Table 1 of the paper.
+pub fn table1() -> Vec<PlatformEntry> {
+    vec![
+        PlatformEntry {
+            name: "Giraph",
+            vendor: "Apache",
+            version: "1.2.0",
+            language: "Java",
+            distributed: true,
+            provisioning: "Yarn",
+            programming_model: "Pregel",
+            data_format: "VertexStore",
+            file_system: "HDFS",
+            studied: true,
+        },
+        PlatformEntry {
+            name: "PowerGraph",
+            vendor: "CMU",
+            version: "2.2",
+            language: "C++",
+            distributed: true,
+            provisioning: "OpenMPI",
+            programming_model: "GAS",
+            data_format: "Edge-based",
+            file_system: "local/shared",
+            studied: true,
+        },
+        PlatformEntry {
+            name: "GraphMat",
+            vendor: "Intel",
+            version: "",
+            language: "C++",
+            distributed: true,
+            provisioning: "Intel-MPI",
+            programming_model: "SpMV",
+            data_format: "SpMV",
+            file_system: "local/shared",
+            studied: false,
+        },
+        PlatformEntry {
+            name: "PGX.D",
+            vendor: "Oracle",
+            version: "",
+            language: "C++",
+            distributed: true,
+            provisioning: "Native, Slurm",
+            programming_model: "Push-pull",
+            data_format: "CSR",
+            file_system: "local/shared",
+            studied: false,
+        },
+        PlatformEntry {
+            name: "OpenG",
+            vendor: "Georgia Tech",
+            version: "",
+            language: "C++/CUDA",
+            distributed: false,
+            provisioning: "Native",
+            programming_model: "CPU/GPU",
+            data_format: "CSR",
+            file_system: "local",
+            studied: false,
+        },
+        PlatformEntry {
+            name: "TOTEM",
+            vendor: "UBC",
+            version: "",
+            language: "C++/CUDA",
+            distributed: false,
+            provisioning: "Native",
+            programming_model: "CPU+GPU",
+            data_format: "CSR",
+            file_system: "local",
+            studied: false,
+        },
+        PlatformEntry {
+            name: "Hadoop",
+            vendor: "Apache",
+            version: "",
+            language: "Java",
+            distributed: true,
+            provisioning: "Yarn",
+            programming_model: "MapRed",
+            data_format: "Out-of-core",
+            file_system: "HDFS",
+            studied: false,
+        },
+    ]
+}
+
+/// Renders the registry as an aligned text table (the `table1` binary).
+pub fn render_table1() -> String {
+    let rows = table1();
+    let headers = [
+        "Name",
+        "Vendor",
+        "Vers.",
+        "Lang.",
+        "Distr.",
+        "Provisioning",
+        "Programming Model",
+        "Data Format",
+        "File Sys.",
+    ];
+    let cells: Vec<[String; 9]> = rows
+        .iter()
+        .map(|r| {
+            [
+                if r.studied {
+                    format!("*{}", r.name)
+                } else {
+                    r.name.to_string()
+                },
+                r.vendor.to_string(),
+                if r.version.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.version.to_string()
+                },
+                r.language.to_string(),
+                if r.distributed { "yes" } else { "no" }.to_string(),
+                r.provisioning.to_string(),
+                r.programming_model.to_string(),
+                r.data_format.to_string(),
+                r.file_system.to_string(),
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cols: &[String]| -> String {
+        cols.iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &cells {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str("(* = platforms studied in the paper's experiments)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_seven_platforms() {
+        assert_eq!(table1().len(), 7);
+    }
+
+    #[test]
+    fn studied_platforms_are_giraph_and_powergraph() {
+        let studied: Vec<&str> = table1()
+            .iter()
+            .filter(|p| p.studied)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(studied, vec!["Giraph", "PowerGraph"]);
+    }
+
+    #[test]
+    fn rendering_contains_all_rows_and_headers() {
+        let s = render_table1();
+        for p in table1() {
+            assert!(s.contains(p.name), "{}", p.name);
+        }
+        assert!(s.contains("Programming Model"));
+        assert!(s.contains("*Giraph"));
+    }
+
+    #[test]
+    fn single_node_platforms_are_not_distributed() {
+        for p in table1() {
+            if p.name == "OpenG" || p.name == "TOTEM" {
+                assert!(!p.distributed);
+            }
+        }
+    }
+}

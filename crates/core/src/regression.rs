@@ -1,0 +1,202 @@
+//! Performance-regression testing over archives (paper §6).
+//!
+//! "…to help integrate performance analysis as part of standard software
+//! engineering practices, in the form of performance regression tests." A
+//! [`RegressionSuite`] holds baseline archives; checking a candidate
+//! archive against its baseline reports total-runtime and per-phase
+//! regressions beyond a configurable tolerance.
+
+use granula_archive::JobArchive;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{DomainBreakdown, Phase};
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// What regressed: `"total"` or a phase label.
+    pub subject: String,
+    /// Baseline duration, µs.
+    pub baseline_us: u64,
+    /// Candidate duration, µs.
+    pub candidate_us: u64,
+    /// Relative change, `(candidate - baseline) / baseline`.
+    pub change: f64,
+}
+
+/// The outcome of one regression check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionReport {
+    /// Job id checked.
+    pub job_id: String,
+    /// Regressions beyond tolerance, worst first.
+    pub regressions: Vec<Regression>,
+    /// Improvements beyond tolerance (negative change), best first.
+    pub improvements: Vec<Regression>,
+}
+
+impl RegressionReport {
+    /// True when no phase regressed beyond tolerance.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// A set of baseline archives keyed by `(platform, algorithm, dataset)`.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionSuite {
+    baselines: Vec<JobArchive>,
+    /// Relative slowdown tolerated before reporting, e.g. 0.1 = 10 %.
+    pub tolerance: f64,
+}
+
+impl RegressionSuite {
+    /// Creates a suite with the given tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        RegressionSuite {
+            baselines: Vec::new(),
+            tolerance,
+        }
+    }
+
+    /// Registers a baseline archive.
+    pub fn add_baseline(&mut self, archive: JobArchive) {
+        self.baselines.push(archive);
+    }
+
+    /// Number of baselines held.
+    pub fn len(&self) -> usize {
+        self.baselines.len()
+    }
+
+    /// True when no baselines are registered.
+    pub fn is_empty(&self) -> bool {
+        self.baselines.is_empty()
+    }
+
+    fn baseline_for(&self, candidate: &JobArchive) -> Option<&JobArchive> {
+        self.baselines.iter().find(|b| {
+            b.meta.platform == candidate.meta.platform
+                && b.meta.algorithm == candidate.meta.algorithm
+                && b.meta.dataset == candidate.meta.dataset
+        })
+    }
+
+    /// Checks a candidate archive against its matching baseline. Returns
+    /// `None` when no baseline matches or either archive lacks a runtime.
+    pub fn check(&self, candidate: &JobArchive) -> Option<RegressionReport> {
+        let baseline = self.baseline_for(candidate)?;
+        let base = DomainBreakdown::from_archive(baseline)?;
+        let cand = DomainBreakdown::from_archive(candidate)?;
+
+        let mut regressions = Vec::new();
+        let mut improvements = Vec::new();
+        let mut compare = |subject: &str, b_us: u64, c_us: u64| {
+            if b_us == 0 {
+                return;
+            }
+            let change = (c_us as f64 - b_us as f64) / b_us as f64;
+            let entry = Regression {
+                subject: subject.to_string(),
+                baseline_us: b_us,
+                candidate_us: c_us,
+                change,
+            };
+            if change > self.tolerance {
+                regressions.push(entry);
+            } else if change < -self.tolerance {
+                improvements.push(entry);
+            }
+        };
+        compare("total", base.total_us, cand.total_us);
+        for phase in [Phase::Setup, Phase::InputOutput, Phase::Processing] {
+            compare(phase.label(), base.phase_us(phase), cand.phase_us(phase));
+        }
+        regressions.sort_by(|a, b| b.change.total_cmp(&a.change));
+        improvements.sort_by(|a, b| a.change.total_cmp(&b.change));
+        Some(RegressionReport {
+            job_id: candidate.meta.job_id.clone(),
+            regressions,
+            improvements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn archive(job_id: &str, total: i64, load: i64) -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::END_TIME, InfoValue::Int(total)))
+            .unwrap();
+        let l = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        t.set_info(l, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(l, Info::raw(names::END_TIME, InfoValue::Int(load)))
+            .unwrap();
+        JobArchive::new(
+            JobMeta {
+                job_id: job_id.into(),
+                platform: "Giraph".into(),
+                algorithm: "BFS".into(),
+                dataset: "d".into(),
+                nodes: 8,
+                model: "m".into(),
+            },
+            t,
+        )
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let mut suite = RegressionSuite::new(0.10);
+        suite.add_baseline(archive("base", 100_000, 40_000));
+        let report = suite.check(&archive("cand", 105_000, 41_000)).unwrap();
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_reported_worst_first() {
+        let mut suite = RegressionSuite::new(0.10);
+        suite.add_baseline(archive("base", 100_000, 40_000));
+        let report = suite.check(&archive("cand", 130_000, 80_000)).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].subject, "Input/output"); // +100 %
+        assert!((report.regressions[0].change - 1.0).abs() < 1e-9);
+        assert_eq!(report.regressions[1].subject, "total"); // +30 %
+    }
+
+    #[test]
+    fn improvement_reported_separately() {
+        let mut suite = RegressionSuite::new(0.10);
+        suite.add_baseline(archive("base", 100_000, 40_000));
+        let report = suite.check(&archive("cand", 80_000, 20_000)).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.improvements[0].subject, "Input/output"); // -50 %
+    }
+
+    #[test]
+    fn unmatched_candidate_returns_none() {
+        let suite = RegressionSuite::new(0.10);
+        assert!(suite.check(&archive("cand", 1, 1)).is_none());
+    }
+
+    #[test]
+    fn baseline_matching_uses_workload_key() {
+        let mut suite = RegressionSuite::new(0.10);
+        suite.add_baseline(archive("base", 100_000, 40_000));
+        let mut other = archive("cand", 500_000, 400_000);
+        other.meta.algorithm = "PageRank".into();
+        assert!(suite.check(&other).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! Sequential reference algorithms (the LDBC Graphalytics set).
+//!
+//! These are the ground truth the simulated platforms are validated against:
+//! every Pregel/GAS execution must produce exactly these results.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, VertexId};
+
+/// Level reached from `src`, `u32::MAX` for unreachable vertices
+/// (directed BFS over out-edges, as Graphalytics specifies).
+pub fn bfs(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.num_vertices() as usize];
+    let mut q = VecDeque::new();
+    level[src as usize] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let next = level[v as usize] + 1;
+        for &t in g.neighbors(v) {
+            if level[t as usize] == u32::MAX {
+                level[t as usize] = next;
+                q.push_back(t);
+            }
+        }
+    }
+    level
+}
+
+/// PageRank with damping `d` for a fixed number of iterations, with the
+/// Graphalytics dangling-vertex redistribution.
+pub fn pagerank(g: &Graph, iterations: u32, d: f64) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    assert!(n > 0, "pagerank over an empty graph");
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let dangling: f64 = (0..n)
+            .filter(|&v| g.out_degree(v as u32) == 0)
+            .map(|v| rank[v])
+            .sum();
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        #[allow(clippy::needless_range_loop)] // vertex ids are the natural index
+        for v in 0..n {
+            let deg = g.out_degree(v as u32);
+            if deg > 0 {
+                let share = d * rank[v] / deg as f64;
+                for &t in g.neighbors(v as u32) {
+                    next[t as usize] += share;
+                }
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Weakly-connected components: each vertex is labeled with the smallest
+/// vertex id in its component (edges treated as undirected).
+pub fn wcc(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut q = VecDeque::new();
+    let mut visited = vec![false; n];
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        q.push_back(start);
+        while let Some(v) = q.pop_front() {
+            label[v as usize] = label[start as usize];
+            for &t in g.neighbors(v).iter().chain(g.in_neighbors(v)) {
+                if !visited[t as usize] {
+                    visited[t as usize] = true;
+                    q.push_back(t);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Single-source shortest paths over non-negative edge weights (Dijkstra);
+/// unweighted graphs fall back to weight 1 per edge. `f64::INFINITY` marks
+/// unreachable vertices.
+pub fn sssp(g: &Graph, src: VertexId) -> Vec<f64> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f64, VertexId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on distance.
+            other.0.total_cmp(&self.0)
+        }
+    }
+
+    let n = g.num_vertices() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry(0.0, src));
+    while let Some(Entry(d, v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let neighbors = g.neighbors(v);
+        for (i, &t) in neighbors.iter().enumerate() {
+            let w = g.edge_weights(v).map_or(1.0, |ws| ws[i] as f64);
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Entry(nd, t));
+            }
+        }
+    }
+    dist
+}
+
+/// Community detection by label propagation (synchronous, Graphalytics
+/// CDLP): every iteration each vertex adopts the most frequent label among
+/// its in- and out-neighbours, ties broken towards the smallest label.
+pub fn cdlp(g: &Graph, iterations: u32) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut next = label.clone();
+    let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for _ in 0..iterations {
+        for v in 0..n as u32 {
+            counts.clear();
+            for &t in g.neighbors(v).iter().chain(g.in_neighbors(v)) {
+                *counts.entry(label[t as usize]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                next[v as usize] = label[v as usize];
+                continue;
+            }
+            let mut best = (0u32, u32::MAX); // (count, label)
+            for (&l, &c) in &counts {
+                if c > best.0 || (c == best.0 && l < best.1) {
+                    best = (c, l);
+                }
+            }
+            next[v as usize] = best.1;
+        }
+        std::mem::swap(&mut label, &mut next);
+    }
+    label
+}
+
+/// Local clustering coefficient per vertex, over the undirected neighbour
+/// sets (Graphalytics LCC).
+pub fn lcc(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    // Undirected, deduplicated neighbour sets.
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let mut set: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .chain(g.in_neighbors(v))
+            .copied()
+            .filter(|&t| t != v)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        nbrs[v as usize] = set;
+    }
+    let mut out = vec![0.0f64; n];
+    for v in 0..n {
+        let set = &nbrs[v];
+        let k = set.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0u64;
+        for &u in set {
+            // Count neighbours of u that are also neighbours of v.
+            let nu = &nbrs[u as usize];
+            let (mut i, mut j) = (0, 0);
+            while i < set.len() && j < nu.len() {
+                match set[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Equal => {
+                        links += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                }
+            }
+        }
+        out[v] = links as f64 / (k as f64 * (k as f64 - 1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+
+    /// 0 -> 1 -> 2, 0 -> 2, 3 isolated.
+    fn small() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let l = bfs(&small(), 0);
+        assert_eq!(l, vec![0, 1, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let l = bfs(&small(), 2);
+        assert_eq!(l, vec![u32::MAX, u32::MAX, 0, u32::MAX]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = uniform(200, 2_000, 4);
+        let pr = pagerank(&g, 20, 0.85);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pagerank_ranks_sinks_of_a_chain_higher() {
+        // 0 -> 1 -> 2: rank grows along the chain.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let pr = pagerank(&g, 30, 0.85);
+        assert!(pr[2] > pr[1] && pr[1] > pr[0], "{pr:?}");
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let l = wcc(&small());
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_ne!(l[0], l[3]);
+        assert_eq!(l[0], 0); // smallest id in component
+        assert_eq!(l[3], 3);
+    }
+
+    #[test]
+    fn sssp_unweighted_matches_bfs() {
+        let g = uniform(300, 3_000, 6);
+        let d = sssp(&g, 0);
+        let l = bfs(&g, 0);
+        for v in 0..300usize {
+            if l[v] == u32::MAX {
+                assert!(d[v].is_infinite());
+            } else {
+                assert_eq!(d[v], l[v] as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_weighted_takes_cheap_detour() {
+        // 0 -> 1 (10.0), 0 -> 2 (1.0), 2 -> 1 (1.0): best path to 1 costs 2.
+        let g = Graph::from_edges_weighted(3, &[(0, 1), (0, 2), (2, 1)], Some(&[10.0, 1.0, 1.0]));
+        let d = sssp(&g, 0);
+        assert!((d[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdlp_converges_on_two_cliques() {
+        // Two triangles joined by nothing.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let l = cdlp(&g, 10);
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[3], l[4]);
+        assert_eq!(l[4], l[5]);
+        assert_ne!(l[0], l[3]);
+    }
+
+    #[test]
+    fn lcc_of_triangle_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = lcc(&g);
+        for v in 0..3 {
+            assert!((c[v] - 1.0).abs() < 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn lcc_of_star_center_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let c = lcc(&g);
+        assert_eq!(c[0], 0.0);
+        assert_eq!(c[1], 0.0); // leaves have < 2 neighbours
+    }
+
+    #[test]
+    fn lcc_counts_directed_links_once() {
+        // 0-1-2 triangle with one extra reciprocal edge; LCC uses the
+        // undirected view, so it is still a triangle.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 0)]);
+        let c = lcc(&g);
+        assert!((c[0] - 1.0).abs() < 1e-9, "{c:?}");
+    }
+}

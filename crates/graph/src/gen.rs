@@ -1,0 +1,199 @@
+//! Synthetic graph generators.
+//!
+//! `dg1000` — the LDBC Datagen graph of the paper — is a social network
+//! with a heavily skewed degree distribution. [`datagen_like`] reproduces
+//! that shape: vertex "popularity" follows a truncated power law, sources
+//! are chosen uniformly-ish and destinations proportionally to popularity,
+//! which yields the hub structure that drives PowerGraph-style vertex-cuts
+//! and Pregel-style superstep imbalance. [`rmat`] and [`uniform`] cover the
+//! other common benchmark families.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, VertexId};
+
+/// Parameters of the Datagen-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Target number of directed edges.
+    pub edges: u64,
+    /// Power-law exponent of the popularity distribution (Datagen's degree
+    /// tail is roughly `alpha ≈ 2.2`).
+    pub alpha: f64,
+    /// RNG seed; identical configs produce identical graphs.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// A convenient scaled-down Datagen-like config: `scale` vertices with
+    /// average degree 9 (close to dg1000's edge/vertex ratio).
+    pub fn datagen(scale: u32, seed: u64) -> Self {
+        GenConfig {
+            vertices: scale,
+            edges: scale as u64 * 9,
+            alpha: 2.2,
+            seed,
+        }
+    }
+}
+
+/// Generates a Datagen-like directed graph with a power-law in-degree tail.
+pub fn datagen_like(cfg: &GenConfig) -> Graph {
+    assert!(cfg.vertices > 0, "need at least one vertex");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.vertices;
+    // Popularity ~ (rank)^(-1/(alpha-1)) (Zipf-like over a random permutation
+    // of vertices so hubs are not clustered at low ids).
+    let exponent = 1.0 / (cfg.alpha - 1.0).max(0.1);
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut weight = vec![0.0f64; n as usize];
+    for (rank, &v) in perm.iter().enumerate() {
+        weight[v as usize] = 1.0 / ((rank + 1) as f64).powf(exponent);
+    }
+    let dist = WeightedIndex::new(&weight).expect("weights are positive");
+
+    let mut edges = Vec::with_capacity(cfg.edges as usize);
+    for _ in 0..cfg.edges {
+        // Sources mildly skewed too (active users post more).
+        let src = if rng.gen_bool(0.3) {
+            dist.sample(&mut rng) as VertexId
+        } else {
+            rng.gen_range(0..n)
+        };
+        let mut dst = dist.sample(&mut rng) as VertexId;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        edges.push((src, dst));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Generates an R-MAT (Kronecker) graph: `2^scale` vertices, `edges` edges,
+/// with the canonical Graph500 probabilities `(a, b, c) = (0.57, 0.19, 0.19)`.
+pub fn rmat(scale: u32, edges: u64, seed: u64) -> Graph {
+    let n: u32 = 1 << scale;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = Vec::with_capacity(edges as usize);
+    for _ in 0..edges {
+        let (mut x, mut y) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (dx, dy) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            x |= dx << bit;
+            y |= dy << bit;
+        }
+        list.push((x, y));
+    }
+    Graph::from_edges(n, &list)
+}
+
+/// Generates a uniform (Erdős–Rényi G(n, m)) directed graph.
+pub fn uniform(n: u32, m: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        list.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    Graph::from_edges(n, &list)
+}
+
+/// Attaches uniform random weights in `(0, max_w]` to a graph's edges,
+/// producing the weighted variant used by SSSP.
+pub fn with_uniform_weights(g: &Graph, max_w: f32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let weights: Vec<f32> = edges
+        .iter()
+        .map(|_| rng.gen::<f32>() * max_w + 1e-3)
+        .collect();
+    Graph::from_edges_weighted(g.num_vertices(), &edges, Some(&weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn datagen_is_deterministic() {
+        let cfg = GenConfig::datagen(1_000, 42);
+        let g1 = datagen_like(&cfg);
+        let g2 = datagen_like(&cfg);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1_000);
+        assert_eq!(g1.num_edges(), 9_000);
+    }
+
+    #[test]
+    fn datagen_seeds_differ() {
+        let g1 = datagen_like(&GenConfig::datagen(1_000, 1));
+        let g2 = datagen_like(&GenConfig::datagen(1_000, 2));
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn datagen_in_degree_is_skewed() {
+        let g = datagen_like(&GenConfig::datagen(5_000, 7));
+        let stats = DegreeStats::in_degrees(&g);
+        // Hubs exist: max in-degree far above the mean.
+        assert!(
+            stats.max as f64 > 20.0 * stats.mean,
+            "max={} mean={}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn datagen_has_no_self_loops() {
+        let g = datagen_like(&GenConfig::datagen(2_000, 3));
+        assert!(g.edges().all(|(s, t)| s != t));
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 16_000, 5);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 16_000);
+        let stats = DegreeStats::out_degrees(&g);
+        assert!(stats.max > 100, "R-MAT should have hubs, max={}", stats.max);
+    }
+
+    #[test]
+    fn uniform_has_no_heavy_hubs() {
+        let g = uniform(1_000, 10_000, 5);
+        let stats = DegreeStats::out_degrees(&g);
+        // Binomial(10_000, 1/1000): mean 10, tail far below 100.
+        assert!(stats.max < 50, "max={}", stats.max);
+    }
+
+    #[test]
+    fn weights_attach_to_every_edge() {
+        let g = uniform(100, 500, 9);
+        let w = with_uniform_weights(&g, 10.0, 11);
+        assert!(w.is_weighted());
+        assert_eq!(w.num_edges(), 500);
+        for v in 0..w.num_vertices() {
+            let ws = w.edge_weights(v).unwrap();
+            assert!(ws.iter().all(|&x| x > 0.0 && x <= 10.0 + 1e-2));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # gpsim-graph
+//!
+//! The graph substrate: data structures, synthetic generators, partitioners
+//! and reference algorithms.
+//!
+//! The paper's experiments run BFS on `dg1000`, an LDBC Datagen social-
+//! network graph with a skewed (power-law-like) degree distribution. This
+//! crate provides a Datagen-like generator ([`gen::datagen_like`]) plus
+//! R-MAT and uniform generators, the two partitioning families the studied
+//! platforms use (Pregel-style **edge-cut** hash partitioning and
+//! PowerGraph-style greedy **vertex-cut**), and sequential reference
+//! implementations of the LDBC Graphalytics algorithms (BFS, PageRank, WCC,
+//! SSSP, CDLP, LCC) used to validate the simulated platforms' outputs.
+
+pub mod algos;
+pub mod gen;
+pub mod graph;
+pub mod partition;
+pub mod stats;
+
+pub use gen::{datagen_like, rmat, uniform, GenConfig};
+pub use graph::{Graph, VertexId};
+pub use partition::{BlockPartition, EdgeCutPartition, VertexCutPartition};
+pub use stats::DegreeStats;

@@ -1,0 +1,157 @@
+//! Property-based tests of the graph substrate: CSR consistency, algorithm
+//! invariants, partitioning guarantees.
+
+use proptest::prelude::*;
+
+use gpsim_graph::gen::{datagen_like, uniform, with_uniform_weights, GenConfig};
+use gpsim_graph::{algos, EdgeCutPartition, Graph, VertexCutPartition};
+
+fn arb_edges() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..80).prop_flat_map(|n| (Just(n), prop::collection::vec((0..n, 0..n), 0..300)))
+}
+
+proptest! {
+    /// CSR construction preserves every edge in both directions.
+    #[test]
+    fn csr_round_trips_edges((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        // Forward adjacency matches the multiset of edges.
+        let mut fwd: Vec<(u32, u32)> = g.edges().collect();
+        let mut expect = edges.clone();
+        fwd.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(fwd, expect);
+        // Degrees are consistent between directions.
+        let out_sum: u64 = (0..n).map(|v| g.out_degree(v) as u64).sum();
+        let in_sum: u64 = (0..n).map(|v| g.in_degree(v) as u64).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        // Every in-edge mirrors an out-edge.
+        for v in 0..n {
+            for &u in g.in_neighbors(v) {
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    /// BFS levels satisfy the edge relaxation property and source is 0.
+    #[test]
+    fn bfs_levels_are_tight((n, edges) in arb_edges(), src_pick in any::<u32>()) {
+        let g = Graph::from_edges(n, &edges);
+        let src = src_pick % n;
+        let level = algos::bfs(&g, src);
+        prop_assert_eq!(level[src as usize], 0);
+        for (u, v) in g.edges() {
+            if level[u as usize] != u32::MAX {
+                prop_assert!(level[v as usize] <= level[u as usize] + 1);
+            }
+        }
+        // Every reached vertex (except src) has a predecessor one level up.
+        for v in 0..n {
+            let l = level[v as usize];
+            if l != u32::MAX && v != src {
+                prop_assert!(
+                    g.in_neighbors(v).iter().any(|&u| level[u as usize] == l - 1),
+                    "no tight predecessor for {v}"
+                );
+            }
+        }
+    }
+
+    /// WCC labels are constant within edges and equal the component minimum.
+    #[test]
+    fn wcc_labels_consistent((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let label = algos::wcc(&g);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(label[u as usize], label[v as usize]);
+        }
+        for v in 0..n {
+            prop_assert!(label[v as usize] <= v, "label must be component minimum");
+        }
+    }
+
+    /// PageRank is a probability distribution for any graph.
+    #[test]
+    fn pagerank_is_a_distribution((n, edges) in arb_edges(), iters in 1u32..20) {
+        let g = Graph::from_edges(n, &edges);
+        let pr = algos::pagerank(&g, iters, 0.85);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    /// SSSP distances satisfy the triangle inequality over edges.
+    #[test]
+    fn sssp_relaxed((n, edges) in arb_edges(), src_pick in any::<u32>(), seed in any::<u64>()) {
+        let g0 = Graph::from_edges(n, &edges);
+        let g = with_uniform_weights(&g0, 5.0, seed);
+        let src = src_pick % n;
+        let dist = algos::sssp(&g, src);
+        prop_assert_eq!(dist[src as usize], 0.0);
+        for v in 0..n {
+            let ws = g.edge_weights(v).expect("weighted");
+            for (i, &t) in g.neighbors(v).iter().enumerate() {
+                if dist[v as usize].is_finite() {
+                    prop_assert!(
+                        dist[t as usize] <= dist[v as usize] + ws[i] as f64 + 1e-9,
+                        "edge ({v},{t}) not relaxed"
+                    );
+                }
+            }
+        }
+    }
+
+    /// LCC is always within [0, 1].
+    #[test]
+    fn lcc_in_unit_interval((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        for c in algos::lcc(&g) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// Hash edge-cut: every vertex gets an owner below k; partition sizes
+    /// sum to n.
+    #[test]
+    fn edge_cut_total(n in 1u32..5_000, k in 1u16..32) {
+        let p = EdgeCutPartition::hash(n, k);
+        prop_assert!(p.owner.iter().all(|&o| o < k));
+        prop_assert_eq!(p.sizes().iter().sum::<u64>(), n as u64);
+    }
+
+    /// Greedy vertex-cut: every edge owned, every endpoint's replica set
+    /// contains the edge's machine, replication factor >= 1.
+    #[test]
+    fn vertex_cut_invariants((n, edges) in arb_edges(), k in 1u16..10) {
+        let g = Graph::from_edges(n, &edges);
+        let p = VertexCutPartition::greedy(&g, k);
+        prop_assert_eq!(p.edge_owner.len() as u64, g.num_edges());
+        for (e, (u, v)) in g.edges().enumerate() {
+            let m = p.edge_owner[e];
+            prop_assert!(m < k);
+            prop_assert!(p.replicas[u as usize].contains(&m));
+            prop_assert!(p.replicas[v as usize].contains(&m));
+        }
+        if g.num_edges() > 0 {
+            prop_assert!(p.replication_factor() >= 1.0);
+            prop_assert!(p.replication_factor() <= k as f64);
+        }
+    }
+}
+
+/// Generator sanity at a fixed size: datagen is more skewed than uniform.
+#[test]
+fn datagen_skew_exceeds_uniform() {
+    let d = datagen_like(&GenConfig::datagen(5_000, 3));
+    let u = uniform(5_000, 45_000, 3);
+    let ds = gpsim_graph::DegreeStats::in_degrees(&d);
+    let us = gpsim_graph::DegreeStats::in_degrees(&u);
+    assert!(
+        ds.gini > us.gini + 0.2,
+        "datagen {} vs uniform {}",
+        ds.gini,
+        us.gini
+    );
+}

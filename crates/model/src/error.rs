@@ -1,0 +1,69 @@
+//! Error type shared across the model crate.
+
+use std::fmt;
+
+use crate::op::OpId;
+
+/// Errors raised while constructing or evaluating performance models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An operation id is not present in the tree it was used with.
+    UnknownOperation(OpId),
+    /// An info with the given name was expected on the operation but absent.
+    MissingInfo { op: OpId, name: String },
+    /// An info held a value of a different kind than the rule required.
+    InfoType {
+        op: OpId,
+        name: String,
+        expected: &'static str,
+    },
+    /// Attempted to create a cycle or otherwise invalid parent link.
+    InvalidLink {
+        child: OpId,
+        parent: OpId,
+        reason: &'static str,
+    },
+    /// The model definition references an operation type that does not exist.
+    UnknownOperationType(String),
+    /// An operation type was defined twice in the same model.
+    DuplicateOperationType(String),
+    /// A derivation rule failed to evaluate.
+    Rule {
+        op: OpId,
+        rule: String,
+        reason: String,
+    },
+    /// The tree has no root operation (empty tree where one was required).
+    EmptyTree,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownOperation(id) => write!(f, "unknown operation {id}"),
+            ModelError::MissingInfo { op, name } => {
+                write!(f, "operation {op} is missing info `{name}`")
+            }
+            ModelError::InfoType { op, name, expected } => {
+                write!(f, "info `{name}` on operation {op} is not {expected}")
+            }
+            ModelError::InvalidLink {
+                child,
+                parent,
+                reason,
+            } => {
+                write!(f, "cannot link {child} under {parent}: {reason}")
+            }
+            ModelError::UnknownOperationType(t) => write!(f, "unknown operation type `{t}`"),
+            ModelError::DuplicateOperationType(t) => {
+                write!(f, "operation type `{t}` defined twice")
+            }
+            ModelError::Rule { op, rule, reason } => {
+                write!(f, "rule `{rule}` failed on operation {op}: {reason}")
+            }
+            ModelError::EmptyTree => write!(f, "operation tree is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

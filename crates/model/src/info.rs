@@ -1,0 +1,191 @@
+//! Info records: the information set of an operation.
+//!
+//! Each operation's performance characteristics are described by its infos
+//! (paper Figure 1): raw facts collected from platform or environment logs
+//! (e.g. `StartTime`, `BytesRead`) and metrics derived from them by rules
+//! (e.g. `Duration`, `ComputeFraction`). Every info carries its *source*, so
+//! an archive is self-describing: an analyst can always trace a metric back
+//! to the raw records it was computed from.
+
+use serde::{Deserialize, Serialize};
+
+/// A single raw record that contributed to an info, e.g. one parsed log line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceRecord {
+    /// Where the record came from, e.g. `"platform:node04/worker.log"` or
+    /// `"env:node04/cpu"`.
+    pub origin: String,
+    /// The raw content, e.g. the log line.
+    pub content: String,
+}
+
+impl SourceRecord {
+    /// Creates a source record.
+    pub fn new(origin: impl Into<String>, content: impl Into<String>) -> Self {
+        SourceRecord {
+            origin: origin.into(),
+            content: content.into(),
+        }
+    }
+}
+
+/// Provenance of an info: collected raw, or derived by a named rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InfoSource {
+    /// Collected directly from monitoring output.
+    Raw {
+        /// The records the value was extracted from (possibly empty when the
+        /// producer chose not to retain raw lines).
+        records: Vec<SourceRecord>,
+    },
+    /// Computed by a derivation rule from other infos.
+    Derived {
+        /// Name of the rule that produced the value.
+        rule: String,
+        /// `operation-label/info-name` references of the inputs.
+        inputs: Vec<String>,
+    },
+}
+
+/// The value of an info.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InfoValue {
+    /// Integer quantity (counts, microsecond timestamps, bytes).
+    Int(i64),
+    /// Real-valued quantity (rates, fractions).
+    Float(f64),
+    /// Free-form text (node names, dataset ids).
+    Text(String),
+    /// A time series of `(time_us, value)` samples, e.g. CPU usage.
+    Series(Vec<(u64, f64)>),
+}
+
+impl InfoValue {
+    /// Returns the value as `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            InfoValue::Int(v) => Some(*v as f64),
+            InfoValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` when it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            InfoValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as text when it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            InfoValue::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a time series when it is one.
+    pub fn as_series(&self) -> Option<&[(u64, f64)]> {
+        match self {
+            InfoValue::Series(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InfoValue::Int(_) => "int",
+            InfoValue::Float(_) => "float",
+            InfoValue::Text(_) => "text",
+            InfoValue::Series(_) => "series",
+        }
+    }
+}
+
+/// One named fact about an operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Info {
+    /// Name, unique within the operation, e.g. `"StartTime"`.
+    pub name: String,
+    /// The value.
+    pub value: InfoValue,
+    /// Provenance.
+    pub source: InfoSource,
+}
+
+impl Info {
+    /// Creates a raw info with no retained source records.
+    pub fn raw(name: impl Into<String>, value: InfoValue) -> Self {
+        Info {
+            name: name.into(),
+            value,
+            source: InfoSource::Raw { records: vec![] },
+        }
+    }
+
+    /// Creates a raw info with the records it was extracted from.
+    pub fn raw_with_records(
+        name: impl Into<String>,
+        value: InfoValue,
+        records: Vec<SourceRecord>,
+    ) -> Self {
+        Info {
+            name: name.into(),
+            value,
+            source: InfoSource::Raw { records },
+        }
+    }
+
+    /// Creates a derived info attributed to `rule` with input references.
+    pub fn derived(
+        name: impl Into<String>,
+        value: InfoValue,
+        rule: impl Into<String>,
+        inputs: Vec<String>,
+    ) -> Self {
+        Info {
+            name: name.into(),
+            value,
+            source: InfoSource::Derived {
+                rule: rule.into(),
+                inputs,
+            },
+        }
+    }
+
+    /// True when the info was derived rather than collected.
+    pub fn is_derived(&self) -> bool {
+        matches!(self.source, InfoSource::Derived { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_accessors_widen_ints() {
+        assert_eq!(InfoValue::Int(7).as_f64(), Some(7.0));
+        assert_eq!(InfoValue::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(InfoValue::Text("x".into()).as_f64(), None);
+        assert_eq!(InfoValue::Float(0.5).as_i64(), None);
+    }
+
+    #[test]
+    fn derived_flag_reflects_source() {
+        let raw = Info::raw("A", InfoValue::Int(1));
+        let der = Info::derived("B", InfoValue::Int(2), "Duration", vec!["A".into()]);
+        assert!(!raw.is_derived());
+        assert!(der.is_derived());
+    }
+
+    #[test]
+    fn series_accessor() {
+        let v = InfoValue::Series(vec![(0, 1.0), (1_000_000, 2.0)]);
+        assert_eq!(v.as_series().unwrap().len(), 2);
+        assert_eq!(v.kind(), "series");
+    }
+}

@@ -1,0 +1,97 @@
+//! Abstraction levels of a performance model (paper §3.2).
+//!
+//! Every platform can be modeled with at least three levels: the **domain**
+//! level (common to all graph-processing platforms), the **system** level
+//! (the platform's own operation workflow), and one or more
+//! **implementation** levels (optimization-relevant detail). Figure 4 of the
+//! paper shows a four-level Giraph model: levels 3 and 4 are both
+//! implementation levels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Abstraction level of an operation type within a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AbstractionLevel {
+    /// Level 1: operations common to the whole application domain
+    /// (graph processing: Startup, LoadGraph, ProcessGraph, OffloadGraph,
+    /// Cleanup).
+    Domain,
+    /// Level 2: the platform-specific operation workflow.
+    System,
+    /// Level 3 and finer: implementation details. The payload is the depth,
+    /// starting at 3.
+    Implementation(u8),
+}
+
+impl AbstractionLevel {
+    /// Numeric depth: Domain = 1, System = 2, Implementation(n) = n.
+    pub fn depth(self) -> u8 {
+        match self {
+            AbstractionLevel::Domain => 1,
+            AbstractionLevel::System => 2,
+            AbstractionLevel::Implementation(n) => n,
+        }
+    }
+
+    /// Builds a level from a numeric depth (clamping 0 to 1).
+    pub fn from_depth(depth: u8) -> Self {
+        match depth {
+            0 | 1 => AbstractionLevel::Domain,
+            2 => AbstractionLevel::System,
+            n => AbstractionLevel::Implementation(n),
+        }
+    }
+
+    /// The next level down (refinement target).
+    pub fn finer(self) -> Self {
+        AbstractionLevel::from_depth(self.depth() + 1)
+    }
+}
+
+impl fmt::Display for AbstractionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractionLevel::Domain => write!(f, "domain (1)"),
+            AbstractionLevel::System => write!(f, "system (2)"),
+            AbstractionLevel::Implementation(n) => write!(f, "implementation ({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_roundtrip() {
+        for d in 1..=6u8 {
+            assert_eq!(AbstractionLevel::from_depth(d).depth(), d);
+        }
+    }
+
+    #[test]
+    fn finer_steps_down_one_level() {
+        assert_eq!(AbstractionLevel::Domain.finer(), AbstractionLevel::System);
+        assert_eq!(
+            AbstractionLevel::System.finer(),
+            AbstractionLevel::Implementation(3)
+        );
+        assert_eq!(
+            AbstractionLevel::Implementation(3).finer(),
+            AbstractionLevel::Implementation(4)
+        );
+    }
+
+    #[test]
+    fn ordering_follows_depth() {
+        assert!(AbstractionLevel::Domain < AbstractionLevel::System);
+        assert!(AbstractionLevel::System < AbstractionLevel::Implementation(3));
+    }
+
+    #[test]
+    fn zero_depth_clamps_to_domain() {
+        assert_eq!(AbstractionLevel::from_depth(0), AbstractionLevel::Domain);
+    }
+}

@@ -1,0 +1,81 @@
+//! # granula-model
+//!
+//! The Granula performance-model language (paper §3.2).
+//!
+//! Granula abstracts a Big Data job as a *hierarchy of operations*: the job is
+//! the root operation, and every operation may be recursively decomposed into
+//! filial operations. Each operation is annotated as an **actor** (e.g. a
+//! worker, a master, the job client) executing a **mission** (e.g. a
+//! computational algorithm step, a communication protocol round). Internally,
+//! the performance characteristics of an operation are described by its
+//! **information set** (`Info` records), from which sophisticated performance
+//! metrics are *derived* via rules.
+//!
+//! The crate provides two complementary halves:
+//!
+//! * the *instance* side — [`Operation`], [`Info`], and the arena-backed
+//!   [`OperationTree`] that holds one observed job execution, and
+//! * the *definition* side — [`PerformanceModel`] and
+//!   [`OperationTypeDef`], the analyst-authored description of which
+//!   operations a platform is expected to perform, at which
+//!   [`AbstractionLevel`], carrying which infos, with which
+//!   [`DerivationRule`]s.
+//!
+//! Models are developed *incrementally* (requirement R3 of the paper): an
+//! analyst starts from the domain level and refines only the operation types
+//! that need finer-grained analysis. See [`PerformanceModel::refine`].
+//!
+//! ```
+//! use granula_model::*;
+//!
+//! // An observed execution: a job with one load operation.
+//! let mut tree = OperationTree::new();
+//! let job = tree.add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))?;
+//! let load = tree.add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))?;
+//! tree.set_info(load, Info::raw(names::START_TIME, InfoValue::Int(0)))?;
+//! tree.set_info(load, Info::raw(names::END_TIME, InfoValue::Int(2_000_000)))?;
+//!
+//! // The analyst's model: derive Duration everywhere.
+//! let model = PerformanceModel::new("demo", "Demo")
+//!     .with_type(OperationTypeDef::new("Job", "Job", AbstractionLevel::Domain))
+//!     .with_type(
+//!         OperationTypeDef::new("Job", "LoadGraph", AbstractionLevel::Domain)
+//!             .child_of("Job", "Job"),
+//!     );
+//! RuleEngine::apply(&model, &mut tree);
+//! assert_eq!(tree.op(load).duration_us(), Some(2_000_000));
+//! # Ok::<(), granula_model::ModelError>(())
+//! ```
+
+pub mod error;
+pub mod info;
+pub mod level;
+pub mod modeldef;
+pub mod op;
+pub mod rules;
+pub mod tree;
+pub mod validate;
+
+pub use error::ModelError;
+pub use info::{Info, InfoSource, InfoValue, SourceRecord};
+pub use level::AbstractionLevel;
+pub use modeldef::{
+    model_from_json, model_to_json, InfoRequirement, OperationTypeDef, OperationTypeId,
+    PerformanceModel,
+};
+pub use op::{Actor, Mission, OpId, Operation};
+pub use rules::{ChildSelector, DerivationRule, RuleEngine};
+pub use tree::OperationTree;
+pub use validate::{ValidationIssue, ValidationReport};
+
+/// Well-known info names used throughout the Granula pipeline.
+pub mod names {
+    /// Wall-clock start of the operation, in microseconds since job epoch.
+    pub const START_TIME: &str = "StartTime";
+    /// Wall-clock end of the operation, in microseconds since job epoch.
+    pub const END_TIME: &str = "EndTime";
+    /// Derived duration (`EndTime - StartTime`) in microseconds.
+    pub const DURATION: &str = "Duration";
+    /// The node (hostname) an operation ran on, when it is node-bound.
+    pub const NODE: &str = "Node";
+}

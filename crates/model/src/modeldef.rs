@@ -1,0 +1,385 @@
+//! Performance-model definitions: the analyst's abstract description of a
+//! platform (paper §3.2, P1).
+//!
+//! A [`PerformanceModel`] is a set of [`OperationTypeDef`]s arranged in a
+//! type hierarchy: each operation type names the (actor kind, mission kind)
+//! pair it matches, its abstraction level, its parent type, the infos
+//! monitoring is expected to collect for it, and the derivation rules that
+//! turn those infos into metrics. Models are built incrementally: start with
+//! the domain level and [`PerformanceModel::refine`] only what needs
+//! finer-grained analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::level::AbstractionLevel;
+use crate::op::Operation;
+use crate::rules::DerivationRule;
+
+/// Identifies an operation type by the actor/mission kinds it matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OperationTypeId {
+    /// Actor kind the type matches, e.g. `"Worker"`.
+    pub actor_kind: String,
+    /// Mission kind the type matches, e.g. `"Superstep"`.
+    pub mission_kind: String,
+}
+
+impl OperationTypeId {
+    /// Creates a type id.
+    pub fn new(actor_kind: impl Into<String>, mission_kind: impl Into<String>) -> Self {
+        OperationTypeId {
+            actor_kind: actor_kind.into(),
+            mission_kind: mission_kind.into(),
+        }
+    }
+
+    /// `Mission @ Actor` notation.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.mission_kind, self.actor_kind)
+    }
+}
+
+/// Whether an expected info is mandatory for a conforming archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfoRequirement {
+    /// Info name, e.g. `"StartTime"`.
+    pub name: String,
+    /// Mandatory infos produce validation issues when absent.
+    pub mandatory: bool,
+}
+
+impl InfoRequirement {
+    /// A mandatory info requirement.
+    pub fn required(name: impl Into<String>) -> Self {
+        InfoRequirement {
+            name: name.into(),
+            mandatory: true,
+        }
+    }
+
+    /// An optional info requirement.
+    pub fn optional(name: impl Into<String>) -> Self {
+        InfoRequirement {
+            name: name.into(),
+            mandatory: false,
+        }
+    }
+}
+
+/// The definition of one operation type within a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationTypeDef {
+    /// Matching key.
+    pub id: OperationTypeId,
+    /// Abstraction level the type belongs to.
+    pub level: AbstractionLevel,
+    /// Parent type, `None` for the root (job) type.
+    pub parent: Option<OperationTypeId>,
+    /// Infos monitoring should collect or rules should derive.
+    pub infos: Vec<InfoRequirement>,
+    /// Rules to evaluate on matching operations.
+    pub rules: Vec<DerivationRule>,
+    /// Marks iterative missions (`Superstep-0..n` by the same actor).
+    pub iterative: bool,
+    /// Marks task-parallel missions (same mission by many actors).
+    pub parallel: bool,
+    /// Free-form analyst note.
+    pub description: String,
+}
+
+impl OperationTypeDef {
+    /// Creates a minimal type definition; use the builder methods to extend it.
+    pub fn new(
+        actor_kind: impl Into<String>,
+        mission_kind: impl Into<String>,
+        level: AbstractionLevel,
+    ) -> Self {
+        OperationTypeDef {
+            id: OperationTypeId::new(actor_kind, mission_kind),
+            level,
+            parent: None,
+            infos: vec![
+                InfoRequirement::required(crate::names::START_TIME),
+                InfoRequirement::required(crate::names::END_TIME),
+            ],
+            rules: vec![DerivationRule::Duration],
+            iterative: false,
+            parallel: false,
+            description: String::new(),
+        }
+    }
+
+    /// Sets the parent type.
+    pub fn child_of(
+        mut self,
+        actor_kind: impl Into<String>,
+        mission_kind: impl Into<String>,
+    ) -> Self {
+        self.parent = Some(OperationTypeId::new(actor_kind, mission_kind));
+        self
+    }
+
+    /// Adds an expected info.
+    pub fn with_info(mut self, req: InfoRequirement) -> Self {
+        self.infos.push(req);
+        self
+    }
+
+    /// Adds a derivation rule.
+    pub fn with_rule(mut self, rule: DerivationRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Marks the type as iterative (e.g. supersteps).
+    pub fn iterative(mut self) -> Self {
+        self.iterative = true;
+        self
+    }
+
+    /// Marks the type as task-parallel (one mission, many actors).
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Sets the description.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+}
+
+/// A complete performance model for one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceModel {
+    /// Model name, e.g. `"giraph-v4"`.
+    pub name: String,
+    /// Platform the model describes, e.g. `"Giraph"`.
+    pub platform: String,
+    /// All operation types keyed by their matching id.
+    pub types: Vec<OperationTypeDef>,
+}
+
+impl PerformanceModel {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>, platform: impl Into<String>) -> Self {
+        PerformanceModel {
+            name: name.into(),
+            platform: platform.into(),
+            types: Vec::new(),
+        }
+    }
+
+    /// Adds a type definition; errors on duplicates.
+    pub fn add_type(&mut self, def: OperationTypeDef) -> Result<(), ModelError> {
+        if self.types.iter().any(|t| t.id == def.id) {
+            return Err(ModelError::DuplicateOperationType(def.id.label()));
+        }
+        self.types.push(def);
+        Ok(())
+    }
+
+    /// Builder-style [`PerformanceModel::add_type`]; panics on duplicates
+    /// (intended for statically-known model literals).
+    pub fn with_type(mut self, def: OperationTypeDef) -> Self {
+        self.add_type(def)
+            .expect("duplicate operation type in model literal");
+        self
+    }
+
+    /// Looks up a type definition.
+    pub fn get_type(&self, id: &OperationTypeId) -> Option<&OperationTypeDef> {
+        self.types.iter().find(|t| t.id == *id)
+    }
+
+    /// Finds the type matching an observed operation.
+    pub fn match_op(&self, op: &Operation) -> Option<&OperationTypeDef> {
+        self.types
+            .iter()
+            .find(|t| t.id.actor_kind == op.actor.kind && t.id.mission_kind == op.mission.kind)
+    }
+
+    /// The deepest abstraction level present in the model.
+    pub fn max_depth(&self) -> u8 {
+        self.types
+            .iter()
+            .map(|t| t.level.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Types at a given abstraction level.
+    pub fn types_at(&self, level: AbstractionLevel) -> impl Iterator<Item = &OperationTypeDef> {
+        self.types.iter().filter(move |t| t.level == level)
+    }
+
+    /// **Incremental refinement (R3)**: decompose the existing type `target`
+    /// by adding `children` one abstraction level finer, parented to it.
+    /// Children keep their own actor/mission kinds; their level and parent
+    /// are overwritten to be consistent with `target`.
+    pub fn refine(
+        &mut self,
+        target: &OperationTypeId,
+        children: Vec<OperationTypeDef>,
+    ) -> Result<(), ModelError> {
+        let level = self
+            .get_type(target)
+            .ok_or_else(|| ModelError::UnknownOperationType(target.label()))?
+            .level;
+        for mut child in children {
+            child.level = level.finer();
+            child.parent = Some(target.clone());
+            self.add_type(child)?;
+        }
+        Ok(())
+    }
+
+    /// Restricts the model to types at or above (coarser than) `max_level`.
+    /// This is the other direction of the coarse/fine trade-off: an analyst
+    /// can run a cheap coarse-grained evaluation using a truncated model.
+    pub fn truncated(&self, max_level: AbstractionLevel) -> PerformanceModel {
+        PerformanceModel {
+            name: format!("{}@{}", self.name, max_level.depth()),
+            platform: self.platform.clone(),
+            types: self
+                .types
+                .iter()
+                .filter(|t| t.level.depth() <= max_level.depth())
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Serializes a model to JSON — models are shareable artifacts like
+/// archives (requirement R2): an analyst's model of a platform is reusable
+/// by every other analyst of that platform.
+pub fn model_to_json(model: &PerformanceModel) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(model)
+}
+
+/// Reads a model back from JSON.
+pub fn model_from_json(json: &str) -> Result<PerformanceModel, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Actor, Mission, OpId};
+
+    fn base_model() -> PerformanceModel {
+        PerformanceModel::new("test", "TestPlatform")
+            .with_type(OperationTypeDef::new(
+                "Job",
+                "Job",
+                AbstractionLevel::Domain,
+            ))
+            .with_type(
+                OperationTypeDef::new("Job", "LoadGraph", AbstractionLevel::Domain)
+                    .child_of("Job", "Job"),
+            )
+    }
+
+    fn op(actor: &str, mission: &str) -> Operation {
+        Operation {
+            id: OpId(0),
+            actor: Actor::new(actor, "0"),
+            mission: Mission::new(mission, "0"),
+            parent: None,
+            children: vec![],
+            infos: vec![],
+        }
+    }
+
+    #[test]
+    fn duplicate_types_rejected() {
+        let mut m = base_model();
+        let dup = OperationTypeDef::new("Job", "Job", AbstractionLevel::Domain);
+        assert_eq!(
+            m.add_type(dup),
+            Err(ModelError::DuplicateOperationType("Job @ Job".into()))
+        );
+    }
+
+    #[test]
+    fn match_op_by_kinds() {
+        let m = base_model();
+        assert!(m.match_op(&op("Job", "LoadGraph")).is_some());
+        assert!(m.match_op(&op("Worker", "LoadGraph")).is_none());
+    }
+
+    #[test]
+    fn refine_adds_children_one_level_finer() {
+        let mut m = base_model();
+        m.refine(
+            &OperationTypeId::new("Job", "LoadGraph"),
+            vec![OperationTypeDef::new("Worker", "LocalLoad", AbstractionLevel::Domain).parallel()],
+        )
+        .unwrap();
+        let t = m
+            .get_type(&OperationTypeId::new("Worker", "LocalLoad"))
+            .unwrap();
+        assert_eq!(t.level, AbstractionLevel::System);
+        assert_eq!(t.parent, Some(OperationTypeId::new("Job", "LoadGraph")));
+        assert!(t.parallel);
+    }
+
+    #[test]
+    fn refine_unknown_target_errors() {
+        let mut m = base_model();
+        assert!(m
+            .refine(&OperationTypeId::new("Job", "Nope"), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn truncated_drops_finer_levels() {
+        let mut m = base_model();
+        m.refine(
+            &OperationTypeId::new("Job", "LoadGraph"),
+            vec![OperationTypeDef::new(
+                "Worker",
+                "LocalLoad",
+                AbstractionLevel::Domain,
+            )],
+        )
+        .unwrap();
+        assert_eq!(m.max_depth(), 2);
+        let coarse = m.truncated(AbstractionLevel::Domain);
+        assert_eq!(coarse.max_depth(), 1);
+        assert_eq!(coarse.types.len(), 2);
+    }
+
+    #[test]
+    fn model_json_roundtrip() {
+        let mut m = base_model();
+        m.refine(
+            &OperationTypeId::new("Job", "LoadGraph"),
+            vec![
+                OperationTypeDef::new("Worker", "LocalLoad", AbstractionLevel::Domain)
+                    .parallel()
+                    .with_rule(DerivationRule::RatePerSecond {
+                        amount: "Bytes".into(),
+                        output: "Throughput".into(),
+                    }),
+            ],
+        )
+        .unwrap();
+        let json = model_to_json(&m).unwrap();
+        let back = model_from_json(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn default_type_expects_timestamps_and_duration_rule() {
+        let t = OperationTypeDef::new("Job", "Job", AbstractionLevel::Domain);
+        assert!(t
+            .infos
+            .iter()
+            .any(|i| i.name == crate::names::START_TIME && i.mandatory));
+        assert!(matches!(t.rules[0], DerivationRule::Duration));
+    }
+}

@@ -1,0 +1,234 @@
+//! Operations: the central concept of the Granula performance model.
+//!
+//! Each operation is an **actor** executing a **mission** (paper §3.2,
+//! Figure 1). Actors and missions are typed: the actor type `Worker` with id
+//! `3` executing mission type `Superstep` with id `4` is rendered as
+//! `Superstep-4 @ Worker-3`. Task parallelism is expressed as multiple actors
+//! executing the same mission type; iterative processing as one actor
+//! executing a mission type repeatedly with increasing mission ids.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::info::{Info, InfoValue};
+
+/// Index of an operation inside an [`crate::OperationTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The entity performing an operation: a resource such as a worker, a master,
+/// a client process, or the job itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Actor {
+    /// Actor type, e.g. `"Worker"`, `"Master"`, `"Job"`.
+    pub kind: String,
+    /// Instance id distinguishing actors of the same type, e.g. `"3"`.
+    pub id: String,
+}
+
+impl Actor {
+    /// Creates an actor from a type and instance id.
+    pub fn new(kind: impl Into<String>, id: impl Into<String>) -> Self {
+        Actor {
+            kind: kind.into(),
+            id: id.into(),
+        }
+    }
+
+    /// Parses `"Worker-3"` style notation; a missing `-id` suffix yields id `"0"`.
+    pub fn parse(s: &str) -> Self {
+        match s.rsplit_once('-') {
+            Some((kind, id)) if !kind.is_empty() => Actor::new(kind, id),
+            _ => Actor::new(s, "0"),
+        }
+    }
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.kind, self.id)
+    }
+}
+
+/// What an actor is doing: a computational algorithm, a communication
+/// protocol, a deployment step, etc.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Mission {
+    /// Mission type, e.g. `"LoadGraph"`, `"Superstep"`.
+    pub kind: String,
+    /// Instance id, distinguishing e.g. iterations: `Superstep-0`, `Superstep-1`.
+    pub id: String,
+}
+
+impl Mission {
+    /// Creates a mission from a type and instance id.
+    pub fn new(kind: impl Into<String>, id: impl Into<String>) -> Self {
+        Mission {
+            kind: kind.into(),
+            id: id.into(),
+        }
+    }
+
+    /// Parses `"Superstep-4"` style notation; a missing `-id` suffix yields id `"0"`.
+    pub fn parse(s: &str) -> Self {
+        match s.rsplit_once('-') {
+            Some((kind, id)) if !kind.is_empty() => Mission::new(kind, id),
+            _ => Mission::new(s, "0"),
+        }
+    }
+}
+
+impl fmt::Display for Mission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.kind, self.id)
+    }
+}
+
+/// One observed operation: an actor executing a mission, with its information
+/// set and links to parent and filial operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Identity of this operation inside its tree.
+    pub id: OpId,
+    /// Who performed the operation.
+    pub actor: Actor,
+    /// What was performed.
+    pub mission: Mission,
+    /// Parent operation; `None` only for the root (the job).
+    pub parent: Option<OpId>,
+    /// Filial operations, in insertion order.
+    pub children: Vec<OpId>,
+    /// The information set, keyed by info name.
+    pub infos: Vec<Info>,
+}
+
+impl Operation {
+    /// Human-readable `Mission @ Actor` label, e.g. `Superstep-4 @ Worker-3`.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.mission, self.actor)
+    }
+
+    /// Looks up an info by name.
+    pub fn info(&self, name: &str) -> Option<&Info> {
+        self.infos.iter().find(|i| i.name == name)
+    }
+
+    /// Looks up an info value by name.
+    pub fn info_value(&self, name: &str) -> Option<&InfoValue> {
+        self.info(name).map(|i| &i.value)
+    }
+
+    /// Convenience accessor for a numeric info (integers are widened).
+    pub fn info_f64(&self, name: &str) -> Option<f64> {
+        self.info_value(name).and_then(InfoValue::as_f64)
+    }
+
+    /// Convenience accessor for an integer info.
+    pub fn info_i64(&self, name: &str) -> Option<i64> {
+        self.info_value(name).and_then(InfoValue::as_i64)
+    }
+
+    /// Start time in microseconds since job epoch, if recorded.
+    pub fn start_us(&self) -> Option<u64> {
+        self.info_i64(crate::names::START_TIME).map(|v| v as u64)
+    }
+
+    /// End time in microseconds since job epoch, if recorded.
+    pub fn end_us(&self) -> Option<u64> {
+        self.info_i64(crate::names::END_TIME).map(|v| v as u64)
+    }
+
+    /// Duration in microseconds: the `Duration` info if derived, otherwise
+    /// computed from start and end times.
+    pub fn duration_us(&self) -> Option<u64> {
+        if let Some(d) = self.info_i64(crate::names::DURATION) {
+            return Some(d as u64);
+        }
+        match (self.start_us(), self.end_us()) {
+            (Some(s), Some(e)) if e >= s => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces an info record (names are unique per operation).
+    pub fn set_info(&mut self, info: Info) {
+        match self.infos.iter_mut().find(|i| i.name == info.name) {
+            Some(slot) => *slot = info,
+            None => self.infos.push(info),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::{Info, InfoValue};
+
+    fn op() -> Operation {
+        Operation {
+            id: OpId(0),
+            actor: Actor::new("Worker", "3"),
+            mission: Mission::new("Superstep", "4"),
+            parent: None,
+            children: vec![],
+            infos: vec![],
+        }
+    }
+
+    #[test]
+    fn label_formats_mission_at_actor() {
+        assert_eq!(op().label(), "Superstep-4 @ Worker-3");
+    }
+
+    #[test]
+    fn actor_parse_roundtrip() {
+        let a = Actor::parse("Worker-12");
+        assert_eq!(a, Actor::new("Worker", "12"));
+        assert_eq!(Actor::parse(&a.to_string()), a);
+    }
+
+    #[test]
+    fn actor_parse_without_id_defaults_to_zero() {
+        assert_eq!(Actor::parse("Job"), Actor::new("Job", "0"));
+    }
+
+    #[test]
+    fn mission_parse_keeps_compound_kind() {
+        // Only the last dash separates the id.
+        assert_eq!(Mission::parse("Pre-Step-2"), Mission::new("Pre-Step", "2"));
+    }
+
+    #[test]
+    fn set_info_replaces_existing_record() {
+        let mut o = op();
+        o.set_info(Info::raw("X", InfoValue::Int(1)));
+        o.set_info(Info::raw("X", InfoValue::Int(2)));
+        assert_eq!(o.infos.len(), 1);
+        assert_eq!(o.info_i64("X"), Some(2));
+    }
+
+    #[test]
+    fn duration_prefers_explicit_info() {
+        let mut o = op();
+        o.set_info(Info::raw(crate::names::START_TIME, InfoValue::Int(100)));
+        o.set_info(Info::raw(crate::names::END_TIME, InfoValue::Int(400)));
+        assert_eq!(o.duration_us(), Some(300));
+        o.set_info(Info::raw(crate::names::DURATION, InfoValue::Int(250)));
+        assert_eq!(o.duration_us(), Some(250));
+    }
+
+    #[test]
+    fn duration_none_when_end_before_start() {
+        let mut o = op();
+        o.set_info(Info::raw(crate::names::START_TIME, InfoValue::Int(500)));
+        o.set_info(Info::raw(crate::names::END_TIME, InfoValue::Int(400)));
+        assert_eq!(o.duration_us(), None);
+    }
+}

@@ -1,0 +1,566 @@
+//! Derivation rules: transforming raw info into performance metrics.
+//!
+//! The performance model defines, per operation type, "the rules to
+//! transform raw info into performance metrics" (paper §3.3, P1). Rules are
+//! evaluated bottom-up over an [`OperationTree`], so aggregate metrics of a
+//! parent can consume metrics derived on its children.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::info::{Info, InfoValue};
+use crate::modeldef::PerformanceModel;
+use crate::names;
+use crate::op::{OpId, Operation};
+use crate::tree::OperationTree;
+
+/// Selects a subset of an operation's children for aggregation rules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChildSelector {
+    /// Every child.
+    All,
+    /// Children with the given mission kind.
+    MissionKind(String),
+    /// Children with the given actor kind.
+    ActorKind(String),
+}
+
+impl ChildSelector {
+    fn matches(&self, op: &Operation) -> bool {
+        match self {
+            ChildSelector::All => true,
+            ChildSelector::MissionKind(k) => op.mission.kind == *k,
+            ChildSelector::ActorKind(k) => op.actor.kind == *k,
+        }
+    }
+}
+
+/// A rule deriving one info on an operation from other infos.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DerivationRule {
+    /// `Duration := EndTime - StartTime` (microseconds).
+    Duration,
+    /// `output := sum(child.info)` over selected children.
+    SumChildren {
+        info: String,
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := max(child.info)` over selected children.
+    MaxChildren {
+        info: String,
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := min(child.info)` over selected children.
+    MinChildren {
+        info: String,
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := mean(child.info)` over selected children.
+    MeanChildren {
+        info: String,
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := count` of selected children.
+    CountChildren {
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := max(child.EndTime) - min(child.StartTime)` over selected
+    /// children (the *makespan* of a group of parallel children).
+    SpanChildren {
+        select: ChildSelector,
+        output: String,
+    },
+    /// `output := self.info / parent.info` — e.g. fraction of the job
+    /// runtime spent in this operation.
+    FractionOfParent { info: String, output: String },
+    /// `output := self.a - self.b`.
+    Diff {
+        a: String,
+        b: String,
+        output: String,
+    },
+    /// `output := self.amount / (self.Duration in seconds)` — a throughput.
+    RatePerSecond { amount: String, output: String },
+}
+
+impl DerivationRule {
+    /// A short rule name used for provenance.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DerivationRule::Duration => "Duration",
+            DerivationRule::SumChildren { .. } => "SumChildren",
+            DerivationRule::MaxChildren { .. } => "MaxChildren",
+            DerivationRule::MinChildren { .. } => "MinChildren",
+            DerivationRule::MeanChildren { .. } => "MeanChildren",
+            DerivationRule::CountChildren { .. } => "CountChildren",
+            DerivationRule::SpanChildren { .. } => "SpanChildren",
+            DerivationRule::FractionOfParent { .. } => "FractionOfParent",
+            DerivationRule::Diff { .. } => "Diff",
+            DerivationRule::RatePerSecond { .. } => "RatePerSecond",
+        }
+    }
+}
+
+/// Evaluates derivation rules over operation trees.
+#[derive(Debug, Default)]
+pub struct RuleEngine;
+
+impl RuleEngine {
+    /// Applies every rule of `model` to `tree`, bottom-up. Returns the number
+    /// of infos derived. Rules whose inputs are absent are skipped silently:
+    /// monitoring is allowed to under-deliver and the model to over-specify
+    /// (the validation pass reports such gaps; see [`crate::validate`]).
+    pub fn apply(model: &PerformanceModel, tree: &mut OperationTree) -> usize {
+        let mut derived = 0;
+        for id in tree.bottom_up() {
+            let Some(ty) = model.match_op(tree.op(id)) else {
+                continue;
+            };
+            let rules = ty.rules.clone();
+            for rule in &rules {
+                if Self::apply_rule(tree, id, rule).is_some() {
+                    derived += 1;
+                }
+            }
+        }
+        derived
+    }
+
+    /// Applies a single rule to one operation; returns the derived info name
+    /// on success.
+    pub fn apply_rule(tree: &mut OperationTree, id: OpId, rule: &DerivationRule) -> Option<String> {
+        let info = Self::evaluate(tree, id, rule)?;
+        let name = info.name.clone();
+        tree.op_mut(id).set_info(info);
+        Some(name)
+    }
+
+    fn child_values(
+        tree: &OperationTree,
+        id: OpId,
+        select: &ChildSelector,
+        info: &str,
+    ) -> (Vec<f64>, Vec<String>) {
+        let mut vals = Vec::new();
+        let mut inputs = Vec::new();
+        for child in tree.children(id) {
+            if select.matches(child) {
+                if let Some(v) = child.info_f64(info) {
+                    vals.push(v);
+                    inputs.push(format!("{}/{}", child.label(), info));
+                }
+            }
+        }
+        (vals, inputs)
+    }
+
+    fn number(v: f64) -> InfoValue {
+        if v.fract() == 0.0 && v.abs() < i64::MAX as f64 {
+            InfoValue::Int(v as i64)
+        } else {
+            InfoValue::Float(v)
+        }
+    }
+
+    fn evaluate(tree: &OperationTree, id: OpId, rule: &DerivationRule) -> Option<Info> {
+        let op = tree.op(id);
+        let rule_name = rule.name();
+        match rule {
+            DerivationRule::Duration => {
+                let (s, e) = (op.start_us()?, op.end_us()?);
+                if e < s {
+                    return None;
+                }
+                Some(Info::derived(
+                    names::DURATION,
+                    InfoValue::Int((e - s) as i64),
+                    rule_name,
+                    vec![
+                        format!("{}/{}", op.label(), names::START_TIME),
+                        format!("{}/{}", op.label(), names::END_TIME),
+                    ],
+                ))
+            }
+            DerivationRule::SumChildren {
+                info,
+                select,
+                output,
+            } => {
+                let (vals, inputs) = Self::child_values(tree, id, select, info);
+                if vals.is_empty() {
+                    return None;
+                }
+                Some(Info::derived(
+                    output,
+                    Self::number(vals.iter().sum()),
+                    rule_name,
+                    inputs,
+                ))
+            }
+            DerivationRule::MaxChildren {
+                info,
+                select,
+                output,
+            } => {
+                let (vals, inputs) = Self::child_values(tree, id, select, info);
+                let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if vals.is_empty() {
+                    return None;
+                }
+                Some(Info::derived(output, Self::number(m), rule_name, inputs))
+            }
+            DerivationRule::MinChildren {
+                info,
+                select,
+                output,
+            } => {
+                let (vals, inputs) = Self::child_values(tree, id, select, info);
+                let m = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                if vals.is_empty() {
+                    return None;
+                }
+                Some(Info::derived(output, Self::number(m), rule_name, inputs))
+            }
+            DerivationRule::MeanChildren {
+                info,
+                select,
+                output,
+            } => {
+                let (vals, inputs) = Self::child_values(tree, id, select, info);
+                if vals.is_empty() {
+                    return None;
+                }
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                Some(Info::derived(
+                    output,
+                    InfoValue::Float(mean),
+                    rule_name,
+                    inputs,
+                ))
+            }
+            DerivationRule::CountChildren { select, output } => {
+                let n = tree.children(id).filter(|c| select.matches(c)).count();
+                Some(Info::derived(
+                    output,
+                    InfoValue::Int(n as i64),
+                    rule_name,
+                    vec![],
+                ))
+            }
+            DerivationRule::SpanChildren { select, output } => {
+                let mut lo = u64::MAX;
+                let mut hi = 0u64;
+                let mut inputs = Vec::new();
+                for child in tree.children(id) {
+                    if select.matches(child) {
+                        if let (Some(s), Some(e)) = (child.start_us(), child.end_us()) {
+                            lo = lo.min(s);
+                            hi = hi.max(e);
+                            inputs.push(child.label());
+                        }
+                    }
+                }
+                if inputs.is_empty() || hi < lo {
+                    return None;
+                }
+                Some(Info::derived(
+                    output,
+                    InfoValue::Int((hi - lo) as i64),
+                    rule_name,
+                    inputs,
+                ))
+            }
+            DerivationRule::FractionOfParent { info, output } => {
+                let own = op.info_f64(info)?;
+                let parent = tree.op(op.parent?);
+                let base = parent.info_f64(info)?;
+                if base == 0.0 {
+                    return None;
+                }
+                Some(Info::derived(
+                    output,
+                    InfoValue::Float(own / base),
+                    rule_name,
+                    vec![
+                        format!("{}/{}", op.label(), info),
+                        format!("{}/{}", parent.label(), info),
+                    ],
+                ))
+            }
+            DerivationRule::Diff { a, b, output } => {
+                let (va, vb) = (op.info_f64(a)?, op.info_f64(b)?);
+                Some(Info::derived(
+                    output,
+                    Self::number(va - vb),
+                    rule_name,
+                    vec![
+                        format!("{}/{}", op.label(), a),
+                        format!("{}/{}", op.label(), b),
+                    ],
+                ))
+            }
+            DerivationRule::RatePerSecond { amount, output } => {
+                let v = op.info_f64(amount)?;
+                let d_us = op.duration_us()? as f64;
+                if d_us <= 0.0 {
+                    return None;
+                }
+                Some(Info::derived(
+                    output,
+                    InfoValue::Float(v / (d_us / 1e6)),
+                    rule_name,
+                    vec![format!("{}/{}", op.label(), amount)],
+                ))
+            }
+        }
+    }
+}
+
+/// Convenience: derive `Duration` on every operation that has start and end
+/// timestamps but no duration yet. Returns the number of durations derived.
+pub fn derive_all_durations(tree: &mut OperationTree) -> usize {
+    let mut n = 0;
+    for id in tree.bottom_up() {
+        let op = tree.op(id);
+        if op.info(names::DURATION).is_none()
+            && RuleEngine::apply_rule(tree, id, &DerivationRule::Duration).is_some()
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Evaluate one rule on an operation without a model; exposed for tests and
+/// ad-hoc analysis. Errors if the operation id is invalid.
+pub fn apply_rule_checked(
+    tree: &mut OperationTree,
+    id: OpId,
+    rule: &DerivationRule,
+) -> Result<Option<String>, ModelError> {
+    if tree.get(id).is_none() {
+        return Err(ModelError::UnknownOperation(id));
+    }
+    Ok(RuleEngine::apply_rule(tree, id, rule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Actor, Mission};
+
+    fn tree_with_children(vals: &[i64]) -> (OperationTree, OpId, Vec<OpId>) {
+        let mut t = OperationTree::new();
+        let root = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let mut kids = Vec::new();
+        for (i, v) in vals.iter().enumerate() {
+            let c = t
+                .add_child(
+                    root,
+                    Actor::new("Worker", i.to_string()),
+                    Mission::new("Compute", "0"),
+                )
+                .unwrap();
+            t.set_info(c, Info::raw("Work", InfoValue::Int(*v)))
+                .unwrap();
+            kids.push(c);
+        }
+        (t, root, kids)
+    }
+
+    #[test]
+    fn duration_rule_derives_end_minus_start() {
+        let mut t = OperationTree::new();
+        let r = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(r, Info::raw(names::START_TIME, InfoValue::Int(1_000)))
+            .unwrap();
+        t.set_info(r, Info::raw(names::END_TIME, InfoValue::Int(5_500)))
+            .unwrap();
+        RuleEngine::apply_rule(&mut t, r, &DerivationRule::Duration).unwrap();
+        assert_eq!(t.op(r).info_i64(names::DURATION), Some(4_500));
+        assert!(t.op(r).info(names::DURATION).unwrap().is_derived());
+    }
+
+    #[test]
+    fn sum_max_min_mean_count_over_children() {
+        let (mut t, root, _) = tree_with_children(&[10, 30, 20]);
+        for rule in [
+            DerivationRule::SumChildren {
+                info: "Work".into(),
+                select: ChildSelector::All,
+                output: "TotalWork".into(),
+            },
+            DerivationRule::MaxChildren {
+                info: "Work".into(),
+                select: ChildSelector::All,
+                output: "MaxWork".into(),
+            },
+            DerivationRule::MinChildren {
+                info: "Work".into(),
+                select: ChildSelector::All,
+                output: "MinWork".into(),
+            },
+            DerivationRule::MeanChildren {
+                info: "Work".into(),
+                select: ChildSelector::All,
+                output: "MeanWork".into(),
+            },
+            DerivationRule::CountChildren {
+                select: ChildSelector::All,
+                output: "NumChildren".into(),
+            },
+        ] {
+            RuleEngine::apply_rule(&mut t, root, &rule).unwrap();
+        }
+        let op = t.op(root);
+        assert_eq!(op.info_i64("TotalWork"), Some(60));
+        assert_eq!(op.info_i64("MaxWork"), Some(30));
+        assert_eq!(op.info_i64("MinWork"), Some(10));
+        assert_eq!(op.info_f64("MeanWork"), Some(20.0));
+        assert_eq!(op.info_i64("NumChildren"), Some(3));
+    }
+
+    #[test]
+    fn selector_filters_by_mission_kind() {
+        let (mut t, root, _) = tree_with_children(&[10, 30]);
+        let other = t
+            .add_child(root, Actor::new("Master", "0"), Mission::new("Sync", "0"))
+            .unwrap();
+        t.set_info(other, Info::raw("Work", InfoValue::Int(999)))
+            .unwrap();
+        RuleEngine::apply_rule(
+            &mut t,
+            root,
+            &DerivationRule::SumChildren {
+                info: "Work".into(),
+                select: ChildSelector::MissionKind("Compute".into()),
+                output: "ComputeWork".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.op(root).info_i64("ComputeWork"), Some(40));
+    }
+
+    #[test]
+    fn fraction_of_parent() {
+        let (mut t, root, kids) = tree_with_children(&[25]);
+        t.set_info(root, Info::raw("Work", InfoValue::Int(100)))
+            .unwrap();
+        RuleEngine::apply_rule(
+            &mut t,
+            kids[0],
+            &DerivationRule::FractionOfParent {
+                info: "Work".into(),
+                output: "Frac".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.op(kids[0]).info_f64("Frac"), Some(0.25));
+    }
+
+    #[test]
+    fn fraction_of_parent_skips_zero_base() {
+        let (mut t, root, kids) = tree_with_children(&[25]);
+        t.set_info(root, Info::raw("Work", InfoValue::Int(0)))
+            .unwrap();
+        assert!(RuleEngine::apply_rule(
+            &mut t,
+            kids[0],
+            &DerivationRule::FractionOfParent {
+                info: "Work".into(),
+                output: "Frac".into()
+            },
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn span_children_is_makespan() {
+        let (mut t, root, kids) = tree_with_children(&[1, 1]);
+        t.set_info(kids[0], Info::raw(names::START_TIME, InfoValue::Int(100)))
+            .unwrap();
+        t.set_info(kids[0], Info::raw(names::END_TIME, InfoValue::Int(300)))
+            .unwrap();
+        t.set_info(kids[1], Info::raw(names::START_TIME, InfoValue::Int(200)))
+            .unwrap();
+        t.set_info(kids[1], Info::raw(names::END_TIME, InfoValue::Int(700)))
+            .unwrap();
+        RuleEngine::apply_rule(
+            &mut t,
+            root,
+            &DerivationRule::SpanChildren {
+                select: ChildSelector::All,
+                output: "Makespan".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.op(root).info_i64("Makespan"), Some(600));
+    }
+
+    #[test]
+    fn rate_per_second() {
+        let (mut t, _, kids) = tree_with_children(&[0]);
+        let c = kids[0];
+        t.set_info(c, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(c, Info::raw(names::END_TIME, InfoValue::Int(2_000_000)))
+            .unwrap();
+        t.set_info(c, Info::raw("Bytes", InfoValue::Int(10_000_000)))
+            .unwrap();
+        RuleEngine::apply_rule(
+            &mut t,
+            c,
+            &DerivationRule::RatePerSecond {
+                amount: "Bytes".into(),
+                output: "Throughput".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.op(c).info_f64("Throughput"), Some(5_000_000.0));
+    }
+
+    #[test]
+    fn missing_inputs_skip_rule() {
+        let (mut t, root, _) = tree_with_children(&[]);
+        assert!(RuleEngine::apply_rule(&mut t, root, &DerivationRule::Duration).is_none());
+        assert!(RuleEngine::apply_rule(
+            &mut t,
+            root,
+            &DerivationRule::SumChildren {
+                info: "Work".into(),
+                select: ChildSelector::All,
+                output: "T".into()
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn derive_all_durations_covers_tree() {
+        let (mut t, root, kids) = tree_with_children(&[1, 2]);
+        for id in [root, kids[0], kids[1]] {
+            t.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(0)))
+                .unwrap();
+            t.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(10)))
+                .unwrap();
+        }
+        assert_eq!(derive_all_durations(&mut t), 3);
+        // Second pass derives nothing new.
+        assert_eq!(derive_all_durations(&mut t), 0);
+    }
+
+    #[test]
+    fn apply_rule_checked_rejects_bad_id() {
+        let mut t = OperationTree::new();
+        assert!(apply_rule_checked(&mut t, OpId(3), &DerivationRule::Duration).is_err());
+    }
+}

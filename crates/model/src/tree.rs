@@ -1,0 +1,323 @@
+//! Arena-backed operation trees: one observed job execution.
+//!
+//! The tree owns all [`Operation`]s of a job; parent/child links are
+//! [`OpId`] indices into the arena. The root is the job operation itself.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::info::Info;
+use crate::op::{Actor, Mission, OpId, Operation};
+
+/// The operation hierarchy of one job execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperationTree {
+    ops: Vec<Operation>,
+    root: Option<OpId>,
+}
+
+impl OperationTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operations in the tree.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the tree holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The root operation id (the job), if any operation has been added.
+    pub fn root(&self) -> Option<OpId> {
+        self.root
+    }
+
+    /// Adds the root operation. The first operation added this way becomes
+    /// the job; adding a second root replaces nothing and returns an error.
+    pub fn add_root(&mut self, actor: Actor, mission: Mission) -> Result<OpId, ModelError> {
+        if let Some(r) = self.root {
+            return Err(ModelError::InvalidLink {
+                child: OpId(self.ops.len() as u32),
+                parent: r,
+                reason: "tree already has a root",
+            });
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation {
+            id,
+            actor,
+            mission,
+            parent: None,
+            children: vec![],
+            infos: vec![],
+        });
+        self.root = Some(id);
+        Ok(id)
+    }
+
+    /// Adds a child operation under `parent`.
+    pub fn add_child(
+        &mut self,
+        parent: OpId,
+        actor: Actor,
+        mission: Mission,
+    ) -> Result<OpId, ModelError> {
+        if parent.0 as usize >= self.ops.len() {
+            return Err(ModelError::UnknownOperation(parent));
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation {
+            id,
+            actor,
+            mission,
+            parent: Some(parent),
+            children: vec![],
+            infos: vec![],
+        });
+        self.ops[parent.0 as usize].children.push(id);
+        Ok(id)
+    }
+
+    /// Borrows an operation.
+    pub fn get(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.0 as usize)
+    }
+
+    /// Mutably borrows an operation.
+    pub fn get_mut(&mut self, id: OpId) -> Option<&mut Operation> {
+        self.ops.get_mut(id.0 as usize)
+    }
+
+    /// Borrows an operation, panicking on an invalid id (ids produced by this
+    /// tree are always valid).
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Mutable variant of [`OperationTree::op`].
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        &mut self.ops[id.0 as usize]
+    }
+
+    /// Attaches an info to an operation.
+    pub fn set_info(&mut self, id: OpId, info: Info) -> Result<(), ModelError> {
+        self.get_mut(id)
+            .ok_or(ModelError::UnknownOperation(id))?
+            .set_info(info);
+        Ok(())
+    }
+
+    /// Iterates over all operations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter()
+    }
+
+    /// Iterates over ids and operations in depth-first pre-order from the root.
+    pub fn dfs(&self) -> Vec<OpId> {
+        let mut out = Vec::with_capacity(self.ops.len());
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so they pop in insertion order.
+            for &c in self.op(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Ids in bottom-up order (every child before its parent), for rule
+    /// evaluation.
+    pub fn bottom_up(&self) -> Vec<OpId> {
+        let mut order = self.dfs();
+        order.reverse();
+        order
+    }
+
+    /// Depth of an operation: root = 0.
+    pub fn depth(&self, id: OpId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.op(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// All operations whose mission kind equals `kind`.
+    pub fn by_mission_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Operation> {
+        self.ops.iter().filter(move |o| o.mission.kind == kind)
+    }
+
+    /// All operations whose actor kind equals `kind`.
+    pub fn by_actor_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Operation> {
+        self.ops.iter().filter(move |o| o.actor.kind == kind)
+    }
+
+    /// Finds the first child of `parent` with the given mission kind.
+    pub fn child_by_mission(&self, parent: OpId, kind: &str) -> Option<OpId> {
+        self.op(parent)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.op(c).mission.kind == kind)
+    }
+
+    /// Children of `parent` as operations.
+    pub fn children(&self, parent: OpId) -> impl Iterator<Item = &Operation> {
+        self.op(parent).children.iter().map(|&c| self.op(c))
+    }
+
+    /// All operation ids of the subtree rooted at `id` (pre-order).
+    pub fn subtree(&self, id: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            out.push(cur);
+            for &c in self.op(cur).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Time span `(earliest, latest)` over every timestamp in the tree, in
+    /// microseconds since job epoch. Operations without timestamps are
+    /// ignored; inverted stamps (end before start, as damaged logs can
+    /// produce) still contribute both endpoints, so the span never inverts.
+    pub fn span_us(&self) -> Option<(u64, u64)> {
+        let mut span: Option<(u64, u64)> = None;
+        for o in &self.ops {
+            if let (Some(s), Some(e)) = (o.start_us(), o.end_us()) {
+                let (a, b) = (s.min(e), s.max(e));
+                span = Some(match span {
+                    None => (a, b),
+                    Some((lo, hi)) => (lo.min(a), hi.max(b)),
+                });
+            }
+        }
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::InfoValue;
+    use crate::names;
+
+    fn sample() -> (OperationTree, OpId, OpId, OpId) {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("GiraphJob", "0"))
+            .unwrap();
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        let proc_ = t
+            .add_child(
+                job,
+                Actor::new("Job", "0"),
+                Mission::new("ProcessGraph", "0"),
+            )
+            .unwrap();
+        (t, job, load, proc_)
+    }
+
+    #[test]
+    fn add_root_twice_fails() {
+        let (mut t, ..) = sample();
+        assert!(t
+            .add_root(Actor::new("Job", "1"), Mission::new("X", "0"))
+            .is_err());
+    }
+
+    #[test]
+    fn add_child_to_unknown_parent_fails() {
+        let mut t = OperationTree::new();
+        assert_eq!(
+            t.add_child(OpId(9), Actor::new("A", "0"), Mission::new("M", "0")),
+            Err(ModelError::UnknownOperation(OpId(9)))
+        );
+    }
+
+    #[test]
+    fn dfs_is_preorder() {
+        let (mut t, job, load, _) = sample();
+        let sub = t
+            .add_child(
+                load,
+                Actor::new("Worker", "1"),
+                Mission::new("LocalLoad", "0"),
+            )
+            .unwrap();
+        let order = t.dfs();
+        assert_eq!(order[0], job);
+        // load comes before its own child, child before proc.
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(load) < pos(sub));
+    }
+
+    #[test]
+    fn bottom_up_visits_children_first() {
+        let (t, job, load, proc_) = sample();
+        let order = t.bottom_up();
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(load) < pos(job));
+        assert!(pos(proc_) < pos(job));
+    }
+
+    #[test]
+    fn depth_counts_hops_to_root() {
+        let (mut t, job, load, _) = sample();
+        let sub = t
+            .add_child(load, Actor::new("W", "1"), Mission::new("LL", "0"))
+            .unwrap();
+        assert_eq!(t.depth(job), 0);
+        assert_eq!(t.depth(load), 1);
+        assert_eq!(t.depth(sub), 2);
+    }
+
+    #[test]
+    fn span_covers_all_timestamped_ops() {
+        let (mut t, _, load, proc_) = sample();
+        t.set_info(load, Info::raw(names::START_TIME, InfoValue::Int(10)))
+            .unwrap();
+        t.set_info(load, Info::raw(names::END_TIME, InfoValue::Int(50)))
+            .unwrap();
+        t.set_info(proc_, Info::raw(names::START_TIME, InfoValue::Int(50)))
+            .unwrap();
+        t.set_info(proc_, Info::raw(names::END_TIME, InfoValue::Int(120)))
+            .unwrap();
+        assert_eq!(t.span_us(), Some((10, 120)));
+    }
+
+    #[test]
+    fn subtree_returns_descendants_only() {
+        let (mut t, job, load, proc_) = sample();
+        let sub = t
+            .add_child(load, Actor::new("W", "1"), Mission::new("LL", "0"))
+            .unwrap();
+        let s = t.subtree(load);
+        assert!(s.contains(&load) && s.contains(&sub));
+        assert!(!s.contains(&job) && !s.contains(&proc_));
+    }
+
+    #[test]
+    fn lookup_by_kinds() {
+        let (t, _, load, _) = sample();
+        assert_eq!(t.by_mission_kind("LoadGraph").count(), 1);
+        assert_eq!(t.by_actor_kind("Job").count(), 3);
+        assert_eq!(
+            t.child_by_mission(t.root().unwrap(), "LoadGraph"),
+            Some(load)
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Validation: does an observed operation tree conform to a performance
+//! model?
+//!
+//! The monitoring stage is allowed to under-deliver (logs get lost) and the
+//! model to over-specify (an analyst models operations the platform skipped
+//! for this workload). Validation surfaces every mismatch as a
+//! [`ValidationIssue`] so the analyst can decide whether to fix the model,
+//! the instrumentation, or neither — this feedback drives the iterative
+//! evaluation loop of paper Figure 2.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::modeldef::{OperationTypeId, PerformanceModel};
+use crate::op::OpId;
+use crate::tree::OperationTree;
+
+/// One conformance problem found during validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationIssue {
+    /// An observed operation matches no type in the model.
+    UnmodeledOperation { op: OpId, label: String },
+    /// A mandatory info is missing on a matched operation.
+    MissingInfo {
+        op: OpId,
+        label: String,
+        info: String,
+    },
+    /// An operation's parent has a different type than the model prescribes.
+    WrongParent {
+        op: OpId,
+        label: String,
+        expected: OperationTypeId,
+        actual: Option<String>,
+    },
+    /// A modeled type never occurred in the tree.
+    UnobservedType { ty: OperationTypeId },
+    /// An operation's timestamps fall outside its parent's interval.
+    OutsideParentInterval { op: OpId, label: String },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::UnmodeledOperation { label, .. } => {
+                write!(f, "operation `{label}` matches no model type")
+            }
+            ValidationIssue::MissingInfo { label, info, .. } => {
+                write!(f, "operation `{label}` is missing mandatory info `{info}`")
+            }
+            ValidationIssue::WrongParent {
+                label,
+                expected,
+                actual,
+                ..
+            } => write!(
+                f,
+                "operation `{label}` should be filial to `{}` but is under `{}`",
+                expected.label(),
+                actual.as_deref().unwrap_or("<root>")
+            ),
+            ValidationIssue::UnobservedType { ty } => {
+                write!(f, "modeled type `{}` was never observed", ty.label())
+            }
+            ValidationIssue::OutsideParentInterval { label, .. } => {
+                write!(
+                    f,
+                    "operation `{label}` runs outside its parent's time interval"
+                )
+            }
+        }
+    }
+}
+
+/// Result of validating a tree against a model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All issues found, in tree order.
+    pub issues: Vec<ValidationIssue>,
+    /// Operations that matched a model type.
+    pub matched_ops: usize,
+    /// Total operations inspected.
+    pub total_ops: usize,
+}
+
+impl ValidationReport {
+    /// True when no issues were found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Model *coverage*: fraction of observed operations that the model
+    /// describes. Low coverage tells the analyst where refinement (R3) is
+    /// still missing.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 1.0;
+        }
+        self.matched_ops as f64 / self.total_ops as f64
+    }
+}
+
+/// Validates `tree` against `model`.
+pub fn validate(model: &PerformanceModel, tree: &OperationTree) -> ValidationReport {
+    let mut report = ValidationReport {
+        total_ops: tree.len(),
+        ..Default::default()
+    };
+    let mut observed = vec![false; model.types.len()];
+
+    for id in tree.dfs() {
+        let op = tree.op(id);
+        let Some(ty) = model.match_op(op) else {
+            report.issues.push(ValidationIssue::UnmodeledOperation {
+                op: id,
+                label: op.label(),
+            });
+            continue;
+        };
+        report.matched_ops += 1;
+        if let Some(pos) = model.types.iter().position(|t| t.id == ty.id) {
+            observed[pos] = true;
+        }
+
+        for req in &ty.infos {
+            if req.mandatory && op.info(&req.name).is_none() {
+                report.issues.push(ValidationIssue::MissingInfo {
+                    op: id,
+                    label: op.label(),
+                    info: req.name.clone(),
+                });
+            }
+        }
+
+        if let Some(expected_parent) = &ty.parent {
+            let actual = op.parent.map(|p| tree.op(p));
+            let ok = actual.is_some_and(|p| {
+                p.actor.kind == expected_parent.actor_kind
+                    && p.mission.kind == expected_parent.mission_kind
+            });
+            if !ok {
+                report.issues.push(ValidationIssue::WrongParent {
+                    op: id,
+                    label: op.label(),
+                    expected: expected_parent.clone(),
+                    actual: actual.map(|p| p.label()),
+                });
+            }
+        }
+
+        if let (Some(parent), Some(s), Some(e)) =
+            (op.parent.map(|p| tree.op(p)), op.start_us(), op.end_us())
+        {
+            if let (Some(ps), Some(pe)) = (parent.start_us(), parent.end_us()) {
+                if s < ps || e > pe {
+                    report.issues.push(ValidationIssue::OutsideParentInterval {
+                        op: id,
+                        label: op.label(),
+                    });
+                }
+            }
+        }
+    }
+
+    for (pos, seen) in observed.iter().enumerate() {
+        if !seen {
+            report.issues.push(ValidationIssue::UnobservedType {
+                ty: model.types[pos].id.clone(),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::{Info, InfoValue};
+    use crate::level::AbstractionLevel;
+    use crate::modeldef::OperationTypeDef;
+    use crate::names;
+    use crate::op::{Actor, Mission};
+
+    fn model() -> PerformanceModel {
+        PerformanceModel::new("m", "P")
+            .with_type(OperationTypeDef::new(
+                "Job",
+                "Job",
+                AbstractionLevel::Domain,
+            ))
+            .with_type(
+                OperationTypeDef::new("Job", "LoadGraph", AbstractionLevel::Domain)
+                    .child_of("Job", "Job"),
+            )
+    }
+
+    fn timestamp(tree: &mut OperationTree, id: OpId, s: i64, e: i64) {
+        tree.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(s)))
+            .unwrap();
+        tree.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(e)))
+            .unwrap();
+    }
+
+    #[test]
+    fn clean_tree_validates() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        timestamp(&mut t, job, 0, 100);
+        timestamp(&mut t, load, 10, 90);
+        let r = validate(&model(), &t);
+        assert!(r.is_clean(), "issues: {:?}", r.issues);
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn unmodeled_operation_reported() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        timestamp(&mut t, job, 0, 100);
+        let w = t
+            .add_child(job, Actor::new("Ghost", "1"), Mission::new("Mystery", "0"))
+            .unwrap();
+        timestamp(&mut t, w, 0, 10);
+        let r = validate(&model(), &t);
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnmodeledOperation { .. })));
+        assert!(r.coverage() < 1.0);
+    }
+
+    #[test]
+    fn missing_mandatory_info_reported() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        timestamp(&mut t, job, 0, 100);
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        // LoadGraph has no timestamps -> two missing-info issues.
+        let r = validate(&model(), &t);
+        let missing: Vec<_> = r
+            .issues
+            .iter()
+            .filter(|i| matches!(i, ValidationIssue::MissingInfo { op, .. } if *op == load))
+            .collect();
+        assert_eq!(missing.len(), 2);
+    }
+
+    #[test]
+    fn wrong_parent_reported() {
+        let mut t = OperationTree::new();
+        // LoadGraph as root: model says it must be under Job.
+        let load = t
+            .add_root(Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        timestamp(&mut t, load, 0, 10);
+        let r = validate(&model(), &t);
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::WrongParent { .. })));
+    }
+
+    #[test]
+    fn unobserved_type_reported() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        timestamp(&mut t, job, 0, 100);
+        let r = validate(&model(), &t);
+        assert!(r.issues.iter().any(|i| matches!(
+            i,
+            ValidationIssue::UnobservedType { ty } if ty.mission_kind == "LoadGraph"
+        )));
+    }
+
+    #[test]
+    fn child_outside_parent_interval_reported() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("LoadGraph", "0"))
+            .unwrap();
+        timestamp(&mut t, job, 0, 100);
+        timestamp(&mut t, load, 50, 150);
+        let r = validate(&model(), &t);
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::OutsideParentInterval { .. })));
+    }
+
+    #[test]
+    fn empty_tree_has_full_coverage_but_unobserved_types() {
+        let t = OperationTree::new();
+        let r = validate(&model(), &t);
+        assert_eq!(r.coverage(), 1.0);
+        assert_eq!(r.issues.len(), 2); // both types unobserved
+    }
+}

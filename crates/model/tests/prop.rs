@@ -1,0 +1,203 @@
+//! Property-based tests of the model crate's core invariants.
+
+use proptest::prelude::*;
+
+use granula_model::rules::apply_rule_checked;
+use granula_model::{
+    names, AbstractionLevel, Actor, ChildSelector, DerivationRule, Info, InfoValue, Mission, OpId,
+    OperationTree,
+};
+
+/// Builds a random tree: `parents[i]` (for node i+1) is an index < i+1.
+fn arb_tree() -> impl Strategy<Value = OperationTree> {
+    prop::collection::vec(0usize..1000, 0..60).prop_map(|parent_picks| {
+        let mut t = OperationTree::new();
+        let root = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .expect("fresh tree");
+        let mut ids = vec![root];
+        for (i, pick) in parent_picks.into_iter().enumerate() {
+            let parent = ids[pick % ids.len()];
+            let id = t
+                .add_child(
+                    parent,
+                    Actor::new("Worker", (i % 7).to_string()),
+                    Mission::new("Op", i.to_string()),
+                )
+                .expect("parent exists");
+            ids.push(id);
+        }
+        t
+    })
+}
+
+proptest! {
+    /// DFS visits every operation exactly once.
+    #[test]
+    fn dfs_is_a_permutation(tree in arb_tree()) {
+        let order = tree.dfs();
+        prop_assert_eq!(order.len(), tree.len());
+        let mut seen = vec![false; tree.len()];
+        for id in order {
+            prop_assert!(!seen[id.0 as usize], "duplicate visit");
+            seen[id.0 as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Bottom-up order puts every child before its parent.
+    #[test]
+    fn bottom_up_children_first(tree in arb_tree()) {
+        let order = tree.bottom_up();
+        let mut pos = vec![0usize; tree.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.0 as usize] = i;
+        }
+        for op in tree.iter() {
+            if let Some(p) = op.parent {
+                prop_assert!(pos[op.id.0 as usize] < pos[p.0 as usize]);
+            }
+        }
+    }
+
+    /// Depth is consistent: child depth = parent depth + 1; root depth 0.
+    #[test]
+    fn depth_is_parent_plus_one(tree in arb_tree()) {
+        for op in tree.iter() {
+            match op.parent {
+                None => prop_assert_eq!(tree.depth(op.id), 0),
+                Some(p) => prop_assert_eq!(tree.depth(op.id), tree.depth(p) + 1),
+            }
+        }
+    }
+
+    /// Subtree sizes: the root's subtree is the whole tree, and every
+    /// subtree contains its own root.
+    #[test]
+    fn subtree_invariants(tree in arb_tree()) {
+        let root = tree.root().expect("non-empty");
+        prop_assert_eq!(tree.subtree(root).len(), tree.len());
+        for op in tree.iter() {
+            let s = tree.subtree(op.id);
+            prop_assert_eq!(s[0], op.id);
+            // All members are descendants: walking parents reaches op.id.
+            for m in s {
+                let mut cur = m;
+                let mut hops = 0;
+                while cur != op.id {
+                    cur = tree.op(cur).parent.expect("descendant has a path to subtree root");
+                    hops += 1;
+                    prop_assert!(hops <= tree.len());
+                }
+            }
+        }
+    }
+
+    /// Duration rule equals end - start for arbitrary consistent stamps.
+    #[test]
+    fn duration_rule_exact(start in 0i64..1_000_000_000, len in 0i64..1_000_000_000) {
+        let mut t = OperationTree::new();
+        let r = t.add_root(Actor::new("J", "0"), Mission::new("M", "0")).expect("fresh");
+        t.set_info(r, Info::raw(names::START_TIME, InfoValue::Int(start))).expect("root");
+        t.set_info(r, Info::raw(names::END_TIME, InfoValue::Int(start + len))).expect("root");
+        apply_rule_checked(&mut t, r, &DerivationRule::Duration).expect("valid id");
+        prop_assert_eq!(t.op(r).info_i64(names::DURATION), Some(len));
+    }
+
+    /// SumChildren equals the manual sum over any child values.
+    #[test]
+    fn sum_children_exact(values in prop::collection::vec(-1_000_000i64..1_000_000, 1..40)) {
+        let mut t = OperationTree::new();
+        let root = t.add_root(Actor::new("J", "0"), Mission::new("M", "0")).expect("fresh");
+        for (i, v) in values.iter().enumerate() {
+            let c = t
+                .add_child(root, Actor::new("W", i.to_string()), Mission::new("C", "0"))
+                .expect("root exists");
+            t.set_info(c, Info::raw("X", InfoValue::Int(*v))).expect("child");
+        }
+        apply_rule_checked(
+            &mut t,
+            root,
+            &DerivationRule::SumChildren {
+                info: "X".into(),
+                select: ChildSelector::All,
+                output: "Total".into(),
+            },
+        )
+        .expect("valid id");
+        prop_assert_eq!(t.op(root).info_i64("Total"), Some(values.iter().sum()));
+    }
+
+    /// Max/Min over children bound every child value.
+    #[test]
+    fn max_min_bound_children(values in prop::collection::vec(-1_000i64..1_000, 1..30)) {
+        let mut t = OperationTree::new();
+        let root = t.add_root(Actor::new("J", "0"), Mission::new("M", "0")).expect("fresh");
+        for (i, v) in values.iter().enumerate() {
+            let c = t
+                .add_child(root, Actor::new("W", i.to_string()), Mission::new("C", "0"))
+                .expect("root exists");
+            t.set_info(c, Info::raw("X", InfoValue::Int(*v))).expect("child");
+        }
+        for rule in [
+            DerivationRule::MaxChildren {
+                info: "X".into(),
+                select: ChildSelector::All,
+                output: "Max".into(),
+            },
+            DerivationRule::MinChildren {
+                info: "X".into(),
+                select: ChildSelector::All,
+                output: "Min".into(),
+            },
+        ] {
+            apply_rule_checked(&mut t, root, &rule).expect("valid id");
+        }
+        prop_assert_eq!(t.op(root).info_i64("Max"), values.iter().copied().max());
+        prop_assert_eq!(t.op(root).info_i64("Min"), values.iter().copied().min());
+    }
+
+    /// Abstraction level depth roundtrips for all depths.
+    #[test]
+    fn level_depth_roundtrip(d in 1u8..=255) {
+        prop_assert_eq!(AbstractionLevel::from_depth(d).depth(), d);
+    }
+
+    /// Span covers every timestamped operation.
+    #[test]
+    fn span_covers_everything(stamps in prop::collection::vec((0u64..1_000, 0u64..1_000), 1..30)) {
+        let mut t = OperationTree::new();
+        let root = t.add_root(Actor::new("J", "0"), Mission::new("M", "0")).expect("fresh");
+        let mut any = false;
+        for (i, (a, b)) in stamps.iter().enumerate() {
+            let (s, e) = (*a.min(b), *a.max(b));
+            let c = t
+                .add_child(root, Actor::new("W", i.to_string()), Mission::new("C", "0"))
+                .expect("root exists");
+            t.set_info(c, Info::raw(names::START_TIME, InfoValue::Int(s as i64))).expect("child");
+            t.set_info(c, Info::raw(names::END_TIME, InfoValue::Int(e as i64))).expect("child");
+            any = true;
+        }
+        let (lo, hi) = t.span_us().expect("timestamped children exist");
+        prop_assert!(any);
+        for op in t.iter() {
+            if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                prop_assert!(lo <= s && e <= hi);
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity: OpIds are dense indices.
+#[test]
+fn op_ids_are_dense() {
+    let mut t = OperationTree::new();
+    let root = t
+        .add_root(Actor::new("J", "0"), Mission::new("M", "0"))
+        .unwrap();
+    let a = t
+        .add_child(root, Actor::new("W", "1"), Mission::new("C", "0"))
+        .unwrap();
+    assert_eq!(root, OpId(0));
+    assert_eq!(a, OpId(1));
+}

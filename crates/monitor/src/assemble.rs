@@ -1,0 +1,401 @@
+//! Assembly: rebuilding one coherent operation tree from distributed logs.
+//!
+//! This is the heart of the archiving stage: events from many nodes arrive
+//! interleaved, sometimes out of order, sometimes with pieces missing. The
+//! assembler is tolerant — it never fails outright; instead it records
+//! [`AssemblyWarning`]s, which feed the iterative evaluation loop (an analyst
+//! seeing warnings improves the instrumentation or the model).
+//!
+//! Matching semantics: an operation instance is keyed by its full
+//! `(actor, mission)` identity. A `START` opens an instance; the next `END`
+//! with the same key closes the *most recently opened* open instance
+//! (platforms that genuinely re-execute an identical operation are expected
+//! to bump the mission id, as iterative missions do).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use granula_model::{names, Actor, Info, InfoValue, Mission, OpId, OperationTree, SourceRecord};
+
+use crate::event::{EventPayload, LogEvent};
+
+/// A problem encountered while assembling the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssemblyWarning {
+    /// An `END` without a matching open `START`; the event was dropped.
+    EndWithoutStart { label: String, time_us: u64 },
+    /// An `INFO` for an operation that was never started; the event was dropped.
+    InfoWithoutStart { label: String, time_us: u64 },
+    /// A `START` whose declared parent is unknown; attached to the root.
+    OrphanAttachedToRoot { label: String },
+    /// A `START` arrived before any root existed; a synthetic root was created.
+    SyntheticRoot,
+    /// The operation never received an `END`; left without `EndTime`.
+    Unclosed { label: String },
+}
+
+/// The assembled tree plus everything the analyst should know about gaps.
+#[derive(Debug, Clone)]
+pub struct AssemblyOutcome {
+    /// The reconstructed operation hierarchy.
+    pub tree: OperationTree,
+    /// Gaps and repairs performed during assembly.
+    pub warnings: Vec<AssemblyWarning>,
+    /// Number of events consumed (after filtering).
+    pub events_processed: usize,
+}
+
+/// Rebuilds operation trees from event streams.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    /// Retain raw log lines as [`SourceRecord`]s on `StartTime`/`EndTime`
+    /// infos. Costs memory; default off.
+    pub keep_source_records: bool,
+}
+
+impl Assembler {
+    /// Creates an assembler with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables retention of raw source records.
+    pub fn with_source_records(mut self) -> Self {
+        self.keep_source_records = true;
+        self
+    }
+
+    /// Assembles a tree from events. Events are sorted by timestamp first
+    /// (stable, so same-timestamp events keep log order).
+    pub fn assemble(&self, mut events: Vec<LogEvent>) -> AssemblyOutcome {
+        events.sort_by_key(|e| e.time_us);
+        let mut tree = OperationTree::new();
+        let mut warnings = Vec::new();
+        // Open instances per identity key; a stack per key tolerates re-entry.
+        let mut open: HashMap<(Actor, Mission), Vec<OpId>> = HashMap::new();
+        // Most recent instance (open or closed) per key, for INFO events that
+        // arrive after END.
+        let mut last_instance: HashMap<(Actor, Mission), OpId> = HashMap::new();
+        let events_processed = events.len();
+
+        for event in events {
+            let (actor, mission) = {
+                let (a, m) = event.op_identity();
+                (a.clone(), m.clone())
+            };
+            let key = (actor.clone(), mission.clone());
+            let label = format!("{mission} @ {actor}");
+            match &event.payload {
+                EventPayload::OpStart { parent, .. } => {
+                    let parent_id = match parent {
+                        Some((pa, pm)) => {
+                            let pkey = (pa.clone(), pm.clone());
+                            match open.get(&pkey).and_then(|s| s.last().copied()) {
+                                Some(pid) => Some(pid),
+                                None => {
+                                    warnings.push(AssemblyWarning::OrphanAttachedToRoot {
+                                        label: label.clone(),
+                                    });
+                                    tree.root()
+                                }
+                            }
+                        }
+                        None => None,
+                    };
+                    let id = match parent_id {
+                        Some(pid) => tree
+                            .add_child(pid, actor.clone(), mission.clone())
+                            .expect("parent id originates from this tree"),
+                        None => {
+                            if tree.root().is_some() {
+                                // A second root-less START: treat the existing
+                                // root as its parent rather than failing.
+                                warnings.push(AssemblyWarning::OrphanAttachedToRoot {
+                                    label: label.clone(),
+                                });
+                                let root = tree.root().expect("checked above");
+                                tree.add_child(root, actor.clone(), mission.clone())
+                                    .expect("root id is valid")
+                            } else {
+                                tree.add_root(actor.clone(), mission.clone())
+                                    .expect("tree has no root yet")
+                            }
+                        }
+                    };
+                    let info = self.stamp(names::START_TIME, event.time_us, &event);
+                    tree.op_mut(id).set_info(info);
+                    tree.op_mut(id)
+                        .set_info(Info::raw(names::NODE, InfoValue::Text(event.node.clone())));
+                    open.entry(key.clone()).or_default().push(id);
+                    last_instance.insert(key, id);
+                }
+                EventPayload::OpEnd { .. } => match open.get_mut(&key).and_then(Vec::pop) {
+                    Some(id) => {
+                        let info = self.stamp(names::END_TIME, event.time_us, &event);
+                        tree.op_mut(id).set_info(info);
+                    }
+                    None => warnings.push(AssemblyWarning::EndWithoutStart {
+                        label,
+                        time_us: event.time_us,
+                    }),
+                },
+                EventPayload::OpInfo { name, value, .. } => {
+                    let target = open
+                        .get(&key)
+                        .and_then(|s| s.last().copied())
+                        .or_else(|| last_instance.get(&key).copied());
+                    match target {
+                        Some(id) => {
+                            let info = if self.keep_source_records {
+                                Info::raw_with_records(
+                                    name.clone(),
+                                    value.clone(),
+                                    vec![SourceRecord::new(
+                                        format!("platform:{}/{}", event.node, event.process),
+                                        event.to_line(),
+                                    )],
+                                )
+                            } else {
+                                Info::raw(name.clone(), value.clone())
+                            };
+                            tree.op_mut(id).set_info(info);
+                        }
+                        None => warnings.push(AssemblyWarning::InfoWithoutStart {
+                            label,
+                            time_us: event.time_us,
+                        }),
+                    }
+                }
+            }
+        }
+
+        // Report operations that never closed.
+        for (key, stack) in &open {
+            for _ in stack {
+                warnings.push(AssemblyWarning::Unclosed {
+                    label: format!("{} @ {}", key.1, key.0),
+                });
+            }
+        }
+
+        AssemblyOutcome {
+            tree,
+            warnings,
+            events_processed,
+        }
+    }
+
+    /// Parses raw log lines (mixed Granula and platform noise) and assembles.
+    pub fn assemble_lines<'a>(&self, lines: impl IntoIterator<Item = &'a str>) -> AssemblyOutcome {
+        let events = lines
+            .into_iter()
+            .filter_map(crate::event::parse_line)
+            .collect();
+        self.assemble(events)
+    }
+
+    fn stamp(&self, name: &str, time_us: u64, event: &LogEvent) -> Info {
+        if self.keep_source_records {
+            Info::raw_with_records(
+                name,
+                InfoValue::Int(time_us as i64),
+                vec![SourceRecord::new(
+                    format!("platform:{}/{}", event.node, event.process),
+                    event.to_line(),
+                )],
+            )
+        } else {
+            Info::raw(name, InfoValue::Int(time_us as i64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(k: &str, i: &str) -> Actor {
+        Actor::new(k, i)
+    }
+    fn m(k: &str, i: &str) -> Mission {
+        Mission::new(k, i)
+    }
+
+    fn job_events() -> Vec<LogEvent> {
+        let job = (a("Job", "0"), m("GiraphJob", "0"));
+        let load = (a("Job", "0"), m("LoadGraph", "0"));
+        vec![
+            LogEvent::start(0, "n0", "client", job.0.clone(), job.1.clone(), None),
+            LogEvent::start(
+                10,
+                "n0",
+                "client",
+                load.0.clone(),
+                load.1.clone(),
+                Some(job.clone()),
+            ),
+            LogEvent::info(
+                15,
+                "n0",
+                "client",
+                load.0.clone(),
+                load.1.clone(),
+                "Bytes",
+                InfoValue::Int(1024),
+            ),
+            LogEvent::end(50, "n0", "client", load.0.clone(), load.1.clone()),
+            LogEvent::end(100, "n0", "client", job.0, job.1),
+        ]
+    }
+
+    #[test]
+    fn clean_stream_assembles_without_warnings() {
+        let out = Assembler::new().assemble(job_events());
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert_eq!(out.tree.len(), 2);
+        let root = out.tree.root().unwrap();
+        let root_op = out.tree.op(root);
+        assert_eq!(root_op.duration_us(), Some(100));
+        let load = out.tree.child_by_mission(root, "LoadGraph").unwrap();
+        assert_eq!(out.tree.op(load).info_i64("Bytes"), Some(1024));
+        assert_eq!(out.tree.op(load).duration_us(), Some(40));
+    }
+
+    #[test]
+    fn out_of_order_events_are_sorted() {
+        let mut ev = job_events();
+        ev.reverse();
+        let out = Assembler::new().assemble(ev);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert_eq!(out.tree.len(), 2);
+    }
+
+    #[test]
+    fn end_without_start_warns_and_drops() {
+        let ev = vec![LogEvent::end(5, "n", "p", a("Job", "0"), m("X", "0"))];
+        let out = Assembler::new().assemble(ev);
+        assert!(out.tree.is_empty());
+        assert!(matches!(
+            out.warnings[0],
+            AssemblyWarning::EndWithoutStart { .. }
+        ));
+    }
+
+    #[test]
+    fn info_without_start_warns() {
+        let ev = vec![LogEvent::info(
+            5,
+            "n",
+            "p",
+            a("Job", "0"),
+            m("X", "0"),
+            "K",
+            InfoValue::Int(1),
+        )];
+        let out = Assembler::new().assemble(ev);
+        assert!(matches!(
+            out.warnings[0],
+            AssemblyWarning::InfoWithoutStart { .. }
+        ));
+    }
+
+    #[test]
+    fn info_after_end_attaches_to_last_instance() {
+        let key = (a("Worker", "1"), m("Compute", "0"));
+        let ev = vec![
+            LogEvent::start(0, "n", "p", key.0.clone(), key.1.clone(), None),
+            LogEvent::end(10, "n", "p", key.0.clone(), key.1.clone()),
+            LogEvent::info(12, "n", "p", key.0, key.1, "Late", InfoValue::Int(7)),
+        ];
+        let out = Assembler::new().assemble(ev);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        let root = out.tree.root().unwrap();
+        assert_eq!(out.tree.op(root).info_i64("Late"), Some(7));
+    }
+
+    #[test]
+    fn missing_parent_attaches_to_root_with_warning() {
+        let job = (a("Job", "0"), m("Job", "0"));
+        let ghost_parent = (a("Job", "0"), m("NeverStarted", "0"));
+        let child = (a("Worker", "1"), m("Compute", "0"));
+        let ev = vec![
+            LogEvent::start(0, "n", "p", job.0.clone(), job.1.clone(), None),
+            LogEvent::start(5, "n", "p", child.0, child.1, Some(ghost_parent)),
+        ];
+        let out = Assembler::new().assemble(ev);
+        assert!(matches!(
+            out.warnings[0],
+            AssemblyWarning::OrphanAttachedToRoot { .. }
+        ));
+        let root = out.tree.root().unwrap();
+        assert_eq!(out.tree.op(root).children.len(), 1);
+    }
+
+    #[test]
+    fn unclosed_operation_warns_and_has_no_end_time() {
+        let job = (a("Job", "0"), m("Job", "0"));
+        let ev = vec![LogEvent::start(0, "n", "p", job.0, job.1, None)];
+        let out = Assembler::new().assemble(ev);
+        assert!(matches!(out.warnings[0], AssemblyWarning::Unclosed { .. }));
+        let root = out.tree.root().unwrap();
+        assert_eq!(out.tree.op(root).end_us(), None);
+    }
+
+    #[test]
+    fn second_rootless_start_becomes_child_of_root() {
+        let ev = vec![
+            LogEvent::start(0, "n", "p", a("Job", "0"), m("Job", "0"), None),
+            LogEvent::start(1, "n", "p", a("Job", "1"), m("Rogue", "0"), None),
+        ];
+        let out = Assembler::new().assemble(ev);
+        assert_eq!(out.tree.len(), 2);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, AssemblyWarning::OrphanAttachedToRoot { .. })));
+    }
+
+    #[test]
+    fn assemble_lines_skips_noise() {
+        let lines = [
+            "INFO org.apache.hadoop: starting container",
+            "GRANULA 0 n0 client START Job-0@Job-0",
+            "some random stderr",
+            "GRANULA 9 n0 client END Job-0@Job-0",
+        ];
+        let out = Assembler::new().assemble_lines(lines);
+        assert_eq!(out.events_processed, 2);
+        assert_eq!(out.tree.len(), 1);
+        assert!(out.warnings.is_empty());
+    }
+
+    #[test]
+    fn source_records_retained_when_enabled() {
+        let out = Assembler::new()
+            .with_source_records()
+            .assemble(job_events());
+        let root = out.tree.root().unwrap();
+        let info = out.tree.op(root).info(names::START_TIME).unwrap();
+        match &info.source {
+            granula_model::InfoSource::Raw { records } => {
+                assert_eq!(records.len(), 1);
+                assert!(records[0].content.contains("START"));
+            }
+            _ => panic!("expected raw source"),
+        }
+    }
+
+    #[test]
+    fn node_info_recorded_on_start() {
+        let out = Assembler::new().assemble(job_events());
+        let root = out.tree.root().unwrap();
+        assert_eq!(
+            out.tree
+                .op(root)
+                .info_value(names::NODE)
+                .and_then(|v| v.as_text()),
+            Some("n0")
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Clock-skew correction for multi-node logs.
+//!
+//! Timestamps in distributed logs come from node-local clocks. Granula
+//! corrects them before assembly using *anchor events*: events known to be
+//! (approximately) simultaneous across nodes, such as the release of a
+//! barrier every worker logs. From the anchors the corrector estimates one
+//! offset per node and rewrites event timestamps to the reference clock.
+
+use std::collections::BTreeMap;
+
+use crate::event::LogEvent;
+
+/// Per-node clock-offset table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkewCorrector {
+    /// Offset in microseconds *added* to each node's local timestamps.
+    offsets: BTreeMap<String, i64>,
+}
+
+impl SkewCorrector {
+    /// Creates a corrector with no offsets (identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a node's offset explicitly.
+    pub fn set_offset(&mut self, node: impl Into<String>, offset_us: i64) {
+        self.offsets.insert(node.into(), offset_us);
+    }
+
+    /// The offset applied to a node (0 when unknown).
+    pub fn offset(&self, node: &str) -> i64 {
+        self.offsets.get(node).copied().unwrap_or(0)
+    }
+
+    /// Estimates offsets from anchor observations: tuples of
+    /// `(node, local_time_us)` for an event that *truly* happened at the same
+    /// instant on every node. The earliest observation is taken as the
+    /// reference clock. With several anchors per node, offsets are averaged.
+    pub fn from_anchors<'a>(
+        anchors: impl IntoIterator<Item = &'a [(String, u64)]>,
+    ) -> SkewCorrector {
+        let mut sums: BTreeMap<String, (i64, u32)> = BTreeMap::new();
+        for group in anchors {
+            let Some(&reference) = group.iter().map(|(_, t)| t).min() else {
+                continue;
+            };
+            for (node, t) in group {
+                let entry = sums.entry(node.clone()).or_insert((0, 0));
+                entry.0 += reference as i64 - *t as i64;
+                entry.1 += 1;
+            }
+        }
+        let mut corrector = SkewCorrector::new();
+        for (node, (sum, n)) in sums {
+            corrector.offsets.insert(node, sum / n as i64);
+        }
+        corrector
+    }
+
+    /// Applies the correction to one event (saturating at zero).
+    pub fn correct(&self, event: &mut LogEvent) {
+        let off = self.offset(&event.node);
+        event.time_us = add_signed(event.time_us, off);
+    }
+
+    /// Applies the correction to a batch of events.
+    pub fn correct_all(&self, events: &mut [LogEvent]) {
+        for e in events {
+            self.correct(e);
+        }
+    }
+}
+
+fn add_signed(t: u64, off: i64) -> u64 {
+    if off >= 0 {
+        t.saturating_add(off as u64)
+    } else {
+        t.saturating_sub(off.unsigned_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_model::{Actor, Mission};
+
+    fn event(node: &str, t: u64) -> LogEvent {
+        LogEvent::start(
+            t,
+            node,
+            "p",
+            Actor::new("A", "0"),
+            Mission::new("M", "0"),
+            None,
+        )
+    }
+
+    #[test]
+    fn identity_without_offsets() {
+        let c = SkewCorrector::new();
+        let mut e = event("n0", 100);
+        c.correct(&mut e);
+        assert_eq!(e.time_us, 100);
+    }
+
+    #[test]
+    fn anchors_align_nodes_to_earliest() {
+        // Barrier released at true time ~1000; n1's clock is 50us fast.
+        let group = vec![("n0".to_string(), 1000u64), ("n1".to_string(), 1050u64)];
+        let c = SkewCorrector::from_anchors([group.as_slice()]);
+        assert_eq!(c.offset("n0"), 0);
+        assert_eq!(c.offset("n1"), -50);
+        let mut e = event("n1", 1050);
+        c.correct(&mut e);
+        assert_eq!(e.time_us, 1000);
+    }
+
+    #[test]
+    fn multiple_anchors_average() {
+        let g1 = vec![("n0".to_string(), 100u64), ("n1".to_string(), 140u64)];
+        let g2 = vec![("n0".to_string(), 200u64), ("n1".to_string(), 220u64)];
+        let c = SkewCorrector::from_anchors([g1.as_slice(), g2.as_slice()]);
+        assert_eq!(c.offset("n1"), -30);
+    }
+
+    #[test]
+    fn negative_correction_saturates_at_zero() {
+        let mut c = SkewCorrector::new();
+        c.set_offset("n0", -500);
+        let mut e = event("n0", 100);
+        c.correct(&mut e);
+        assert_eq!(e.time_us, 0);
+    }
+
+    #[test]
+    fn correct_all_touches_only_known_nodes() {
+        let mut c = SkewCorrector::new();
+        c.set_offset("n1", 10);
+        let mut events = vec![event("n0", 100), event("n1", 100)];
+        c.correct_all(&mut events);
+        assert_eq!(events[0].time_us, 100);
+        assert_eq!(events[1].time_us, 110);
+    }
+}

@@ -1,0 +1,256 @@
+//! File-based log collection: the mechanics of real monitoring.
+//!
+//! A deployed Granula scrapes log *files* — one per process per node —
+//! after the job finishes. This module writes event streams out in exactly
+//! that layout (platform log lines mixed with whatever else the process
+//! printed) and collects a directory of such files back into events,
+//! tolerating unknown files and non-Granula lines.
+//!
+//! Environment samples use a sibling line format:
+//! `GRANULA-ENV <time_us> <node> <cpu|memory|network|disk> <value>`.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::env::{ResourceKind, ResourceSample};
+use crate::event::{parse_line, LogEvent};
+
+/// Statistics of one collection pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Log files read.
+    pub files: usize,
+    /// Total lines scanned.
+    pub lines: usize,
+    /// Granula events recovered.
+    pub events: usize,
+    /// Environment samples recovered.
+    pub samples: usize,
+}
+
+fn kind_name(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::Cpu => "cpu",
+        ResourceKind::Memory => "memory",
+        ResourceKind::Network => "network",
+        ResourceKind::Disk => "disk",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<ResourceKind> {
+    match s {
+        "cpu" => Some(ResourceKind::Cpu),
+        "memory" => Some(ResourceKind::Memory),
+        "network" => Some(ResourceKind::Network),
+        "disk" => Some(ResourceKind::Disk),
+        _ => None,
+    }
+}
+
+/// Renders one environment sample as a log line.
+pub fn env_line(sample: &ResourceSample) -> String {
+    format!(
+        "GRANULA-ENV {} {} {} {:?}",
+        sample.time_us,
+        sample.node,
+        kind_name(sample.kind),
+        sample.value
+    )
+}
+
+/// Parses an environment-sample line; `None` for other lines.
+pub fn parse_env_line(line: &str) -> Option<ResourceSample> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GRANULA-ENV" {
+        return None;
+    }
+    Some(ResourceSample {
+        time_us: parts.next()?.parse().ok()?,
+        node: parts.next()?.to_string(),
+        kind: parse_kind(parts.next()?)?,
+        value: parts.next()?.parse().ok()?,
+    })
+}
+
+/// Writes events into `dir`, one file per `(node, process)` pair, in the
+/// layout a log scraper would find on a cluster. Returns the file count.
+pub fn write_logs(events: &[LogEvent], dir: &Path) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+    use std::collections::BTreeMap;
+    let mut per_file: BTreeMap<String, Vec<&LogEvent>> = BTreeMap::new();
+    for e in events {
+        per_file
+            .entry(format!("{}__{}.log", e.node, e.process))
+            .or_default()
+            .push(e);
+    }
+    for (name, events) in &per_file {
+        let mut w = BufWriter::new(fs::File::create(dir.join(name))?);
+        for e in events {
+            writeln!(w, "{}", e.to_line())?;
+        }
+        w.flush()?;
+    }
+    Ok(per_file.len())
+}
+
+/// Writes environment samples into `dir/<node>__env.log` files.
+pub fn write_env_logs(samples: &[ResourceSample], dir: &Path) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+    use std::collections::BTreeMap;
+    let mut per_node: BTreeMap<String, Vec<&ResourceSample>> = BTreeMap::new();
+    for s in samples {
+        per_node
+            .entry(format!("{}__env.log", s.node))
+            .or_default()
+            .push(s);
+    }
+    for (name, samples) in &per_node {
+        let mut w = BufWriter::new(fs::File::create(dir.join(name))?);
+        for s in samples {
+            writeln!(w, "{}", env_line(s))?;
+        }
+        w.flush()?;
+    }
+    Ok(per_node.len())
+}
+
+/// Scrapes every `*.log` file under `dir` (non-recursive), recovering
+/// Granula events and environment samples; all other lines are skipped,
+/// like the platform noise in real logs.
+pub fn collect_dir(dir: &Path) -> io::Result<(Vec<LogEvent>, Vec<ResourceSample>, CollectStats)> {
+    let mut events = Vec::new();
+    let mut samples = Vec::new();
+    let mut stats = CollectStats::default();
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "log"))
+        .collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        stats.files += 1;
+        let reader = BufReader::new(fs::File::open(entry.path())?);
+        let mut line = String::new();
+        let mut reader = reader;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            stats.lines += 1;
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if let Some(event) = parse_line(trimmed) {
+                events.push(event);
+                stats.events += 1;
+            } else if let Some(sample) = parse_env_line(trimmed) {
+                samples.push(sample);
+                stats.samples += 1;
+            }
+        }
+    }
+    Ok((events, samples, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_model::{Actor, InfoValue, Mission};
+
+    fn events() -> Vec<LogEvent> {
+        let job = (Actor::new("Job", "0"), Mission::new("Job", "0"));
+        vec![
+            LogEvent::start(0, "n0", "client", job.0.clone(), job.1.clone(), None),
+            LogEvent::info(
+                3,
+                "n1",
+                "worker-1",
+                Actor::new("W", "1"),
+                Mission::new("C", "0"),
+                "K",
+                InfoValue::Int(5),
+            ),
+            LogEvent::end(9, "n0", "client", job.0, job.1),
+        ]
+    }
+
+    fn samples() -> Vec<ResourceSample> {
+        vec![
+            ResourceSample {
+                time_us: 0,
+                node: "n0".into(),
+                kind: ResourceKind::Cpu,
+                value: 1.5,
+            },
+            ResourceSample {
+                time_us: 1_000_000,
+                node: "n1".into(),
+                kind: ResourceKind::Network,
+                value: 2.25e6,
+            },
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("granula-collect-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_collect_roundtrips() {
+        let dir = tmp("roundtrip");
+        assert_eq!(write_logs(&events(), &dir).unwrap(), 2); // n0__client, n1__worker-1
+        assert_eq!(write_env_logs(&samples(), &dir).unwrap(), 2);
+        let (mut collected, env, stats) = collect_dir(&dir).unwrap();
+        assert_eq!(stats.files, 4);
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.samples, 2);
+        // File iteration order differs from emission order; compare as sets.
+        collected.sort_by_key(|e| e.time_us);
+        assert_eq!(collected, events());
+        assert_eq!(env.len(), 2);
+        assert_eq!(env[0].kind, ResourceKind::Cpu);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noise_lines_and_foreign_files_are_skipped() {
+        let dir = tmp("noise");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("n0__client.log"),
+            "INFO starting up\nGRANULA 5 n0 client START Job-0@Job-0\ngarbage\n",
+        )
+        .unwrap();
+        fs::write(dir.join("notes.txt"), "GRANULA 5 n0 client END Job-0@Job-0").unwrap();
+        let (events, samplez, stats) = collect_dir(&dir).unwrap();
+        assert_eq!(stats.files, 1); // .txt ignored
+        assert_eq!(events.len(), 1);
+        assert!(samplez.is_empty());
+        assert_eq!(stats.lines, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn env_line_roundtrip() {
+        for s in samples() {
+            assert_eq!(parse_env_line(&env_line(&s)), Some(s));
+        }
+        assert_eq!(parse_env_line("GRANULA-ENV x n0 cpu 1.0"), None);
+        assert_eq!(parse_env_line("GRANULA-ENV 1 n0 gpu 1.0"), None);
+        assert_eq!(parse_env_line("not env"), None);
+    }
+
+    #[test]
+    fn empty_directory_collects_nothing() {
+        let dir = tmp("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let (events, samplez, stats) = collect_dir(&dir).unwrap();
+        assert!(events.is_empty() && samplez.is_empty());
+        assert_eq!(stats, CollectStats::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

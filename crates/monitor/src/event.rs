@@ -1,0 +1,334 @@
+//! The Granula log-event grammar.
+//!
+//! Instrumented platforms emit one line per event; monitoring scrapes the
+//! lines back. The grammar is deliberately line-oriented and greppable, like
+//! the log4j markers real Granula injects into Giraph:
+//!
+//! ```text
+//! GRANULA <time_us> <node> <process> START <mission>@<actor> parent=<mission>@<actor>
+//! GRANULA <time_us> <node> <process> END   <mission>@<actor>
+//! GRANULA <time_us> <node> <process> INFO  <mission>@<actor> <name>=<value>
+//! ```
+//!
+//! `<mission>` and `<actor>` use `Kind-Id` notation; `parent=` is optional on
+//! `START` (the job root has none). Values are parsed as integer, then float,
+//! then text. Lines not starting with `GRANULA` belong to the platform's
+//! ordinary logging and are ignored by the collector.
+
+use serde::{Deserialize, Serialize};
+
+use granula_model::{Actor, InfoValue, Mission};
+
+/// What a log event reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventPayload {
+    /// An operation began.
+    OpStart {
+        /// Operation identity.
+        actor: Actor,
+        /// Operation identity.
+        mission: Mission,
+        /// Identity of the parent operation, if the platform knows it.
+        parent: Option<(Actor, Mission)>,
+    },
+    /// An operation completed.
+    OpEnd {
+        /// Operation identity.
+        actor: Actor,
+        /// Operation identity.
+        mission: Mission,
+    },
+    /// A raw info about an operation.
+    OpInfo {
+        /// Operation identity.
+        actor: Actor,
+        /// Operation identity.
+        mission: Mission,
+        /// Info name.
+        name: String,
+        /// Info value.
+        value: InfoValue,
+    },
+}
+
+/// One event scraped from a platform log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEvent {
+    /// Event timestamp in microseconds since job epoch (node-local clock).
+    pub time_us: u64,
+    /// Node the emitting process ran on, e.g. `"node340"`.
+    pub node: String,
+    /// Emitting process, e.g. `"worker-3"` or `"master"`.
+    pub process: String,
+    /// Payload.
+    pub payload: EventPayload,
+}
+
+impl LogEvent {
+    /// The operation identity the event concerns.
+    pub fn op_identity(&self) -> (&Actor, &Mission) {
+        match &self.payload {
+            EventPayload::OpStart { actor, mission, .. }
+            | EventPayload::OpEnd { actor, mission }
+            | EventPayload::OpInfo { actor, mission, .. } => (actor, mission),
+        }
+    }
+
+    /// Renders the event in the log-line grammar.
+    pub fn to_line(&self) -> String {
+        let (actor, mission) = self.op_identity();
+        let head = format!("GRANULA {} {} {}", self.time_us, self.node, self.process);
+        match &self.payload {
+            EventPayload::OpStart { parent, .. } => match parent {
+                Some((pa, pm)) => {
+                    format!("{head} START {mission}@{actor} parent={pm}@{pa}")
+                }
+                None => format!("{head} START {mission}@{actor}"),
+            },
+            EventPayload::OpEnd { .. } => format!("{head} END {mission}@{actor}"),
+            EventPayload::OpInfo { name, value, .. } => {
+                format!(
+                    "{head} INFO {mission}@{actor} {name}={}",
+                    render_value(value)
+                )
+            }
+        }
+    }
+}
+
+fn render_value(v: &InfoValue) -> String {
+    match v {
+        InfoValue::Int(i) => i.to_string(),
+        InfoValue::Float(f) => format!("{f:?}"),
+        InfoValue::Text(t) => t.clone(),
+        // Series are environment data and never travel through log lines.
+        InfoValue::Series(_) => String::from("<series>"),
+    }
+}
+
+fn parse_value(s: &str) -> InfoValue {
+    if let Ok(i) = s.parse::<i64>() {
+        return InfoValue::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return InfoValue::Float(f);
+    }
+    InfoValue::Text(s.to_string())
+}
+
+fn parse_identity(s: &str) -> Option<(Actor, Mission)> {
+    let (mission, actor) = s.split_once('@')?;
+    if mission.is_empty() || actor.is_empty() {
+        return None;
+    }
+    Some((Actor::parse(actor), Mission::parse(mission)))
+}
+
+/// Parses one log line. Returns `None` for lines that are not Granula
+/// events (ordinary platform logging) or are malformed.
+pub fn parse_line(line: &str) -> Option<LogEvent> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GRANULA" {
+        return None;
+    }
+    let time_us = parts.next()?.parse::<u64>().ok()?;
+    let node = parts.next()?.to_string();
+    let process = parts.next()?.to_string();
+    let kind = parts.next()?;
+    let identity = parts.next()?;
+    let (actor, mission) = parse_identity(identity)?;
+    let payload = match kind {
+        "START" => {
+            let parent = match parts.next() {
+                Some(p) => Some(parse_identity(p.strip_prefix("parent=")?)?),
+                None => None,
+            };
+            EventPayload::OpStart {
+                actor,
+                mission,
+                parent,
+            }
+        }
+        "END" => EventPayload::OpEnd { actor, mission },
+        "INFO" => {
+            // The value may contain (and even start or end with) spaces, so
+            // slice the raw line at the first `=` instead of re-joining
+            // whitespace-split tokens: the name is the token immediately
+            // before the `=`, the value is everything after it, verbatim.
+            let eq = line.find('=')?;
+            let name = line[..eq].split_whitespace().last()?;
+            if name == identity || name.is_empty() {
+                return None; // no name token between identity and `=`
+            }
+            EventPayload::OpInfo {
+                actor,
+                mission,
+                name: name.to_string(),
+                value: parse_value(&line[eq + 1..]),
+            }
+        }
+        _ => return None,
+    };
+    Some(LogEvent {
+        time_us,
+        node,
+        process,
+        payload,
+    })
+}
+
+/// Convenience constructors used by instrumented platforms.
+impl LogEvent {
+    /// A `START` event.
+    pub fn start(
+        time_us: u64,
+        node: impl Into<String>,
+        process: impl Into<String>,
+        actor: Actor,
+        mission: Mission,
+        parent: Option<(Actor, Mission)>,
+    ) -> Self {
+        LogEvent {
+            time_us,
+            node: node.into(),
+            process: process.into(),
+            payload: EventPayload::OpStart {
+                actor,
+                mission,
+                parent,
+            },
+        }
+    }
+
+    /// An `END` event.
+    pub fn end(
+        time_us: u64,
+        node: impl Into<String>,
+        process: impl Into<String>,
+        actor: Actor,
+        mission: Mission,
+    ) -> Self {
+        LogEvent {
+            time_us,
+            node: node.into(),
+            process: process.into(),
+            payload: EventPayload::OpEnd { actor, mission },
+        }
+    }
+
+    /// An `INFO` event.
+    pub fn info(
+        time_us: u64,
+        node: impl Into<String>,
+        process: impl Into<String>,
+        actor: Actor,
+        mission: Mission,
+        name: impl Into<String>,
+        value: InfoValue,
+    ) -> Self {
+        LogEvent {
+            time_us,
+            node: node.into(),
+            process: process.into(),
+            payload: EventPayload::OpInfo {
+                actor,
+                mission,
+                name: name.into(),
+                value,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker() -> (Actor, Mission) {
+        (Actor::new("Worker", "3"), Mission::new("Superstep", "4"))
+    }
+
+    #[test]
+    fn start_line_roundtrip_with_parent() {
+        let (a, m) = worker();
+        let parent = (Actor::new("Job", "0"), Mission::new("ProcessGraph", "0"));
+        let e = LogEvent::start(1234, "node01", "worker-3", a, m, Some(parent));
+        let line = e.to_line();
+        assert_eq!(
+            line,
+            "GRANULA 1234 node01 worker-3 START Superstep-4@Worker-3 parent=ProcessGraph-0@Job-0"
+        );
+        assert_eq!(parse_line(&line), Some(e));
+    }
+
+    #[test]
+    fn start_line_roundtrip_without_parent() {
+        let e = LogEvent::start(
+            0,
+            "n",
+            "p",
+            Actor::new("Job", "0"),
+            Mission::new("Job", "0"),
+            None,
+        );
+        assert_eq!(parse_line(&e.to_line()), Some(e));
+    }
+
+    #[test]
+    fn end_line_roundtrip() {
+        let (a, m) = worker();
+        let e = LogEvent::end(99, "node02", "worker-3", a, m);
+        assert_eq!(parse_line(&e.to_line()), Some(e));
+    }
+
+    #[test]
+    fn info_line_roundtrips_each_value_kind() {
+        let (a, m) = worker();
+        for v in [
+            InfoValue::Int(-42),
+            InfoValue::Float(2.5),
+            InfoValue::Text("hello world".into()),
+        ] {
+            let e = LogEvent::info(7, "n", "p", a.clone(), m.clone(), "K", v.clone());
+            let parsed = parse_line(&e.to_line()).unwrap();
+            match &parsed.payload {
+                EventPayload::OpInfo { value, .. } => assert_eq!(value, &v),
+                _ => panic!("wrong payload"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_granula_lines_ignored() {
+        assert_eq!(
+            parse_line("INFO org.apache.giraph.master: superstep 4 done"),
+            None
+        );
+        assert_eq!(parse_line(""), None);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert_eq!(parse_line("GRANULA x node p START A@B"), None); // bad time
+        assert_eq!(parse_line("GRANULA 1 node p BEGIN A@B"), None); // bad kind
+        assert_eq!(parse_line("GRANULA 1 node p START AB"), None); // no '@'
+        assert_eq!(parse_line("GRANULA 1 node p INFO A@B novalue"), None); // no '='
+        assert_eq!(parse_line("GRANULA 1 node p START A@B dad=X@Y"), None); // bad parent key
+    }
+
+    #[test]
+    fn float_value_survives_precision() {
+        let (a, m) = worker();
+        let e = LogEvent::info(7, "n", "p", a, m, "F", InfoValue::Float(0.1 + 0.2));
+        let parsed = parse_line(&e.to_line()).unwrap();
+        match parsed.payload {
+            EventPayload::OpInfo {
+                value: InfoValue::Float(f),
+                ..
+            } => {
+                assert_eq!(f, 0.1 + 0.2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Model-driven event filtering.
+//!
+//! "The collected data are automatically filtered, analyzed, and eventually
+//! stored in a performance archive, based on the Granula performance model
+//! defined by the analyst" (paper §4.2). A coarse model therefore means a
+//! cheap evaluation — only the events the model mentions are retained —
+//! which is how Granula implements the coarse/fine trade-off (R3).
+
+use std::collections::BTreeSet;
+
+use granula_model::PerformanceModel;
+
+use crate::event::LogEvent;
+
+/// Predicate over log events.
+#[derive(Debug, Clone, Default)]
+pub struct EventFilter {
+    /// Mission kinds to retain; empty = retain all.
+    mission_kinds: BTreeSet<String>,
+    /// Nodes to retain; empty = retain all.
+    nodes: BTreeSet<String>,
+    /// Half-open time window `[start, end)`; `None` = unbounded.
+    window_us: Option<(u64, u64)>,
+}
+
+impl EventFilter {
+    /// A filter that accepts everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builds a filter that retains exactly the mission kinds defined in the
+    /// model — the automatic, model-driven filter of the archiving stage.
+    pub fn from_model(model: &PerformanceModel) -> Self {
+        EventFilter {
+            mission_kinds: model
+                .types
+                .iter()
+                .map(|t| t.id.mission_kind.clone())
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Restricts to one node.
+    pub fn on_node(mut self, node: impl Into<String>) -> Self {
+        self.nodes.insert(node.into());
+        self
+    }
+
+    /// Restricts to a time window `[start_us, end_us)`.
+    pub fn in_window(mut self, start_us: u64, end_us: u64) -> Self {
+        self.window_us = Some((start_us, end_us));
+        self
+    }
+
+    /// Adds a mission kind to the whitelist.
+    pub fn with_mission_kind(mut self, kind: impl Into<String>) -> Self {
+        self.mission_kinds.insert(kind.into());
+        self
+    }
+
+    /// Does the filter accept this event?
+    pub fn accepts(&self, event: &LogEvent) -> bool {
+        if !self.mission_kinds.is_empty() {
+            let (_, mission) = event.op_identity();
+            if !self.mission_kinds.contains(&mission.kind) {
+                return false;
+            }
+        }
+        if !self.nodes.is_empty() && !self.nodes.contains(&event.node) {
+            return false;
+        }
+        if let Some((s, e)) = self.window_us {
+            if event.time_us < s || event.time_us >= e {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies the filter to a batch, keeping accepted events.
+    pub fn apply(&self, events: Vec<LogEvent>) -> Vec<LogEvent> {
+        events.into_iter().filter(|e| self.accepts(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_model::{AbstractionLevel, Actor, Mission, OperationTypeDef};
+
+    fn ev(kind: &str, node: &str, t: u64) -> LogEvent {
+        LogEvent::start(
+            t,
+            node,
+            "p",
+            Actor::new("Job", "0"),
+            Mission::new(kind, "0"),
+            None,
+        )
+    }
+
+    #[test]
+    fn all_accepts_everything() {
+        assert!(EventFilter::all().accepts(&ev("Anything", "n0", 5)));
+    }
+
+    #[test]
+    fn model_filter_keeps_only_modeled_kinds() {
+        let model = PerformanceModel::new("m", "P")
+            .with_type(OperationTypeDef::new(
+                "Job",
+                "Job",
+                AbstractionLevel::Domain,
+            ))
+            .with_type(OperationTypeDef::new(
+                "Job",
+                "LoadGraph",
+                AbstractionLevel::Domain,
+            ));
+        let f = EventFilter::from_model(&model);
+        assert!(f.accepts(&ev("LoadGraph", "n0", 0)));
+        assert!(!f.accepts(&ev("ZkCleanup", "n0", 0)));
+    }
+
+    #[test]
+    fn node_and_window_constraints() {
+        let f = EventFilter::all().on_node("n1").in_window(10, 20);
+        assert!(f.accepts(&ev("X", "n1", 10)));
+        assert!(!f.accepts(&ev("X", "n0", 10)));
+        assert!(!f.accepts(&ev("X", "n1", 20))); // half-open
+        assert!(!f.accepts(&ev("X", "n1", 9)));
+    }
+
+    #[test]
+    fn apply_filters_batch() {
+        let f = EventFilter::all().with_mission_kind("Keep");
+        let out = f.apply(vec![
+            ev("Keep", "n", 0),
+            ev("Drop", "n", 1),
+            ev("Keep", "n", 2),
+        ]);
+        assert_eq!(out.len(), 2);
+    }
+}

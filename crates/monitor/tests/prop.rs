@@ -1,0 +1,205 @@
+//! Property-based tests: the log grammar and the assembler's robustness.
+//!
+//! Real log scraping faces truncated files, interleaving and loss; the
+//! assembler must *never* panic and must keep its structural invariants no
+//! matter what subset of events arrives in what order.
+
+use proptest::prelude::*;
+
+use granula_model::{names, Actor, InfoValue, Mission};
+use granula_monitor::{parse_line, Assembler, LogEvent, SkewCorrector};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9]{0,11}".prop_map(|s| s)
+}
+
+fn arb_value() -> impl Strategy<Value = InfoValue> {
+    prop_oneof![
+        any::<i64>().prop_map(InfoValue::Int),
+        (-1.0e12f64..1.0e12).prop_map(InfoValue::Float),
+        // Free-form text, excluding strings the grammar would (correctly)
+        // re-parse as numbers — that ambiguity is inherent to text logs.
+        "[A-Za-z0-9 _.:-]{1,24}"
+            .prop_filter("numeric-looking text is parsed as a number", |s| {
+                s.parse::<f64>().is_err()
+            })
+            .prop_map(InfoValue::Text),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = LogEvent> {
+    (
+        any::<u32>(),
+        ident(),
+        ident(),
+        ident(),
+        "[0-9]{1,3}",
+        ident(),
+        "[0-9]{1,3}",
+        prop_oneof![Just(0u8), Just(1), Just(2)],
+        ident(),
+        arb_value(),
+    )
+        .prop_map(|(t, node, process, ak, ai, mk, mi, kind, iname, ivalue)| {
+            let actor = Actor::new(ak, ai);
+            let mission = Mission::new(mk, mi);
+            match kind {
+                0 => LogEvent::start(t as u64, node, process, actor, mission, None),
+                1 => LogEvent::end(t as u64, node, process, actor, mission),
+                _ => LogEvent::info(t as u64, node, process, actor, mission, iname, ivalue),
+            }
+        })
+}
+
+/// A well-formed stream: one root + `n` children, each opened and closed.
+fn well_formed(n: usize) -> Vec<LogEvent> {
+    let job = (Actor::new("Job", "0"), Mission::new("Job", "0"));
+    let mut events = vec![LogEvent::start(
+        0,
+        "n0",
+        "p",
+        job.0.clone(),
+        job.1.clone(),
+        None,
+    )];
+    for i in 0..n {
+        let op = (
+            Actor::new("W", i.to_string()),
+            Mission::new("C", i.to_string()),
+        );
+        events.push(LogEvent::start(
+            (i as u64 + 1) * 10,
+            "n0",
+            "p",
+            op.0.clone(),
+            op.1.clone(),
+            Some(job.clone()),
+        ));
+        events.push(LogEvent::end(
+            (i as u64 + 1) * 10 + 5,
+            "n0",
+            "p",
+            op.0,
+            op.1,
+        ));
+    }
+    events.push(LogEvent::end(1_000_000, "n0", "p", job.0, job.1));
+    events
+}
+
+proptest! {
+    /// Every event survives the line-format roundtrip.
+    #[test]
+    fn line_roundtrip(event in arb_event()) {
+        let line = event.to_line();
+        let parsed = parse_line(&line);
+        prop_assert_eq!(parsed, Some(event));
+    }
+
+    /// The assembler never panics on arbitrary event soup, and structural
+    /// invariants hold: operation count never exceeds START count, and no
+    /// closed operation ends before it starts.
+    #[test]
+    fn assembler_total_on_arbitrary_events(events in prop::collection::vec(arb_event(), 0..80)) {
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.payload, granula_monitor::EventPayload::OpStart { .. }))
+            .count();
+        let outcome = Assembler::new().assemble(events);
+        prop_assert_eq!(outcome.tree.len(), starts.min(outcome.tree.len()));
+        prop_assert!(outcome.tree.len() <= starts);
+        for op in outcome.tree.iter() {
+            if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                prop_assert!(e >= s, "closed op ends before start");
+            }
+        }
+    }
+
+    /// Dropping an arbitrary subset of a well-formed stream still assembles,
+    /// and the number of warnings accounts for the damage.
+    #[test]
+    fn assembler_tolerates_loss(keep in prop::collection::vec(any::<bool>(), 42)) {
+        let events = well_formed(20); // 42 events total
+        let kept: Vec<LogEvent> = events
+            .into_iter()
+            .zip(keep.iter().copied().chain(std::iter::repeat(true)))
+            .filter_map(|(e, k)| k.then_some(e))
+            .collect();
+        let outcome = Assembler::new().assemble(kept.clone());
+        let starts = kept
+            .iter()
+            .filter(|e| matches!(e.payload, granula_monitor::EventPayload::OpStart { .. }))
+            .count();
+        prop_assert_eq!(outcome.tree.len(), starts);
+    }
+
+    /// Shuffling a well-formed stream (same timestamps) yields the same
+    /// operation count and durations as the ordered stream.
+    #[test]
+    fn assembler_order_insensitive(seed in any::<u64>()) {
+        let ordered = well_formed(15);
+        let mut shuffled = ordered.clone();
+        // Deterministic Fisher-Yates from the seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let a = Assembler::new().assemble(ordered);
+        let b = Assembler::new().assemble(shuffled);
+        prop_assert_eq!(a.tree.len(), b.tree.len());
+        let dur = |t: &granula_model::OperationTree| -> Vec<Option<u64>> {
+            let mut d: Vec<Option<u64>> = t.iter().map(|o| o.duration_us()).collect();
+            d.sort();
+            d
+        };
+        prop_assert_eq!(dur(&a.tree), dur(&b.tree));
+    }
+
+    /// Skew correction by `o` then `-o` is the identity when no saturation
+    /// occurs.
+    #[test]
+    fn skew_correction_inverts(t in 1_000_000u64..1_000_000_000, o in -900_000i64..900_000) {
+        let mut fwd = SkewCorrector::new();
+        fwd.set_offset("n", o);
+        let mut bwd = SkewCorrector::new();
+        bwd.set_offset("n", -o);
+        let mut e = LogEvent::start(t, "n", "p", Actor::new("A", "0"), Mission::new("M", "0"), None);
+        fwd.correct(&mut e);
+        bwd.correct(&mut e);
+        prop_assert_eq!(e.time_us, t);
+    }
+
+    /// Anchor-estimated offsets always align the anchor events exactly to
+    /// the earliest observation.
+    #[test]
+    fn anchors_align(base in 1_000u64..1_000_000, skews in prop::collection::vec(0u64..10_000, 2..6)) {
+        let group: Vec<(String, u64)> = skews
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("n{i}"), base + s))
+            .collect();
+        let c = SkewCorrector::from_anchors([group.as_slice()]);
+        let reference = base + skews.iter().min().expect("non-empty");
+        for (node, t) in &group {
+            let mut e = LogEvent::start(*t, node.clone(), "p", Actor::new("A", "0"), Mission::new("M", "0"), None);
+            c.correct(&mut e);
+            prop_assert_eq!(e.time_us, reference);
+        }
+    }
+}
+
+/// Deterministic check: a well-formed stream assembles without warnings and
+/// with exact timestamps.
+#[test]
+fn well_formed_assembles_cleanly() {
+    let outcome = Assembler::new().assemble(well_formed(10));
+    assert!(outcome.warnings.is_empty());
+    assert_eq!(outcome.tree.len(), 11);
+    let root = outcome.tree.root().unwrap();
+    assert_eq!(
+        outcome.tree.op(root).info_i64(names::END_TIME),
+        Some(1_000_000)
+    );
+}

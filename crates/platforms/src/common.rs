@@ -1,0 +1,393 @@
+//! Shared platform types: job configuration, cost models, run outputs.
+
+use gpsim_cluster::trace::Channel;
+use gpsim_cluster::UsageTrace;
+use gpsim_graph::{Graph, VertexId};
+use granula_monitor::{LogEvent, ResourceKind, ResourceSample};
+
+/// The algorithm a job executes (the Graphalytics core set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Breadth-first search from a source vertex.
+    Bfs {
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// PageRank for a fixed number of iterations.
+    PageRank {
+        /// Iteration count.
+        iterations: u32,
+    },
+    /// Weakly-connected components.
+    Wcc,
+    /// Single-source shortest paths (uses edge weights when present).
+    Sssp {
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// Community detection by label propagation.
+    Cdlp {
+        /// Iteration count.
+        iterations: u32,
+    },
+}
+
+impl Algorithm {
+    /// Canonical short name, e.g. `"BFS"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Bfs { .. } => "BFS",
+            Algorithm::PageRank { .. } => "PageRank",
+            Algorithm::Wcc => "WCC",
+            Algorithm::Sssp { .. } => "SSSP",
+            Algorithm::Cdlp { .. } => "CDLP",
+        }
+    }
+}
+
+/// The computed per-vertex result of a job, used for validation against the
+/// sequential reference implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgorithmOutput {
+    /// BFS levels (`u32::MAX` = unreached).
+    Levels(Vec<u32>),
+    /// PageRank scores.
+    Ranks(Vec<f64>),
+    /// Component / community labels.
+    Labels(Vec<u32>),
+    /// Distances (`f64::INFINITY` = unreached).
+    Distances(Vec<f64>),
+}
+
+/// Cost-model constants translating logical counters into simulated demand.
+/// One instance per platform; see [`CostModel::giraph_like`] and
+/// [`CostModel::powergraph_like`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// CPU work to parse one byte of input text, core-µs.
+    pub parse_cpu_us_per_byte: f64,
+    /// CPU work to insert one edge into the in-memory structure, core-µs.
+    pub build_cpu_us_per_edge: f64,
+    /// CPU work per edge scanned by the vertex program, core-µs.
+    pub compute_us_per_edge: f64,
+    /// CPU work per active vertex per superstep, core-µs.
+    pub compute_us_per_vertex: f64,
+    /// Wire size of one message / one mirror-sync, bytes.
+    pub bytes_per_message: f64,
+    /// Output bytes per vertex written during offload.
+    pub bytes_per_vertex_out: f64,
+    /// Input bytes per edge in the on-disk encoding.
+    pub bytes_per_edge_in: f64,
+    /// Resident bytes per edge once loaded (JVM object headers make this
+    /// several times larger on Giraph than on the C++ platforms).
+    pub bytes_per_edge_mem: f64,
+    /// Coordination latency per barrier crossing (ZooKeeper round trip or
+    /// MPI allreduce), µs.
+    pub barrier_us: f64,
+    /// Compute threads per worker process.
+    pub worker_threads: u32,
+    /// Serialization/deserialization CPU cost per message, core-µs.
+    pub serialize_us_per_message: f64,
+}
+
+impl CostModel {
+    /// A Giraph-like (JVM, Pregel) cost model.
+    pub fn giraph_like() -> Self {
+        CostModel {
+            parse_cpu_us_per_byte: 0.035,
+            build_cpu_us_per_edge: 0.55,
+            compute_us_per_edge: 0.30,
+            compute_us_per_vertex: 0.35,
+            bytes_per_message: 16.0,
+            bytes_per_vertex_out: 16.0,
+            bytes_per_edge_in: 20.0,
+            bytes_per_edge_mem: 110.0,
+            barrier_us: 180_000.0,
+            worker_threads: 8,
+            serialize_us_per_message: 0.18,
+        }
+    }
+
+    /// A PowerGraph-like (C++, GAS) cost model.
+    pub fn powergraph_like() -> Self {
+        CostModel {
+            parse_cpu_us_per_byte: 0.022,
+            build_cpu_us_per_edge: 0.18,
+            compute_us_per_edge: 0.05,
+            compute_us_per_vertex: 0.06,
+            bytes_per_message: 12.0,
+            bytes_per_vertex_out: 12.0,
+            bytes_per_edge_in: 20.0,
+            bytes_per_edge_mem: 40.0,
+            barrier_us: 25_000.0,
+            worker_threads: 16,
+            serialize_us_per_message: 0.03,
+        }
+    }
+}
+
+/// One platform job to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobConfig {
+    /// Job identifier, used in archives, e.g. `"giraph-bfs-dg1000-r0"`.
+    pub job_id: String,
+    /// Dataset name recorded in the archive, e.g. `"dg1000"`.
+    pub dataset: String,
+    /// The algorithm to execute.
+    pub algorithm: Algorithm,
+    /// Number of cluster nodes (= worker processes; one worker per node, as
+    /// in the paper's deployment).
+    pub nodes: u16,
+    /// Volume multiplier applied to all data sizes and compute work: the
+    /// experiments execute the algorithm on a down-sampled graph but emulate
+    /// the full dataset by scaling demand linearly (see DESIGN.md).
+    pub scale_factor: f64,
+    /// Platform cost model.
+    pub costs: CostModel,
+}
+
+impl JobConfig {
+    /// A convenience config with scale factor 1 and the given cost model.
+    pub fn new(
+        job_id: impl Into<String>,
+        dataset: impl Into<String>,
+        algorithm: Algorithm,
+        nodes: u16,
+        costs: CostModel,
+    ) -> Self {
+        JobConfig {
+            job_id: job_id.into(),
+            dataset: dataset.into(),
+            algorithm,
+            nodes,
+            scale_factor: 1.0,
+            costs,
+        }
+    }
+
+    /// Sets the dataset scale factor.
+    pub fn with_scale(mut self, scale_factor: f64) -> Self {
+        self.scale_factor = scale_factor;
+        self
+    }
+}
+
+/// Everything a platform run produces — the raw material for Granula.
+#[derive(Debug, Clone)]
+pub struct PlatformRun {
+    /// Granula instrumentation events (platform logs).
+    pub events: Vec<LogEvent>,
+    /// Environment monitor samples (per node, per second).
+    pub env_samples: Vec<ResourceSample>,
+    /// The algorithm's computed output (for validation).
+    pub output: AlgorithmOutput,
+    /// Total simulated runtime, microseconds.
+    pub makespan_us: u64,
+    /// Number of supersteps / GAS iterations executed.
+    pub iterations: u32,
+}
+
+/// Converts a simulator usage trace into environment-monitor samples.
+pub fn trace_to_samples(trace: &UsageTrace) -> Vec<ResourceSample> {
+    let mut out = Vec::new();
+    for (i, name) in trace.node_names().iter().enumerate() {
+        let node = gpsim_cluster::NodeId(i as u16);
+        for (t, v) in trace.series(Channel::Cpu, node) {
+            out.push(ResourceSample {
+                time_us: t,
+                node: name.clone(),
+                kind: ResourceKind::Cpu,
+                value: v,
+            });
+        }
+        for (t, v) in trace.series(Channel::Disk, node) {
+            out.push(ResourceSample {
+                time_us: t,
+                node: name.clone(),
+                kind: ResourceKind::Disk,
+                value: v,
+            });
+        }
+        for (t, v) in trace.series(Channel::NetIn, node) {
+            out.push(ResourceSample {
+                time_us: t,
+                node: name.clone(),
+                kind: ResourceKind::Network,
+                value: v,
+            });
+        }
+    }
+    out
+}
+
+/// One additive component of a node's memory footprint over time: ramps
+/// linearly from zero across `[ramp_start_us, ramp_end_us)`, holds at
+/// `bytes` until `hold_until_us`, then drops to zero (process exit or
+/// buffer release). Several phases per node sum — e.g. PowerGraph's
+/// machine 0 holds a whole-graph staging buffer on top of its partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPhase {
+    /// Node name.
+    pub node: String,
+    /// Allocation begins.
+    pub ramp_start_us: u64,
+    /// Fully resident from here.
+    pub ramp_end_us: u64,
+    /// Released at this time.
+    pub hold_until_us: u64,
+    /// Peak bytes of this component.
+    pub bytes: f64,
+}
+
+/// Synthesizes per-second memory samples from additive phases — the
+/// environment monitor's RSS view of the job.
+pub fn memory_samples(phases: &[MemoryPhase], makespan_us: u64) -> Vec<ResourceSample> {
+    use std::collections::BTreeMap;
+    let step = 1_000_000u64;
+    let mut per_node: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let buckets = (makespan_us / step + 1) as usize;
+    for phase in phases {
+        let series = per_node
+            .entry(phase.node.as_str())
+            .or_insert_with(|| vec![0.0; buckets]);
+        for (b, slot) in series.iter_mut().enumerate() {
+            let t = b as u64 * step;
+            let value = if t < phase.ramp_start_us || t >= phase.hold_until_us {
+                0.0
+            } else if t >= phase.ramp_end_us {
+                phase.bytes
+            } else {
+                let span = (phase.ramp_end_us - phase.ramp_start_us).max(1) as f64;
+                phase.bytes * (t - phase.ramp_start_us) as f64 / span
+            };
+            *slot += value;
+        }
+    }
+    let mut out = Vec::new();
+    for (node, series) in per_node {
+        for (b, value) in series.into_iter().enumerate() {
+            out.push(ResourceSample {
+                time_us: b as u64 * step,
+                node: node.to_string(),
+                kind: ResourceKind::Memory,
+                value,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the sequential reference implementation for `algorithm` — the
+/// ground truth used in validation tests.
+pub fn reference_output(g: &Graph, algorithm: Algorithm) -> AlgorithmOutput {
+    use gpsim_graph::algos;
+    match algorithm {
+        Algorithm::Bfs { source } => AlgorithmOutput::Levels(algos::bfs(g, source)),
+        Algorithm::PageRank { iterations } => {
+            AlgorithmOutput::Ranks(algos::pagerank(g, iterations, 0.85))
+        }
+        Algorithm::Wcc => AlgorithmOutput::Labels(algos::wcc(g)),
+        Algorithm::Sssp { source } => AlgorithmOutput::Distances(algos::sssp(g, source)),
+        Algorithm::Cdlp { iterations } => AlgorithmOutput::Labels(algos::cdlp(g, iterations)),
+    }
+}
+
+impl AlgorithmOutput {
+    /// Approximate equality: exact for integer outputs, tolerance `1e-9`
+    /// relative for floating-point outputs.
+    pub fn matches(&self, other: &AlgorithmOutput) -> bool {
+        match (self, other) {
+            (AlgorithmOutput::Levels(a), AlgorithmOutput::Levels(b)) => a == b,
+            (AlgorithmOutput::Labels(a), AlgorithmOutput::Labels(b)) => a == b,
+            (AlgorithmOutput::Ranks(a), AlgorithmOutput::Ranks(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(1.0))
+            }
+            (AlgorithmOutput::Distances(a), AlgorithmOutput::Distances(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        (x.is_infinite() && y.is_infinite())
+                            || (x - y).abs() <= 1e-6 * x.abs().max(1.0)
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::Bfs { source: 0 }.name(), "BFS");
+        assert_eq!(Algorithm::PageRank { iterations: 5 }.name(), "PageRank");
+        assert_eq!(Algorithm::Wcc.name(), "WCC");
+    }
+
+    #[test]
+    fn output_matching_tolerates_float_noise() {
+        let a = AlgorithmOutput::Ranks(vec![0.5, 0.25]);
+        let b = AlgorithmOutput::Ranks(vec![0.5 + 1e-12, 0.25]);
+        assert!(a.matches(&b));
+        let c = AlgorithmOutput::Ranks(vec![0.5 + 1e-3, 0.25]);
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn output_matching_rejects_kind_mismatch() {
+        let a = AlgorithmOutput::Levels(vec![0]);
+        let b = AlgorithmOutput::Labels(vec![0]);
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn memory_phases_ramp_hold_and_release() {
+        let phases = vec![MemoryPhase {
+            node: "n0".into(),
+            ramp_start_us: 2_000_000,
+            ramp_end_us: 4_000_000,
+            hold_until_us: 8_000_000,
+            bytes: 100.0,
+        }];
+        let samples = memory_samples(&phases, 10_000_000);
+        let at = |sec: u64| {
+            samples
+                .iter()
+                .find(|s| s.time_us == sec * 1_000_000)
+                .map(|s| s.value)
+                .expect("sample present")
+        };
+        assert_eq!(at(0), 0.0);
+        assert_eq!(at(2), 0.0); // ramp start
+        assert_eq!(at(3), 50.0); // halfway up
+        assert_eq!(at(5), 100.0); // resident
+        assert_eq!(at(8), 0.0); // released
+    }
+
+    #[test]
+    fn memory_phases_are_additive_per_node() {
+        let mk = |bytes: f64| MemoryPhase {
+            node: "n0".into(),
+            ramp_start_us: 0,
+            ramp_end_us: 1,
+            hold_until_us: 5_000_000,
+            bytes,
+        };
+        let samples = memory_samples(&[mk(10.0), mk(30.0)], 4_000_000);
+        assert!(samples
+            .iter()
+            .filter(|s| s.time_us == 2_000_000)
+            .all(|s| s.value == 40.0));
+    }
+
+    #[test]
+    fn infinite_distances_match() {
+        let a = AlgorithmOutput::Distances(vec![f64::INFINITY, 1.0]);
+        let b = AlgorithmOutput::Distances(vec![f64::INFINITY, 1.0]);
+        assert!(a.matches(&b));
+    }
+}

@@ -1,0 +1,784 @@
+//! The Giraph-like platform driver.
+//!
+//! Pregel/BSP on YARN-like provisioning with HDFS-like storage, modeled
+//! after Apache Giraph 1.2 as characterized in Table 1 and Figure 4 of the
+//! paper. The driver:
+//!
+//! 1. hash-partitions the vertices over the workers (edge-cut);
+//! 2. executes the vertex program with the [`crate::pregel`] engine,
+//!    collecting per-superstep, per-worker counters;
+//! 3. compiles the job into an activity DAG — YARN container negotiation
+//!    and JVM launches, pipelined HDFS read + parse + in-memory build per
+//!    worker, per-superstep PreStep/Compute/Message/PostStep with a
+//!    ZooKeeper-like global barrier, HDFS offload with replication, and the
+//!    multi-stage cleanup of Figure 4;
+//! 4. simulates the DAG and emits Granula instrumentation events plus
+//!    environment samples.
+
+use gpsim_cluster::{
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, FileSystem, NodeId, SimError, Simulation,
+};
+use gpsim_graph::{EdgeCutPartition, Graph};
+use granula_model::{Actor, InfoValue, Mission};
+
+use crate::common::{
+    memory_samples, trace_to_samples, Algorithm, AlgorithmOutput, JobConfig, MemoryPhase,
+    PlatformRun,
+};
+use crate::ops::{emit_events, OpSpec};
+use crate::pregel::{self, SuperstepStats};
+
+/// Number of read→parse pipeline stages per worker during LoadGraph.
+const LOAD_CHUNKS: u32 = 8;
+
+/// Giraph-like platform: configuration knobs beyond the job's cost model.
+#[derive(Debug, Clone)]
+pub struct GiraphPlatform {
+    /// Client ↔ ResourceManager negotiation latency, µs.
+    pub negotiation_us: f64,
+    /// Per-container allocation latency, µs.
+    pub container_alloc_us: f64,
+    /// JVM startup per worker, µs.
+    pub jvm_startup_us: f64,
+    /// ZooKeeper registration per worker, µs.
+    pub zk_register_us: f64,
+    /// Cleanup stage latencies (AbortWorkers, ClientCleanup, ServerCleanup,
+    /// ZkCleanup), µs.
+    pub cleanup_us: [f64; 4],
+    /// HDFS-like storage.
+    pub fs: FileSystem,
+    /// Superstep cap for convergent algorithms.
+    pub max_supersteps: u32,
+}
+
+impl Default for GiraphPlatform {
+    fn default() -> Self {
+        GiraphPlatform {
+            negotiation_us: 2.5e6,
+            container_alloc_us: 1.0e6,
+            jvm_startup_us: 4.5e6,
+            zk_register_us: 1.2e6,
+            cleanup_us: [2.0e6, 4.0e6, 5.0e6, 3.0e6],
+            fs: FileSystem::hdfs(),
+            max_supersteps: 10_000,
+        }
+    }
+}
+
+fn run_program(
+    g: &Graph,
+    part: &EdgeCutPartition,
+    algorithm: Algorithm,
+    max_supersteps: u32,
+) -> (AlgorithmOutput, Vec<SuperstepStats>) {
+    match algorithm {
+        Algorithm::Bfs { source } => {
+            let out = pregel::run(g, part, &pregel::BfsProgram { source }, max_supersteps);
+            (AlgorithmOutput::Levels(out.values), out.supersteps)
+        }
+        Algorithm::PageRank { iterations } => {
+            let out = pregel::run(
+                g,
+                part,
+                &pregel::PageRankProgram {
+                    iterations,
+                    damping: 0.85,
+                },
+                max_supersteps,
+            );
+            (AlgorithmOutput::Ranks(out.values), out.supersteps)
+        }
+        Algorithm::Wcc => {
+            let out = pregel::run(g, part, &pregel::WccProgram, max_supersteps);
+            (AlgorithmOutput::Labels(out.values), out.supersteps)
+        }
+        Algorithm::Sssp { source } => {
+            let out = pregel::run(g, part, &pregel::SsspProgram { source }, max_supersteps);
+            (AlgorithmOutput::Distances(out.values), out.supersteps)
+        }
+        Algorithm::Cdlp { iterations } => {
+            let out = pregel::run(g, part, &pregel::CdlpProgram { iterations }, max_supersteps);
+            (AlgorithmOutput::Labels(out.values), out.supersteps)
+        }
+    }
+}
+
+impl GiraphPlatform {
+    /// Runs a job on a DAS5-like cluster with `cfg.nodes` nodes.
+    pub fn run(&self, g: &Graph, cfg: &JobConfig) -> Result<PlatformRun, SimError> {
+        self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
+    }
+
+    /// Runs a job on an explicit cluster (must have at least `cfg.nodes`
+    /// nodes).
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        assert!(
+            cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
+            "cluster too small for {} workers",
+            cfg.nodes
+        );
+        let k = cfg.nodes;
+        let costs = &cfg.costs;
+        let scale = cfg.scale_factor;
+        let part = EdgeCutPartition::hash(g.num_vertices(), k);
+        let (output, supersteps) = run_program(g, &part, cfg.algorithm, self.max_supersteps);
+
+        // Per-worker data sizes (logical counts; scaled at use sites).
+        let mut verts = vec![0u64; k as usize];
+        let mut edges = vec![0u64; k as usize];
+        for v in 0..g.num_vertices() {
+            let w = part.owner_of(v) as usize;
+            verts[w] += 1;
+            edges[w] += g.out_degree(v) as u64;
+        }
+        let input_bytes: Vec<f64> = (0..k as usize)
+            .map(|w| (verts[w] as f64 * 10.0 + edges[w] as f64 * costs.bytes_per_edge_in) * scale)
+            .collect();
+
+        let mut dag = ActivityGraph::new();
+        let mut specs: Vec<OpSpec> = Vec::new();
+        let job_actor = Actor::new("Job", "0");
+        let job_mission = Mission::new("GiraphJob", "0");
+        let job_key = (job_actor.clone(), job_mission.clone());
+        let master_node = cluster.node(NodeId(0)).name.clone();
+        let worker_node = |w: u16| cluster.node(NodeId(w)).name.clone();
+
+        specs.push(
+            OpSpec::new(
+                job_actor.clone(),
+                job_mission.clone(),
+                None,
+                "job/",
+                &master_node,
+                "client",
+            )
+            .with_info("Platform", InfoValue::Text("Giraph".into()))
+            .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+            .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+            .with_info("Workers", InfoValue::Int(k as i64)),
+        );
+        let domain = |mission: &str| (job_actor.clone(), Mission::new(mission, "0"));
+
+        // -------------------------------------------------- Startup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Startup", "0"),
+            Some(job_key.clone()),
+            "job/startup/",
+            &master_node,
+            "client",
+        ));
+        let negotiate = dag.add(
+            ActivityKind::Delay {
+                duration_us: self.negotiation_us,
+            },
+            &[],
+            "job/startup/jobstartup/negotiate",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("JobStartup", "0"),
+            Some(domain("Startup")),
+            "job/startup/jobstartup/",
+            &master_node,
+            "master",
+        ));
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("LaunchWorkers", "0"),
+            Some(domain("Startup")),
+            "job/startup/launch/",
+            &master_node,
+            "master",
+        ));
+        let mut worker_ready: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let tagp = format!("job/startup/launch/w{w}/");
+            let alloc = dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.container_alloc_us * (1.0 + 0.12 * w as f64),
+                },
+                &[negotiate],
+                format!("{tagp}alloc"),
+            );
+            let jvm = dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.jvm_startup_us,
+                },
+                &[alloc],
+                format!("{tagp}jvm"),
+            );
+            let zk = dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.zk_register_us,
+                },
+                &[jvm],
+                format!("{tagp}zk"),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Worker", w.to_string()),
+                Mission::new("LocalStartup", "0"),
+                Some((
+                    Actor::new("Master", "0"),
+                    Mission::new("LaunchWorkers", "0"),
+                )),
+                tagp,
+                worker_node(w),
+                format!("worker-{w}"),
+            ));
+            worker_ready.push(zk);
+        }
+        let started = dag.barrier(&worker_ready, "job/startup/all-ready");
+
+        // ------------------------------------------------ LoadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("LoadGraph", "0"),
+            Some(job_key.clone()),
+            "job/load/",
+            &master_node,
+            "client",
+        ));
+        let mut loaded: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let node = NodeId(w);
+            let tagp = format!("job/load/w{w}/");
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                    Some(domain("LoadGraph")),
+                    tagp.clone(),
+                    worker_node(w),
+                    format!("worker-{w}"),
+                )
+                .with_info(
+                    "InputBytes",
+                    InfoValue::Int(input_bytes[w as usize].round() as i64),
+                ),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Worker", w.to_string()),
+                Mission::new("LoadHdfsData", "0"),
+                Some((
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                )),
+                format!("{tagp}hdfs/"),
+                worker_node(w),
+                format!("worker-{w}"),
+            ));
+            // Pipelined chunks: read c -> parse c; read c+1 after read c.
+            let chunk_bytes = input_bytes[w as usize] / LOAD_CHUNKS as f64;
+            let parse_per_chunk = chunk_bytes * costs.parse_cpu_us_per_byte;
+            let mut prev_read = started;
+            let mut prev_parse: Option<ActivityId> = None;
+            for c in 0..LOAD_CHUNKS {
+                let read = self.fs.read(
+                    cluster,
+                    &mut dag,
+                    node,
+                    chunk_bytes,
+                    &[prev_read],
+                    &format!("{tagp}hdfs/c{c}/"),
+                );
+                // The worker's parser pool handles one chunk at a time at
+                // `worker_threads` parallelism; reads are pipelined ahead.
+                let deps: Vec<ActivityId> = match prev_parse {
+                    Some(p) => vec![read, p],
+                    None => vec![read],
+                };
+                let parse = dag.add(
+                    ActivityKind::Compute {
+                        node,
+                        work_core_us: parse_per_chunk,
+                        parallelism: costs.worker_threads,
+                    },
+                    &deps,
+                    format!("{tagp}parse/c{c}"),
+                );
+                prev_read = read;
+                prev_parse = Some(parse);
+            }
+            let parsed = dag.barrier(
+                &[prev_parse.expect("LOAD_CHUNKS > 0")],
+                format!("{tagp}parse/done"),
+            );
+            let build = dag.add(
+                ActivityKind::Compute {
+                    node,
+                    work_core_us: edges[w as usize] as f64 * scale * costs.build_cpu_us_per_edge,
+                    parallelism: costs.worker_threads,
+                },
+                &[parsed],
+                format!("{tagp}build"),
+            );
+            loaded.push(build);
+        }
+        let all_loaded = dag.barrier(&loaded, "job/load/all-loaded");
+
+        // ---------------------------------------------- ProcessGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("ProcessGraph", "0"),
+            Some(job_key.clone()),
+            "job/proc/",
+            &master_node,
+            "client",
+        ));
+        let mut prev_barrier = all_loaded;
+        for ss in &supersteps {
+            let s = ss.superstep;
+            let ss_tag = format!("job/proc/ss{s}/");
+            specs.push(
+                OpSpec::new(
+                    job_actor.clone(),
+                    Mission::new("Superstep", s.to_string()),
+                    Some(domain("ProcessGraph")),
+                    ss_tag.clone(),
+                    &master_node,
+                    "master",
+                )
+                .with_info(
+                    "ActiveVertices",
+                    InfoValue::Int((ss.total_active() as f64 * scale).round() as i64),
+                )
+                .with_info(
+                    "MessagesSent",
+                    InfoValue::Int((ss.total_messages() as f64 * scale).round() as i64),
+                ),
+            );
+            let mut worker_posts: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            let mut computes: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            for w in 0..k {
+                let node = NodeId(w);
+                let stats = &ss.per_worker[w as usize];
+                let w_tag = format!("{ss_tag}w{w}/");
+                specs.push(OpSpec::new(
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalSuperstep", s.to_string()),
+                    Some((job_actor.clone(), Mission::new("Superstep", s.to_string()))),
+                    w_tag.clone(),
+                    worker_node(w),
+                    format!("worker-{w}"),
+                ));
+                let local_parent = (
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalSuperstep", s.to_string()),
+                );
+                let pre = dag.add(
+                    ActivityKind::Delay {
+                        duration_us: costs.barrier_us * 0.4,
+                    },
+                    &[prev_barrier],
+                    format!("{w_tag}pre"),
+                );
+                let _ = pre;
+                specs.push(OpSpec::new(
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("PreStep", s.to_string()),
+                    Some(local_parent.clone()),
+                    format!("{w_tag}pre"),
+                    worker_node(w),
+                    format!("worker-{w}"),
+                ));
+                let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                    + stats.active_vertices as f64 * costs.compute_us_per_vertex
+                    + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                    * scale;
+                let compute = dag.add(
+                    ActivityKind::Compute {
+                        node,
+                        // Idle workers still tick over the barrier machinery.
+                        work_core_us: work.max(1_000.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[pre],
+                    format!("{w_tag}compute"),
+                );
+                specs.push(
+                    OpSpec::new(
+                        Actor::new("Worker", w.to_string()),
+                        Mission::new("Compute", s.to_string()),
+                        Some(local_parent),
+                        format!("{w_tag}compute"),
+                        worker_node(w),
+                        format!("worker-{w}"),
+                    )
+                    .with_info(
+                        "EdgesScanned",
+                        InfoValue::Int((stats.edges_scanned as f64 * scale).round() as i64),
+                    )
+                    .with_info(
+                        "ActiveVertices",
+                        InfoValue::Int((stats.active_vertices as f64 * scale).round() as i64),
+                    ),
+                );
+                computes.push(compute);
+            }
+            for w in 0..k {
+                let stats = &ss.per_worker[w as usize];
+                let w_tag = format!("{ss_tag}w{w}/");
+                let local_parent = (
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalSuperstep", s.to_string()),
+                );
+                // Message flushing: transfers to workers receiving remote
+                // messages from this worker.
+                let mut flushes: Vec<ActivityId> = Vec::new();
+                let mut remote_msgs = 0u64;
+                for dst in 0..k {
+                    let count = ss.remote_messages[w as usize][dst as usize];
+                    if dst == w || count == 0 {
+                        continue;
+                    }
+                    remote_msgs += count;
+                    flushes.push(dag.add(
+                        ActivityKind::Transfer {
+                            src: NodeId(w),
+                            dst: NodeId(dst),
+                            bytes: count as f64 * costs.bytes_per_message * scale,
+                        },
+                        &[computes[w as usize]],
+                        format!("{w_tag}msg/to{dst}"),
+                    ));
+                }
+                if !flushes.is_empty() {
+                    specs.push(
+                        OpSpec::new(
+                            Actor::new("Worker", w.to_string()),
+                            Mission::new("Message", s.to_string()),
+                            Some(local_parent.clone()),
+                            format!("{w_tag}msg/"),
+                            worker_node(w),
+                            format!("worker-{w}"),
+                        )
+                        .with_info(
+                            "RemoteMessages",
+                            InfoValue::Int((remote_msgs as f64 * scale).round() as i64),
+                        )
+                        .with_info(
+                            "MessagesSent",
+                            InfoValue::Int((stats.messages_sent as f64 * scale).round() as i64),
+                        ),
+                    );
+                }
+                let mut post_deps = flushes;
+                post_deps.push(computes[w as usize]);
+                let post = dag.add(
+                    ActivityKind::Delay {
+                        duration_us: costs.barrier_us * 0.6,
+                    },
+                    &post_deps,
+                    format!("{w_tag}post"),
+                );
+                specs.push(OpSpec::new(
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("PostStep", s.to_string()),
+                    Some(local_parent),
+                    format!("{w_tag}post"),
+                    worker_node(w),
+                    format!("worker-{w}"),
+                ));
+                worker_posts.push(post);
+            }
+            // ZooKeeper-coordinated global barrier.
+            let zk_join = dag.barrier(&worker_posts, format!("{ss_tag}zk/join"));
+            let zk = dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us * 0.3,
+                },
+                &[zk_join],
+                format!("{ss_tag}zk/sync"),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Master", "0"),
+                Mission::new("SyncZookeeper", s.to_string()),
+                Some((job_actor.clone(), Mission::new("Superstep", s.to_string()))),
+                format!("{ss_tag}zk/"),
+                &master_node,
+                "master",
+            ));
+            prev_barrier = zk;
+        }
+
+        // --------------------------------------------- OffloadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("OffloadGraph", "0"),
+            Some(job_key.clone()),
+            "job/offload/",
+            &master_node,
+            "client",
+        ));
+        let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let tagp = format!("job/offload/w{w}/");
+            let bytes = verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = self.fs.write(
+                cluster,
+                &mut dag,
+                NodeId(w),
+                bytes,
+                &[prev_barrier],
+                &format!("{tagp}hdfs/"),
+            );
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalOffload", "0"),
+                    Some(domain("OffloadGraph")),
+                    tagp.clone(),
+                    worker_node(w),
+                    format!("worker-{w}"),
+                )
+                .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Worker", w.to_string()),
+                Mission::new("OffloadHdfsData", "0"),
+                Some((
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("LocalOffload", "0"),
+                )),
+                format!("{tagp}hdfs/"),
+                worker_node(w),
+                format!("worker-{w}"),
+            ));
+            offloads.push(write);
+        }
+        let all_offloaded = dag.barrier(&offloads, "job/offload/all-done");
+
+        // -------------------------------------------------- Cleanup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Cleanup", "0"),
+            Some(job_key.clone()),
+            "job/cleanup/",
+            &master_node,
+            "client",
+        ));
+        let cleanup_parent = domain("Cleanup");
+        let mut aborts: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            aborts.push(dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.cleanup_us[0],
+                },
+                &[all_offloaded],
+                format!("job/cleanup/abort/w{w}"),
+            ));
+        }
+        let aborted = dag.barrier(&aborts, "job/cleanup/abort/join");
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("AbortWorkers", "0"),
+            Some(cleanup_parent.clone()),
+            "job/cleanup/abort/",
+            &master_node,
+            "master",
+        ));
+        let client = dag.add(
+            ActivityKind::Delay {
+                duration_us: self.cleanup_us[1],
+            },
+            &[aborted],
+            "job/cleanup/client",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("ClientCleanup", "0"),
+            Some(cleanup_parent.clone()),
+            "job/cleanup/client",
+            &master_node,
+            "master",
+        ));
+        let server = dag.add(
+            ActivityKind::Delay {
+                duration_us: self.cleanup_us[2],
+            },
+            &[client],
+            "job/cleanup/server",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("ServerCleanup", "0"),
+            Some(cleanup_parent.clone()),
+            "job/cleanup/server",
+            &master_node,
+            "master",
+        ));
+        dag.add(
+            ActivityKind::Delay {
+                duration_us: self.cleanup_us[3],
+            },
+            &[server],
+            "job/cleanup/zk",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("ZkCleanup", "0"),
+            Some(cleanup_parent),
+            "job/cleanup/zk",
+            &master_node,
+            "master",
+        ));
+
+        // ------------------------------------------------------- Simulate
+        let sim = Simulation::new(cluster.clone()).run(&dag)?;
+        let events = emit_events(&specs, &dag, &sim);
+        let mut env_samples = trace_to_samples(&sim.trace);
+        // Memory view: each worker's partition becomes resident over its
+        // load interval and is released when its JVM exits at cleanup.
+        let release = sim
+            .span_of_tag(&dag, "job/cleanup/")
+            .map(|(s, _)| s.round() as u64)
+            .unwrap_or(sim.makespan_us.round() as u64);
+        let mut phases = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            if let Some((ls, le)) = sim.span_of_tag(&dag, &format!("job/load/w{w}/")) {
+                phases.push(MemoryPhase {
+                    node: worker_node(w),
+                    ramp_start_us: ls.round() as u64,
+                    ramp_end_us: le.round() as u64,
+                    hold_until_us: release,
+                    bytes: edges[w as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                });
+            }
+        }
+        env_samples.extend(memory_samples(&phases, sim.makespan_us.round() as u64));
+        Ok(PlatformRun {
+            events,
+            env_samples,
+            output,
+            makespan_us: sim.makespan_us.round() as u64,
+            iterations: supersteps.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_output, CostModel};
+    use gpsim_graph::gen::{datagen_like, GenConfig};
+    use granula_monitor::Assembler;
+
+    fn job(algorithm: Algorithm) -> (Graph, JobConfig) {
+        let g = datagen_like(&GenConfig::datagen(2_000, 11));
+        let cfg = JobConfig::new(
+            "test-job",
+            "dg-test",
+            algorithm,
+            8,
+            CostModel::giraph_like(),
+        );
+        (g, cfg)
+    }
+
+    #[test]
+    fn bfs_run_produces_correct_output() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GiraphPlatform::default().run(&g, &cfg).unwrap();
+        assert!(run.output.matches(&reference_output(&g, cfg.algorithm)));
+        assert!(run.makespan_us > 0);
+        assert!(run.iterations > 2);
+    }
+
+    #[test]
+    fn events_assemble_into_a_clean_tree() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GiraphPlatform::default().run(&g, &cfg).unwrap();
+        let outcome = Assembler::new().assemble(run.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        assert_eq!(tree.op(root).mission.kind, "GiraphJob");
+        // Domain level: all five operations of Figure 3.
+        for m in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(tree.child_by_mission(root, m).is_some(), "missing {m}");
+        }
+        // Supersteps appear under ProcessGraph.
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        let n_ss = tree
+            .children(proc_)
+            .filter(|o| o.mission.kind == "Superstep")
+            .count();
+        assert_eq!(n_ss as u32, run.iterations);
+    }
+
+    #[test]
+    fn domain_phases_are_ordered() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GiraphPlatform::default().run(&g, &cfg).unwrap();
+        let tree = Assembler::new().assemble(run.events).tree;
+        let root = tree.root().unwrap();
+        let phase = |m: &str| {
+            let id = tree.child_by_mission(root, m).unwrap();
+            (
+                tree.op(id).start_us().unwrap(),
+                tree.op(id).end_us().unwrap(),
+            )
+        };
+        let startup = phase("Startup");
+        let load = phase("LoadGraph");
+        let proc_ = phase("ProcessGraph");
+        let offload = phase("OffloadGraph");
+        let cleanup = phase("Cleanup");
+        assert!(startup.1 <= load.0 + 1);
+        assert!(load.1 <= proc_.0 + 1);
+        assert!(proc_.1 <= offload.0 + 1);
+        assert!(offload.1 <= cleanup.0 + 1);
+    }
+
+    #[test]
+    fn environment_samples_cover_all_nodes() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GiraphPlatform::default().run(&g, &cfg).unwrap();
+        let nodes: std::collections::BTreeSet<&str> =
+            run.env_samples.iter().map(|s| s.node.as_str()).collect();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn scale_factor_stretches_runtime() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let small = GiraphPlatform::default().run(&g, &cfg).unwrap();
+        let big = GiraphPlatform::default()
+            .run(&g, &cfg.clone().with_scale(50.0))
+            .unwrap();
+        assert!(
+            big.makespan_us > small.makespan_us,
+            "scaled run should be slower: {} vs {}",
+            big.makespan_us,
+            small.makespan_us
+        );
+    }
+
+    #[test]
+    fn pagerank_and_wcc_also_validate() {
+        for algorithm in [Algorithm::PageRank { iterations: 5 }, Algorithm::Wcc] {
+            let (g, cfg) = job(algorithm);
+            let run = GiraphPlatform::default().run(&g, &cfg).unwrap();
+            assert!(
+                run.output.matches(&reference_output(&g, algorithm)),
+                "{algorithm:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The GraphMat-like platform driver.
+//!
+//! SpMV on Intel-MPI-like provisioning with shared-filesystem storage
+//! (Table 1 row 3). Structure distilled from GraphMat's published design:
+//! every machine loads its block of the edge list *in parallel* (contending
+//! on the shared server), then pays the famously expensive conversion into
+//! the internal SpMV matrix format; iterations are generalized
+//! matrix-vector products with an all-to-all message exchange and an
+//! MPI-allreduce barrier.
+
+use gpsim_cluster::{
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, NodeId, SimError, Simulation,
+};
+use gpsim_graph::{BlockPartition, Graph};
+use granula_model::{Actor, InfoValue, Mission};
+
+use crate::common::{
+    memory_samples, trace_to_samples, Algorithm, AlgorithmOutput, JobConfig, MemoryPhase,
+    PlatformRun,
+};
+use crate::gas::IterationMode;
+use crate::ops::{emit_events, OpSpec};
+use crate::spmv::{self, SpmvIteration};
+
+/// GraphMat-like platform configuration.
+#[derive(Debug, Clone)]
+pub struct GraphMatPlatform {
+    /// `mpiexec` + daemon startup latency, µs.
+    pub mpiexec_us: f64,
+    /// Per-rank handshake latency, µs.
+    pub per_rank_us: f64,
+    /// MPI finalize latency, µs.
+    pub finalize_us: f64,
+    /// CPU work per edge for the format conversion, core-µs (GraphMat's
+    /// conversion step is a large constant factor over reading).
+    pub convert_us_per_edge: f64,
+    /// Iteration cap for convergent algorithms.
+    pub max_iterations: u32,
+}
+
+impl Default for GraphMatPlatform {
+    fn default() -> Self {
+        GraphMatPlatform {
+            mpiexec_us: 2.0e6,
+            per_rank_us: 0.15e6,
+            finalize_us: 1.0e6,
+            convert_us_per_edge: 0.9,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+fn run_program(
+    g: &Graph,
+    part: &BlockPartition,
+    algorithm: Algorithm,
+    max_iterations: u32,
+) -> (AlgorithmOutput, Vec<SpmvIteration>) {
+    match algorithm {
+        Algorithm::Bfs { source } => {
+            let out = spmv::run(
+                g,
+                part,
+                &mut spmv::BfsSpmv { source },
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Levels(out.values), out.iterations)
+        }
+        Algorithm::PageRank { iterations } => {
+            let mut prog = spmv::PageRankSpmv::new(g, 0.85);
+            let out = spmv::run(g, part, &mut prog, IterationMode::Fixed(iterations));
+            (AlgorithmOutput::Ranks(out.values), out.iterations)
+        }
+        Algorithm::Wcc => {
+            let out = spmv::run(
+                g,
+                part,
+                &mut spmv::WccSpmv,
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Labels(out.values), out.iterations)
+        }
+        Algorithm::Sssp { source } => {
+            let out = spmv::run(
+                g,
+                part,
+                &mut spmv::SsspSpmv { source },
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Distances(out.values), out.iterations)
+        }
+        Algorithm::Cdlp { iterations } => {
+            let out = spmv::run(
+                g,
+                part,
+                &mut spmv::CdlpSpmv,
+                IterationMode::Fixed(iterations),
+            );
+            (AlgorithmOutput::Labels(out.values), out.iterations)
+        }
+    }
+}
+
+impl GraphMatPlatform {
+    /// Runs a job on a DAS5-like cluster with `cfg.nodes` nodes.
+    pub fn run(&self, g: &Graph, cfg: &JobConfig) -> Result<PlatformRun, SimError> {
+        self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
+    }
+
+    /// Runs a job on an explicit cluster.
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        assert!(
+            cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
+            "cluster too small for {} ranks",
+            cfg.nodes
+        );
+        let k = cfg.nodes;
+        let costs = &cfg.costs;
+        let scale = cfg.scale_factor;
+        let part = BlockPartition::by_edges(g, k);
+        let (output, iterations) = run_program(g, &part, cfg.algorithm, self.max_iterations);
+
+        let edge_sizes = part.edge_sizes(g);
+        let vert_sizes: Vec<u64> = (0..k).map(|m| part.range(m).len() as u64).collect();
+
+        let mut dag = ActivityGraph::new();
+        let mut specs: Vec<OpSpec> = Vec::new();
+        let job_actor = Actor::new("Job", "0");
+        let job_mission = Mission::new("GraphMatJob", "0");
+        let job_key = (job_actor.clone(), job_mission.clone());
+        let node_name = |m: u16| cluster.node(NodeId(m)).name.clone();
+        let head = node_name(0);
+
+        specs.push(
+            OpSpec::new(
+                job_actor.clone(),
+                job_mission.clone(),
+                None,
+                "job/",
+                &head,
+                "mpiexec",
+            )
+            .with_info("Platform", InfoValue::Text("GraphMat".into()))
+            .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+            .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+            .with_info("Ranks", InfoValue::Int(k as i64)),
+        );
+        let domain = |mission: &str| (job_actor.clone(), Mission::new(mission, "0"));
+
+        // -------------------------------------------------- Startup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Startup", "0"),
+            Some(job_key.clone()),
+            "job/startup/",
+            &head,
+            "mpiexec",
+        ));
+        let mpiexec = dag.add(
+            ActivityKind::Delay {
+                duration_us: self.mpiexec_us,
+            },
+            &[],
+            "job/startup/mpi/daemon",
+        );
+        let mut ranks: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            ranks.push(dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.per_rank_us,
+                },
+                &[mpiexec],
+                format!("job/startup/mpi/rank-{m}"),
+            ));
+        }
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("MpiSetup", "0"),
+            Some(domain("Startup")),
+            "job/startup/mpi/",
+            &head,
+            "mpiexec",
+        ));
+        let started = dag.barrier(&ranks, "job/startup/ready");
+
+        // ------------------------------------------------ LoadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("LoadGraph", "0"),
+            Some(job_key.clone()),
+            "job/load/",
+            &head,
+            "rank-0",
+        ));
+        let mut converted: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            let bytes = (vert_sizes[m as usize] as f64 * 10.0
+                + edge_sizes[m as usize] as f64 * costs.bytes_per_edge_in)
+                * scale;
+            let tagp = format!("job/load/m{m}/");
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                    Some(domain("LoadGraph")),
+                    tagp.clone(),
+                    node_name(m),
+                    format!("rank-{m}"),
+                )
+                .with_info("InputBytes", InfoValue::Int(bytes.round() as i64)),
+            );
+            // Parallel read from the shared server, pipelined with parsing.
+            let read = dag.add(
+                ActivityKind::SharedRead {
+                    node: NodeId(m),
+                    bytes,
+                },
+                &[started],
+                format!("{tagp}read"),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Machine", m.to_string()),
+                Mission::new("ReadInput", "0"),
+                Some((
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                )),
+                format!("{tagp}read"),
+                node_name(m),
+                format!("rank-{m}"),
+            ));
+            let parse = dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(m),
+                    work_core_us: bytes * costs.parse_cpu_us_per_byte,
+                    parallelism: costs.worker_threads,
+                },
+                &[read],
+                format!("{tagp}parse"),
+            );
+            // The expensive conversion to the internal SpMV format.
+            let convert = dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(m),
+                    work_core_us: edge_sizes[m as usize] as f64 * scale * self.convert_us_per_edge,
+                    parallelism: costs.worker_threads,
+                },
+                &[parse],
+                format!("{tagp}convert"),
+            );
+            specs.push(OpSpec::new(
+                Actor::new("Machine", m.to_string()),
+                Mission::new("ConvertFormat", "0"),
+                Some((
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                )),
+                format!("{tagp}convert"),
+                node_name(m),
+                format!("rank-{m}"),
+            ));
+            converted.push(convert);
+        }
+        let all_loaded = dag.barrier(&converted, "job/load/done");
+
+        // ---------------------------------------------- ProcessGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("ProcessGraph", "0"),
+            Some(job_key.clone()),
+            "job/proc/",
+            &head,
+            "rank-0",
+        ));
+        let mut prev_barrier = all_loaded;
+        for it in &iterations {
+            let t = it.iteration;
+            let it_tag = format!("job/proc/it{t}/");
+            specs.push(
+                OpSpec::new(
+                    job_actor.clone(),
+                    Mission::new("Iteration", t.to_string()),
+                    Some(domain("ProcessGraph")),
+                    it_tag.clone(),
+                    &head,
+                    "rank-0",
+                )
+                .with_info(
+                    "ActiveVertices",
+                    InfoValue::Int((it.active_vertices as f64 * scale).round() as i64),
+                ),
+            );
+            let iter_parent = (job_actor.clone(), Mission::new("Iteration", t.to_string()));
+
+            // Multiply (SpMV) phase per machine.
+            let mut multiplies: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            for m in 0..k {
+                let stats = &it.per_machine[m as usize];
+                let work = (stats.edges_processed as f64 * costs.compute_us_per_edge
+                    + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                    * scale;
+                let mul = dag.add(
+                    ActivityKind::Compute {
+                        node: NodeId(m),
+                        work_core_us: work.max(300.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[prev_barrier],
+                    format!("{it_tag}m{m}/multiply"),
+                );
+                specs.push(
+                    OpSpec::new(
+                        Actor::new("Machine", m.to_string()),
+                        Mission::new("Multiply", t.to_string()),
+                        Some(iter_parent.clone()),
+                        format!("{it_tag}m{m}/multiply"),
+                        node_name(m),
+                        format!("rank-{m}"),
+                    )
+                    .with_info(
+                        "EdgesProcessed",
+                        InfoValue::Int((stats.edges_processed as f64 * scale).round() as i64),
+                    ),
+                );
+                multiplies.push(mul);
+            }
+
+            // All-to-all exchange of cross-block messages.
+            let mut transfers: Vec<ActivityId> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // machine ids index the matrix
+            for a in 0..k as usize {
+                for (b, &count) in it.exchange[a].iter().enumerate() {
+                    if a == b || count == 0 {
+                        continue;
+                    }
+                    transfers.push(dag.add(
+                        ActivityKind::Transfer {
+                            src: NodeId(a as u16),
+                            dst: NodeId(b as u16),
+                            bytes: count as f64 * costs.bytes_per_message * scale,
+                        },
+                        &[multiplies[a]],
+                        format!("{it_tag}ex/a{a}b{b}"),
+                    ));
+                }
+            }
+            let exchange_done = if transfers.is_empty() {
+                dag.barrier(&multiplies, format!("{it_tag}ex/none"))
+            } else {
+                let mut deps = transfers.clone();
+                deps.extend_from_slice(&multiplies);
+                dag.barrier(&deps, format!("{it_tag}ex/join"))
+            };
+            if !transfers.is_empty() {
+                specs.push(OpSpec::new(
+                    Actor::new("Master", "0"),
+                    Mission::new("Exchange", t.to_string()),
+                    Some(iter_parent.clone()),
+                    format!("{it_tag}ex/"),
+                    &head,
+                    "rank-0",
+                ));
+            }
+
+            // Apply phase per machine, then the allreduce barrier.
+            let mut applies: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            for m in 0..k {
+                let stats = &it.per_machine[m as usize];
+                let apply = dag.add(
+                    ActivityKind::Compute {
+                        node: NodeId(m),
+                        work_core_us: (stats.applies as f64 * costs.compute_us_per_vertex * scale)
+                            .max(200.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[exchange_done],
+                    format!("{it_tag}m{m}/apply"),
+                );
+                specs.push(OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("Apply", t.to_string()),
+                    Some(iter_parent.clone()),
+                    format!("{it_tag}m{m}/apply"),
+                    node_name(m),
+                    format!("rank-{m}"),
+                ));
+                applies.push(apply);
+            }
+            let join = dag.barrier(&applies, format!("{it_tag}barrier/join"));
+            prev_barrier = dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us,
+                },
+                &[join],
+                format!("{it_tag}barrier/allreduce"),
+            );
+        }
+
+        // --------------------------------------------- OffloadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("OffloadGraph", "0"),
+            Some(job_key.clone()),
+            "job/offload/",
+            &head,
+            "rank-0",
+        ));
+        let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            let bytes = vert_sizes[m as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = dag.add(
+                ActivityKind::SharedRead {
+                    node: NodeId(m),
+                    bytes,
+                },
+                &[prev_barrier],
+                format!("job/offload/m{m}/write"),
+            );
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("LocalOffload", "0"),
+                    Some(domain("OffloadGraph")),
+                    format!("job/offload/m{m}/"),
+                    node_name(m),
+                    format!("rank-{m}"),
+                )
+                .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
+            );
+            offloads.push(write);
+        }
+        let all_offloaded = dag.barrier(&offloads, "job/offload/done");
+
+        // -------------------------------------------------- Cleanup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Cleanup", "0"),
+            Some(job_key.clone()),
+            "job/cleanup/",
+            &head,
+            "mpiexec",
+        ));
+        dag.add(
+            ActivityKind::Delay {
+                duration_us: self.finalize_us,
+            },
+            &[all_offloaded],
+            "job/cleanup/finalize",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("MpiFinalize", "0"),
+            Some(domain("Cleanup")),
+            "job/cleanup/finalize",
+            &head,
+            "mpiexec",
+        ));
+
+        // ------------------------------------------------------- Simulate
+        let sim = Simulation::new(cluster.clone()).run(&dag)?;
+        let events = emit_events(&specs, &dag, &sim);
+        let mut env_samples = trace_to_samples(&sim.trace);
+        // Memory view: each rank's matrix block becomes resident over its
+        // load+convert interval and lives until MPI finalize.
+        let release = sim
+            .span_of_tag(&dag, "job/cleanup/")
+            .map(|(s, _)| s.round() as u64)
+            .unwrap_or(sim.makespan_us.round() as u64);
+        let mut phases = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            if let Some((ls, le)) = sim.span_of_tag(&dag, &format!("job/load/m{m}/")) {
+                phases.push(MemoryPhase {
+                    node: node_name(m),
+                    ramp_start_us: ls.round() as u64,
+                    ramp_end_us: le.round() as u64,
+                    hold_until_us: release,
+                    bytes: edge_sizes[m as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                });
+            }
+        }
+        env_samples.extend(memory_samples(&phases, sim.makespan_us.round() as u64));
+        Ok(PlatformRun {
+            events,
+            env_samples,
+            output,
+            makespan_us: sim.makespan_us.round() as u64,
+            iterations: iterations.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_output, CostModel};
+    use gpsim_graph::gen::{datagen_like, GenConfig};
+    use granula_monitor::Assembler;
+
+    fn job(algorithm: Algorithm) -> (Graph, JobConfig) {
+        let g = datagen_like(&GenConfig::datagen(2_000, 11));
+        let mut costs = CostModel::powergraph_like();
+        costs.worker_threads = 16;
+        let cfg = JobConfig::new("test-job", "dg-test", algorithm, 8, costs);
+        (g, cfg)
+    }
+
+    #[test]
+    fn all_algorithms_validate() {
+        for algorithm in [
+            Algorithm::Bfs { source: 3 },
+            Algorithm::PageRank { iterations: 4 },
+            Algorithm::Wcc,
+            Algorithm::Cdlp { iterations: 3 },
+        ] {
+            let (g, cfg) = job(algorithm);
+            let run = GraphMatPlatform::default().run(&g, &cfg).unwrap();
+            assert!(
+                run.output.matches(&reference_output(&g, algorithm)),
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_assemble_into_a_clean_tree() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GraphMatPlatform::default().run(&g, &cfg).unwrap();
+        let outcome = Assembler::new().assemble(run.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..3.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        assert_eq!(tree.op(root).mission.kind, "GraphMatJob");
+        for m in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(tree.child_by_mission(root, m).is_some(), "missing {m}");
+        }
+        // Conversion ops present under LocalLoad.
+        assert_eq!(tree.by_mission_kind("ConvertFormat").count(), 8);
+    }
+
+    #[test]
+    fn load_is_parallel_across_machines() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let cfg = cfg.with_scale(1_000.0);
+        let run = GraphMatPlatform::default().run(&g, &cfg).unwrap();
+        let tree = Assembler::new().assemble(run.events).tree;
+        // All 8 LocalLoads overlap in time (parallel, unlike PowerGraph).
+        let loads: Vec<(u64, u64)> = tree
+            .by_mission_kind("LocalLoad")
+            .map(|o| (o.start_us().unwrap(), o.end_us().unwrap()))
+            .collect();
+        assert_eq!(loads.len(), 8);
+        let max_start = loads.iter().map(|&(s, _)| s).max().unwrap();
+        let min_end = loads.iter().map(|&(_, e)| e).min().unwrap();
+        assert!(max_start < min_end, "loads should overlap: {loads:?}");
+    }
+}

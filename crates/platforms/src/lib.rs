@@ -1,0 +1,37 @@
+//! # gpsim-platforms
+//!
+//! Simulated large-scale graph-processing platforms: the systems under test.
+//!
+//! Two platforms are modeled after the paper's experiments:
+//!
+//! * [`giraph`] — a Giraph-like platform: Pregel/BSP programming model,
+//!   vertex hash-partitioning (edge-cut), YARN-like provisioning, HDFS-like
+//!   parallel loading, ZooKeeper-like superstep barriers;
+//! * [`powergraph`] — a PowerGraph-like platform: GAS programming model,
+//!   greedy vertex-cut partitioning, MPI-like launching and — faithfully to
+//!   the paper's headline finding — a *sequential, single-node* graph loader
+//!   reading from a shared filesystem.
+//!
+//! Both platforms **really execute** the algorithms: the [`pregel`] and
+//! [`gas`] engines run vertex programs on the in-memory graph at partition
+//! granularity, producing (a) the algorithm output, validated against
+//! `gpsim_graph::algos`, and (b) per-superstep/per-machine counters (active
+//! vertices, edges scanned, messages exchanged) that parameterize the
+//! platform cost models. The drivers compile those counters into an
+//! activity DAG for `gpsim_cluster`, simulate it, and emit Granula
+//! instrumentation logs plus environment samples — the exact inputs the
+//! Granula pipeline consumes.
+
+pub mod common;
+pub mod gas;
+pub mod giraph;
+pub mod graphmat;
+pub mod ops;
+pub mod powergraph;
+pub mod pregel;
+pub mod spmv;
+
+pub use common::{Algorithm, AlgorithmOutput, CostModel, JobConfig, PlatformRun};
+pub use giraph::GiraphPlatform;
+pub use graphmat::GraphMatPlatform;
+pub use powergraph::PowerGraphPlatform;

@@ -1,0 +1,184 @@
+//! Operation specs: how platforms turn simulated activities into Granula
+//! instrumentation logs.
+//!
+//! A driver declares, for every operation it wants to appear in the logs,
+//! an [`OpSpec`]: the operation's identity (actor × mission), its parent,
+//! and the *tag prefix* of the activities that implement it. After the
+//! simulation, [`emit_events`] looks up each spec's activity span and emits
+//! the `START`/`END`/`INFO` log lines an instrumented platform would have
+//! written. Specs whose activities never ran (e.g. an operation elided for
+//! this workload) are skipped, exactly like a real log would simply not
+//! contain those lines.
+
+use gpsim_cluster::{ActivityGraph, SimResult};
+use granula_model::{Actor, InfoValue, Mission};
+use granula_monitor::LogEvent;
+
+/// Declares one operation to be reconstructed from activity spans.
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// Operation actor.
+    pub actor: Actor,
+    /// Operation mission.
+    pub mission: Mission,
+    /// Parent operation identity (`None` for the job root).
+    pub parent: Option<(Actor, Mission)>,
+    /// Tag prefix of the activities implementing the operation. Must be
+    /// prefix-free against sibling specs (use a trailing `/`).
+    pub tag: String,
+    /// Node to attribute the operation to in the logs.
+    pub node: String,
+    /// Emitting process name.
+    pub process: String,
+    /// Extra raw infos logged at operation start.
+    pub infos: Vec<(String, InfoValue)>,
+}
+
+impl OpSpec {
+    /// Creates a spec with no extra infos.
+    pub fn new(
+        actor: Actor,
+        mission: Mission,
+        parent: Option<(Actor, Mission)>,
+        tag: impl Into<String>,
+        node: impl Into<String>,
+        process: impl Into<String>,
+    ) -> Self {
+        OpSpec {
+            actor,
+            mission,
+            parent,
+            tag: tag.into(),
+            node: node.into(),
+            process: process.into(),
+            infos: Vec::new(),
+        }
+    }
+
+    /// Attaches an extra info to be logged.
+    pub fn with_info(mut self, name: impl Into<String>, value: InfoValue) -> Self {
+        self.infos.push((name.into(), value));
+        self
+    }
+}
+
+/// Generates the Granula log events of all specs from the simulated spans.
+///
+/// Events are emitted parent-before-child for identical timestamps (specs
+/// must be ordered parents-first, which the drivers do naturally), so the
+/// assembler reconstructs the intended hierarchy.
+pub fn emit_events(specs: &[OpSpec], graph: &ActivityGraph, sim: &SimResult) -> Vec<LogEvent> {
+    let mut events = Vec::with_capacity(specs.len() * 2);
+    for spec in specs {
+        let Some((start, end)) = sim.span_of_tag(graph, &spec.tag) else {
+            continue;
+        };
+        let (start_us, end_us) = (start.round() as u64, end.round() as u64);
+        events.push(LogEvent::start(
+            start_us,
+            spec.node.clone(),
+            spec.process.clone(),
+            spec.actor.clone(),
+            spec.mission.clone(),
+            spec.parent.clone(),
+        ));
+        for (name, value) in &spec.infos {
+            events.push(LogEvent::info(
+                start_us,
+                spec.node.clone(),
+                spec.process.clone(),
+                spec.actor.clone(),
+                spec.mission.clone(),
+                name.clone(),
+                value.clone(),
+            ));
+        }
+        events.push(LogEvent::end(
+            end_us,
+            spec.node.clone(),
+            spec.process.clone(),
+            spec.actor.clone(),
+            spec.mission.clone(),
+        ));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsim_cluster::{ActivityKind, ClusterSpec, NodeSpec, Simulation};
+    use granula_monitor::Assembler;
+
+    fn actor(k: &str, i: &str) -> Actor {
+        Actor::new(k, i)
+    }
+    fn mission(k: &str, i: &str) -> Mission {
+        Mission::new(k, i)
+    }
+
+    #[test]
+    fn specs_reconstruct_hierarchy_through_assembler() {
+        let cluster = ClusterSpec::homogeneous(
+            1,
+            NodeSpec {
+                name: "n0".into(),
+                cores: 4,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        );
+        let mut g = ActivityGraph::new();
+        let a = g.add(ActivityKind::Delay { duration_us: 1e6 }, &[], "job/load/x");
+        g.add(ActivityKind::Delay { duration_us: 5e5 }, &[a], "job/proc/y");
+        let sim = Simulation::new(cluster).run(&g).unwrap();
+
+        let job = (actor("Job", "0"), mission("GiraphJob", "0"));
+        let specs = vec![
+            OpSpec::new(job.0.clone(), job.1.clone(), None, "job/", "n0", "client"),
+            OpSpec::new(
+                actor("Job", "0"),
+                mission("LoadGraph", "0"),
+                Some(job.clone()),
+                "job/load/",
+                "n0",
+                "client",
+            )
+            .with_info("Bytes", InfoValue::Int(42)),
+            OpSpec::new(
+                actor("Job", "0"),
+                mission("ProcessGraph", "0"),
+                Some(job.clone()),
+                "job/proc/",
+                "n0",
+                "client",
+            ),
+            // An op whose activities never existed: skipped.
+            OpSpec::new(
+                actor("Job", "0"),
+                mission("OffloadGraph", "0"),
+                Some(job),
+                "job/offload/",
+                "n0",
+                "client",
+            ),
+        ];
+        let events = emit_events(&specs, &g, &sim);
+        // 3 ops emitted (offload skipped): 2 events each + 1 info.
+        assert_eq!(events.len(), 7);
+
+        let outcome = Assembler::new().assemble(events);
+        assert!(outcome.warnings.is_empty(), "{:?}", outcome.warnings);
+        let tree = outcome.tree;
+        assert_eq!(tree.len(), 3);
+        let root = tree.root().unwrap();
+        assert_eq!(tree.op(root).mission.kind, "GiraphJob");
+        assert_eq!(tree.op(root).children.len(), 2);
+        let load = tree.child_by_mission(root, "LoadGraph").unwrap();
+        assert_eq!(tree.op(load).info_i64("Bytes"), Some(42));
+        assert_eq!(tree.op(load).duration_us(), Some(1_000_000));
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        assert_eq!(tree.op(proc_).start_us(), Some(1_000_000));
+    }
+}

@@ -1,0 +1,700 @@
+//! The PowerGraph-like platform driver.
+//!
+//! GAS on MPI-like provisioning with shared-filesystem storage, modeled
+//! after PowerGraph 2.2 as characterized in Table 1. The structural
+//! fidelity the paper's analysis depends on is the **loader**: one machine
+//! reads and parses the entire input sequentially from the shared
+//! filesystem while every other machine idles; only at the end of loading
+//! do the others receive their edge partitions and participate in building
+//! the in-memory graph (paper §4.3, Figure 7).
+
+use gpsim_cluster::{
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, NodeId, SimError, Simulation,
+};
+use gpsim_graph::{Graph, VertexCutPartition};
+use granula_model::{Actor, InfoValue, Mission};
+
+use crate::common::{
+    memory_samples, trace_to_samples, Algorithm, AlgorithmOutput, JobConfig, MemoryPhase,
+    PlatformRun,
+};
+use crate::gas::{self, IterationMode, IterationStats};
+use crate::ops::{emit_events, OpSpec};
+
+/// Pipeline stages of the sequential loader (read chunk ↔ parse chunk).
+const LOAD_CHUNKS: u32 = 16;
+
+/// PowerGraph-like platform configuration.
+#[derive(Debug, Clone)]
+pub struct PowerGraphPlatform {
+    /// `mpirun` + daemon startup latency, µs.
+    pub mpirun_us: f64,
+    /// Per-rank handshake latency, µs.
+    pub per_rank_us: f64,
+    /// MPI finalize latency, µs.
+    pub finalize_us: f64,
+    /// Parallelism of the sequential loader (PowerGraph's text parser is
+    /// effectively single-threaded; 1-2 threads).
+    pub loader_threads: u32,
+    /// Iteration cap for convergent algorithms.
+    pub max_iterations: u32,
+}
+
+impl Default for PowerGraphPlatform {
+    fn default() -> Self {
+        PowerGraphPlatform {
+            mpirun_us: 4.0e6,
+            per_rank_us: 0.2e6,
+            finalize_us: 3.0e6,
+            loader_threads: 2,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+fn run_program(
+    g: &Graph,
+    part: &VertexCutPartition,
+    algorithm: Algorithm,
+    max_iterations: u32,
+) -> (AlgorithmOutput, Vec<IterationStats>) {
+    match algorithm {
+        Algorithm::Bfs { source } => {
+            let out = gas::run(
+                g,
+                part,
+                &mut gas::BfsGas { source },
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Levels(out.values), out.iterations)
+        }
+        Algorithm::PageRank { iterations } => {
+            let out = gas::run_pagerank_gas(g, part, iterations, 0.85);
+            (AlgorithmOutput::Ranks(out.values), out.iterations)
+        }
+        Algorithm::Wcc => {
+            let out = gas::run(
+                g,
+                part,
+                &mut gas::WccGas,
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Labels(out.values), out.iterations)
+        }
+        Algorithm::Sssp { source } => {
+            let out = gas::run(
+                g,
+                part,
+                &mut gas::SsspGas { source },
+                IterationMode::Converge {
+                    max: max_iterations,
+                },
+            );
+            (AlgorithmOutput::Distances(out.values), out.iterations)
+        }
+        Algorithm::Cdlp { iterations } => {
+            let out = gas::run(g, part, &mut gas::CdlpGas, IterationMode::Fixed(iterations));
+            (AlgorithmOutput::Labels(out.values), out.iterations)
+        }
+    }
+}
+
+impl PowerGraphPlatform {
+    /// Runs a job on a DAS5-like cluster with `cfg.nodes` nodes.
+    pub fn run(&self, g: &Graph, cfg: &JobConfig) -> Result<PlatformRun, SimError> {
+        self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
+    }
+
+    /// Runs a job on an explicit cluster.
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        assert!(
+            cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
+            "cluster too small for {} machines",
+            cfg.nodes
+        );
+        let k = cfg.nodes;
+        let costs = &cfg.costs;
+        let scale = cfg.scale_factor;
+        let part = VertexCutPartition::greedy(g, k);
+        let (output, iterations) = run_program(g, &part, cfg.algorithm, self.max_iterations);
+
+        // Per-machine sizes.
+        let edge_sizes = part.sizes();
+        let mut masters = vec![0u64; k as usize];
+        for v in 0..g.num_vertices() {
+            masters[part.master_of(v) as usize] += 1;
+        }
+        let total_bytes = (g.num_vertices() as f64 * 10.0
+            + g.num_edges() as f64 * costs.bytes_per_edge_in)
+            * scale;
+
+        let mut dag = ActivityGraph::new();
+        let mut specs: Vec<OpSpec> = Vec::new();
+        let job_actor = Actor::new("Job", "0");
+        let job_mission = Mission::new("PowerGraphJob", "0");
+        let job_key = (job_actor.clone(), job_mission.clone());
+        let node_name = |m: u16| cluster.node(NodeId(m)).name.clone();
+        let head = node_name(0);
+
+        specs.push(
+            OpSpec::new(
+                job_actor.clone(),
+                job_mission.clone(),
+                None,
+                "job/",
+                &head,
+                "mpirun",
+            )
+            .with_info("Platform", InfoValue::Text("PowerGraph".into()))
+            .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+            .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+            .with_info("Machines", InfoValue::Int(k as i64))
+            .with_info(
+                "ReplicationFactor",
+                InfoValue::Float(part.replication_factor()),
+            ),
+        );
+        let domain = |mission: &str| (job_actor.clone(), Mission::new(mission, "0"));
+
+        // -------------------------------------------------- Startup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Startup", "0"),
+            Some(job_key.clone()),
+            "job/startup/",
+            &head,
+            "mpirun",
+        ));
+        let mpirun = dag.add(
+            ActivityKind::Delay {
+                duration_us: self.mpirun_us,
+            },
+            &[],
+            "job/startup/mpi/daemon",
+        );
+        let mut ranks: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            ranks.push(dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.per_rank_us,
+                },
+                &[mpirun],
+                format!("job/startup/mpi/rank-{m}"),
+            ));
+        }
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("MpiSetup", "0"),
+            Some(domain("Startup")),
+            "job/startup/mpi/",
+            &head,
+            "mpirun",
+        ));
+        let started = dag.barrier(&ranks, "job/startup/ready");
+
+        // ------------------------------------------------ LoadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("LoadGraph", "0"),
+            Some(job_key.clone()),
+            "job/load/",
+            &head,
+            "machine-0",
+        ));
+        // Sequential read + parse pipeline, all on machine 0.
+        specs.push(
+            OpSpec::new(
+                Actor::new("Machine", "0"),
+                Mission::new("SequentialLoad", "0"),
+                Some(domain("LoadGraph")),
+                "job/load/seq/",
+                &head,
+                "machine-0",
+            )
+            .with_info("InputBytes", InfoValue::Int(total_bytes.round() as i64)),
+        );
+        let chunk = total_bytes / LOAD_CHUNKS as f64;
+        let mut prev_read = started;
+        let mut prev_parse: Option<ActivityId> = None;
+        for c in 0..LOAD_CHUNKS {
+            let read = dag.add(
+                ActivityKind::SharedRead {
+                    node: NodeId(0),
+                    bytes: chunk,
+                },
+                &[prev_read],
+                format!("job/load/seq/read/c{c}"),
+            );
+            // The parser is sequential: chunk c+1 is parsed only after chunk
+            // c — reads are pipelined ahead, parsing is the bottleneck.
+            let deps: Vec<ActivityId> = match prev_parse {
+                Some(p) => vec![read, p],
+                None => vec![read],
+            };
+            let parse = dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(0),
+                    work_core_us: chunk * costs.parse_cpu_us_per_byte,
+                    parallelism: self.loader_threads,
+                },
+                &deps,
+                format!("job/load/seq/parse/c{c}"),
+            );
+            prev_read = read;
+            prev_parse = Some(parse);
+        }
+        let parsed = dag.barrier(&[prev_parse.expect("LOAD_CHUNKS > 0")], "job/load/seq/done");
+
+        // Distribute edge partitions to the other machines.
+        specs.push(OpSpec::new(
+            Actor::new("Machine", "0"),
+            Mission::new("DistributeEdges", "0"),
+            Some(domain("LoadGraph")),
+            "job/load/dist/",
+            &head,
+            "machine-0",
+        ));
+        let mut finalize_deps: Vec<(u16, ActivityId)> = vec![(0, parsed)];
+        for m in 1..k {
+            let bytes = edge_sizes[m as usize] as f64 * costs.bytes_per_edge_in * scale;
+            let xfer = dag.add(
+                ActivityKind::Transfer {
+                    src: NodeId(0),
+                    dst: NodeId(m),
+                    bytes,
+                },
+                &[parsed],
+                format!("job/load/dist/m{m}"),
+            );
+            finalize_deps.push((m, xfer));
+        }
+
+        // All machines build their local graph structures.
+        let mut built: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for (m, dep) in finalize_deps {
+            let build = dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(m),
+                    work_core_us: edge_sizes[m as usize] as f64
+                        * scale
+                        * costs.build_cpu_us_per_edge,
+                    parallelism: costs.worker_threads,
+                },
+                &[dep],
+                format!("job/load/fin/m{m}/build"),
+            );
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("FinalizeGraph", "0"),
+                    Some(domain("LoadGraph")),
+                    format!("job/load/fin/m{m}/"),
+                    node_name(m),
+                    format!("machine-{m}"),
+                )
+                .with_info(
+                    "LocalEdges",
+                    InfoValue::Int((edge_sizes[m as usize] as f64 * scale).round() as i64),
+                ),
+            );
+            built.push(build);
+        }
+        let all_loaded = dag.barrier(&built, "job/load/all-loaded");
+
+        // ---------------------------------------------- ProcessGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("ProcessGraph", "0"),
+            Some(job_key.clone()),
+            "job/proc/",
+            &head,
+            "machine-0",
+        ));
+        let mut prev_barrier = all_loaded;
+        for it in &iterations {
+            let t = it.iteration;
+            let it_tag = format!("job/proc/it{t}/");
+            specs.push(
+                OpSpec::new(
+                    job_actor.clone(),
+                    Mission::new("Iteration", t.to_string()),
+                    Some(domain("ProcessGraph")),
+                    it_tag.clone(),
+                    &head,
+                    "machine-0",
+                )
+                .with_info(
+                    "ActiveVertices",
+                    InfoValue::Int((it.active_vertices as f64 * scale).round() as i64),
+                ),
+            );
+            let iter_parent = (job_actor.clone(), Mission::new("Iteration", t.to_string()));
+
+            // Gather minor-step on every machine.
+            let mut gathers: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            for m in 0..k {
+                let stats = &it.per_machine[m as usize];
+                let work = (stats.gather_edges as f64 * costs.compute_us_per_edge) * scale;
+                let gather = dag.add(
+                    ActivityKind::Compute {
+                        node: NodeId(m),
+                        work_core_us: work.max(500.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[prev_barrier],
+                    format!("{it_tag}m{m}/gather"),
+                );
+                specs.push(
+                    OpSpec::new(
+                        Actor::new("Machine", m.to_string()),
+                        Mission::new("Gather", t.to_string()),
+                        Some(iter_parent.clone()),
+                        format!("{it_tag}m{m}/gather"),
+                        node_name(m),
+                        format!("machine-{m}"),
+                    )
+                    .with_info(
+                        "GatherEdges",
+                        InfoValue::Int((stats.gather_edges as f64 * scale).round() as i64),
+                    ),
+                );
+                gathers.push(gather);
+            }
+
+            // Exchange: replica syncs between machines.
+            let mut exchanges: Vec<ActivityId> = Vec::new();
+            let mut sync_total = 0u64;
+            #[allow(clippy::needless_range_loop)] // machine ids index the matrix
+            for a in 0..k as usize {
+                for b in 0..k as usize {
+                    let count = it.sync_matrix[a][b];
+                    if count == 0 {
+                        continue;
+                    }
+                    sync_total += count;
+                    exchanges.push(dag.add(
+                        ActivityKind::Transfer {
+                            src: NodeId(a as u16),
+                            dst: NodeId(b as u16),
+                            bytes: count as f64 * costs.bytes_per_message * scale,
+                        },
+                        &[gathers[a]],
+                        format!("{it_tag}ex/a{a}b{b}"),
+                    ));
+                }
+            }
+            let exchange_done = if exchanges.is_empty() {
+                dag.barrier(&gathers, format!("{it_tag}ex/none"))
+            } else {
+                let mut deps = exchanges.clone();
+                deps.extend_from_slice(&gathers);
+                dag.barrier(&deps, format!("{it_tag}ex/join"))
+            };
+            if !exchanges.is_empty() {
+                specs.push(
+                    OpSpec::new(
+                        Actor::new("Master", "0"),
+                        Mission::new("Exchange", t.to_string()),
+                        Some(iter_parent.clone()),
+                        format!("{it_tag}ex/"),
+                        &head,
+                        "machine-0",
+                    )
+                    .with_info(
+                        "SyncMessages",
+                        InfoValue::Int((sync_total as f64 * scale).round() as i64),
+                    ),
+                );
+            }
+
+            // Apply + scatter per machine.
+            let mut scatters: Vec<ActivityId> = Vec::with_capacity(k as usize);
+            for m in 0..k {
+                let stats = &it.per_machine[m as usize];
+                let apply = dag.add(
+                    ActivityKind::Compute {
+                        node: NodeId(m),
+                        work_core_us: (stats.apply_vertices as f64
+                            * costs.compute_us_per_vertex
+                            * scale)
+                            .max(200.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[exchange_done],
+                    format!("{it_tag}m{m}/apply"),
+                );
+                specs.push(OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("Apply", t.to_string()),
+                    Some(iter_parent.clone()),
+                    format!("{it_tag}m{m}/apply"),
+                    node_name(m),
+                    format!("machine-{m}"),
+                ));
+                let scatter = dag.add(
+                    ActivityKind::Compute {
+                        node: NodeId(m),
+                        work_core_us: (stats.scatter_edges as f64
+                            * costs.compute_us_per_edge
+                            * 0.5
+                            * scale)
+                            .max(200.0),
+                        parallelism: costs.worker_threads,
+                    },
+                    &[apply],
+                    format!("{it_tag}m{m}/scatter"),
+                );
+                specs.push(OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("Scatter", t.to_string()),
+                    Some(iter_parent.clone()),
+                    format!("{it_tag}m{m}/scatter"),
+                    node_name(m),
+                    format!("machine-{m}"),
+                ));
+                scatters.push(scatter);
+            }
+            let join = dag.barrier(&scatters, format!("{it_tag}barrier/join"));
+            prev_barrier = dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us,
+                },
+                &[join],
+                format!("{it_tag}barrier/sync"),
+            );
+        }
+
+        // --------------------------------------------- OffloadGraph (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("OffloadGraph", "0"),
+            Some(job_key.clone()),
+            "job/offload/",
+            &head,
+            "machine-0",
+        ));
+        let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            let bytes = masters[m as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = dag.add(
+                ActivityKind::SharedRead {
+                    node: NodeId(m),
+                    bytes,
+                },
+                &[prev_barrier],
+                format!("job/offload/m{m}/write"),
+            );
+            specs.push(
+                OpSpec::new(
+                    Actor::new("Machine", m.to_string()),
+                    Mission::new("LocalOffload", "0"),
+                    Some(domain("OffloadGraph")),
+                    format!("job/offload/m{m}/"),
+                    node_name(m),
+                    format!("machine-{m}"),
+                )
+                .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
+            );
+            offloads.push(write);
+        }
+        let all_offloaded = dag.barrier(&offloads, "job/offload/done");
+
+        // -------------------------------------------------- Cleanup (L1)
+        specs.push(OpSpec::new(
+            job_actor.clone(),
+            Mission::new("Cleanup", "0"),
+            Some(job_key.clone()),
+            "job/cleanup/",
+            &head,
+            "mpirun",
+        ));
+        dag.add(
+            ActivityKind::Delay {
+                duration_us: self.finalize_us,
+            },
+            &[all_offloaded],
+            "job/cleanup/finalize",
+        );
+        specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("MpiFinalize", "0"),
+            Some(domain("Cleanup")),
+            "job/cleanup/finalize",
+            &head,
+            "mpirun",
+        ));
+
+        // ------------------------------------------------------- Simulate
+        let sim = Simulation::new(cluster.clone()).run(&dag)?;
+        let events = emit_events(&specs, &dag, &sim);
+        let mut env_samples = trace_to_samples(&sim.trace);
+        // Memory view. Machine 0 temporarily holds the *entire* parsed edge
+        // list as a staging buffer during the sequential load, released once
+        // partitions have been distributed — the memory-pressure signature
+        // of the single-loader design. Partitions then stay resident until
+        // MPI finalize.
+        let release = sim
+            .span_of_tag(&dag, "job/cleanup/")
+            .map(|(s, _)| s.round() as u64)
+            .unwrap_or(sim.makespan_us.round() as u64);
+        let mut phases = Vec::with_capacity(k as usize + 1);
+        if let (Some((ss, se)), Some((_, de))) = (
+            sim.span_of_tag(&dag, "job/load/seq/"),
+            sim.span_of_tag(&dag, "job/load/dist/")
+                .or(sim.span_of_tag(&dag, "job/load/seq/")),
+        ) {
+            phases.push(MemoryPhase {
+                node: head.clone(),
+                ramp_start_us: ss.round() as u64,
+                ramp_end_us: se.round() as u64,
+                hold_until_us: de.round() as u64,
+                bytes: total_bytes,
+            });
+        }
+        for m in 0..k {
+            if let Some((fs, fe)) = sim.span_of_tag(&dag, &format!("job/load/fin/m{m}/")) {
+                phases.push(MemoryPhase {
+                    node: node_name(m),
+                    ramp_start_us: fs.round() as u64,
+                    ramp_end_us: fe.round() as u64,
+                    hold_until_us: release,
+                    bytes: edge_sizes[m as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                });
+            }
+        }
+        env_samples.extend(memory_samples(&phases, sim.makespan_us.round() as u64));
+        Ok(PlatformRun {
+            events,
+            env_samples,
+            output,
+            makespan_us: sim.makespan_us.round() as u64,
+            iterations: iterations.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_output, CostModel};
+    use gpsim_graph::gen::{datagen_like, GenConfig};
+    use granula_monitor::{Assembler, ResourceKind};
+
+    fn job(algorithm: Algorithm) -> (Graph, JobConfig) {
+        let g = datagen_like(&GenConfig::datagen(2_000, 11));
+        let cfg = JobConfig::new(
+            "test-job",
+            "dg-test",
+            algorithm,
+            8,
+            CostModel::powergraph_like(),
+        );
+        (g, cfg)
+    }
+
+    #[test]
+    fn bfs_run_produces_correct_output() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = PowerGraphPlatform::default().run(&g, &cfg).unwrap();
+        assert!(run.output.matches(&reference_output(&g, cfg.algorithm)));
+        assert!(run.makespan_us > 0);
+    }
+
+    #[test]
+    fn events_assemble_into_a_clean_tree() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = PowerGraphPlatform::default().run(&g, &cfg).unwrap();
+        let outcome = Assembler::new().assemble(run.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        assert_eq!(tree.op(root).mission.kind, "PowerGraphJob");
+        for m in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(tree.child_by_mission(root, m).is_some(), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn loading_is_sequential_on_one_machine() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let cfg = cfg.with_scale(1_000.0);
+        let run = PowerGraphPlatform::default().run(&g, &cfg).unwrap();
+        let tree = Assembler::new().assemble(run.events.clone()).tree;
+        let root = tree.root().unwrap();
+        let load = tree.child_by_mission(root, "LoadGraph").unwrap();
+        let (ls, le) = (
+            tree.op(load).start_us().unwrap(),
+            tree.op(load).end_us().unwrap(),
+        );
+        // During the first 60% of LoadGraph, only machine 0 consumes CPU.
+        let cutoff = ls + (le - ls) * 6 / 10;
+        let mut busy_others = 0.0f64;
+        let mut busy_head = 0.0f64;
+        for s in &run.env_samples {
+            if s.kind == ResourceKind::Cpu && s.time_us >= ls && s.time_us < cutoff {
+                if s.node == "node300" {
+                    busy_head += s.value;
+                } else {
+                    busy_others += s.value;
+                }
+            }
+        }
+        assert!(busy_head > 0.0, "head node should be busy parsing");
+        assert!(
+            busy_others < 0.05 * busy_head,
+            "other machines should idle during sequential load: head={busy_head} others={busy_others}"
+        );
+    }
+
+    #[test]
+    fn io_dominates_at_dg1000_scale() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        // Emulate a dg1000-sized input from the small logical graph.
+        let cfg = cfg.with_scale(25_000.0);
+        let run = PowerGraphPlatform::default().run(&g, &cfg).unwrap();
+        let tree = Assembler::new().assemble(run.events).tree;
+        let root = tree.root().unwrap();
+        let total = tree.op(root).duration_us().unwrap() as f64;
+        let load = tree.child_by_mission(root, "LoadGraph").unwrap();
+        let load_frac = tree.op(load).duration_us().unwrap() as f64 / total;
+        assert!(load_frac > 0.7, "LoadGraph should dominate: {load_frac}");
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        let proc_frac = tree.op(proc_).duration_us().unwrap() as f64 / total;
+        assert!(proc_frac < 0.2, "processing should be small: {proc_frac}");
+    }
+
+    #[test]
+    fn all_algorithms_validate() {
+        for algorithm in [
+            Algorithm::PageRank { iterations: 4 },
+            Algorithm::Wcc,
+            Algorithm::Cdlp { iterations: 3 },
+        ] {
+            let (g, cfg) = job(algorithm);
+            let run = PowerGraphPlatform::default().run(&g, &cfg).unwrap();
+            assert!(
+                run.output.matches(&reference_output(&g, algorithm)),
+                "{algorithm:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! A generalized SpMV engine over a 1D block partitioning — the GraphMat
+//! execution model.
+//!
+//! GraphMat maps vertex programs to generalized sparse-matrix ×
+//! sparse-vector products: per iteration, every active vertex *sends* a
+//! message along its out-edges (a semiring multiply), messages targeting
+//! the same vertex are *combined* (the semiring add), and an *apply* step
+//! folds the combined message into the vertex state. Vertices live in
+//! contiguous blocks per machine (the matrix's row blocks); messages whose
+//! target lives in another block cross the network in an all-to-all
+//! exchange.
+//!
+//! As with the other engines, execution is snapshot-synchronous and
+//! per-machine counters (edges processed, messages exchanged) are recorded
+//! for the cost model.
+
+use gpsim_graph::{BlockPartition, Graph, VertexId};
+
+pub use crate::gas::IterationMode;
+
+/// A generalized SpMV vertex program.
+pub trait SpmvProgram {
+    /// Per-vertex state.
+    type Value: Clone + PartialEq;
+    /// Message (semiring element).
+    type Msg: Clone;
+
+    /// Initial value of a vertex.
+    fn initial_value(&self, v: VertexId, g: &Graph) -> Self::Value;
+
+    /// Whether the vertex starts in the frontier (converge mode).
+    fn initially_active(&self, v: VertexId) -> bool;
+
+    /// Also send along in-edges (for undirected semantics such as WCC).
+    fn send_both_directions(&self) -> bool {
+        false
+    }
+
+    /// The semiring multiply: message emitted along one out-edge of `u`.
+    fn send(&self, u: VertexId, value: &Self::Value, weight: f32) -> Option<Self::Msg>;
+
+    /// The semiring add: combines two messages for the same target.
+    fn combine(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// Folds the combined message into the state; returns `true` when the
+    /// value changed (drives the frontier in converge mode).
+    fn apply(
+        &self,
+        v: VertexId,
+        value: &mut Self::Value,
+        msg: Option<&Self::Msg>,
+        iteration: u32,
+    ) -> bool;
+
+    /// Pre-iteration hook over a snapshot of all values (global aggregates).
+    fn pre_iteration(&mut self, _iteration: u32, _values: &[Self::Value], _g: &Graph) {}
+}
+
+/// Counters of one machine in one SpMV iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineSpmv {
+    /// Out-edges processed by the multiply phase on this machine.
+    pub edges_processed: u64,
+    /// Messages emitted by this machine.
+    pub messages_sent: u64,
+    /// Messages combined/applied on this machine.
+    pub messages_received: u64,
+    /// Vertices whose apply ran on this machine.
+    pub applies: u64,
+}
+
+/// Counters of one iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpmvIteration {
+    /// Iteration number.
+    pub iteration: u32,
+    /// Per-machine counters.
+    pub per_machine: Vec<MachineSpmv>,
+    /// `exchange[from][to]`: messages crossing block boundaries.
+    pub exchange: Vec<Vec<u64>>,
+    /// Active (sending) vertices this iteration.
+    pub active_vertices: u64,
+}
+
+/// Result of an SpMV execution.
+#[derive(Debug, Clone)]
+pub struct SpmvOutcome<V> {
+    /// Final vertex values.
+    pub values: Vec<V>,
+    /// Per-iteration counters.
+    pub iterations: Vec<SpmvIteration>,
+}
+
+/// Executes a program over the block partitioning.
+pub fn run<P: SpmvProgram>(
+    g: &Graph,
+    part: &BlockPartition,
+    program: &mut P,
+    mode: IterationMode,
+) -> SpmvOutcome<P::Value> {
+    let n = g.num_vertices() as usize;
+    let k = part.k() as usize;
+    let mut values: Vec<P::Value> = (0..n as u32).map(|v| program.initial_value(v, g)).collect();
+
+    let (max_iters, fixed) = match mode {
+        IterationMode::Fixed(i) => (i, true),
+        IterationMode::Converge { max } => (max, false),
+    };
+    let mut active: Vec<bool> = if fixed {
+        vec![true; n]
+    } else {
+        (0..n as u32).map(|v| program.initially_active(v)).collect()
+    };
+
+    let mut stats = Vec::new();
+    for iteration in 0..max_iters {
+        if !fixed && !active.iter().any(|&a| a) {
+            break;
+        }
+        program.pre_iteration(iteration, &values, g);
+        let mut per_machine = vec![MachineSpmv::default(); k];
+        let mut exchange = vec![vec![0u64; k]; k];
+        let mut inbox: Vec<Option<P::Msg>> = vec![None; n];
+        let mut active_vertices = 0u64;
+
+        // Multiply phase: active vertices emit along their edges.
+        for u in 0..n as u32 {
+            if !active[u as usize] {
+                continue;
+            }
+            active_vertices += 1;
+            let src_machine = part.owner_of(u) as usize;
+            let emit = |target: VertexId,
+                        weight: f32,
+                        per_machine: &mut Vec<MachineSpmv>,
+                        exchange: &mut Vec<Vec<u64>>,
+                        inbox: &mut Vec<Option<P::Msg>>| {
+                if let Some(msg) = program.send(u, &values[u as usize], weight) {
+                    let dst_machine = part.owner_of(target) as usize;
+                    per_machine[src_machine].messages_sent += 1;
+                    per_machine[dst_machine].messages_received += 1;
+                    exchange[src_machine][dst_machine] += 1;
+                    inbox[target as usize] = Some(match inbox[target as usize].take() {
+                        None => msg,
+                        Some(prev) => program.combine(prev, msg),
+                    });
+                }
+            };
+            let outs = g.neighbors(u);
+            per_machine[src_machine].edges_processed += outs.len() as u64;
+            for (i, &t) in outs.iter().enumerate() {
+                let w = g.edge_weights(u).map_or(1.0, |ws| ws[i]);
+                emit(t, w, &mut per_machine, &mut exchange, &mut inbox);
+            }
+            if program.send_both_directions() {
+                let ins = g.in_neighbors(u);
+                per_machine[src_machine].edges_processed += ins.len() as u64;
+                for (i, &t) in ins.iter().enumerate() {
+                    let w = g.in_edge_weights(u).map_or(1.0, |ws| ws[i]);
+                    emit(t, w, &mut per_machine, &mut exchange, &mut inbox);
+                }
+            }
+        }
+
+        // Apply phase.
+        let mut next_active = vec![false; n];
+        for v in 0..n as u32 {
+            let msg = inbox[v as usize].take();
+            if msg.is_none() && !fixed {
+                continue;
+            }
+            let machine = part.owner_of(v) as usize;
+            per_machine[machine].applies += 1;
+            let changed = program.apply(v, &mut values[v as usize], msg.as_ref(), iteration);
+            if changed {
+                next_active[v as usize] = true;
+            }
+        }
+        if !fixed {
+            active = next_active;
+        }
+        stats.push(SpmvIteration {
+            iteration,
+            per_machine,
+            exchange,
+            active_vertices,
+        });
+    }
+
+    SpmvOutcome {
+        values,
+        iterations: stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMV programs (semirings) for the Graphalytics algorithms.
+// ---------------------------------------------------------------------------
+
+/// BFS over the (min, +1) semiring.
+pub struct BfsSpmv {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl SpmvProgram for BfsSpmv {
+    type Value = u32;
+    type Msg = u32;
+
+    fn initial_value(&self, v: VertexId, _g: &Graph) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            u32::MAX
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn send(&self, _u: VertexId, value: &u32, _w: f32) -> Option<u32> {
+        (*value != u32::MAX).then(|| value + 1)
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut u32, msg: Option<&u32>, _i: u32) -> bool {
+        match msg {
+            Some(&m) if m < *value => {
+                *value = m;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// SSSP over the (min, +w) semiring.
+pub struct SsspSpmv {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl SpmvProgram for SsspSpmv {
+    type Value = f64;
+    type Msg = f64;
+
+    fn initial_value(&self, v: VertexId, _g: &Graph) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn send(&self, _u: VertexId, value: &f64, w: f32) -> Option<f64> {
+        value.is_finite().then(|| value + w as f64)
+    }
+
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut f64, msg: Option<&f64>, _i: u32) -> bool {
+        match msg {
+            Some(&m) if m < *value => {
+                *value = m;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// WCC over the (min, id) semiring, both directions.
+pub struct WccSpmv;
+
+impl SpmvProgram for WccSpmv {
+    type Value = u32;
+    type Msg = u32;
+
+    fn initial_value(&self, v: VertexId, _g: &Graph) -> u32 {
+        v
+    }
+
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    fn send_both_directions(&self) -> bool {
+        true
+    }
+
+    fn send(&self, _u: VertexId, value: &u32, _w: f32) -> Option<u32> {
+        Some(*value)
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut u32, msg: Option<&u32>, _i: u32) -> bool {
+        match msg {
+            Some(&m) if m < *value => {
+                *value = m;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// PageRank over the (+, ×) semiring with dangling redistribution.
+pub struct PageRankSpmv {
+    /// Damping factor.
+    pub damping: f64,
+    dangling: f64,
+    out_degrees: Vec<u32>,
+}
+
+impl PageRankSpmv {
+    /// Creates the program for a graph (degrees are captured up front, as
+    /// GraphMat stores them with the matrix).
+    pub fn new(g: &Graph, damping: f64) -> Self {
+        PageRankSpmv {
+            damping,
+            dangling: 0.0,
+            out_degrees: (0..g.num_vertices()).map(|v| g.out_degree(v)).collect(),
+        }
+    }
+}
+
+impl SpmvProgram for PageRankSpmv {
+    type Value = f64;
+    type Msg = f64;
+
+    fn initial_value(&self, _v: VertexId, g: &Graph) -> f64 {
+        1.0 / g.num_vertices() as f64
+    }
+
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    fn send(&self, u: VertexId, value: &f64, _w: f32) -> Option<f64> {
+        let deg = self.out_degrees[u as usize];
+        (deg > 0).then(|| value / deg as f64)
+    }
+
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut f64, msg: Option<&f64>, _i: u32) -> bool {
+        let n = self.out_degrees.len() as f64;
+        *value = (1.0 - self.damping) / n
+            + self.damping * self.dangling / n
+            + self.damping * msg.copied().unwrap_or(0.0);
+        true
+    }
+
+    fn pre_iteration(&mut self, _i: u32, values: &[f64], g: &Graph) {
+        self.dangling = (0..g.num_vertices())
+            .filter(|&v| g.out_degree(v) == 0)
+            .map(|v| values[v as usize])
+            .sum();
+    }
+}
+
+/// CDLP with label-histogram messages (GraphMat's generalized semiring
+/// allows non-scalar message types).
+pub struct CdlpSpmv;
+
+impl SpmvProgram for CdlpSpmv {
+    type Value = u32;
+    type Msg = std::collections::BTreeMap<u32, u32>;
+
+    fn initial_value(&self, v: VertexId, _g: &Graph) -> u32 {
+        v
+    }
+
+    fn initially_active(&self, _v: VertexId) -> bool {
+        true
+    }
+
+    fn send_both_directions(&self) -> bool {
+        true
+    }
+
+    fn send(&self, _u: VertexId, value: &u32, _w: f32) -> Option<Self::Msg> {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(*value, 1);
+        Some(m)
+    }
+
+    fn combine(&self, mut a: Self::Msg, b: Self::Msg) -> Self::Msg {
+        for (l, c) in b {
+            *a.entry(l).or_insert(0) += c;
+        }
+        a
+    }
+
+    fn apply(&self, _v: VertexId, value: &mut u32, msg: Option<&Self::Msg>, _i: u32) -> bool {
+        let Some(counts) = msg else { return false };
+        let mut best = (*value, 0u32);
+        for (&l, &c) in counts {
+            if c > best.1 {
+                best = (l, c);
+            }
+        }
+        if best.1 == 0 {
+            return false;
+        }
+        let changed = *value != best.0;
+        *value = best.0;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsim_graph::algos;
+    use gpsim_graph::gen::{datagen_like, with_uniform_weights, GenConfig};
+
+    fn graph() -> Graph {
+        datagen_like(&GenConfig::datagen(1_500, 55))
+    }
+
+    fn part(g: &Graph) -> BlockPartition {
+        BlockPartition::by_edges(g, 8)
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = graph();
+        let p = part(&g);
+        let out = run(
+            &g,
+            &p,
+            &mut BfsSpmv { source: 4 },
+            IterationMode::Converge { max: 1_000 },
+        );
+        assert_eq!(out.values, algos::bfs(&g, 4));
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let g = with_uniform_weights(&graph(), 3.0, 8);
+        let p = part(&g);
+        let out = run(
+            &g,
+            &p,
+            &mut SsspSpmv { source: 4 },
+            IterationMode::Converge { max: 10_000 },
+        );
+        let reference = algos::sssp(&g, 4);
+        for (a, b) in out.values.iter().zip(&reference) {
+            if b.is_infinite() {
+                assert!(a.is_infinite());
+            } else {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_matches_reference() {
+        let g = graph();
+        let p = part(&g);
+        let out = run(&g, &p, &mut WccSpmv, IterationMode::Converge { max: 1_000 });
+        assert_eq!(out.values, algos::wcc(&g));
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let g = graph();
+        let p = part(&g);
+        let mut prog = PageRankSpmv::new(&g, 0.85);
+        let out = run(&g, &p, &mut prog, IterationMode::Fixed(10));
+        let reference = algos::pagerank(&g, 10, 0.85);
+        for (a, b) in out.values.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cdlp_matches_reference() {
+        let g = graph();
+        let p = part(&g);
+        let out = run(&g, &p, &mut CdlpSpmv, IterationMode::Fixed(5));
+        assert_eq!(out.values, algos::cdlp(&g, 5));
+    }
+
+    #[test]
+    fn exchange_matrix_consistent() {
+        let g = graph();
+        let p = part(&g);
+        let out = run(
+            &g,
+            &p,
+            &mut BfsSpmv { source: 4 },
+            IterationMode::Converge { max: 1_000 },
+        );
+        for it in &out.iterations {
+            let sent: u64 = it.per_machine.iter().map(|m| m.messages_sent).sum();
+            let recv: u64 = it.per_machine.iter().map(|m| m.messages_received).sum();
+            let matrix: u64 = it.exchange.iter().flatten().sum();
+            assert_eq!(sent, recv);
+            assert_eq!(sent, matrix);
+        }
+    }
+
+    #[test]
+    fn first_pagerank_iteration_touches_all_edges() {
+        let g = graph();
+        let p = part(&g);
+        let mut prog = PageRankSpmv::new(&g, 0.85);
+        let out = run(&g, &p, &mut prog, IterationMode::Fixed(1));
+        let edges: u64 = out.iterations[0]
+            .per_machine
+            .iter()
+            .map(|m| m.edges_processed)
+            .sum();
+        assert_eq!(edges, g.num_edges());
+    }
+}

@@ -1,0 +1,226 @@
+//! Stacked runtime-decomposition bars: paper Figure 5.
+//!
+//! One row per job, segments for the domain phases, with the dual
+//! percent/seconds axis of the original figure.
+
+use crate::svg::{SvgCanvas, PALETTE};
+
+/// One segment of a bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Segment label, e.g. `"LoadGraph"`.
+    pub label: String,
+    /// Duration, µs.
+    pub duration_us: u64,
+}
+
+/// One bar: a job decomposed into segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Row label, e.g. `"Giraph"`.
+    pub label: String,
+    /// Segments in display order.
+    pub segments: Vec<Segment>,
+    /// Total runtime, µs (segments may not cover it fully).
+    pub total_us: u64,
+}
+
+impl BreakdownRow {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, total_us: u64) -> Self {
+        BreakdownRow {
+            label: label.into(),
+            segments: Vec::new(),
+            total_us,
+        }
+    }
+
+    /// Appends a segment.
+    pub fn with_segment(mut self, label: impl Into<String>, duration_us: u64) -> Self {
+        self.segments.push(Segment {
+            label: label.into(),
+            duration_us,
+        });
+        self
+    }
+}
+
+/// A Figure-5-style chart.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownChart {
+    rows: Vec<BreakdownRow>,
+}
+
+impl BreakdownChart {
+    /// Creates an empty chart.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row.
+    pub fn add_row(&mut self, row: BreakdownRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders as terminal text: one bar per row plus a dual axis, e.g.
+    ///
+    /// ```text
+    /// Giraph     |SSSSSSS|LLLLLLLLLLL|PPPPPPP|  81.59s
+    ///             Startup 30.9%  LoadGraph 43.3% ...
+    /// ```
+    pub fn render_text(&self, bar_width: usize) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            if row.total_us == 0 {
+                continue;
+            }
+            let mut bar = String::new();
+            let mut legend = Vec::new();
+            for (i, seg) in row.segments.iter().enumerate() {
+                let frac = seg.duration_us as f64 / row.total_us as f64;
+                let cells = (frac * bar_width as f64).round() as usize;
+                let ch = seg.label.chars().next().unwrap_or('?');
+                for _ in 0..cells {
+                    bar.push(ch);
+                }
+                legend.push(format!("{}={} {:.1}%", ch, seg.label, 100.0 * frac));
+                let _ = i;
+            }
+            // Pad/truncate to the exact bar width (rounding drift).
+            let bar: String = bar.chars().take(bar_width).collect();
+            let pad = bar_width.saturating_sub(bar.chars().count());
+            out.push_str(&format!(
+                "{:<12} |{}{}| {:>8.2}s\n",
+                row.label,
+                bar,
+                " ".repeat(pad),
+                row.total_us as f64 / 1e6
+            ));
+            out.push_str(&format!("{:<12}  {}\n", "", legend.join("  ")));
+        }
+        // Percent axis.
+        out.push_str(&format!(
+            "{:<12}  {}\n",
+            "",
+            axis_line(bar_width, &["0%", "20%", "40%", "60%", "80%", "100%"])
+        ));
+        out
+    }
+
+    /// Renders as SVG with per-segment colors and a percent axis.
+    pub fn render_svg(&self) -> String {
+        let (w, row_h, left, top) = (720.0, 42.0, 110.0, 24.0);
+        let bar_w = w - left - 90.0;
+        let h = top + self.rows.len() as f64 * row_h + 40.0;
+        let mut c = SvgCanvas::new(w, h);
+        // Percent gridlines.
+        for pct in [0, 20, 40, 60, 80, 100] {
+            let x = left + bar_w * pct as f64 / 100.0;
+            c.line(x, top - 6.0, x, h - 34.0, "#dddddd", 1.0);
+            c.text(x - 10.0, h - 20.0, 11.0, &format!("{pct}%"));
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            let y = top + r as f64 * row_h;
+            c.text(4.0, y + 18.0, 12.0, &row.label);
+            if row.total_us == 0 {
+                continue;
+            }
+            let mut x = left;
+            for (i, seg) in row.segments.iter().enumerate() {
+                let frac = seg.duration_us as f64 / row.total_us as f64;
+                let sw = bar_w * frac;
+                c.rect(x, y, sw, row_h - 14.0, PALETTE[i % PALETTE.len()]);
+                if sw > 60.0 {
+                    c.text(
+                        x + 4.0,
+                        y + 17.0,
+                        10.0,
+                        &format!("{} {:.1}%", seg.label, frac * 100.0),
+                    );
+                }
+                x += sw;
+            }
+            c.text(
+                left + bar_w + 6.0,
+                y + 18.0,
+                11.0,
+                &format!("{:.2}s", row.total_us as f64 / 1e6),
+            );
+        }
+        c.finish()
+    }
+}
+
+fn axis_line(width: usize, labels: &[&str]) -> String {
+    // Leave room for the final label to extend past the bar edge.
+    let mut line = vec![b' '; width + 6];
+    let n = labels.len();
+    for (i, l) in labels.iter().enumerate() {
+        let pos = (width as f64 * i as f64 / (n - 1) as f64) as usize;
+        for (j, b) in l.bytes().enumerate() {
+            if pos + j < line.len() {
+                line[pos + j] = b;
+            }
+        }
+    }
+    String::from_utf8(line).expect("ascii axis")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BreakdownChart {
+        let mut c = BreakdownChart::new();
+        c.add_row(
+            BreakdownRow::new("Giraph", 100_000_000)
+                .with_segment("Setup", 31_000_000)
+                .with_segment("IO", 43_000_000)
+                .with_segment("Proc", 26_000_000),
+        );
+        c.add_row(
+            BreakdownRow::new("PowerGraph", 400_000_000)
+                .with_segment("Setup", 8_000_000)
+                .with_segment("IO", 380_000_000)
+                .with_segment("Proc", 12_000_000),
+        );
+        c
+    }
+
+    #[test]
+    fn text_render_shows_rows_percentages_and_axis() {
+        let s = chart().render_text(50);
+        assert!(s.contains("Giraph"));
+        assert!(s.contains("PowerGraph"));
+        assert!(s.contains("IO 43.0%"));
+        assert!(s.contains("IO 95.0%"));
+        assert!(s.contains("100.00s"));
+        assert!(s.contains("100%"));
+    }
+
+    #[test]
+    fn bar_lengths_reflect_fractions() {
+        let s = chart().render_text(100);
+        let giraph_line = s.lines().next().unwrap();
+        // 43% of 100 cells of the 'I' segment.
+        assert_eq!(giraph_line.matches('I').count(), 43);
+        assert_eq!(giraph_line.matches('S').count(), 31);
+    }
+
+    #[test]
+    fn zero_total_rows_are_skipped() {
+        let mut c = BreakdownChart::new();
+        c.add_row(BreakdownRow::new("Empty", 0).with_segment("X", 0));
+        let s = c.render_text(20);
+        assert!(!s.contains("Empty"));
+    }
+
+    #[test]
+    fn svg_contains_segments_and_axis() {
+        let s = chart().render_svg();
+        assert!(s.contains("<svg"));
+        assert!(s.matches("<rect").count() >= 6);
+        assert!(s.contains("100%"));
+        assert!(s.contains("400.00s"));
+    }
+}

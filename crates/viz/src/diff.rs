@@ -1,0 +1,225 @@
+//! Archive diffing: where did the time go between two runs?
+//!
+//! Matches operations across two archives by their hierarchical path
+//! (`GiraphJob-0/ProcessGraph-0/Superstep-4/...`) and reports the largest
+//! duration changes — the drill-down view behind a failed performance-
+//! regression check.
+
+use std::collections::BTreeMap;
+
+use granula_archive::JobArchive;
+use granula_model::{OpId, OperationTree};
+
+/// One matched (or unmatched) operation pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Hierarchical operation path.
+    pub path: String,
+    /// Duration in the baseline, µs (`None` = operation absent there).
+    pub baseline_us: Option<u64>,
+    /// Duration in the candidate, µs.
+    pub candidate_us: Option<u64>,
+}
+
+impl DiffRow {
+    /// Absolute duration change, µs (positive = candidate slower). Missing
+    /// sides count as zero, so an appearing operation is all-regression.
+    pub fn delta_us(&self) -> i64 {
+        self.candidate_us.unwrap_or(0) as i64 - self.baseline_us.unwrap_or(0) as i64
+    }
+
+    /// Relative change; `None` when the baseline is absent or zero.
+    pub fn relative(&self) -> Option<f64> {
+        let base = self.baseline_us? as f64;
+        if base == 0.0 {
+            return None;
+        }
+        Some(self.delta_us() as f64 / base)
+    }
+}
+
+fn paths_of(tree: &OperationTree) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(root) = tree.root() else { return out };
+    let mut stack: Vec<(OpId, String)> = vec![(root, tree.op(root).label())];
+    while let Some((id, path)) = stack.pop() {
+        let op = tree.op(id);
+        if let Some(d) = op.duration_us() {
+            out.insert(path.clone(), d);
+        }
+        for &c in &op.children {
+            stack.push((c, format!("{path}/{}", tree.op(c).label())));
+        }
+    }
+    out
+}
+
+/// Diffs two archives; rows sorted by |delta| descending, unchanged
+/// operations (|delta| < `min_delta_us`) omitted.
+pub fn diff_archives(
+    baseline: &JobArchive,
+    candidate: &JobArchive,
+    min_delta_us: u64,
+) -> Vec<DiffRow> {
+    let a = paths_of(&baseline.tree);
+    let b = paths_of(&candidate.tree);
+    let mut rows = Vec::new();
+    for (path, &dur) in &a {
+        rows.push(DiffRow {
+            path: path.clone(),
+            baseline_us: Some(dur),
+            candidate_us: b.get(path).copied(),
+        });
+    }
+    for (path, &dur) in &b {
+        if !a.contains_key(path) {
+            rows.push(DiffRow {
+                path: path.clone(),
+                baseline_us: None,
+                candidate_us: Some(dur),
+            });
+        }
+    }
+    rows.retain(|r| r.delta_us().unsigned_abs() >= min_delta_us);
+    // Largest change first; ties broken toward deeper (more specific) paths,
+    // since a child explains its parent.
+    rows.sort_by_key(|r| {
+        (
+            std::cmp::Reverse(r.delta_us().unsigned_abs()),
+            std::cmp::Reverse(r.path.matches('/').count()),
+        )
+    });
+    rows
+}
+
+/// Renders a diff as a signed-bar text table (top `limit` rows).
+pub fn render_diff(rows: &[DiffRow], limit: usize) -> String {
+    if rows.is_empty() {
+        return String::from("(no differences above threshold)\n");
+    }
+    let max_delta = rows
+        .iter()
+        .map(|r| r.delta_us().unsigned_abs())
+        .max()
+        .expect("non-empty") as f64;
+    let mut out = format!(
+        "{:<56} {:>10} {:>10} {:>9}  {}\n",
+        "operation path", "baseline", "candidate", "change", "impact"
+    );
+    for r in rows.iter().take(limit) {
+        let delta = r.delta_us();
+        let bar_len = ((delta.unsigned_abs() as f64 / max_delta) * 16.0).round() as usize;
+        let bar: String = if delta >= 0 {
+            format!("+{}", "#".repeat(bar_len))
+        } else {
+            format!("-{}", "#".repeat(bar_len))
+        };
+        let fmt_side = |v: Option<u64>| match v {
+            Some(us) => format!("{:.2}s", us as f64 / 1e6),
+            None => "-".into(),
+        };
+        let change = match r.relative() {
+            Some(rel) => format!("{:+.1}%", 100.0 * rel),
+            None => "new".into(),
+        };
+        // Deep paths: keep the tail, which names the operation.
+        let path = if r.path.len() > 54 {
+            format!("…{}", &r.path[r.path.len() - 53..])
+        } else {
+            r.path.clone()
+        };
+        out.push_str(&format!(
+            "{:<56} {:>10} {:>10} {:>9}  {}\n",
+            path,
+            fmt_side(r.baseline_us),
+            fmt_side(r.candidate_us),
+            change,
+            bar
+        ));
+    }
+    if rows.len() > limit {
+        out.push_str(&format!("… {} more rows\n", rows.len() - limit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission};
+
+    fn archive(load_us: i64, extra_op: bool) -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(
+            job,
+            Info::raw(names::END_TIME, InfoValue::Int(load_us + 50)),
+        )
+        .unwrap();
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("Load", "0"))
+            .unwrap();
+        t.set_info(load, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(load, Info::raw(names::END_TIME, InfoValue::Int(load_us)))
+            .unwrap();
+        if extra_op {
+            let x = t
+                .add_child(job, Actor::new("Job", "0"), Mission::new("Extra", "0"))
+                .unwrap();
+            t.set_info(x, Info::raw(names::START_TIME, InfoValue::Int(load_us)))
+                .unwrap();
+            t.set_info(x, Info::raw(names::END_TIME, InfoValue::Int(load_us + 30)))
+                .unwrap();
+        }
+        JobArchive::new(JobMeta::default(), t)
+    }
+
+    #[test]
+    fn diff_ranks_largest_change_first() {
+        let rows = diff_archives(&archive(100, false), &archive(400, false), 1);
+        assert_eq!(rows.len(), 2); // job + load both changed
+        assert!(rows[0].path.ends_with("Load-0 @ Job-0"));
+        assert_eq!(rows[0].delta_us(), 300);
+        assert!((rows[0].relative().unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn appearing_operation_reported_as_new() {
+        let rows = diff_archives(&archive(100, false), &archive(100, true), 1);
+        let extra = rows
+            .iter()
+            .find(|r| r.path.contains("Extra"))
+            .expect("found");
+        assert_eq!(extra.baseline_us, None);
+        assert_eq!(extra.relative(), None);
+        assert_eq!(extra.delta_us(), 30);
+    }
+
+    #[test]
+    fn threshold_filters_noise() {
+        let rows = diff_archives(&archive(100, false), &archive(102, false), 10);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn render_shows_bars_and_truncates() {
+        let rows = diff_archives(&archive(100, false), &archive(400, true), 1);
+        let text = render_diff(&rows, 2);
+        assert!(text.contains("+################"));
+        assert!(text.contains("more rows"));
+        assert!(text.contains("+300.0%"));
+        assert_eq!(render_diff(&[], 5), "(no differences above threshold)\n");
+    }
+
+    #[test]
+    fn identical_archives_diff_empty() {
+        let rows = diff_archives(&archive(100, true), &archive(100, true), 1);
+        assert!(rows.is_empty());
+    }
+}

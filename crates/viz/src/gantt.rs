@@ -1,0 +1,319 @@
+//! Per-worker operation Gantt charts: paper Figure 8.
+//!
+//! One row per actor (worker), one bar per operation instance, over a time
+//! window. Rendering Compute operations against their PreStep/PostStep
+//! siblings exposes both superstep skew (Compute-4 longer than the rest)
+//! and worker imbalance (fast workers idling at the barrier).
+
+use granula_archive::JobArchive;
+use granula_model::Operation;
+
+use crate::svg::{SvgCanvas, PALETTE};
+
+/// A bar to draw: `(actor label, mission label, start, end, emphasized)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Bar {
+    actor: String,
+    mission: String,
+    start_us: u64,
+    end_us: u64,
+    emphasized: bool,
+}
+
+/// A Figure-8-style chart builder.
+#[derive(Debug, Clone)]
+pub struct GanttChart {
+    bars: Vec<Bar>,
+    window: Option<(u64, u64)>,
+}
+
+impl GanttChart {
+    /// Collects all operations of the given mission kinds from the archive,
+    /// one row per distinct actor. `emphasized_kind` (e.g. `"Compute"`) is
+    /// drawn solid; everything else is drawn as overhead.
+    pub fn from_archive(
+        archive: &JobArchive,
+        mission_kinds: &[&str],
+        emphasized_kind: &str,
+    ) -> Self {
+        let mut bars = Vec::new();
+        let collect = |op: &Operation, bars: &mut Vec<Bar>| {
+            if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                bars.push(Bar {
+                    actor: op.actor.to_string(),
+                    mission: op.mission.to_string(),
+                    start_us: s,
+                    end_us: e,
+                    emphasized: op.mission.kind == emphasized_kind,
+                });
+            }
+        };
+        for kind in mission_kinds {
+            for op in archive.tree.by_mission_kind(kind) {
+                collect(op, &mut bars);
+            }
+        }
+        bars.sort_by(|a, b| a.actor.cmp(&b.actor).then(a.start_us.cmp(&b.start_us)));
+        GanttChart { bars, window: None }
+    }
+
+    /// Restricts rendering to a time window.
+    pub fn with_window(mut self, start_us: u64, end_us: u64) -> Self {
+        self.window = Some((start_us, end_us));
+        self
+    }
+
+    fn effective_window(&self) -> Option<(u64, u64)> {
+        if let Some(w) = self.window {
+            return Some(w);
+        }
+        let lo = self.bars.iter().map(|b| b.start_us).min()?;
+        let hi = self.bars.iter().map(|b| b.end_us).max()?;
+        Some((lo, hi))
+    }
+
+    fn rows(&self) -> Vec<String> {
+        let mut rows: Vec<String> = self.bars.iter().map(|b| b.actor.clone()).collect();
+        rows.dedup();
+        rows
+    }
+
+    /// Renders as terminal text: emphasized bars as `#`, overhead as `.`,
+    /// idle as spaces.
+    pub fn render_text(&self, width: usize) -> String {
+        let Some((lo, hi)) = self.effective_window() else {
+            return String::from("(no operations)\n");
+        };
+        if hi <= lo {
+            return String::from("(empty window)\n");
+        }
+        let col = |t: u64| -> usize {
+            (((t.clamp(lo, hi) - lo) as f64 / (hi - lo) as f64) * (width - 1) as f64) as usize
+        };
+        let mut out = String::new();
+        for actor in self.rows() {
+            let mut line = vec![b' '; width];
+            for b in self.bars.iter().filter(|b| b.actor == actor) {
+                if b.end_us < lo || b.start_us > hi {
+                    continue;
+                }
+                let (a, z) = (col(b.start_us), col(b.end_us));
+                for cell in line.iter_mut().take(z + 1).skip(a) {
+                    // Emphasized work overwrites overhead marks.
+                    if b.emphasized {
+                        *cell = b'#';
+                    } else if *cell == b' ' {
+                        *cell = b'.';
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "{:<10} |{}|\n",
+                actor,
+                String::from_utf8(line).expect("ascii gantt")
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10}  {:.2}s{}{:.2}s   (#=computation, .=overhead)\n",
+            "",
+            lo as f64 / 1e6,
+            " ".repeat(width.saturating_sub(12)),
+            hi as f64 / 1e6
+        ));
+        out
+    }
+
+    /// Renders as SVG: emphasized bars in color (per mission id), overhead
+    /// in gray — the visual of Figure 8.
+    pub fn render_svg(&self) -> String {
+        let Some((lo, hi)) = self.effective_window() else {
+            return SvgCanvas::new(300.0, 60.0).finish();
+        };
+        let rows = self.rows();
+        let (left, top, row_h) = (86.0, 16.0, 26.0);
+        let w = 780.0;
+        let plot_w = w - left - 16.0;
+        let h = top + rows.len() as f64 * row_h + 40.0;
+        let mut c = SvgCanvas::new(w, h);
+        let x_of = |t: u64| left + plot_w * (t.clamp(lo, hi) - lo) as f64 / (hi - lo).max(1) as f64;
+        for (r, actor) in rows.iter().enumerate() {
+            let y = top + r as f64 * row_h;
+            c.text(4.0, y + 15.0, 11.0, actor);
+            for b in self.bars.iter().filter(|b| &b.actor == actor) {
+                if b.end_us < lo || b.start_us > hi {
+                    continue;
+                }
+                let (x0, x1) = (x_of(b.start_us), x_of(b.end_us));
+                if b.emphasized {
+                    // Color by mission id so e.g. Compute-4 aligns vertically.
+                    let idx = b
+                        .mission
+                        .rsplit('-')
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or(0);
+                    c.rect(
+                        x0,
+                        y + 2.0,
+                        x1 - x0,
+                        row_h - 8.0,
+                        PALETTE[idx % PALETTE.len()],
+                    );
+                    if x1 - x0 > 56.0 {
+                        c.text(x0 + 2.0, y + 15.0, 9.0, &b.mission);
+                    }
+                } else {
+                    c.rect(x0, y + 6.0, x1 - x0, row_h - 16.0, "#c9c9c9");
+                }
+            }
+        }
+        c.text(left, h - 10.0, 10.0, &format!("{:.2}s", lo as f64 / 1e6));
+        c.text(
+            w - 60.0,
+            h - 10.0,
+            10.0,
+            &format!("{:.2}s", hi as f64 / 1e6),
+        );
+        c.finish()
+    }
+
+    /// Number of bars collected.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True when no bars were collected.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use granula_archive::{JobArchive, JobMeta};
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn one_bar() -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let c = t
+            .add_child(
+                job,
+                Actor::new("Worker", "0"),
+                Mission::new("Compute", "12"),
+            )
+            .unwrap();
+        t.set_info(c, Info::raw(names::START_TIME, InfoValue::Int(1_000_000)))
+            .unwrap();
+        t.set_info(c, Info::raw(names::END_TIME, InfoValue::Int(2_000_000)))
+            .unwrap();
+        JobArchive::new(JobMeta::default(), t)
+    }
+
+    #[test]
+    fn degenerate_window_renders_placeholder() {
+        let g = GanttChart::from_archive(&one_bar(), &["Compute"], "Compute").with_window(5, 5);
+        assert_eq!(g.render_text(40), "(empty window)\n");
+    }
+
+    #[test]
+    fn svg_colors_by_mission_id() {
+        // Mission id 12 -> palette index 12 % len.
+        let s = GanttChart::from_archive(&one_bar(), &["Compute"], "Compute").render_svg();
+        assert!(s.contains(crate::svg::PALETTE[12 % crate::svg::PALETTE.len()]));
+    }
+
+    #[test]
+    fn bars_outside_window_do_not_render() {
+        let g =
+            GanttChart::from_archive(&one_bar(), &["Compute"], "Compute").with_window(0, 500_000);
+        let text = g.render_text(40);
+        // Row exists but carries no computation cells inside the window.
+        assert!(text.contains("Worker-0"));
+        let row = text.lines().next().unwrap();
+        assert!(!row.contains('#'), "{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn archive() -> JobArchive {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        for w in 0..2u32 {
+            for (s, a, b) in [(0u32, 0i64, 40i64), (1, 50, 90)] {
+                let pre = t
+                    .add_child(
+                        job,
+                        Actor::new("Worker", w.to_string()),
+                        Mission::new("PreStep", s.to_string()),
+                    )
+                    .unwrap();
+                t.set_info(pre, Info::raw(names::START_TIME, InfoValue::Int(a)))
+                    .unwrap();
+                t.set_info(pre, Info::raw(names::END_TIME, InfoValue::Int(a + 5)))
+                    .unwrap();
+                let cmp = t
+                    .add_child(
+                        job,
+                        Actor::new("Worker", w.to_string()),
+                        Mission::new("Compute", s.to_string()),
+                    )
+                    .unwrap();
+                t.set_info(cmp, Info::raw(names::START_TIME, InfoValue::Int(a + 5)))
+                    .unwrap();
+                t.set_info(
+                    cmp,
+                    Info::raw(names::END_TIME, InfoValue::Int(b - (w as i64) * 10)),
+                )
+                .unwrap();
+            }
+        }
+        JobArchive::new(JobMeta::default(), t)
+    }
+
+    #[test]
+    fn collects_rows_per_worker() {
+        let g = GanttChart::from_archive(&archive(), &["Compute", "PreStep"], "Compute");
+        assert_eq!(g.len(), 8);
+        let s = g.render_text(60);
+        assert!(s.contains("Worker-0"));
+        assert!(s.contains("Worker-1"));
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn empty_archive_renders_placeholder() {
+        let a = JobArchive::new(JobMeta::default(), OperationTree::new());
+        let g = GanttChart::from_archive(&a, &["Compute"], "Compute");
+        assert!(g.is_empty());
+        assert_eq!(g.render_text(40), "(no operations)\n");
+    }
+
+    #[test]
+    fn window_filters_bars() {
+        let g = GanttChart::from_archive(&archive(), &["Compute"], "Compute").with_window(0, 45);
+        let s = g.render_text(40);
+        // Second superstep (starting at 50) excluded from the window; bars
+        // beyond the window do not mark cells at the left edge.
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn svg_emphasizes_compute() {
+        let s =
+            GanttChart::from_archive(&archive(), &["Compute", "PreStep"], "Compute").render_svg();
+        assert!(s.contains("#c9c9c9")); // overhead gray present
+        assert!(s.matches("<rect").count() >= 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! # granula-viz
+//!
+//! The Granula **visualization** stage (paper §3.3, P4): archived
+//! performance results rendered as human-readable visuals for efficient
+//! navigation and presentation among analysts.
+//!
+//! Renderers mirror the paper's figures:
+//!
+//! * [`breakdown`] — stacked runtime-decomposition bars (Figure 5),
+//! * [`timeline`] — per-node resource series mapped onto operation phases
+//!   (Figures 6–7),
+//! * [`gantt`] — per-worker operation charts exposing imbalance (Figure 8),
+//! * [`tree`] — performance-model and operation hierarchies (Figures 1, 4),
+//! * [`report`] — a self-contained HTML report combining everything.
+//!
+//! Every renderer has a plain-text (terminal) output; the timeline,
+//! breakdown, and gantt renderers also emit dependency-free SVG via
+//! [`svg::SvgCanvas`].
+
+pub mod breakdown;
+pub mod diff;
+pub mod gantt;
+pub mod report;
+pub mod svg;
+pub mod timeline;
+pub mod tree;
+
+pub use breakdown::{BreakdownChart, BreakdownRow, Segment};
+pub use diff::{diff_archives, render_diff, DiffRow};
+pub use gantt::GanttChart;
+pub use svg::SvgCanvas;
+pub use timeline::TimelineChart;

@@ -1,0 +1,157 @@
+//! A minimal, dependency-free SVG canvas.
+//!
+//! Only the primitives the chart renderers need: rectangles, lines,
+//! polylines, and text. Coordinates are f64 user units; all output is
+//! escaped and deterministic.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn fmt_f(v: f64) -> String {
+    // Two decimals are plenty for chart coordinates and keep files small.
+    format!("{v:.2}")
+}
+
+impl SvgCanvas {
+    /// Creates a canvas of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"/>"#,
+            fmt_f(x),
+            fmt_f(y),
+            fmt_f(w.max(0.0)),
+            fmt_f(h.max(0.0)),
+            esc(fill)
+        );
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_f(x1),
+            fmt_f(y1),
+            fmt_f(x2),
+            fmt_f(y2),
+            esc(stroke),
+            fmt_f(width)
+        );
+    }
+
+    /// Adds a polyline through the points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt_f(x), fmt_f(y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            esc(stroke),
+            fmt_f(width)
+        );
+    }
+
+    /// Adds text anchored at `(x, y)`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif">{}</text>"#,
+            fmt_f(x),
+            fmt_f(y),
+            fmt_f(size),
+            esc(content)
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            fmt_f(self.width),
+            fmt_f(self.height),
+            fmt_f(self.width),
+            fmt_f(self.height),
+            self.body
+        )
+    }
+}
+
+/// A small categorical palette (color-blind-safe-ish, stable order).
+pub const PALETTE: [&str; 8] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#222255",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_is_valid() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.rect(0.0, 0.0, 10.0, 10.0, "#fff");
+        c.line(0.0, 0.0, 5.0, 5.0, "black", 1.0);
+        c.polyline(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)], "red", 0.5);
+        c.text(1.0, 1.0, 12.0, "hello <world> & \"quotes\"");
+        let s = c.finish();
+        assert!(s.starts_with("<svg "));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains("&lt;world&gt; &amp; &quot;quotes&quot;"));
+        assert_eq!(s.matches("<rect").count(), 1);
+        assert_eq!(s.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn degenerate_polyline_is_skipped() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.polyline(&[(0.0, 0.0)], "red", 1.0);
+        assert!(!c.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn negative_rect_sizes_clamp_to_zero() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.rect(0.0, 0.0, -5.0, 5.0, "#000");
+        assert!(c.finish().contains(r#"width="0.00""#));
+    }
+}

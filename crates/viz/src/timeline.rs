@@ -1,0 +1,275 @@
+//! Resource-usage timelines mapped onto operation phases: Figures 6–7.
+//!
+//! Per-node series from the environment log are drawn over the job's
+//! timeline; labeled phase bands (Startup / LoadGraph / …) show which
+//! operation each burst of usage belongs to — the mapping that let the
+//! paper's analysts spot Giraph's compute-intensive loader and
+//! PowerGraph's one-node loading.
+
+use granula_monitor::{EnvLog, ResourceKind};
+
+use crate::svg::{SvgCanvas, PALETTE};
+
+/// One labeled phase band on the time axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBand {
+    /// Label, e.g. `"LoadGraph"`.
+    pub label: String,
+    /// Band start, µs.
+    pub start_us: u64,
+    /// Band end, µs.
+    pub end_us: u64,
+}
+
+/// A Figures-6/7-style chart.
+#[derive(Debug, Clone)]
+pub struct TimelineChart<'a> {
+    env: &'a EnvLog,
+    kind: ResourceKind,
+    phases: Vec<PhaseBand>,
+}
+
+impl<'a> TimelineChart<'a> {
+    /// Creates a chart over one resource of an environment log.
+    pub fn new(env: &'a EnvLog, kind: ResourceKind) -> Self {
+        TimelineChart {
+            env,
+            kind,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Adds a phase band.
+    pub fn with_phase(mut self, label: impl Into<String>, start_us: u64, end_us: u64) -> Self {
+        self.phases.push(PhaseBand {
+            label: label.into(),
+            start_us,
+            end_us,
+        });
+        self
+    }
+
+    fn span(&self) -> (u64, u64) {
+        let series = self.env.cumulative(self.kind);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for &(t, _) in &series {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        for p in &self.phases {
+            lo = lo.min(p.start_us);
+            hi = hi.max(p.end_us);
+        }
+        if lo > hi {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Renders the cluster-cumulative series as an ASCII chart with the
+    /// phase bands underneath, `height` value rows by `width` time columns.
+    pub fn render_text(&self, width: usize, height: usize) -> String {
+        let series = self.env.cumulative(self.kind);
+        let (lo, hi) = self.span();
+        if series.is_empty() || hi <= lo {
+            return String::from("(no samples)\n");
+        }
+        let peak = series
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        // Bucket samples into columns (mean per column).
+        let mut cols = vec![0.0f64; width];
+        let mut counts = vec![0u32; width];
+        for &(t, v) in &series {
+            let c = (((t - lo) as f64 / (hi - lo) as f64) * (width - 1) as f64) as usize;
+            cols[c] += v;
+            counts[c] += 1;
+        }
+        for (c, n) in cols.iter_mut().zip(&counts) {
+            if *n > 0 {
+                *c /= *n as f64;
+            }
+        }
+        let mut out = String::new();
+        for r in (0..height).rev() {
+            let threshold = peak * (r as f64 + 0.5) / height as f64;
+            let label = if r == height - 1 {
+                format!("{peak:>8.2} ")
+            } else if r == 0 {
+                format!("{:>8.2} ", 0.0)
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&label);
+            out.push('|');
+            for &v in &cols {
+                out.push(if v >= threshold { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{}+{}\n", " ".repeat(9), "-".repeat(width)));
+        // Phase bands.
+        if !self.phases.is_empty() {
+            let mut band = vec![b' '; width];
+            for p in &self.phases {
+                let a = (((p.start_us.saturating_sub(lo)) as f64 / (hi - lo) as f64)
+                    * (width - 1) as f64) as usize;
+                let b = (((p.end_us.saturating_sub(lo)) as f64 / (hi - lo) as f64)
+                    * (width - 1) as f64) as usize;
+                let label = p.label.as_bytes();
+                let end = b.min(width - 1);
+                for (rel, cell) in band[a..=end].iter_mut().enumerate() {
+                    *cell = if rel < label.len() { label[rel] } else { b'.' };
+                }
+            }
+            out.push_str(&" ".repeat(10));
+            out.push_str(&String::from_utf8(band).expect("ascii band"));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}0s{}{:.2}s\n",
+            " ".repeat(10),
+            " ".repeat(width.saturating_sub(10)),
+            (hi - lo) as f64 / 1e6
+        ));
+        out
+    }
+
+    /// Renders per-node polylines plus phase bands as SVG (one colored line
+    /// per node, like the paper's figures).
+    pub fn render_svg(&self) -> String {
+        let (lo, hi) = self.span();
+        let (w, h, left, top, bottom) = (760.0, 320.0, 60.0, 18.0, 60.0);
+        let mut c = SvgCanvas::new(w, h);
+        if hi <= lo {
+            c.text(left, h / 2.0, 12.0, "(no samples)");
+            return c.finish();
+        }
+        let plot_w = w - left - 14.0;
+        let plot_h = h - top - bottom;
+        let nodes: Vec<String> = self.env.nodes().iter().map(|s| s.to_string()).collect();
+        let peak = nodes
+            .iter()
+            .filter_map(|n| self.env.series(n, self.kind))
+            .flat_map(|s| s.iter().map(|&(_, v)| v))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let x_of = |t: u64| left + plot_w * (t - lo) as f64 / (hi - lo) as f64;
+        let y_of = |v: f64| top + plot_h * (1.0 - v / peak);
+
+        // Phase bands (alternating light backgrounds + labels).
+        for (i, p) in self.phases.iter().enumerate() {
+            let x0 = x_of(p.start_us.max(lo));
+            let x1 = x_of(p.end_us.min(hi));
+            c.rect(
+                x0,
+                top,
+                x1 - x0,
+                plot_h,
+                if i % 2 == 0 { "#f2f2f2" } else { "#e6e6e6" },
+            );
+            c.text(x0 + 2.0, h - bottom + 14.0, 10.0, &p.label);
+        }
+        // Axes.
+        c.line(left, top, left, top + plot_h, "#333333", 1.0);
+        c.line(
+            left,
+            top + plot_h,
+            left + plot_w,
+            top + plot_h,
+            "#333333",
+            1.0,
+        );
+        c.text(2.0, top + 10.0, 10.0, &format!("{peak:.2}"));
+        c.text(2.0, top + plot_h, 10.0, "0.00");
+        c.text(
+            left + plot_w - 48.0,
+            h - bottom + 28.0,
+            10.0,
+            &format!("{:.1}s", (hi - lo) as f64 / 1e6),
+        );
+        // Per-node series.
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(series) = self.env.series(node, self.kind) {
+                let pts: Vec<(f64, f64)> = series
+                    .iter()
+                    .map(|&(t, v)| (x_of(t.clamp(lo, hi)), y_of(v)))
+                    .collect();
+                c.polyline(&pts, PALETTE[i % PALETTE.len()], 1.2);
+                c.text(
+                    left + 6.0 + (i as f64 % 4.0) * 170.0,
+                    h - 18.0 + 12.0 * ((i / 4) as f64),
+                    10.0,
+                    node,
+                );
+            }
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_monitor::ResourceSample;
+
+    fn env() -> EnvLog {
+        let mut e = EnvLog::new();
+        for t in 0..10u64 {
+            for node in ["n0", "n1"] {
+                e.push(ResourceSample {
+                    time_us: t * 1_000_000,
+                    node: node.into(),
+                    kind: ResourceKind::Cpu,
+                    value: if (3..7).contains(&t) { 8.0 } else { 0.5 },
+                });
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn text_chart_shows_burst_and_phases() {
+        let e = env();
+        let chart = TimelineChart::new(&e, ResourceKind::Cpu)
+            .with_phase("Startup", 0, 3_000_000)
+            .with_phase("LoadGraph", 3_000_000, 7_000_000)
+            .with_phase("Cleanup", 7_000_000, 9_000_000);
+        let s = chart.render_text(60, 8);
+        assert!(s.contains('#'));
+        assert!(s.contains("LoadGraph"));
+        assert!(s.contains("16.00")); // cumulative peak of two nodes
+        assert!(s.contains("9.00s"));
+    }
+
+    #[test]
+    fn empty_log_renders_placeholder() {
+        let e = EnvLog::new();
+        let s = TimelineChart::new(&e, ResourceKind::Cpu).render_text(40, 5);
+        assert_eq!(s, "(no samples)\n");
+    }
+
+    #[test]
+    fn svg_has_one_polyline_per_node() {
+        let e = env();
+        let s = TimelineChart::new(&e, ResourceKind::Cpu)
+            .with_phase("LoadGraph", 3_000_000, 7_000_000)
+            .render_svg();
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert!(s.contains("LoadGraph"));
+    }
+
+    #[test]
+    fn phase_band_is_clamped_to_width() {
+        let e = env();
+        // Band extending past the last sample must not panic.
+        let s = TimelineChart::new(&e, ResourceKind::Cpu)
+            .with_phase("Tail", 8_000_000, 30_000_000)
+            .render_text(30, 4);
+        assert!(s.contains("Tail"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Tree renderers: performance models (Figure 4) and operation hierarchies
+//! (Figure 1).
+
+use granula_model::{AbstractionLevel, OperationTree, PerformanceModel};
+
+/// Renders a performance model as an indented tree grouped by parent, with
+/// level annotations — a textual Figure 4.
+pub fn render_model(model: &PerformanceModel) -> String {
+    let mut out = format!(
+        "Performance model `{}` for platform {} ({} operation types, {} levels)\n",
+        model.name,
+        model.platform,
+        model.types.len(),
+        model.max_depth()
+    );
+    // Roots are types without parents.
+    let roots: Vec<_> = model.types.iter().filter(|t| t.parent.is_none()).collect();
+    for root in roots {
+        render_model_rec(model, &root.id, 0, &mut out);
+    }
+    out
+}
+
+fn render_model_rec(
+    model: &PerformanceModel,
+    id: &granula_model::OperationTypeId,
+    indent: usize,
+    out: &mut String,
+) {
+    let Some(ty) = model.get_type(id) else { return };
+    let mut flags = Vec::new();
+    if ty.iterative {
+        flags.push("iterative");
+    }
+    if ty.parallel {
+        flags.push("parallel");
+    }
+    let flags = if flags.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", flags.join(","))
+    };
+    out.push_str(&format!(
+        "{}{} @ {}  (level {}{})\n",
+        "  ".repeat(indent),
+        ty.id.mission_kind,
+        ty.id.actor_kind,
+        ty.level.depth(),
+        flags
+    ));
+    if !ty.description.is_empty() {
+        out.push_str(&format!("{}  ~ {}\n", "  ".repeat(indent), ty.description));
+    }
+    let children: Vec<_> = model
+        .types
+        .iter()
+        .filter(|t| t.parent.as_ref() == Some(id))
+        .map(|t| t.id.clone())
+        .collect();
+    for child in children {
+        render_model_rec(model, &child, indent + 1, out);
+    }
+}
+
+/// Renders an observed operation tree with durations and info counts — a
+/// textual Figure 1. `max_depth` prunes the output (0 = root only).
+pub fn render_operation_tree(tree: &OperationTree, max_depth: usize) -> String {
+    let mut out = String::new();
+    let Some(root) = tree.root() else {
+        return String::from("(empty tree)\n");
+    };
+    let mut stack = vec![(root, 0usize)];
+    while let Some((id, depth)) = stack.pop() {
+        let op = tree.op(id);
+        let duration = op
+            .duration_us()
+            .map(|d| format!("{:.3}s", d as f64 / 1e6))
+            .unwrap_or_else(|| "?".into());
+        out.push_str(&format!(
+            "{}{}  [{} | {} infos]\n",
+            "  ".repeat(depth),
+            op.label(),
+            duration,
+            op.infos.len()
+        ));
+        if depth < max_depth {
+            for &c in op.children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        } else if !op.children.is_empty() {
+            out.push_str(&format!(
+                "{}… {} filial operations pruned\n",
+                "  ".repeat(depth + 1),
+                tree.subtree(id).len() - 1
+            ));
+        }
+    }
+    out
+}
+
+/// Renders only the types at one abstraction level (the "focus only on the
+/// system components of interest" view of R3).
+pub fn render_level(model: &PerformanceModel, level: AbstractionLevel) -> String {
+    let mut out = format!("Level {} of `{}`:\n", level.depth(), model.name);
+    for ty in model.types_at(level) {
+        out.push_str(&format!(
+            "  {} @ {}\n",
+            ty.id.mission_kind, ty.id.actor_kind
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTypeDef};
+
+    fn model() -> PerformanceModel {
+        PerformanceModel::new("m", "P")
+            .with_type(OperationTypeDef::new(
+                "Job",
+                "Job",
+                AbstractionLevel::Domain,
+            ))
+            .with_type(
+                OperationTypeDef::new("Job", "LoadGraph", AbstractionLevel::Domain)
+                    .child_of("Job", "Job")
+                    .describe("loads data"),
+            )
+            .with_type(
+                OperationTypeDef::new("Worker", "LocalLoad", AbstractionLevel::System)
+                    .child_of("Job", "LoadGraph")
+                    .parallel(),
+            )
+    }
+
+    #[test]
+    fn model_rendering_is_indented_by_hierarchy() {
+        let s = render_model(&model());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("3 operation types"));
+        assert!(s.contains("Job @ Job  (level 1)"));
+        assert!(s.contains("  LoadGraph @ Job"));
+        assert!(s.contains("    LocalLoad @ Worker"));
+        assert!(s.contains("[parallel]"));
+        assert!(s.contains("~ loads data"));
+    }
+
+    #[test]
+    fn operation_tree_rendering_prunes_below_max_depth() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::END_TIME, InfoValue::Int(2_000_000)))
+            .unwrap();
+        let load = t
+            .add_child(job, Actor::new("Job", "0"), Mission::new("Load", "0"))
+            .unwrap();
+        t.add_child(
+            load,
+            Actor::new("Worker", "1"),
+            Mission::new("LocalLoad", "0"),
+        )
+        .unwrap();
+        let full = render_operation_tree(&t, 5);
+        assert!(full.contains("LocalLoad-0 @ Worker-1"));
+        assert!(full.contains("2.000s"));
+        let pruned = render_operation_tree(&t, 1);
+        assert!(!pruned.contains("LocalLoad"));
+        assert!(pruned.contains("1 filial operations pruned"));
+    }
+
+    #[test]
+    fn level_view_lists_only_that_level() {
+        let s = render_level(&model(), AbstractionLevel::System);
+        assert!(s.contains("LocalLoad"));
+        assert!(!s.contains("LoadGraph @ Job"));
+    }
+
+    #[test]
+    fn empty_tree_renders_placeholder() {
+        assert_eq!(
+            render_operation_tree(&OperationTree::new(), 3),
+            "(empty tree)\n"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based totality tests: every renderer must accept *any* archive
+//! — including pathological trees monitoring might assemble from damaged
+//! logs — without panicking, and must produce structurally sane output.
+
+use proptest::prelude::*;
+
+use granula_archive::{JobArchive, JobMeta};
+use granula_model::{Actor, Info, InfoValue, Mission, OperationTree};
+use granula_monitor::{EnvLog, ResourceKind, ResourceSample};
+use granula_viz::report::html_report;
+use granula_viz::tree::render_operation_tree;
+use granula_viz::{
+    diff_archives, render_diff, BreakdownChart, BreakdownRow, GanttChart, TimelineChart,
+};
+
+/// Random archives: arbitrary shapes, arbitrary (possibly missing or
+/// inverted) timestamps, arbitrary actor/mission names.
+fn arb_archive() -> impl Strategy<Value = JobArchive> {
+    prop::collection::vec(
+        (
+            0usize..50,
+            "[A-Za-z]{1,10}",
+            "[0-9]{1,2}",
+            prop::option::of((0u64..100_000_000, 0u64..100_000_000)),
+        ),
+        0..40,
+    )
+    .prop_map(|nodes| {
+        let mut tree = OperationTree::new();
+        let root = tree
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .expect("fresh tree");
+        let mut ids = vec![root];
+        for (pick, kind, mid, stamps) in nodes {
+            let parent = ids[pick % ids.len()];
+            let id = tree
+                .add_child(
+                    parent,
+                    Actor::new("W", mid.clone()),
+                    Mission::new(kind, mid),
+                )
+                .expect("parent exists");
+            if let Some((s, e)) = stamps {
+                // Deliberately allow e < s: damaged logs do this.
+                tree.set_info(
+                    id,
+                    Info::raw(granula_model::names::START_TIME, InfoValue::Int(s as i64)),
+                )
+                .expect("id valid");
+                tree.set_info(
+                    id,
+                    Info::raw(granula_model::names::END_TIME, InfoValue::Int(e as i64)),
+                )
+                .expect("id valid");
+            }
+            ids.push(id);
+        }
+        JobArchive::new(
+            JobMeta {
+                job_id: "prop".into(),
+                platform: "P".into(),
+                ..Default::default()
+            },
+            tree,
+        )
+    })
+}
+
+fn arb_env() -> impl Strategy<Value = EnvLog> {
+    prop::collection::vec((0u64..200, 0usize..4, -10.0f64..1e12), 0..120).prop_map(|samples| {
+        let mut env = EnvLog::new();
+        for (t, node, value) in samples {
+            env.push(ResourceSample {
+                time_us: t * 1_000_000,
+                node: format!("n{node}"),
+                kind: if node % 2 == 0 {
+                    ResourceKind::Cpu
+                } else {
+                    ResourceKind::Memory
+                },
+                value,
+            });
+        }
+        env
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The operation-tree renderer is total and mentions the root.
+    #[test]
+    fn tree_renderer_total(archive in arb_archive(), depth in 0usize..6) {
+        let out = render_operation_tree(&archive.tree, depth);
+        prop_assert!(out.contains("Job-0 @ Job-0"));
+    }
+
+    /// The Gantt renderer is total for any kind selection and any window.
+    #[test]
+    fn gantt_total(archive in arb_archive(), a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let chart = GanttChart::from_archive(&archive, &["Compute", "A", "B"], "Compute")
+            .with_window(a.min(b), a.max(b));
+        let text = chart.render_text(60);
+        prop_assert!(!text.is_empty());
+        let svg = chart.render_svg();
+        prop_assert!(svg.starts_with("<svg"));
+    }
+
+    /// The breakdown renderer is total even with zero/overflowing segments.
+    #[test]
+    fn breakdown_total(segs in prop::collection::vec((("[A-Z][a-z]{1,8}"), 0u64..u64::MAX / 8), 0..6), total in 0u64..u64::MAX / 2) {
+        let mut row = BreakdownRow::new("X", total);
+        for (label, us) in segs {
+            row = row.with_segment(label, us);
+        }
+        let mut chart = BreakdownChart::new();
+        chart.add_row(row);
+        let _ = chart.render_text(40);
+        let svg = chart.render_svg();
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    /// The timeline renderer is total for arbitrary sample soups and bands.
+    #[test]
+    fn timeline_total(env in arb_env(), bands in prop::collection::vec((0u64..300_000_000, 0u64..300_000_000), 0..4)) {
+        let mut chart = TimelineChart::new(&env, ResourceKind::Cpu);
+        for (i, (a, b)) in bands.into_iter().enumerate() {
+            chart = chart.with_phase(format!("P{i}"), a.min(b), a.max(b));
+        }
+        let _ = chart.render_text(50, 6);
+        let svg = chart.render_svg();
+        prop_assert!(svg.starts_with("<svg"));
+    }
+
+    /// The HTML report is total and well-formed-ish for any archive/env.
+    #[test]
+    fn report_total(archive in arb_archive(), env in arb_env()) {
+        let html = html_report(&archive, &env);
+        prop_assert!(html.starts_with("<!DOCTYPE html>"));
+        prop_assert!(html.trim_end().ends_with("</html>"));
+        // Escaping holds: no raw operation labels can open a tag.
+        prop_assert!(!html.contains("<W-"));
+    }
+
+    /// Diffing any two random archives is total, and self-diff is empty.
+    #[test]
+    fn diff_total(a in arb_archive(), b in arb_archive()) {
+        let rows = diff_archives(&a, &b, 0);
+        let _ = render_diff(&rows, 10);
+        // Self-diff has no change above any positive threshold.
+        prop_assert!(diff_archives(&a, &a, 1).is_empty());
+        // Antisymmetry of deltas on the matched subset.
+        let back = diff_archives(&b, &a, 0);
+        let sum_fwd: i64 = rows.iter().map(|r| r.delta_us()).sum();
+        let sum_back: i64 = back.iter().map(|r| r.delta_us()).sum();
+        prop_assert_eq!(sum_fwd, -sum_back);
+    }
+}

@@ -1,0 +1,54 @@
+//! Resource-to-operation mapping (the paper's §4.3 workflow): render each
+//! platform's per-node CPU usage under the domain-level phase bands and
+//! let the data diagnose the loaders.
+//!
+//! ```sh
+//! cargo run --release --example cpu_utilization
+//! ```
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula_monitor::ResourceKind;
+use granula_viz::TimelineChart;
+
+fn main() {
+    for platform in [Platform::Giraph, Platform::PowerGraph] {
+        println!("running {} ...", platform.name());
+        let result = dg1000_quick(platform, 20_000);
+        let archive = &result.report.archive;
+        let env = &result.report.env;
+
+        let mut chart = TimelineChart::new(env, ResourceKind::Cpu);
+        let root = archive.tree.root().expect("job root");
+        for kind in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            if let Some(id) = archive.tree.child_by_mission(root, kind) {
+                let op = archive.tree.op(id);
+                if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                    chart = chart.with_phase(kind, s, e);
+                }
+            }
+        }
+        println!("\n=== {} cluster CPU (cumulative) ===", platform.name());
+        println!("{}", chart.render_text(90, 10));
+
+        // The Granula mapping: per-operation CPU means, straight from infos.
+        println!("mean CPU on the operation's node, per domain phase:");
+        for kind in ["Startup", "LoadGraph", "ProcessGraph", "Cleanup"] {
+            if let Some(id) = archive.tree.child_by_mission(root, kind) {
+                if let Some(mean) = archive.tree.op(id).info_f64("CpuMean") {
+                    println!("  {kind:<14} {mean:>7.1} cpu/s");
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "Diagnosis (as in the paper): Giraph's loader is compute-intensive on\n\
+         every node; PowerGraph's loader burns one node while seven idle."
+    );
+}

@@ -1,0 +1,140 @@
+//! Modeling a platform Granula has never seen — from raw log lines.
+//!
+//! Granula's inputs are *logs*, not simulator structures: any platform that
+//! prints the one-line event grammar can be analyzed. This example plays
+//! the analyst for a fictional "SparkleGraph" platform: hand-written log
+//! lines (as scraped from worker stdout), an analyst-authored model,
+//! assembly, rule derivation, validation and rendering — no simulator
+//! involved.
+//!
+//! ```sh
+//! cargo run --release --example custom_platform
+//! ```
+
+use granula_archive::{JobArchive, JobMeta};
+use granula_model::{
+    rules::derive_all_durations, AbstractionLevel, ChildSelector, DerivationRule, OperationTypeDef,
+    PerformanceModel, RuleEngine,
+};
+use granula_monitor::Assembler;
+use granula_viz::tree::{render_model, render_operation_tree};
+
+fn main() {
+    // 1. The "scraped logs": interleaved lines from three processes, with
+    //    ordinary logging noise mixed in. Timestamps are µs since job start.
+    let logs = r#"
+[driver] starting SparkleGraph 0.3
+GRANULA 0 head driver START SparkleJob-0@Job-0
+GRANULA 0 head driver START Boot-0@Job-0 parent=SparkleJob-0@Job-0
+[executor-1] JIT warmup complete
+GRANULA 900000 head driver END Boot-0@Job-0
+GRANULA 900000 head driver START Crunch-0@Job-0 parent=SparkleJob-0@Job-0
+GRANULA 900000 nodeA exec-1 START Chew-0@Executor-1 parent=Crunch-0@Job-0
+GRANULA 900000 nodeB exec-2 START Chew-0@Executor-2 parent=Crunch-0@Job-0
+GRANULA 1000000 nodeA exec-1 INFO Chew-0@Executor-1 Records=123456
+GRANULA 2400000 nodeA exec-1 END Chew-0@Executor-1
+GRANULA 3100000 nodeB exec-2 INFO Chew-0@Executor-2 Records=654321
+GRANULA 3100000 nodeB exec-2 END Chew-0@Executor-2
+GRANULA 3200000 head driver END Crunch-0@Job-0
+GRANULA 3200000 head driver START Drain-0@Job-0 parent=SparkleJob-0@Job-0
+GRANULA 3550000 head driver END Drain-0@Job-0
+GRANULA 3550000 head driver END SparkleJob-0@Job-0
+[driver] job done
+"#;
+
+    // 2. The analyst's model: a 2-level view of SparkleGraph.
+    let model = PerformanceModel::new("sparklegraph-v1", "SparkleGraph")
+        .with_type(
+            OperationTypeDef::new("Job", "SparkleJob", AbstractionLevel::Domain).with_rule(
+                DerivationRule::SumChildren {
+                    info: "Duration".into(),
+                    select: ChildSelector::MissionKind("Crunch".into()),
+                    output: "ProcessDuration".into(),
+                },
+            ),
+        )
+        .with_type(
+            OperationTypeDef::new("Job", "Boot", AbstractionLevel::Domain)
+                .child_of("Job", "SparkleJob"),
+        )
+        .with_type(
+            OperationTypeDef::new("Job", "Crunch", AbstractionLevel::Domain)
+                .child_of("Job", "SparkleJob")
+                .with_rule(DerivationRule::MaxChildren {
+                    info: "Duration".into(),
+                    select: ChildSelector::MissionKind("Chew".into()),
+                    output: "SlowestExecutor".into(),
+                }),
+        )
+        .with_type(
+            OperationTypeDef::new("Job", "Drain", AbstractionLevel::Domain)
+                .child_of("Job", "SparkleJob"),
+        )
+        .with_type(
+            OperationTypeDef::new("Executor", "Chew", AbstractionLevel::System)
+                .child_of("Job", "Crunch")
+                .parallel()
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "Records".into(),
+                    output: "Throughput".into(),
+                }),
+        );
+    println!("{}", render_model(&model));
+
+    // 3. Assembly + derivation + validation.
+    let outcome = Assembler::new().assemble_lines(logs.lines());
+    assert!(
+        outcome.warnings.is_empty(),
+        "clean logs: {:?}",
+        outcome.warnings
+    );
+    let mut tree = outcome.tree;
+    derive_all_durations(&mut tree);
+    RuleEngine::apply(&model, &mut tree);
+    let validation = granula_model::validate::validate(&model, &tree);
+    println!(
+        "assembled {} operations from {} events; validation issues: {}",
+        tree.len(),
+        outcome.events_processed,
+        validation.issues.len()
+    );
+
+    // 4. The archive and its derived metrics.
+    let archive = JobArchive::new(
+        JobMeta {
+            job_id: "sparkle-demo".into(),
+            platform: "SparkleGraph".into(),
+            algorithm: "Chew".into(),
+            dataset: "handwritten".into(),
+            nodes: 2,
+            model: model.name.clone(),
+        },
+        tree,
+    );
+    println!("\n{}", render_operation_tree(&archive.tree, 3));
+    let root = archive.tree.root().expect("assembled root");
+    let crunch = archive
+        .tree
+        .child_by_mission(root, "Crunch")
+        .expect("Crunch archived");
+    println!(
+        "derived: Crunch/SlowestExecutor = {:.2}s; per-executor throughput:",
+        archive
+            .tree
+            .op(crunch)
+            .info_f64("SlowestExecutor")
+            .unwrap_or(0.0)
+            / 1e6
+    );
+    for op in archive.tree.by_mission_kind("Chew") {
+        println!(
+            "  {}: {:.0} records/s",
+            op.label(),
+            op.info_f64("Throughput").unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\nthe executor imbalance (2.4s vs 3.1s Chew) is exactly what an\n\
+         analyst would refine next — same loop, custom platform."
+    );
+}

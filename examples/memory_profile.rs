@@ -1,0 +1,60 @@
+//! Memory profiling: the environment monitor's second channel.
+//!
+//! The paper's Figures 6–7 map CPU usage onto operations; the same
+//! machinery maps memory. The three platforms' loader designs have
+//! unmistakable RSS signatures: PowerGraph's machine 0 towers with a
+//! whole-graph staging buffer, Giraph's JVM partitions are balanced but
+//! heavy, GraphMat's matrix blocks are balanced and compact.
+//!
+//! ```sh
+//! cargo run --release --example memory_profile
+//! ```
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula_monitor::ResourceKind;
+use granula_viz::TimelineChart;
+
+fn main() {
+    for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
+        println!("running {} ...", platform.name());
+        let result = dg1000_quick(platform, 20_000);
+        let archive = &result.report.archive;
+        let env = &result.report.env;
+
+        let mut chart = TimelineChart::new(env, ResourceKind::Memory);
+        let root = archive.tree.root().expect("job root");
+        for kind in ["Startup", "LoadGraph", "ProcessGraph", "Cleanup"] {
+            if let Some(id) = archive.tree.child_by_mission(root, kind) {
+                let op = archive.tree.op(id);
+                if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                    chart = chart.with_phase(kind, s, e);
+                }
+            }
+        }
+        println!(
+            "\n=== {} cluster memory (cumulative bytes) ===",
+            platform.name()
+        );
+        println!("{}", chart.render_text(90, 8));
+
+        // Per-node peaks: the signature in numbers.
+        println!("per-node peak RSS:");
+        for node in env
+            .nodes()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        {
+            if let Some(series) = env.series(&node, ResourceKind::Memory) {
+                let peak = series.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+                println!("  {node}: {:>8.2} GB", peak / 1e9);
+            }
+        }
+        println!();
+    }
+    println!(
+        "Signatures: PowerGraph's loader node holds the whole parsed edge\n\
+         list (released after distribution); Giraph's JVM partitions are\n\
+         balanced but ~4.5x heavier per edge than GraphMat's matrix blocks."
+    );
+}

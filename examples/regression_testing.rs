@@ -1,0 +1,69 @@
+//! Performance-regression testing with archives (paper §6 future work):
+//! archive a known-good configuration as the baseline, then let a
+//! misconfigured run fail the check — with the regressing *phase* named.
+//!
+//! ```sh
+//! cargo run --release --example regression_testing
+//! ```
+
+use granula::calibration;
+use granula::experiment::{run_experiment, Platform};
+use granula::regression::RegressionSuite;
+fn main() {
+    let (graph, scale) = calibration::dg_graph_small(8_000, calibration::DG_SEED);
+
+    // Baseline: the calibrated configuration.
+    let mut base_cfg = calibration::giraph_dg1000_job();
+    base_cfg.scale_factor = scale;
+    println!("running baseline ...");
+    let baseline = run_experiment(Platform::Giraph, &graph, &base_cfg).expect("simulation runs");
+    println!(
+        "baseline total: {:.2}s (archived as the reference)",
+        baseline.breakdown.total_s()
+    );
+
+    let baseline_archive = baseline.report.archive.clone();
+    let mut suite = RegressionSuite::new(0.10); // tolerate 10 % noise
+    suite.add_baseline(baseline.report.archive);
+
+    // Candidate 1: identical configuration — must pass.
+    println!("\nrunning candidate 1 (unchanged config) ...");
+    let cand1 = run_experiment(Platform::Giraph, &graph, &base_cfg).expect("simulation runs");
+    let report = suite
+        .check(&cand1.report.archive)
+        .expect("baseline matches");
+    println!("candidate 1 passed: {}", report.passed());
+
+    // Candidate 2: a misconfiguration — the operator halves the compute
+    // threads per worker (a classic Giraph tuning mistake).
+    println!("\nrunning candidate 2 (worker threads 24 -> 6) ...");
+    let mut bad_cfg = base_cfg.clone();
+    bad_cfg.costs.worker_threads = 6;
+    let cand2 = run_experiment(Platform::Giraph, &graph, &bad_cfg).expect("simulation runs");
+    let report = suite
+        .check(&cand2.report.archive)
+        .expect("baseline matches");
+    println!("candidate 2 passed: {}", report.passed());
+    for r in &report.regressions {
+        println!(
+            "  regression in {:<14} {:>8.2}s -> {:>8.2}s  ({:+.1}%)",
+            r.subject,
+            r.baseline_us as f64 / 1e6,
+            r.candidate_us as f64 / 1e6,
+            100.0 * r.change
+        );
+    }
+    // Drill down: the operation-level diff behind the failed check.
+    println!("\noperation-level diff (largest changes):");
+    let rows = granula_viz::diff_archives(
+        &baseline_archive,
+        &cand2.report.archive,
+        500_000, // ignore sub-0.5s noise
+    );
+    print!("{}", granula_viz::render_diff(&rows, 8));
+
+    println!(
+        "\nthe per-phase attribution (I/O and processing regress, setup does\n\
+         not) is what coarse end-to-end timing could never tell you."
+    );
+}

@@ -1,0 +1,71 @@
+//! Implementation-level analysis (the paper's §4.4 workflow): decompose
+//! Giraph supersteps into PreStep/Compute/PostStep per worker and quantify
+//! the two imbalances Figure 8 exposes.
+//!
+//! ```sh
+//! cargo run --release --example superstep_analysis
+//! ```
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula::metrics::worker_imbalance;
+use granula_archive::Query;
+use granula_viz::GanttChart;
+
+fn main() {
+    println!("running Giraph ...");
+    let result = dg1000_quick(Platform::Giraph, 20_000);
+    let archive = &result.report.archive;
+
+    // Window on the processing phase, like the paper's figure.
+    let root = archive.tree.root().expect("job root");
+    let proc_id = archive
+        .tree
+        .child_by_mission(root, "ProcessGraph")
+        .expect("ProcessGraph");
+    let op = archive.tree.op(proc_id);
+    let (ps, pe) = (
+        op.start_us().expect("archived"),
+        op.end_us().expect("archived"),
+    );
+
+    let gantt = GanttChart::from_archive(archive, &["PreStep", "Compute", "PostStep"], "Compute")
+        .with_window(ps, pe);
+    println!("{}", gantt.render_text(96));
+
+    // Imbalance across workers, per superstep.
+    println!("workload imbalance per superstep (Compute operations):");
+    let mut stats = worker_imbalance(archive, "Compute");
+    stats.sort_by(|a, b| {
+        a.iteration
+            .parse::<u32>()
+            .unwrap_or(0)
+            .cmp(&b.iteration.parse::<u32>().unwrap_or(0))
+    });
+    for s in &stats {
+        let bar = "#".repeat((s.mean_us / 1e6 * 10.0).round() as usize);
+        println!(
+            "  superstep {:>2}: mean {:>6.2}s  max/mean {:>5.2}  {}",
+            s.iteration,
+            s.mean_us / 1e6,
+            s.imbalance,
+            bar
+        );
+    }
+
+    // Barrier overhead: time in PreStep + PostStep vs Compute.
+    let sum = |kind: &str| -> f64 {
+        Query::parse(kind)
+            .expect("valid")
+            .find_all(&archive.tree)
+            .into_iter()
+            .filter_map(|id| archive.tree.op(id).duration_us())
+            .sum::<u64>() as f64
+            / 1e6
+    };
+    let (pre, compute, post) = (sum("PreStep"), sum("Compute"), sum("PostStep"));
+    println!(
+        "\nsynchronization overhead: PreStep {pre:.1}s + PostStep {post:.1}s vs Compute {compute:.1}s \
+         ({:.1}% overhead)",
+        100.0 * (pre + post) / (pre + post + compute)
+    );
+}

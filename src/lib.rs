@@ -1,0 +1,11 @@
+//! Workspace façade crate: re-exports every Granula crate so examples and
+//! cross-crate integration tests have a single dependency root.
+
+pub use gpsim_cluster as cluster;
+pub use gpsim_graph as graph;
+pub use gpsim_platforms as platforms;
+pub use granula as core;
+pub use granula_archive as archive;
+pub use granula_model as model;
+pub use granula_monitor as monitor;
+pub use granula_viz as viz;

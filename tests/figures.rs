@@ -1,0 +1,270 @@
+//! Figure-level integration tests: every table/figure claim of the paper,
+//! checked at fast (down-sampled, volume-scaled) configuration.
+//!
+//! The *shapes* asserted here are the ones EXPERIMENTS.md records at full
+//! dg1000 scale via the `fig*` binaries.
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula::metrics::{worker_imbalance, Phase};
+use granula::models::{giraph_model, powergraph_model};
+use granula::registry;
+use granula_monitor::ResourceKind;
+use granula_viz::tree::render_model;
+use granula_viz::{BreakdownChart, BreakdownRow, GanttChart, TimelineChart};
+
+/// Table 1: the registry matches the paper's table.
+#[test]
+fn table1_contents() {
+    let t = registry::table1();
+    assert_eq!(t.len(), 7);
+    let giraph = t.iter().find(|p| p.name == "Giraph").unwrap();
+    assert_eq!(giraph.programming_model, "Pregel");
+    assert_eq!(giraph.file_system, "HDFS");
+    let pg = t.iter().find(|p| p.name == "PowerGraph").unwrap();
+    assert_eq!(pg.programming_model, "GAS");
+    assert_eq!(pg.provisioning, "OpenMPI");
+}
+
+/// Figure 4: the Giraph model has the paper's operations at the right
+/// levels, and the rendering shows all of them.
+#[test]
+fn fig4_model_structure() {
+    let rendered = render_model(&giraph_model());
+    for op in [
+        "GiraphJob",
+        "Startup",
+        "LoadGraph",
+        "ProcessGraph",
+        "OffloadGraph",
+        "Cleanup",
+        "JobStartup",
+        "LaunchWorkers",
+        "LocalStartup",
+        "LocalLoad",
+        "LoadHdfsData",
+        "Superstep",
+        "LocalSuperstep",
+        "SyncZookeeper",
+        "PreStep",
+        "Compute",
+        "Message",
+        "PostStep",
+        "LocalOffload",
+        "OffloadHdfsData",
+        "AbortWorkers",
+        "ClientCleanup",
+        "ServerCleanup",
+        "ZkCleanup",
+    ] {
+        assert!(rendered.contains(op), "Figure 4 operation `{op}` missing");
+    }
+    let pg = render_model(&powergraph_model());
+    for op in [
+        "SequentialLoad",
+        "DistributeEdges",
+        "FinalizeGraph",
+        "Gather",
+        "Apply",
+        "Scatter",
+    ] {
+        assert!(pg.contains(op), "PowerGraph operation `{op}` missing");
+    }
+}
+
+/// Figure 5 shape: Giraph has three substantial phases; PowerGraph is
+/// dominated by I/O with tiny processing; PowerGraph is several times
+/// slower end-to-end.
+#[test]
+fn fig5_shape() {
+    let g = dg1000_quick(Platform::Giraph, 8_000);
+    let p = dg1000_quick(Platform::PowerGraph, 8_000);
+
+    let gb = &g.breakdown;
+    assert!(gb.fraction(Phase::Setup) > 0.10);
+    assert!(gb.fraction(Phase::InputOutput) > 0.25);
+    assert!(gb.fraction(Phase::Processing) > 0.10);
+
+    let pb = &p.breakdown;
+    assert!(pb.fraction(Phase::InputOutput) > 0.85);
+    assert!(pb.fraction(Phase::Processing) < 0.10);
+    assert!(pb.total_us > 3 * gb.total_us);
+
+    // And the chart renders both rows.
+    let mut chart = BreakdownChart::new();
+    for (name, b) in [("Giraph", gb), ("PowerGraph", pb)] {
+        chart.add_row(
+            BreakdownRow::new(name, b.total_us)
+                .with_segment("Setup", b.setup_us)
+                .with_segment("IO", b.io_us)
+                .with_segment("Proc", b.processing_us),
+        );
+    }
+    let text = chart.render_text(60);
+    assert!(text.contains("Giraph") && text.contains("PowerGraph"));
+}
+
+/// Figure 6 observations: Giraph setup is CPU-idle, LoadGraph is CPU-heavy
+/// on every node, ProcessGraph is spiky/under-utilized.
+#[test]
+fn fig6_giraph_cpu_observations() {
+    let r = dg1000_quick(Platform::Giraph, 8_000);
+    let archive = &r.report.archive;
+    let env = &r.report.env;
+    let root = archive.tree.root().unwrap();
+    let span = |kind: &str| {
+        let id = archive.tree.child_by_mission(root, kind).unwrap();
+        let op = archive.tree.op(id);
+        (op.start_us().unwrap(), op.end_us().unwrap())
+    };
+    let mean_cluster = |(s, e): (u64, u64)| -> f64 {
+        let cum = env.cumulative(ResourceKind::Cpu);
+        let w: Vec<f64> = cum
+            .iter()
+            .filter(|&&(t, _)| t >= s && t < e)
+            .map(|&(_, v)| v)
+            .collect();
+        if w.is_empty() {
+            0.0
+        } else {
+            w.iter().sum::<f64>() / w.len() as f64
+        }
+    };
+    let startup = mean_cluster(span("Startup"));
+    let load = mean_cluster(span("LoadGraph"));
+    let proc_ = mean_cluster(span("ProcessGraph"));
+    assert!(
+        startup < 0.05 * load,
+        "setup not compute-intensive: {startup} vs {load}"
+    );
+    assert!(load > 100.0, "LoadGraph uses the CPU heavily: {load}");
+    assert!(
+        proc_ < load,
+        "processing under-utilizes relative to loading"
+    );
+
+    // All 8 nodes contribute during LoadGraph (unlike PowerGraph).
+    let (ls, le) = span("LoadGraph");
+    for node in env
+        .nodes()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+    {
+        let u = env.usage(&node, ResourceKind::Cpu, ls, le).unwrap();
+        assert!(u.peak > 1.0, "{node} idle during Giraph load");
+    }
+
+    // The timeline renders with phase bands.
+    let chart = TimelineChart::new(env, ResourceKind::Cpu).with_phase("LoadGraph", ls, le);
+    assert!(chart.render_text(60, 8).contains("LoadGraph"));
+}
+
+/// Figure 7 observations: one PowerGraph machine loads while others idle;
+/// the others join only at the end (FinalizeGraph).
+#[test]
+fn fig7_powergraph_cpu_observations() {
+    let r = dg1000_quick(Platform::PowerGraph, 8_000);
+    let archive = &r.report.archive;
+    let env = &r.report.env;
+    let root = archive.tree.root().unwrap();
+    let load_id = archive.tree.child_by_mission(root, "LoadGraph").unwrap();
+    let load = archive.tree.op(load_id);
+    let (ls, le) = (load.start_us().unwrap(), load.end_us().unwrap());
+    let cutoff = ls + (le - ls) / 2;
+
+    let mut head_busy = 0.0;
+    let mut others_busy = 0.0;
+    for node in env
+        .nodes()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+    {
+        if let Some(u) = env.usage(&node, ResourceKind::Cpu, ls, cutoff) {
+            let total = u.mean * u.samples as f64;
+            if node == "node300" {
+                head_busy += total;
+            } else {
+                others_busy += total;
+            }
+        }
+    }
+    assert!(head_busy > 0.0);
+    assert!(
+        others_busy < 0.05 * head_busy,
+        "others should idle during the first half of loading: {others_busy} vs {head_busy}"
+    );
+
+    // FinalizeGraph runs on all machines near the end of loading.
+    let finalizes: Vec<_> = archive.tree.by_mission_kind("FinalizeGraph").collect();
+    assert_eq!(finalizes.len(), 8);
+    for f in finalizes {
+        assert!(
+            f.start_us().unwrap() > cutoff,
+            "finalize happens late in LoadGraph"
+        );
+    }
+}
+
+/// Figure 8 observations: superstep skew and worker imbalance, visible in
+/// the Gantt and quantified by the imbalance stats.
+#[test]
+fn fig8_worker_imbalance() {
+    let r = dg1000_quick(Platform::Giraph, 8_000);
+    let archive = &r.report.archive;
+    let stats = worker_imbalance(archive, "Compute");
+    assert!(stats.len() as u32 == r.run.iterations);
+
+    // One superstep dominates the mean durations.
+    let means: Vec<f64> = stats.iter().map(|s| s.mean_us).collect();
+    let max = means.iter().copied().fold(0.0, f64::max);
+    let avg = means.iter().sum::<f64>() / means.len() as f64;
+    assert!(max > 2.0 * avg, "superstep skew: max {max} vs avg {avg}");
+
+    // Some worker-level imbalance exists.
+    assert!(stats.iter().any(|s| s.imbalance > 1.05));
+
+    // The Gantt renders computation and overhead.
+    let gantt = GanttChart::from_archive(archive, &["PreStep", "Compute", "PostStep"], "Compute");
+    let text = gantt.render_text(80);
+    assert!(text.contains('#') && text.contains('.'));
+    assert_eq!(text.lines().filter(|l| l.starts_with("Worker-")).count(), 8);
+}
+
+/// Beyond the paper's CPU channel: the environment log's network view shows
+/// message bursts during ProcessGraph and the HDFS replica traffic during
+/// LoadGraph — nothing during Startup.
+#[test]
+fn network_bursts_follow_the_phases() {
+    let r = dg1000_quick(Platform::Giraph, 8_000);
+    let archive = &r.report.archive;
+    let env = &r.report.env;
+    let root = archive.tree.root().unwrap();
+    let span = |kind: &str| {
+        let id = archive.tree.child_by_mission(root, kind).unwrap();
+        let op = archive.tree.op(id);
+        (op.start_us().unwrap(), op.end_us().unwrap())
+    };
+    let bytes_in = |(s, e): (u64, u64)| -> f64 {
+        env.nodes()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .iter()
+            .filter_map(|n| env.usage(n, ResourceKind::Network, s, e))
+            .map(|u| u.mean * u.samples as f64)
+            .sum()
+    };
+    let startup = bytes_in(span("Startup"));
+    let processing = bytes_in(span("ProcessGraph"));
+    // Per-second sampling bleeds one bucket across the phase boundary, so
+    // compare magnitudes rather than demanding exact zero.
+    assert!(
+        startup < 0.05 * processing,
+        "deployment is network-quiet: {startup:.2e} vs {processing:.2e}"
+    );
+    assert!(
+        processing > 1e9,
+        "superstep messages are network-visible: {processing:.2e}"
+    );
+}

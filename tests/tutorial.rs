@@ -1,0 +1,163 @@
+//! The MODELING_GUIDE.md workflow, executed end-to-end as a test so the
+//! documentation cannot rot: instrument (hand-written logs) → domain model
+//! → evaluate → read feedback → refine → derive → share.
+
+use granula_archive::{from_json, to_json, JobArchive, JobMeta};
+use granula_model::{
+    model_from_json, model_to_json, rules::derive_all_durations, AbstractionLevel, ChildSelector,
+    DerivationRule, InfoRequirement, OperationTypeDef, OperationTypeId, PerformanceModel,
+    RuleEngine, ValidationIssue,
+};
+use granula_monitor::{Assembler, EventFilter};
+
+/// The "scraped" logs of a fictional two-phase platform.
+const LOGS: &str = "\
+[noise] platform booting
+GRANULA 0 head driver START CrunchJob-0@Job-0
+GRANULA 0 head driver START Warmup-0@Job-0 parent=CrunchJob-0@Job-0
+GRANULA 1000000 head driver END Warmup-0@Job-0
+GRANULA 1000000 head driver START Crunch-0@Job-0 parent=CrunchJob-0@Job-0
+GRANULA 1000000 nodeA exec-1 START Chew-0@Executor-1 parent=Crunch-0@Job-0
+GRANULA 1000000 nodeB exec-2 START Chew-0@Executor-2 parent=Crunch-0@Job-0
+GRANULA 1200000 nodeA exec-1 INFO Chew-0@Executor-1 Records=100000
+GRANULA 3000000 nodeA exec-1 END Chew-0@Executor-1
+GRANULA 5000000 nodeB exec-2 INFO Chew-0@Executor-2 Records=400000
+GRANULA 5000000 nodeB exec-2 END Chew-0@Executor-2
+GRANULA 5100000 head driver END Crunch-0@Job-0
+GRANULA 5100000 head driver END CrunchJob-0@Job-0
+";
+
+fn domain_model() -> PerformanceModel {
+    PerformanceModel::new("crunch-v1", "CrunchPlatform")
+        .with_type(OperationTypeDef::new(
+            "Job",
+            "CrunchJob",
+            AbstractionLevel::Domain,
+        ))
+        .with_type(
+            OperationTypeDef::new("Job", "Warmup", AbstractionLevel::Domain)
+                .child_of("Job", "CrunchJob"),
+        )
+        .with_type(
+            OperationTypeDef::new("Job", "Crunch", AbstractionLevel::Domain)
+                .child_of("Job", "CrunchJob")
+                .with_rule(DerivationRule::MaxChildren {
+                    info: "Duration".into(),
+                    select: ChildSelector::MissionKind("Chew".into()),
+                    output: "SlowestExecutor".into(),
+                }),
+        )
+}
+
+#[test]
+fn guide_workflow_end_to_end() {
+    // Iteration 0: domain model only. The executor-level `Chew` events are
+    // filtered away — and validation has nothing to complain about.
+    let model0 = domain_model();
+    let events = EventFilter::from_model(&model0).apply(
+        LOGS.lines()
+            .filter_map(granula_monitor::parse_line)
+            .collect(),
+    );
+    let outcome = Assembler::new().assemble(events);
+    assert!(outcome.warnings.is_empty());
+    let mut tree = outcome.tree;
+    derive_all_durations(&mut tree);
+    RuleEngine::apply(&model0, &mut tree);
+    let report = granula_model::validate::validate(&model0, &tree);
+    assert!(report.is_clean(), "{:?}", report.issues);
+    assert_eq!(tree.len(), 3, "domain model keeps 3 operations");
+
+    // Feedback-driven decision: Crunch takes 4.1s of the 5.1s job. Refine.
+    let crunch = tree
+        .by_mission_kind("Crunch")
+        .next()
+        .expect("crunch archived")
+        .duration_us()
+        .expect("derived");
+    assert_eq!(crunch, 4_100_000);
+
+    // Iteration 1: refine Crunch into per-executor Chew operations.
+    let mut model1 = domain_model();
+    model1
+        .refine(
+            &OperationTypeId::new("Job", "Crunch"),
+            vec![
+                OperationTypeDef::new("Executor", "Chew", AbstractionLevel::System)
+                    .parallel()
+                    .with_info(InfoRequirement::optional("Records"))
+                    .with_rule(DerivationRule::RatePerSecond {
+                        amount: "Records".into(),
+                        output: "Throughput".into(),
+                    }),
+            ],
+        )
+        .expect("refinement applies");
+
+    let events = EventFilter::from_model(&model1).apply(
+        LOGS.lines()
+            .filter_map(granula_monitor::parse_line)
+            .collect(),
+    );
+    let outcome = Assembler::new().assemble(events);
+    let mut tree = outcome.tree;
+    derive_all_durations(&mut tree);
+    RuleEngine::apply(&model1, &mut tree);
+    assert_eq!(tree.len(), 5, "refined model reveals the executors");
+
+    // Derived metrics answer the imbalance question.
+    let crunch_id = tree.by_mission_kind("Crunch").next().unwrap().id;
+    assert_eq!(
+        tree.op(crunch_id).info_i64("SlowestExecutor"),
+        Some(4_000_000)
+    );
+    let throughputs: Vec<f64> = tree
+        .by_mission_kind("Chew")
+        .filter_map(|o| o.info_f64("Throughput"))
+        .collect();
+    assert_eq!(throughputs.len(), 2);
+    assert!(throughputs.iter().any(|&t| (t - 50_000.0).abs() < 1.0)); // 100k / 2s
+    assert!(throughputs.iter().any(|&t| (t - 100_000.0).abs() < 1.0)); // 400k / 4s
+
+    // Validation guards the refined model too.
+    let report = granula_model::validate::validate(&model1, &tree);
+    assert!(report.is_clean(), "{:?}", report.issues);
+
+    // Sharing: both the archive and the model survive JSON.
+    let archive = JobArchive::new(
+        JobMeta {
+            job_id: "tutorial".into(),
+            ..Default::default()
+        },
+        tree,
+    );
+    let back = from_json(&to_json(&archive).unwrap()).unwrap();
+    assert_eq!(back, archive);
+    let model_back = model_from_json(&model_to_json(&model1).unwrap()).unwrap();
+    assert_eq!(model_back, model1);
+}
+
+#[test]
+fn guide_feedback_signals_fire_when_things_go_wrong() {
+    // Model a type the platform never performs, and feed it an operation it
+    // does not know: both feedback signals of the guide's §3 appear.
+    let model = domain_model().with_type(
+        OperationTypeDef::new("Job", "Shutdown", AbstractionLevel::Domain)
+            .child_of("Job", "CrunchJob"),
+    );
+    let events: Vec<_> = LOGS
+        .lines()
+        .filter_map(granula_monitor::parse_line)
+        .collect();
+    let outcome = Assembler::new().assemble(events);
+    let mut tree = outcome.tree;
+    derive_all_durations(&mut tree);
+    let report = granula_model::validate::validate(&model, &tree);
+    assert!(report.issues.iter().any(
+        |i| matches!(i, ValidationIssue::UnobservedType { ty } if ty.mission_kind == "Shutdown")
+    ));
+    assert!(report.issues.iter().any(
+        |i| matches!(i, ValidationIssue::UnmodeledOperation { label, .. } if label.contains("Chew"))
+    ));
+    assert!(report.coverage() < 1.0);
+}
