@@ -8,31 +8,46 @@
 //! shared-filesystem server saturates.
 
 use granula::calibration;
-use granula::experiment::{run_experiment, Platform};
+use granula::experiment::{run_experiments, Platform};
 use granula::metrics::Phase;
 use granula_bench::header;
+
+const NODE_COUNTS: [u16; 5] = [2, 4, 8, 16, 32];
 
 fn main() {
     header("Ablation — horizontal scalability (BFS, dg1000 scale)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
 
-    for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
+    // All 15 (platform × node-count) runs are independent: simulate them in
+    // parallel, then print the table in order.
+    let platforms = [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat];
+    let jobs: Vec<_> = platforms
+        .into_iter()
+        .flat_map(|platform| {
+            NODE_COUNTS.into_iter().map(move |nodes| {
+                let mut cfg = match platform {
+                    Platform::Giraph => calibration::giraph_dg1000_job(),
+                    Platform::PowerGraph => calibration::powergraph_dg1000_job(),
+                    Platform::GraphMat => calibration::graphmat_dg1000_job(),
+                };
+                cfg.nodes = nodes;
+                cfg.scale_factor = scale;
+                cfg.job_id = format!("{}-n{}", platform.name().to_lowercase(), nodes);
+                (platform, cfg)
+            })
+        })
+        .collect();
+    let results = run_experiments(&jobs, &graph);
+
+    for (platform, chunk) in platforms.into_iter().zip(results.chunks(NODE_COUNTS.len())) {
         println!("\n{}:", platform.name());
         println!(
             "  {:<7} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "nodes", "total", "setup", "io", "proc", "speedup"
         );
         let mut base: Option<f64> = None;
-        for nodes in [2u16, 4, 8, 16, 32] {
-            let mut cfg = match platform {
-                Platform::Giraph => calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => calibration::graphmat_dg1000_job(),
-            };
-            cfg.nodes = nodes;
-            cfg.scale_factor = scale;
-            cfg.job_id = format!("{}-n{}", platform.name().to_lowercase(), nodes);
-            let r = run_experiment(platform, &graph, &cfg).expect("simulation runs");
+        for (nodes, r) in NODE_COUNTS.into_iter().zip(chunk) {
+            let r = r.as_ref().expect("simulation runs");
             let b = &r.breakdown;
             let baseline = *base.get_or_insert(b.total_s());
             println!(

@@ -6,6 +6,8 @@
 //! they belong to; after simulation, an operation's start/end is the
 //! min/max over its tagged activities.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::topology::NodeId;
@@ -105,10 +107,25 @@ pub struct Activity {
     pub tag: String,
 }
 
+/// Lazily-built index of activity ids sorted by `(tag, id)`, backing
+/// [`ActivityGraph::tagged`]. Cleared on every mutation. A pure function of
+/// the activities, so it is ignored by comparison and serialization.
+#[derive(Debug, Clone, Default)]
+struct TagIndex(OnceLock<Vec<u32>>);
+
+impl PartialEq for TagIndex {
+    fn eq(&self, _other: &Self) -> bool {
+        // Derived caches never distinguish graphs.
+        true
+    }
+}
+
 /// A DAG of activities.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ActivityGraph {
     acts: Vec<Activity>,
+    #[serde(skip)]
+    tag_index: TagIndex,
 }
 
 impl ActivityGraph {
@@ -135,6 +152,7 @@ impl ActivityGraph {
                 "dependency {d:?} added after dependent activity"
             );
         }
+        self.tag_index.0.take();
         self.acts.push(Activity {
             id,
             kind,
@@ -170,9 +188,29 @@ impl ActivityGraph {
         self.acts.iter()
     }
 
-    /// All activities whose tag starts with `prefix`.
+    /// All activities whose tag starts with `prefix`, in `(tag, id)` order.
+    ///
+    /// Prefix matches form a contiguous run of the tag-sorted index, so a
+    /// lookup is two binary searches plus the matches themselves — no scan
+    /// over the whole graph. The index builds lazily on first use and is
+    /// invalidated by [`ActivityGraph::add`].
     pub fn tagged<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Activity> {
-        self.acts.iter().filter(move |a| a.tag.starts_with(prefix))
+        let order = self.tag_index.0.get_or_init(|| {
+            let mut order: Vec<u32> = (0..self.acts.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                self.acts[a as usize]
+                    .tag
+                    .cmp(&self.acts[b as usize].tag)
+                    .then(a.cmp(&b))
+            });
+            order
+        });
+        let start = order.partition_point(|&i| self.acts[i as usize].tag.as_str() < prefix);
+        let end = start
+            + order[start..].partition_point(|&i| self.acts[i as usize].tag.starts_with(prefix));
+        order[start..end]
+            .iter()
+            .map(move |&i| &self.acts[i as usize])
     }
 }
 
@@ -214,5 +252,37 @@ mod tests {
         g.add(ActivityKind::Barrier, &[], "LoadGraph/b");
         g.add(ActivityKind::Barrier, &[], "Process/x");
         assert_eq!(g.tagged("LoadGraph").count(), 2);
+    }
+
+    #[test]
+    fn tagged_index_respects_prefix_boundaries() {
+        // "ab" must match "ab" and "abz" but not "aa" or "ac", even though
+        // all four are adjacent in sorted tag order.
+        let mut g = ActivityGraph::new();
+        for tag in ["ac", "ab", "aa", "abz", "ab"] {
+            g.add(ActivityKind::Barrier, &[], tag);
+        }
+        let tags: Vec<&str> = g.tagged("ab").map(|a| a.tag.as_str()).collect();
+        assert_eq!(tags, ["ab", "ab", "abz"]);
+        assert_eq!(g.tagged("").count(), 5);
+        assert_eq!(g.tagged("b").count(), 0);
+    }
+
+    #[test]
+    fn tagged_index_invalidated_by_add() {
+        let mut g = ActivityGraph::new();
+        g.add(ActivityKind::Barrier, &[], "x/1");
+        assert_eq!(g.tagged("x").count(), 1); // builds the index
+        g.add(ActivityKind::Barrier, &[], "x/2");
+        assert_eq!(g.tagged("x").count(), 2); // rebuilt after mutation
+    }
+
+    #[test]
+    fn tagged_ties_iterate_in_id_order() {
+        let mut g = ActivityGraph::new();
+        let a = g.add(ActivityKind::Barrier, &[], "same");
+        let b = g.add(ActivityKind::Barrier, &[], "same");
+        let ids: Vec<ActivityId> = g.tagged("same").map(|x| x.id).collect();
+        assert_eq!(ids, [a, b]);
     }
 }

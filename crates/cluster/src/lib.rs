@@ -22,6 +22,7 @@ pub mod activity;
 pub mod fs;
 pub mod provision;
 pub mod resources;
+pub(crate) mod sched;
 pub mod sim;
 pub mod topology;
 pub mod trace;

@@ -25,7 +25,7 @@ pub(crate) enum Res {
 /// Flattened view of all cluster resources with capacities in unit/µs.
 pub(crate) struct ResourceTable {
     /// Capacity per resource index.
-    caps: Vec<f64>,
+    pub(crate) caps: Vec<f64>,
     nodes: usize,
 }
 
@@ -60,6 +60,7 @@ impl ResourceTable {
 }
 
 /// The resources and cap of one running activity.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Demand {
     /// Resource indices (0, 1 or 2 entries).
     pub resources: [usize; 2],

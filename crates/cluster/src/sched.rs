@@ -1,0 +1,795 @@
+//! Incremental max-min scheduler: the engine behind [`crate::sim::Simulation::run`].
+//!
+//! The reference engine ([`crate::sim::Simulation::run_reference`]) rebuilds
+//! the whole allocation at every event: it re-runs progressive filling over
+//! *all* running activities, rescans them for the earliest completion, and
+//! emits a trace span per activity per step. That is O(running) work per
+//! event even when the event touches a single disk on a single node.
+//!
+//! This module exploits the component structure of max-min fairness: the
+//! progressive-filling fixpoint decomposes over connected components of the
+//! bipartite activity↔resource graph, so an arrival or departure can only
+//! change the rates of activities *transitively coupled to it through shared
+//! resources*. The engine therefore keeps, per event:
+//!
+//! - **dirty resources** — resources where the user set changed;
+//! - an **affected set** — the transitive closure of the dirty resources
+//!   over `resource → users → their resources`, found by BFS;
+//! - a **component-local refill** — progressive filling restricted to the
+//!   affected activities (the closure contains every user of every involved
+//!   resource, so filling it against full capacities reproduces exactly the
+//!   joint fixpoint for those activities);
+//! - a **lazy completion heap** — a binary heap of `(projected finish, slot,
+//!   generation)` entries. A slot's generation bumps whenever its rate
+//!   changes, invalidating stale heap entries, which are skipped on pop
+//!   instead of being removed eagerly.
+//!
+//! Remaining work is accounted lazily: each slot stores `(anchor_us,
+//! remaining-at-anchor, rate)` and is only re-anchored when its rate
+//! actually changes. Usage-trace spans are flushed at the same boundaries
+//! and merged per `(channel, node, span start)` so that e.g. 200 readers on
+//! one disk produce one [`UsageTrace`] accumulation per step, not 200.
+//!
+//! All scratch state (fill buffers, BFS marks, the flush accumulator) is
+//! owned by the run and reused across steps: the steady-state loop performs
+//! no allocation beyond occasional `Vec` growth.
+//!
+//! Determinism: iteration orders (ready stack, BFS discovery, heap
+//! tie-breaks by slot index) are pure functions of the input graph, so a
+//! given `(cluster, graph)` pair always produces bit-identical results.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::activity::{ActivityGraph, ActivityId, ActivityKind};
+use crate::resources::{demand, Demand, ResourceTable};
+use crate::sim::{ActivityResult, SimError, SimResult};
+use crate::topology::{ClusterSpec, NodeId};
+use crate::trace::{Channel, UsageTrace};
+
+/// One pending completion: `slot` is projected to finish at `finish_us`
+/// under the rate it had at generation `gen`. Entries whose generation no
+/// longer matches the slot's are stale and skipped on pop.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    finish_us: f64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the std max-heap pops the earliest finish; ties break
+        // toward the lowest slot index for determinism.
+        other
+            .finish_us
+            .total_cmp(&self.finish_us)
+            .then_with(|| other.slot.cmp(&self.slot))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+/// Where a slot's usage is charged (up to two `(channel, node)` targets).
+#[derive(Debug, Clone, Copy)]
+struct TraceTargets {
+    ch: [(Channel, NodeId); 2],
+    n: u8,
+}
+
+fn trace_targets(kind: &ActivityKind) -> TraceTargets {
+    let mut t = TraceTargets {
+        ch: [(Channel::Cpu, NodeId(0)); 2],
+        n: 0,
+    };
+    match kind {
+        ActivityKind::Compute { node, .. } => {
+            t.ch[0] = (Channel::Cpu, *node);
+            t.n = 1;
+        }
+        ActivityKind::DiskRead { node, .. } | ActivityKind::DiskWrite { node, .. } => {
+            t.ch[0] = (Channel::Disk, *node);
+            t.n = 1;
+        }
+        ActivityKind::Transfer { src, dst, .. } => {
+            t.ch[0] = (Channel::NetOut, *src);
+            t.ch[1] = (Channel::NetIn, *dst);
+            t.n = 2;
+        }
+        ActivityKind::SharedRead { node, .. } => {
+            t.ch[0] = (Channel::NetIn, *node);
+            t.n = 1;
+        }
+        ActivityKind::Delay { .. } | ActivityKind::Barrier => {}
+    }
+    t
+}
+
+/// A running activity. `remaining` is the work left at `anchor_us`; the
+/// pair is only updated ("re-anchored") when the rate changes, so projected
+/// completion is `anchor_us + remaining / rate`.
+#[derive(Debug)]
+struct Slot {
+    id: ActivityId,
+    demand: Demand,
+    rate: f64,
+    anchor_us: f64,
+    remaining: f64,
+    /// Completion tolerance in work units (`1e-6 × amount`, floored at
+    /// `1e-6`), matching the reference engine's epsilon grouping.
+    eps_work: f64,
+    gen: u32,
+    live: bool,
+    trace: TraceTargets,
+    /// Position of this slot inside each of its resources' user lists,
+    /// kept in sync by the O(1) swap-remove on completion.
+    res_pos: [u32; 2],
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            id: ActivityId(0),
+            demand: Demand {
+                resources: [0, 0],
+                n_resources: 0,
+                cap: 0.0,
+            },
+            rate: 0.0,
+            anchor_us: 0.0,
+            remaining: 0.0,
+            eps_work: 0.0,
+            gen: 0,
+            live: false,
+            trace: TraceTargets {
+                ch: [(Channel::Cpu, NodeId(0)); 2],
+                n: 0,
+            },
+            res_pos: [0; 2],
+        }
+    }
+}
+
+/// Dense per-`(channel, node)` accumulator batching [`UsageTrace`] spans.
+///
+/// Within one flush wave every pushed span ends at the same boundary, so
+/// spans sharing `(channel, node, start)` — the common case when a whole
+/// component re-anchors at once — merge into a single `UsageTrace::add`.
+pub(crate) struct FlushWave {
+    t0: Vec<f64>,
+    rate: Vec<f64>,
+    on: Vec<bool>,
+    touched: Vec<u32>,
+    nodes: usize,
+}
+
+fn channel_index(ch: Channel) -> usize {
+    match ch {
+        Channel::Cpu => 0,
+        Channel::Disk => 1,
+        Channel::NetIn => 2,
+        Channel::NetOut => 3,
+    }
+}
+
+fn channel_of(i: usize) -> Channel {
+    match i {
+        0 => Channel::Cpu,
+        1 => Channel::Disk,
+        2 => Channel::NetIn,
+        _ => Channel::NetOut,
+    }
+}
+
+impl FlushWave {
+    pub(crate) fn new(nodes: usize) -> Self {
+        FlushWave {
+            t0: vec![0.0; 4 * nodes],
+            rate: vec![0.0; 4 * nodes],
+            on: vec![false; 4 * nodes],
+            touched: Vec::new(),
+            nodes,
+        }
+    }
+
+    fn slot_index(&self, ch: Channel, node: NodeId) -> usize {
+        channel_index(ch) * self.nodes + node.0 as usize
+    }
+
+    /// Adds the span `[t0, t1) @ rate`; merges with a pending span of the
+    /// same `(channel, node, t0)`, else emits the pending one first.
+    pub(crate) fn push(
+        &mut self,
+        trace: &mut UsageTrace,
+        ch: Channel,
+        node: NodeId,
+        t0: f64,
+        t1: f64,
+        rate: f64,
+    ) {
+        let i = self.slot_index(ch, node);
+        if self.on[i] {
+            if self.t0[i] == t0 {
+                self.rate[i] += rate;
+                return;
+            }
+            trace.add(ch, node, self.t0[i], t1, self.rate[i]);
+            self.t0[i] = t0;
+            self.rate[i] = rate;
+        } else {
+            self.on[i] = true;
+            self.t0[i] = t0;
+            self.rate[i] = rate;
+            self.touched.push(i as u32);
+        }
+    }
+
+    /// Emits every pending span, all ending at `t1`.
+    pub(crate) fn flush_all(&mut self, trace: &mut UsageTrace, t1: f64) {
+        for k in 0..self.touched.len() {
+            let i = self.touched[k] as usize;
+            if self.on[i] {
+                let ch = channel_of(i / self.nodes);
+                let node = NodeId((i % self.nodes) as u16);
+                trace.add(ch, node, self.t0[i], t1, self.rate[i]);
+                self.on[i] = false;
+            }
+        }
+        self.touched.clear();
+    }
+}
+
+/// Aggregate-rate usage tracking for the incremental engine.
+///
+/// Rates are piecewise constant between scheduling events, so each
+/// `(channel, node)` pair's usage is fully described by its *summed* rate
+/// over time. This keeps that sum and emits one [`UsageTrace`] span per
+/// pair per event — independent of how many activities share the pair,
+/// and without per-activity whole-lifetime flushes (a long-stable activity
+/// would otherwise walk its entire bucket range at completion).
+///
+/// Rate changes are deferred: the apply/completion loops call [`defer`]
+/// per slot (cheap dense accumulation) and a single [`commit`] per event
+/// flushes each touched pair once.
+///
+/// [`defer`]: PairUsage::defer
+/// [`commit`]: PairUsage::commit
+struct PairUsage {
+    rate: Vec<f64>,
+    anchor: Vec<f64>,
+    pending: Vec<f64>,
+    on: Vec<bool>,
+    touched: Vec<u32>,
+    nodes: usize,
+}
+
+impl PairUsage {
+    fn new(nodes: usize) -> Self {
+        PairUsage {
+            rate: vec![0.0; 4 * nodes],
+            anchor: vec![0.0; 4 * nodes],
+            pending: vec![0.0; 4 * nodes],
+            on: vec![false; 4 * nodes],
+            touched: Vec::new(),
+            nodes,
+        }
+    }
+
+    /// Queues a rate change of `delta` on `(ch, node)`, effective at the
+    /// `now` of the next [`PairUsage::commit`].
+    fn defer(&mut self, ch: Channel, node: NodeId, delta: f64) {
+        let i = channel_index(ch) * self.nodes + node.0 as usize;
+        if !self.on[i] {
+            self.on[i] = true;
+            self.touched.push(i as u32);
+        }
+        self.pending[i] += delta;
+    }
+
+    /// Applies every queued delta at time `now`; usage accrued since each
+    /// touched pair's anchor is flushed first.
+    fn commit(&mut self, trace: &mut UsageTrace, now: f64) {
+        for k in 0..self.touched.len() {
+            let i = self.touched[k] as usize;
+            self.on[i] = false;
+            let ch = channel_of(i / self.nodes);
+            let node = NodeId((i % self.nodes) as u16);
+            trace.add(ch, node, self.anchor[i], now, self.rate[i]);
+            self.anchor[i] = now;
+            self.rate[i] += self.pending[i];
+            self.pending[i] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Executes `graph` on `cluster` with the incremental scheduler. Node
+/// validity is the caller's responsibility ([`crate::sim::Simulation::run`]
+/// checks before dispatching here).
+pub(crate) fn run_incremental(
+    cluster: &ClusterSpec,
+    graph: &ActivityGraph,
+) -> Result<SimResult, SimError> {
+    let n = graph.len();
+    let table = ResourceTable::new(cluster);
+    let n_res = table.len();
+    let mut trace = UsageTrace::new(cluster);
+    let mut results = vec![
+        ActivityResult {
+            start_us: f64::NAN,
+            end_us: f64::NAN
+        };
+        n
+    ];
+
+    // Dependency bookkeeping, identical to the reference engine.
+    let mut indeg = vec![0u32; n];
+    let mut dependents: Vec<Vec<ActivityId>> = vec![Vec::new(); n];
+    for a in graph.iter() {
+        indeg[a.id.0 as usize] = a.deps.len() as u32;
+        for d in &a.deps {
+            dependents[d.0 as usize].push(a.id);
+        }
+    }
+    let mut ready: Vec<ActivityId> = graph
+        .iter()
+        .filter(|a| a.deps.is_empty())
+        .map(|a| a.id)
+        .collect();
+
+    // Slot storage with a free list; slot indices are reused so every
+    // side table stays dense.
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut occupied = 0usize;
+
+    let mut res_users: Vec<Vec<u32>> = vec![Vec::new(); n_res];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    // Entries orphaned by generation bumps. When they outnumber the live
+    // entries the heap is compacted in one O(n) pass, keeping pushes and
+    // pops near O(log live) instead of O(log total-ever-pushed).
+    let mut heap_stale = 0usize;
+
+    let mut dirty = vec![false; n_res];
+    let mut dirty_list: Vec<usize> = Vec::new();
+
+    // Run-owned scratch, reused across steps.
+    let mut affected: Vec<u32> = Vec::new();
+    let mut in_affected: Vec<bool> = Vec::new();
+    let mut res_list: Vec<usize> = Vec::new();
+    let mut res_seen = vec![false; n_res];
+    let mut fill_rem = vec![0.0f64; n_res];
+    let mut fill_users = vec![0u32; n_res];
+    let mut aff_demand: Vec<Demand> = Vec::new();
+    let mut new_rate: Vec<f64> = Vec::new();
+    let mut frozen: Vec<bool> = Vec::new();
+    let mut completing: Vec<u32> = Vec::new();
+    let mut usage = PairUsage::new(cluster.len());
+
+    let mut done = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        // Start everything ready; zero-amount activities finish at once,
+        // cascading through their dependents.
+        while let Some(id) = ready.pop() {
+            let act = graph.get(id);
+            let amount = act.kind.amount();
+            results[id.0 as usize].start_us = now;
+            if amount <= 0.0 {
+                results[id.0 as usize].end_us = now;
+                done += 1;
+                for &dep in &dependents[id.0 as usize] {
+                    indeg[dep.0 as usize] -= 1;
+                    if indeg[dep.0 as usize] == 0 {
+                        ready.push(dep);
+                    }
+                }
+                continue;
+            }
+            let d = demand(&table, &act.kind);
+            let si = match free.pop() {
+                Some(i) => i as usize,
+                None => {
+                    slots.push(Slot::vacant());
+                    in_affected.push(false);
+                    slots.len() - 1
+                }
+            };
+            let gen = slots[si].gen.wrapping_add(1);
+            slots[si] = Slot {
+                id,
+                demand: d,
+                rate: 0.0,
+                anchor_us: now,
+                remaining: amount,
+                eps_work: 1e-6 * amount.max(1.0),
+                gen,
+                live: true,
+                trace: trace_targets(&act.kind),
+                res_pos: [0; 2],
+            };
+            occupied += 1;
+            if d.n_resources == 0 {
+                // No shared resource: the rate is fixed for the slot's
+                // lifetime (a delay's 1 µs/µs), so it never refills.
+                let rate = if d.cap.is_finite() { d.cap } else { 1.0 };
+                slots[si].rate = rate;
+                heap.push(HeapEntry {
+                    finish_us: now + amount / rate,
+                    slot: si as u32,
+                    gen,
+                });
+            } else {
+                for (j, &r) in d.resources[..d.n_resources as usize].iter().enumerate() {
+                    slots[si].res_pos[j] = res_users[r].len() as u32;
+                    res_users[r].push(si as u32);
+                    if !dirty[r] {
+                        dirty[r] = true;
+                        dirty_list.push(r);
+                    }
+                }
+            }
+        }
+        if done == n {
+            break;
+        }
+        if occupied == 0 {
+            return Err(SimError::Deadlock {
+                unstarted: n - done,
+            });
+        }
+
+        if !dirty_list.is_empty() {
+            // Transitive closure of the dirty resources over the
+            // activity↔resource bipartite graph: BFS alternating
+            // resource → users → their other resources.
+            affected.clear();
+            aff_demand.clear();
+            res_list.clear();
+            for &r in &dirty_list {
+                if !res_seen[r] {
+                    res_seen[r] = true;
+                    res_list.push(r);
+                }
+            }
+            let mut head = 0;
+            while head < res_list.len() {
+                let r = res_list[head];
+                head += 1;
+                for &si in &res_users[r] {
+                    if !in_affected[si as usize] {
+                        in_affected[si as usize] = true;
+                        affected.push(si);
+                        // Copy the demand into a dense scratch row so the
+                        // fill rounds below iterate contiguously instead of
+                        // chasing the (much larger) Slot structs.
+                        let d = slots[si as usize].demand;
+                        aff_demand.push(d);
+                        for &r2 in &d.resources[..d.n_resources as usize] {
+                            if !res_seen[r2] {
+                                res_seen[r2] = true;
+                                res_list.push(r2);
+                            }
+                        }
+                    }
+                }
+            }
+            for &r in &dirty_list {
+                dirty[r] = false;
+            }
+            dirty_list.clear();
+
+            // Progressive filling restricted to the affected set. The
+            // closure contains every user of every involved resource, so
+            // filling against full capacities reproduces the joint
+            // fixpoint for exactly these activities.
+            new_rate.clear();
+            new_rate.resize(affected.len(), 0.0);
+            frozen.clear();
+            frozen.resize(affected.len(), false);
+            for &r in &res_list {
+                fill_rem[r] = table.caps[r];
+                fill_users[r] = 0;
+            }
+            for d in &aff_demand {
+                for &r in &d.resources[..d.n_resources as usize] {
+                    fill_users[r] += 1;
+                }
+            }
+            const EPS: f64 = 1e-12;
+            loop {
+                let mut delta = f64::INFINITY;
+                for &r in &res_list {
+                    if fill_users[r] > 0 {
+                        delta = delta.min(fill_rem[r] / fill_users[r] as f64);
+                    }
+                }
+                for (k, d) in aff_demand.iter().enumerate() {
+                    if !frozen[k] {
+                        delta = delta.min(d.cap - new_rate[k]);
+                    }
+                }
+                if !delta.is_finite() || delta < 0.0 {
+                    break;
+                }
+                let mut any_unfrozen = false;
+                for (k, d) in aff_demand.iter().enumerate() {
+                    if frozen[k] {
+                        continue;
+                    }
+                    any_unfrozen = true;
+                    new_rate[k] += delta;
+                    for &r in &d.resources[..d.n_resources as usize] {
+                        fill_rem[r] -= delta;
+                    }
+                }
+                if !any_unfrozen {
+                    break;
+                }
+                let mut all_frozen = true;
+                for (k, d) in aff_demand.iter().enumerate() {
+                    if frozen[k] {
+                        continue;
+                    }
+                    let capped = new_rate[k] >= d.cap - EPS;
+                    let saturated = d.resources[..d.n_resources as usize]
+                        .iter()
+                        .any(|&r| fill_rem[r] <= EPS * table.caps[r].max(1.0));
+                    if capped || saturated {
+                        frozen[k] = true;
+                        for &r in &d.resources[..d.n_resources as usize] {
+                            fill_users[r] -= 1;
+                        }
+                    } else {
+                        all_frozen = false;
+                    }
+                }
+                if all_frozen {
+                    break;
+                }
+            }
+            for &r in &res_list {
+                res_seen[r] = false;
+            }
+
+            // Apply: re-anchor, bump generations, and re-key the heap for
+            // slots whose rate actually changed; untouched slots keep
+            // their (still valid) heap entries.
+            for (k, &si) in affected.iter().enumerate() {
+                in_affected[si as usize] = false;
+                let s = &mut slots[si as usize];
+                let r_new = new_rate[k];
+                if r_new == s.rate {
+                    continue;
+                }
+                if s.rate > 0.0 && now > s.anchor_us {
+                    s.remaining -= s.rate * (now - s.anchor_us);
+                }
+                for t in 0..s.trace.n as usize {
+                    let (ch, node) = s.trace.ch[t];
+                    usage.defer(ch, node, r_new - s.rate);
+                }
+                s.anchor_us = now;
+                if s.rate > 0.0 {
+                    // The slot's previous heap entry (one exists whenever it
+                    // had a positive rate) is orphaned by the gen bump.
+                    heap_stale += 1;
+                }
+                s.rate = r_new;
+                s.gen = s.gen.wrapping_add(1);
+                if r_new > 0.0 {
+                    heap.push(HeapEntry {
+                        finish_us: now + s.remaining.max(0.0) / r_new,
+                        slot: si,
+                        gen: s.gen,
+                    });
+                }
+            }
+            usage.commit(&mut trace, now);
+        }
+
+        // Compact the heap once stale entries outnumber valid ones, so the
+        // working set stays O(live) instead of O(total pushes).
+        if heap_stale > 128 && heap_stale * 2 > heap.len() {
+            let mut entries = std::mem::take(&mut heap).into_vec();
+            entries.retain(|e| {
+                let s = &slots[e.slot as usize];
+                s.live && s.gen == e.gen
+            });
+            heap = BinaryHeap::from(entries);
+            heap_stale = 0;
+        }
+
+        // Next event: the earliest valid projected completion.
+        let top = loop {
+            match heap.pop() {
+                None => {
+                    // Live slots remain but none can finish — stalled on a
+                    // zero-capacity resource. Report the lowest live id
+                    // (deterministic regardless of slot layout).
+                    let activity = slots
+                        .iter()
+                        .filter(|s| s.live)
+                        .map(|s| s.id)
+                        .min()
+                        .expect("occupied > 0 implies a live slot");
+                    return Err(SimError::Stalled { activity });
+                }
+                Some(e) => {
+                    let s = &slots[e.slot as usize];
+                    if s.live && s.gen == e.gen {
+                        break e;
+                    }
+                    heap_stale -= 1;
+                }
+            }
+        };
+        now = now.max(top.finish_us);
+
+        // Complete the popped slot plus every further slot projected to
+        // land within its own tolerance of `now` — the heap-shaped
+        // equivalent of the reference engine's epsilon sweep.
+        completing.clear();
+        completing.push(top.slot);
+        while let Some(&e) = heap.peek() {
+            let s = &slots[e.slot as usize];
+            if !(s.live && s.gen == e.gen) {
+                heap.pop();
+                heap_stale -= 1;
+                continue;
+            }
+            if (e.finish_us - now) * s.rate <= s.eps_work {
+                completing.push(e.slot);
+                heap.pop();
+            } else {
+                break;
+            }
+        }
+        for &si in &completing {
+            let (id, rate, d, res_pos, targets) = {
+                let s = &mut slots[si as usize];
+                s.live = false;
+                (s.id, s.rate, s.demand, s.res_pos, s.trace)
+            };
+            occupied -= 1;
+            results[id.0 as usize].end_us = now;
+            done += 1;
+            if rate != 0.0 {
+                for t in 0..targets.n as usize {
+                    let (ch, node) = targets.ch[t];
+                    usage.defer(ch, node, -rate);
+                }
+            }
+            for (j, &r) in d.resources[..d.n_resources as usize].iter().enumerate() {
+                // O(1) removal: the slot knows its position in the user
+                // list; the entry swapped into its place gets its
+                // back-pointer fixed up.
+                let list = &mut res_users[r];
+                let pos = res_pos[j] as usize;
+                debug_assert_eq!(list[pos], si);
+                list.swap_remove(pos);
+                if pos < list.len() {
+                    let moved = list[pos] as usize;
+                    let ms = &mut slots[moved];
+                    for j2 in 0..ms.demand.n_resources as usize {
+                        if ms.demand.resources[j2] == r {
+                            ms.res_pos[j2] = pos as u32;
+                            break;
+                        }
+                    }
+                }
+                if !dirty[r] {
+                    dirty[r] = true;
+                    dirty_list.push(r);
+                }
+            }
+            free.push(si);
+            for &dep in &dependents[id.0 as usize] {
+                indeg[dep.0 as usize] -= 1;
+                if indeg[dep.0 as usize] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+        usage.commit(&mut trace, now);
+    }
+
+    let makespan_us = results.iter().map(|r| r.end_us).fold(0.0, f64::max);
+    Ok(SimResult {
+        results,
+        makespan_us,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+
+    #[test]
+    fn heap_orders_by_finish_then_slot() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry {
+            finish_us: 5.0,
+            slot: 2,
+            gen: 0,
+        });
+        h.push(HeapEntry {
+            finish_us: 3.0,
+            slot: 9,
+            gen: 0,
+        });
+        h.push(HeapEntry {
+            finish_us: 3.0,
+            slot: 1,
+            gen: 0,
+        });
+        let a = h.pop().unwrap();
+        assert_eq!((a.finish_us, a.slot), (3.0, 1));
+        let b = h.pop().unwrap();
+        assert_eq!((b.finish_us, b.slot), (3.0, 9));
+        assert_eq!(h.pop().unwrap().slot, 2);
+    }
+
+    #[test]
+    fn flush_wave_merges_same_span() {
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            NodeSpec {
+                name: String::new(),
+                cores: 8,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        );
+        let mut trace = UsageTrace::new(&cluster);
+        let mut wave = FlushWave::new(2);
+        // Three readers on node 0's disk over the same span merge into one
+        // accumulation; a fourth on node 1 stays separate.
+        for _ in 0..3 {
+            wave.push(&mut trace, Channel::Disk, NodeId(0), 0.0, 10.0, 5.0);
+        }
+        wave.push(&mut trace, Channel::Disk, NodeId(1), 0.0, 10.0, 7.0);
+        wave.flush_all(&mut trace, 10.0);
+        let s0 = trace.series(Channel::Disk, NodeId(0));
+        let s1 = trace.series(Channel::Disk, NodeId(1));
+        assert!((s0[0].1 - 150.0).abs() < 1e-9, "{s0:?}");
+        assert!((s1[0].1 - 70.0).abs() < 1e-9, "{s1:?}");
+    }
+
+    #[test]
+    fn flush_wave_splits_differing_starts() {
+        let cluster = ClusterSpec::homogeneous(
+            1,
+            NodeSpec {
+                name: String::new(),
+                cores: 8,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        );
+        let mut trace = UsageTrace::new(&cluster);
+        let mut wave = FlushWave::new(1);
+        // Same (channel, node), different anchors: both spans must land.
+        wave.push(&mut trace, Channel::Disk, NodeId(0), 0.0, 20.0, 1.0);
+        wave.push(&mut trace, Channel::Disk, NodeId(0), 10.0, 20.0, 1.0);
+        wave.flush_all(&mut trace, 20.0);
+        let s = trace.series(Channel::Disk, NodeId(0));
+        // 1.0 over [0,20) plus 1.0 over [10,20) = 30 units in the bucket.
+        assert!((s[0].1 - 30.0).abs() < 1e-9, "{s:?}");
+    }
+}

@@ -4,6 +4,14 @@
 //! the max-min fair rate of each running activity, advances time to the
 //! earliest completion, accumulates resource usage into the [`UsageTrace`],
 //! and releases newly-ready activities. Deterministic by construction.
+//!
+//! Two engines share this contract. [`Simulation::run`] is the incremental
+//! scheduler ([`crate::sched`]): rates are recomputed only for activities
+//! transitively coupled to an arrival or departure through shared resources,
+//! and the next completion comes from a lazy-invalidation heap instead of a
+//! scan. [`Simulation::run_reference`] is the straightforward
+//! recompute-everything loop, kept as the oracle the incremental engine is
+//! tested against.
 
 use std::fmt;
 
@@ -139,7 +147,23 @@ impl Simulation {
     }
 
     /// Executes the DAG; returns per-activity timings and the usage trace.
+    ///
+    /// Uses the incremental scheduler (see [`crate::sched`]); results agree
+    /// with [`Simulation::run_reference`] up to floating-point noise and are
+    /// bit-identical across repeated runs of the same input.
     pub fn run(&self, graph: &ActivityGraph) -> Result<SimResult, SimError> {
+        self.check_nodes(graph)?;
+        crate::sched::run_incremental(&self.cluster, graph)
+    }
+
+    /// Executes the DAG with the naive reference engine: every event
+    /// re-runs progressive filling over *all* running activities and
+    /// rescans them for the earliest completion.
+    ///
+    /// O(running) per event where [`Simulation::run`] touches only the
+    /// affected component — kept as the oracle for equivalence tests and as
+    /// the baseline for the scheduler benchmarks.
+    pub fn run_reference(&self, graph: &ActivityGraph) -> Result<SimResult, SimError> {
         self.check_nodes(graph)?;
         let n = graph.len();
         let table = ResourceTable::new(&self.cluster);
@@ -168,6 +192,8 @@ impl Simulation {
             .map(|a| a.id)
             .collect();
         let mut running: Vec<Running> = Vec::new();
+        let mut demands: Vec<Demand> = Vec::new();
+        let mut wave = crate::sched::FlushWave::new(self.cluster.len());
         let mut done = 0usize;
         let mut now = 0.0f64;
 
@@ -204,15 +230,10 @@ impl Simulation {
                 });
             }
 
-            // Assign fair rates.
-            let demands: Vec<Demand> = running
-                .iter()
-                .map(|r| Demand {
-                    resources: r.demand.resources,
-                    n_resources: r.demand.n_resources,
-                    cap: r.demand.cap,
-                })
-                .collect();
+            // Assign fair rates (`Demand` is `Copy`; the buffer is reused
+            // across steps).
+            demands.clear();
+            demands.extend(running.iter().map(|r| r.demand));
             let rates = assign_rates(&table, &demands);
             for (r, &rate) in running.iter_mut().zip(&rates) {
                 r.rate = rate;
@@ -231,27 +252,30 @@ impl Simulation {
                 });
             }
 
-            // Accumulate usage over [now, now+dt).
+            // Accumulate usage over [now, now+dt), batched so each
+            // (channel, node) pair gets one UsageTrace::add per step no
+            // matter how many activities share it.
             let t1 = now + dt;
             for r in &running {
                 let act = graph.get(r.id);
                 match &act.kind {
                     ActivityKind::Compute { node, .. } => {
-                        trace.add(Channel::Cpu, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::Cpu, *node, now, t1, r.rate);
                     }
                     ActivityKind::DiskRead { node, .. } | ActivityKind::DiskWrite { node, .. } => {
-                        trace.add(Channel::Disk, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::Disk, *node, now, t1, r.rate);
                     }
                     ActivityKind::Transfer { src, dst, .. } => {
-                        trace.add(Channel::NetOut, *src, now, t1, r.rate);
-                        trace.add(Channel::NetIn, *dst, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::NetOut, *src, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::NetIn, *dst, now, t1, r.rate);
                     }
                     ActivityKind::SharedRead { node, .. } => {
-                        trace.add(Channel::NetIn, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::NetIn, *node, now, t1, r.rate);
                     }
                     ActivityKind::Delay { .. } | ActivityKind::Barrier => {}
                 }
             }
+            wave.flush_all(&mut trace, t1);
 
             now = t1;
             // Progress and complete.
@@ -460,6 +484,70 @@ mod tests {
         );
         let res = sim.run(&g).unwrap();
         assert_eq!(res.makespan_us, 0.0);
+    }
+
+    #[test]
+    fn reference_engine_agrees_with_incremental() {
+        // A mixed DAG exercising contention, fan-in, and chained phases on
+        // a 3-node cluster; both engines must tell the same story.
+        let sim = Simulation::new(cluster(3));
+        let mut g = ActivityGraph::new();
+        let mut loads = Vec::new();
+        for node in 0..3u16 {
+            let r = g.add(
+                ActivityKind::DiskRead {
+                    node: NodeId(node),
+                    bytes: 3e6 + node as f64 * 1e6,
+                },
+                &[],
+                format!("load/{node}"),
+            );
+            loads.push(r);
+        }
+        let join = g.barrier(&loads, "join");
+        let mut computes = Vec::new();
+        for node in 0..3u16 {
+            for k in 0..4 {
+                computes.push(g.add(
+                    ActivityKind::Compute {
+                        node: NodeId(node),
+                        work_core_us: 1e6 * (1.0 + k as f64),
+                        parallelism: 4,
+                    },
+                    &[join],
+                    format!("proc/{node}/{k}"),
+                ));
+            }
+        }
+        let sync = g.barrier(&computes, "sync");
+        g.add(
+            ActivityKind::Transfer {
+                src: NodeId(0),
+                dst: NodeId(2),
+                bytes: 5e6,
+            },
+            &[sync],
+            "ship",
+        );
+        let a = sim.run(&g).unwrap();
+        let b = sim.run_reference(&g).unwrap();
+        assert!(
+            (a.makespan_us - b.makespan_us).abs() <= 1e-6 * b.makespan_us,
+            "{} vs {}",
+            a.makespan_us,
+            b.makespan_us
+        );
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert!((x.start_us - y.start_us).abs() <= 1e-6 * y.start_us.max(1.0));
+            assert!((x.end_us - y.end_us).abs() <= 1e-6 * y.end_us.max(1.0));
+        }
+        // Bitwise determinism of the incremental engine.
+        let a2 = sim.run(&g).unwrap();
+        assert_eq!(a.makespan_us.to_bits(), a2.makespan_us.to_bits());
+        for (x, y) in a.results.iter().zip(&a2.results) {
+            assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
+            assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+        }
     }
 
     #[test]

@@ -78,8 +78,10 @@ impl UsageTrace {
         if series.len() < last {
             series.resize(last, 0.0);
         }
-        for (b, slot) in series.iter_mut().enumerate().take(last).skip(first) {
-            let lo = (b as f64) * bucket;
+        // Slice from `first` directly — a skip() over the full series would
+        // cost O(first) per call, which adds up for spans late in long runs.
+        for (off, slot) in series[first..last].iter_mut().enumerate() {
+            let lo = ((first + off) as f64) * bucket;
             let hi = lo + bucket;
             let overlap = (t1_us.min(hi) - t0_us.max(lo)).max(0.0);
             *slot += rate * overlap * scale;

@@ -105,6 +105,78 @@ pub fn run_experiment_on(
     })
 }
 
+/// Default worker count for [`par_map`]: the machine's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Deterministic parallel map: applies `f` to every item on up to
+/// `threads` scoped worker threads and returns the results **in input
+/// order**.
+///
+/// Work is claimed through an atomic cursor, so the assignment of items to
+/// threads varies between runs — but each result depends only on its item,
+/// and results are placed by index, so the output is bit-identical to the
+/// sequential `items.iter().map(f)` regardless of thread count. Built on
+/// [`std::thread::scope`]; no external dependencies.
+///
+/// # Panics
+/// Propagates a panic from `f` after all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in chunks.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Runs a batch of `(platform, config)` experiments on `graph` in
+/// parallel ([`par_map`] over [`default_threads`]), preserving input
+/// order. Each experiment is independent and internally deterministic, so
+/// the batch output matches a sequential run bit-for-bit.
+pub fn run_experiments(
+    jobs: &[(Platform, JobConfig)],
+    graph: &Graph,
+) -> Vec<Result<ExperimentResult, SimError>> {
+    par_map(jobs, default_threads(), |(platform, cfg)| {
+        run_experiment(*platform, graph, cfg)
+    })
+}
+
 /// The paper's dg1000 experiment on the full down-sampled graph
 /// (100 k vertices): the configuration behind Figures 5–8. Takes a few
 /// seconds of real time per platform.
@@ -189,6 +261,47 @@ mod tests {
             p.breakdown.processing_us < g.breakdown.processing_us,
             "PowerGraph processing should be faster"
         );
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_determinism() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |x: &u64| x * x + 1;
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, f), seq, "threads={threads}");
+        }
+        assert!(par_map(&[] as &[u64], 4, f).is_empty());
+    }
+
+    #[test]
+    fn parallel_experiments_match_sequential_bitwise() {
+        let graph = crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED).0;
+        let jobs: Vec<(Platform, gpsim_platforms::JobConfig)> =
+            [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat]
+                .into_iter()
+                .map(|p| {
+                    let mut cfg = match p {
+                        Platform::Giraph => crate::calibration::giraph_dg1000_job(),
+                        Platform::PowerGraph => crate::calibration::powergraph_dg1000_job(),
+                        Platform::GraphMat => crate::calibration::graphmat_dg1000_job(),
+                    };
+                    cfg.scale_factor =
+                        crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED).1;
+                    (p, cfg)
+                })
+                .collect();
+        let parallel = run_experiments(&jobs, &graph);
+        let sequential: Vec<_> = jobs
+            .iter()
+            .map(|(p, cfg)| run_experiment(*p, &graph, cfg))
+            .collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.breakdown.total_us, s.breakdown.total_us);
+            assert_eq!(p.run.makespan_us, s.run.makespan_us);
+            assert_eq!(p.run.events.len(), s.run.events.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use. The container has no crates.io access, so the
+//! real harness is replaced by a small wall-clock sampler with the same
+//! bench-authoring surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_with_input`, `Bencher::iter`).
+//!
+//! Behaviour:
+//! - each benchmark is warmed up, then timed over `sample_size` samples of
+//!   adaptively-chosen iteration counts;
+//! - results print as `name  time: [min median max]`, one line per bench,
+//!   so text tooling written against criterion's output keeps working;
+//! - `--quick` (after `--`) shrinks the measurement budget, a positional
+//!   argument filters benches by substring, and `--test` runs every bench
+//!   body exactly once (what `cargo test` does with bench targets);
+//! - machine-readable results append to `target/shim-criterion.json`, one
+//!   JSON object per line: `{"name":…,"median_ns":…,"min_ns":…,"max_ns":…}`.
+
+use std::time::{Duration, Instant};
+
+/// What the harness was asked to do, parsed from the CLI once per run.
+#[derive(Debug, Clone)]
+struct RunMode {
+    /// Substring filter on bench names (`None` runs everything).
+    filter: Option<String>,
+    /// Run each body exactly once, skip measurement.
+    test_only: bool,
+    /// Total measurement budget per bench.
+    budget: Duration,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_only = false;
+        let mut budget = Duration::from_millis(1500);
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--profile-time" => {}
+                "--test" => test_only = true,
+                "--quick" => budget = Duration::from_millis(300),
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        RunMode {
+            filter,
+            test_only,
+            budget,
+        }
+    }
+
+    fn selects(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`/`bench_with_input` in place of a string.
+pub trait IntoBenchmarkId {
+    /// The textual id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher<'a> {
+    mode: &'a RunMode,
+    samples: usize,
+    /// Collected sample means, nanoseconds per iteration.
+    results: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, called repeatedly; the return value is kept alive so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode.test_only {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: one untimed warmup call, then size iteration batches
+        // so each sample lasts roughly budget / samples.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.mode.budget / self.samples as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(mode: &RunMode, samples: usize, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !mode.selects(name) {
+        return;
+    }
+    let mut b = Bencher {
+        mode,
+        samples: samples.max(2),
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if mode.test_only {
+        println!("test {name} ... ok (bench ran once)");
+        return;
+    }
+    if b.results.is_empty() {
+        return;
+    }
+    let mut r = b.results.clone();
+    r.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let (min, median, max) = (r[0], r[r.len() / 2], r[r.len() - 1]);
+    println!(
+        "{name:<48} time:   [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(max)
+    );
+    append_record(name, min, median, max);
+}
+
+fn append_record(name: &str, min: f64, median: f64, max: f64) {
+    use std::io::Write;
+    // Bench binaries run with the package dir (not the workspace root) as
+    // cwd; locate the enclosing `target/` from the executable's own path.
+    let Some(target) = std::env::current_exe().ok().and_then(|exe| {
+        exe.ancestors()
+            .find(|p| p.file_name().is_some_and(|n| n == "target"))
+            .map(std::path::Path::to_path_buf)
+    }) else {
+        return;
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(target.join("shim-criterion.json"))
+    {
+        let _ = writeln!(
+            file,
+            "{{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}}}"
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to collect per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Benches `f` with a borrowed input value.
+    pub fn bench_with_input<I, ID: IntoBenchmarkId, F>(&mut self, id: ID, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.criterion.mode, self.samples, &full, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Benches a closure with no external input.
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.criterion.mode, self.samples, &full, &mut f);
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The harness entry object handed to every `criterion_group!` target.
+pub struct Criterion {
+    mode: RunMode,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: RunMode::from_args(),
+            default_samples: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&self.mode, self.default_samples, name, &mut f);
+        self
+    }
+}
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert_eq!(format_time(12.0), "12.00 ns");
+        assert_eq!(format_time(12_500.0), "12.50 µs");
+        assert_eq!(format_time(2.5e6), "2.50 ms");
+        assert_eq!(format_time(3.2e9), "3.200 s");
+    }
+}

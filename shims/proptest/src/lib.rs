@@ -1,0 +1,861 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace's property tests use. The container has no crates.io access,
+//! so the real framework is replaced by a deterministic generate-and-check
+//! runner: strategies are simple generator objects, each test case draws
+//! its inputs from a seed derived from the test name and case index, and a
+//! failing case reports the generated input. There is **no shrinking** —
+//! the failing input prints as-is — which is an acceptable trade for a
+//! reproduction harness where determinism matters more than minimality.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_oneof!`, `Just`, `any`,
+//! integer/float range strategies, `&str` regex strategies (character
+//! classes and bounded quantifiers), tuples up to arity 12,
+//! `prop::collection::vec`, `prop::option::of`, and the `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `boxed` combinators.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+// ------------------------------------------------------------------- rng
+
+/// The deterministic generator handed to strategies (xoshiro256** seeded
+/// via SplitMix64, like the workspace's rand shim).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)` via widening multiply (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of test-case inputs.
+    pub trait Strategy {
+        /// The generated input type.
+        type Value: Debug;
+
+        /// Draws one input.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derives a dependent strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects values failing `keep`; retries generation (bounded —
+        /// the real framework rejects whole cases instead).
+        fn prop_filter<F>(self, reason: impl Into<String>, keep: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                keep,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        keep: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Picks uniformly (or by weight) among boxed alternatives; the
+    /// expansion target of `prop_oneof!`.
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Uniform choice.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(variants.into_iter().map(|v| (1, v)).collect())
+        }
+
+        /// Weighted choice.
+        pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs an alternative");
+            let total_weight = variants.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union {
+                variants,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (w, v) in &self.variants {
+                if pick < *w as u64 {
+                    return v.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("pick below total weight")
+        }
+    }
+
+    /// Types with a canonical full-domain strategy ([`any`]).
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws a value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_f64() as f32
+        }
+    }
+
+    /// See [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // Integer ranges.
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Float ranges.
+    macro_rules! impl_strategy_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_strategy_float_range!(f32, f64);
+
+    // Tuples of strategies generate tuples of values.
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11)
+    }
+
+    // `&'static str` is a regex strategy over a pragmatic subset:
+    // character classes (with ranges), literals, `\x` escapes, `.`
+    // (printable ASCII), and the quantifiers `{n}`, `{m,n}`, `?`, `+`,
+    // `*` (unbounded forms capped at 8 repeats).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_regex(self, rng)
+        }
+    }
+
+    struct RegexAtom {
+        /// Inclusive char ranges; a literal is a single-char range.
+        ranges: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            let total: u64 = atom
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            for _ in 0..n {
+                let mut pick = rng.below(total);
+                for &(lo, hi) in &atom.ranges {
+                    let size = (hi as u64) - (lo as u64) + 1;
+                    if pick < size {
+                        out.push(
+                            char::from_u32(lo as u32 + pick as u32).expect("valid char range"),
+                        );
+                        break;
+                    }
+                    pick -= size;
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad class range in `{pattern}`");
+                            ranges.push((lo, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                    i += 1; // ']'
+                    ranges
+                }
+                '.' => {
+                    i += 1;
+                    vec![(' ', '~')]
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            // Quantifier, if any.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier min"),
+                            hi.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "bad quantifier in `{pattern}`");
+            atoms.push(RegexAtom { ranges, min, max });
+        }
+        atoms
+    }
+}
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+// ------------------------------------------------------------ collections
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Accepted size arguments for [`vec`]: an exact `usize`, a
+    /// half-open `Range`, or a `RangeInclusive`.
+    pub trait IntoSizeRange {
+        /// Inclusive (min, max) bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A strategy for vectors whose length falls in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ test runner
+
+/// The case loop, configuration, and failure plumbing behind `proptest!`.
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many generated cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A `prop_assert!` failed.
+        Fail(String),
+        /// The case asked to be discarded.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A discarded case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` deterministic cases of `body`. The body writes
+    /// the generated input's debug form into its second argument *before*
+    /// running assertions, so panics and failures can report it.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let seed = fnv1a(name) ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1);
+            let mut rng = TestRng::from_seed_u64(seed);
+            let mut input = String::new();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng, &mut input)
+            }));
+            match outcome {
+                Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("proptest `{name}` failed at case {case}:\n  {msg}\n  input: {input}");
+                }
+                Err(payload) => {
+                    eprintln!("proptest `{name}` panicked at case {case}; input: {input}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &__config,
+                |__rng, __input| {
+                    let __strategy = ($($strat,)+);
+                    let __value = $crate::Strategy::generate(&__strategy, __rng);
+                    *__input = format!("{:?}", __value);
+                    let ($($arg,)+) = __value;
+                    let __body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __body()
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            __left
+        );
+    }};
+}
+
+/// Picks among alternative strategies, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface property tests expect.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_seed_u64(1);
+        for _ in 0..500 {
+            let v = (3u32..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = crate::TestRng::from_seed_u64(2);
+        for _ in 0..200 {
+            let s = "[A-Z][a-z]{1,8}".generate(&mut rng);
+            assert!((2..=9).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().expect("non-empty").is_ascii_uppercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase()));
+
+            let t = "[A-Za-z0-9 _.:-]{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&t.len()));
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::TestRng::from_seed_u64(3);
+        let strat = (2u32..40)
+            .prop_flat_map(|n| (Just(n), prop::collection::vec(0..n, 0..10)))
+            .prop_map(|(n, v)| (n, v.len()))
+            .prop_filter("keep all", |_| true);
+        for _ in 0..100 {
+            let (n, len) = strat.generate(&mut rng);
+            assert!((2..40).contains(&n));
+            assert!(len < 10);
+        }
+    }
+
+    #[test]
+    fn oneof_and_option() {
+        let mut rng = crate::TestRng::from_seed_u64(4);
+        let strat = prop_oneof![Just(0u8), Just(1), Just(2)];
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            saw[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(saw, [true; 3]);
+
+        let opt = prop::option::of(Just(7u8));
+        let mut nones = 0;
+        for _ in 0..400 {
+            if opt.generate(&mut rng).is_none() {
+                nones += 1;
+            }
+        }
+        assert!((20..200).contains(&nones), "{nones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro machinery itself: patterns, multiple args, asserts.
+        #[test]
+        fn macro_roundtrip((a, b) in (0u32..100, 0u32..100), c in any::<bool>()) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(c, c);
+            prop_assert_ne!(a + 200, b);
+        }
+    }
+}
