@@ -12,7 +12,7 @@ use granula::experiment::{run_experiment, Platform};
 use granula::metrics::Phase;
 use granula_bench::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — domain decomposition across algorithms (dg1000 scale, 8 nodes)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
     // SSSP needs edge weights; unweighted graphs would degenerate to BFS.
@@ -48,7 +48,7 @@ fn main() {
             } else {
                 &graph
             };
-            let r = run_experiment(platform, g, &cfg).expect("simulation runs");
+            let r = run_experiment(platform, g, &cfg)?;
             let b = &r.breakdown;
             println!(
                 "  {:<12} {:<10} {:>8.1}s {:>8.1}% {:>8.1}% {:>8.1}% {:>7}",
@@ -67,4 +67,5 @@ fn main() {
         "Interpretation: the PowerGraph loader dominates every workload; on\n\
          Giraph, iteration counts decide whether I/O or processing leads."
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@ use granula::experiment::{run_experiment, Platform};
 use granula::metrics::Phase;
 use granula_bench::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — dataset-scale sweep (BFS, 8 nodes): the setup/loader crossover");
     let (graph, _) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
 
@@ -33,7 +33,7 @@ fn main() {
             cfg.scale_factor = scale;
             cfg.dataset = dataset.name.to_string();
             cfg.job_id = format!("{}-{}", platform.name().to_lowercase(), dataset.name);
-            let r = run_experiment(platform, &graph, &cfg).expect("simulation runs");
+            let r = run_experiment(platform, &graph, &cfg)?;
             totals.push((platform.name(), r.breakdown.total_s(), r.breakdown));
         }
         let winner = totals
@@ -58,7 +58,7 @@ fn main() {
                 Platform::GraphMat => calibration::graphmat_dg1000_job(),
             };
             cfg.scale_factor = scale;
-            let r = run_experiment(platform, &graph, &cfg).expect("simulation runs");
+            let r = run_experiment(platform, &graph, &cfg)?;
             let b = &r.breakdown;
             println!(
                 "  {:<8} {:<12} setup {:>6.1}s  io {:>7.1}s  proc {:>6.1}s",
@@ -76,4 +76,5 @@ fn main() {
          loader dominates and Giraph wins — a crossover only the fine-grained\n\
          decomposition can attribute."
     );
+    Ok(())
 }

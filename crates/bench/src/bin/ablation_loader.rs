@@ -16,7 +16,7 @@ use granula::process::EvaluationProcess;
 use granula_archive::JobMeta;
 use granula_bench::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — PowerGraph loader parallelism (BFS, dg1000, 8 nodes)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
     let mut cfg = calibration::powergraph_dg1000_job();
@@ -32,7 +32,7 @@ fn main() {
             loader_threads: threads,
             ..Default::default()
         };
-        let run = platform.run(&graph, &cfg).expect("simulation runs");
+        let run = platform.run(&graph, &cfg)?;
         let report = EvaluationProcess::new(powergraph_model()).evaluate(
             &run,
             JobMeta {
@@ -60,4 +60,5 @@ fn main() {
          paper-reported 4.9x end-to-end gap to Giraph; beyond ~8 threads the\n\
          single reader's NIC/shared-FS bandwidth dominates."
     );
+    Ok(())
 }

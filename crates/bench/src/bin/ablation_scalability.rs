@@ -14,7 +14,7 @@ use granula_bench::header;
 
 const NODE_COUNTS: [u16; 5] = [2, 4, 8, 16, 32];
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — horizontal scalability (BFS, dg1000 scale)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
 
@@ -47,7 +47,7 @@ fn main() {
         );
         let mut base: Option<f64> = None;
         for (nodes, r) in NODE_COUNTS.into_iter().zip(chunk) {
-            let r = r.as_ref().expect("simulation runs");
+            let r = r.as_ref().map_err(Clone::clone)?;
             let b = &r.breakdown;
             let baseline = *base.get_or_insert(b.total_s());
             println!(
@@ -67,4 +67,5 @@ fn main() {
          loader, the shared-FS server) scale differently — exactly the\n\
          distinction a coarse-grained benchmark cannot draw."
     );
+    Ok(())
 }

@@ -14,7 +14,7 @@ use granula::experiment::{run_experiment_on, Platform};
 use granula::metrics::worker_imbalance;
 use granula_bench::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — straggler detection (Giraph, BFS, dg1000, 8 nodes)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
     let mut cfg = calibration::giraph_dg1000_job();
@@ -28,8 +28,7 @@ fn main() {
         if let Some(i) = straggler {
             cluster.nodes[i as usize].cores /= 4;
         }
-        let result =
-            run_experiment_on(Platform::Giraph, &graph, &cfg, &cluster).expect("simulation runs");
+        let result = run_experiment_on(Platform::Giraph, &graph, &cfg, &cluster)?;
         println!("\n--- {label} ---");
         println!("total runtime: {:.2}s", result.breakdown.total_s());
 
@@ -67,4 +66,5 @@ fn main() {
          file — Granula's archive identifies it from per-worker operation\n\
          durations alone, turning `the job got slower` into `node305 is sick`."
     );
+    Ok(())
 }

@@ -18,7 +18,7 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — decomposition variance over 5 graph instances (BFS, dg1000 scale)");
     const SEEDS: [u64; 5] = [1_000, 2_000, 3_000, 4_000, 5_000];
 
@@ -35,7 +35,7 @@ fn main() {
             };
             cfg.scale_factor = scale;
             cfg.job_id = format!("{}-seed{}", platform.name().to_lowercase(), seed);
-            let r = run_experiment(platform, &graph, &cfg).expect("simulation runs");
+            let r = run_experiment(platform, &graph, &cfg)?;
             totals.push(r.breakdown.total_s());
             for (i, phase) in [Phase::Setup, Phase::InputOutput, Phase::Processing]
                 .into_iter()
@@ -59,4 +59,5 @@ fn main() {
         "\nInterpretation: phase fractions vary by at most a couple of points\n\
          across graph instances — the Figure 5 shape is platform-determined."
     );
+    Ok(())
 }

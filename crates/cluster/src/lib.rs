@@ -19,6 +19,7 @@
 //! MPI-like worker deployment latencies.
 
 pub mod activity;
+pub mod fault;
 pub mod fs;
 pub mod provision;
 pub mod resources;
@@ -28,6 +29,7 @@ pub mod topology;
 pub mod trace;
 
 pub use activity::{Activity, ActivityGraph, ActivityId, ActivityKind};
+pub use fault::{DegradedChannel, FaultEvent, FaultPlan, NodeCrash, Slowdown};
 pub use fs::{DfsSpec, FileSystem, LocalFsSpec, SharedFsSpec};
 pub use provision::{MpiLauncher, NativeLauncher, Provisioner, YarnProvisioner};
 pub use sim::{ActivityResult, SimError, SimResult, Simulation};

@@ -50,6 +50,12 @@ pub struct YarnProvisioner {
     pub zk_sync_us: f64,
     /// Client/AppMaster/ZooKeeper teardown, microseconds.
     pub cleanup_us: f64,
+    /// Bound on container (re-)allocation attempts before the application
+    /// master gives up; [`YarnProvisioner::reprovision`] clamps to this.
+    pub max_attempts: u32,
+    /// Base backoff between failed allocation attempts, microseconds;
+    /// doubles per further failure (exponential backoff).
+    pub retry_backoff_us: f64,
 }
 
 impl Default for YarnProvisioner {
@@ -61,7 +67,65 @@ impl Default for YarnProvisioner {
             jvm_startup_us: 4.0e6,
             zk_sync_us: 1.5e6,
             cleanup_us: 6.0e6,
+            max_attempts: 3,
+            retry_backoff_us: 1.5e6,
         }
+    }
+}
+
+impl YarnProvisioner {
+    /// Plans the re-provisioning of a single replacement container after a
+    /// worker loss: renegotiation with the ResourceManager, exponential
+    /// backoff for each allocation attempt that already failed (clamped to
+    /// [`max_attempts`](YarnProvisioner::max_attempts)), then the usual
+    /// allocate → JVM launch → service-registration chain. Returns the
+    /// activity whose completion means the replacement worker is ready.
+    pub fn reprovision(
+        &self,
+        g: &mut ActivityGraph,
+        failed_attempts: u32,
+        deps: &[ActivityId],
+        tag: &str,
+    ) -> ActivityId {
+        let negotiate = g.add(
+            ActivityKind::Delay {
+                duration_us: self.negotiation_us,
+            },
+            deps,
+            format!("{tag}/renegotiate"),
+        );
+        let mut prev = negotiate;
+        let retries = failed_attempts.min(self.max_attempts.saturating_sub(1));
+        for attempt in 0..retries {
+            prev = g.add(
+                ActivityKind::Delay {
+                    duration_us: self.retry_backoff_us * (1u64 << attempt) as f64,
+                },
+                &[prev],
+                format!("{tag}/backoff-{attempt}"),
+            );
+        }
+        let alloc = g.add(
+            ActivityKind::Delay {
+                duration_us: self.container_alloc_us,
+            },
+            &[prev],
+            format!("{tag}/alloc"),
+        );
+        let jvm = g.add(
+            ActivityKind::Delay {
+                duration_us: self.jvm_startup_us,
+            },
+            &[alloc],
+            format!("{tag}/launch"),
+        );
+        g.add(
+            ActivityKind::Delay {
+                duration_us: self.zk_sync_us,
+            },
+            &[jvm],
+            format!("{tag}/zk-register"),
+        )
     }
 }
 
@@ -294,6 +358,25 @@ mod tests {
         NativeLauncher.teardown(&mut g, &nodes, &ready, "t");
         let res = Simulation::new(cluster(2)).run(&g).unwrap();
         assert_eq!(res.makespan_us, 0.0);
+    }
+
+    #[test]
+    fn reprovision_backs_off_exponentially_and_is_bounded() {
+        let p = YarnProvisioner::default();
+        let chain = |failed: u32| {
+            let mut g = ActivityGraph::new();
+            let ready = p.reprovision(&mut g, failed, &[], "re");
+            let res = Simulation::new(cluster(1)).run(&g).unwrap();
+            res.of(ready).end_us
+        };
+        let base = p.negotiation_us + p.container_alloc_us + p.jvm_startup_us + p.zk_sync_us;
+        assert!((chain(0) - base).abs() < 1.0);
+        // One failed attempt: one backoff. Two: 1x + 2x the base backoff.
+        assert!((chain(1) - base - p.retry_backoff_us).abs() < 1.0);
+        assert!((chain(2) - base - 3.0 * p.retry_backoff_us).abs() < 1.0);
+        // The attempt count is bounded: further failures add no backoff
+        // beyond max_attempts - 1 rounds.
+        assert_eq!(chain(7), chain(p.max_attempts - 1));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::activity::{ActivityGraph, ActivityId, ActivityKind};
+use crate::fault::{FaultClock, FaultEvent, FaultPlan};
 use crate::resources::{demand, Demand, ResourceTable};
 use crate::sim::{ActivityResult, SimError, SimResult};
 use crate::topology::{ClusterSpec, NodeId};
@@ -313,15 +314,26 @@ impl PairUsage {
     }
 }
 
-/// Executes `graph` on `cluster` with the incremental scheduler. Node
-/// validity is the caller's responsibility ([`crate::sim::Simulation::run`]
-/// checks before dispatching here).
+/// Executes `graph` on `cluster` with the incremental scheduler, honoring
+/// `plan` (see [`crate::fault`]). Node and plan validity are the caller's
+/// responsibility ([`crate::sim::Simulation::run`] checks before
+/// dispatching here).
 pub(crate) fn run_incremental(
     cluster: &ClusterSpec,
     graph: &ActivityGraph,
+    plan: &FaultPlan,
 ) -> Result<SimResult, SimError> {
     let n = graph.len();
-    let table = ResourceTable::new(cluster);
+    let mut table = ResourceTable::new(cluster);
+    let base_caps = table.caps.clone();
+    let active = !plan.is_empty();
+    let mut clock = FaultClock::new(plan, cluster.len());
+    let mut faults: Vec<FaultEvent> = Vec::new();
+    let mut parked: Vec<ActivityId> = Vec::new();
+    let mut crashed_buf: Vec<NodeId> = Vec::new();
+    let mut restarted_buf: Vec<NodeId> = Vec::new();
+    let mut doomed: Vec<(u32, NodeId)> = Vec::new();
+    let mut caps_scratch = vec![0.0f64; base_caps.len()];
     let n_res = table.len();
     let mut trace = UsageTrace::new(cluster);
     let mut results = vec![
@@ -379,11 +391,42 @@ pub(crate) fn run_incremental(
     let mut done = 0usize;
     let mut now = 0.0f64;
 
+    // Faults scheduled at t=0 take effect before anything starts, so
+    // activities bound to a node that is dead from the outset park instead
+    // of starting (mirrors the reference engine).
+    if active && matches!(clock.next_boundary(), Some(b) if b <= 0.0) {
+        let caps_changed = clock.advance(0.0, &mut crashed_buf, &mut restarted_buf);
+        for &node in &restarted_buf {
+            faults.push(FaultEvent::NodeRestarted { node, at_us: 0.0 });
+        }
+        for &node in &crashed_buf {
+            faults.push(FaultEvent::NodeCrashed { node, at_us: 0.0 });
+        }
+        if caps_changed {
+            clock.refresh_caps(&base_caps, &mut table.caps, 0.0);
+        }
+    }
+
     loop {
         // Start everything ready; zero-amount activities finish at once,
-        // cascading through their dependents.
+        // cascading through their dependents. Under an active plan,
+        // activities bound to a down node park until its restart (or fail
+        // the run if it never restarts).
         while let Some(id) = ready.pop() {
             let act = graph.get(id);
+            if active {
+                if let Some(node) = clock.blocking_node(&act.kind) {
+                    if clock.has_pending_restart(node) {
+                        parked.push(id);
+                        continue;
+                    }
+                    return Err(SimError::NodeLost {
+                        node,
+                        activity: id,
+                        at_us: now.round() as u64,
+                    });
+                }
+            }
             let amount = act.kind.amount();
             results[id.0 as usize].start_us = now;
             if amount <= 0.0 {
@@ -444,7 +487,7 @@ pub(crate) fn run_incremental(
         if done == n {
             break;
         }
-        if occupied == 0 {
+        if occupied == 0 && (!active || clock.next_boundary().is_none()) {
             return Err(SimError::Deadlock {
                 unstarted: n - done,
             });
@@ -611,30 +654,171 @@ pub(crate) fn run_incremental(
             heap_stale = 0;
         }
 
-        // Next event: the earliest valid projected completion.
-        let top = loop {
-            match heap.pop() {
-                None => {
-                    // Live slots remain but none can finish — stalled on a
-                    // zero-capacity resource. Report the lowest live id
-                    // (deterministic regardless of slot layout).
-                    let activity = slots
-                        .iter()
-                        .filter(|s| s.live)
-                        .map(|s| s.id)
-                        .min()
-                        .expect("occupied > 0 implies a live slot");
-                    return Err(SimError::Stalled { activity });
-                }
-                Some(e) => {
-                    let s = &slots[e.slot as usize];
-                    if s.live && s.gen == e.gen {
-                        break e;
+        // Next event: the earliest valid projected completion, weighed
+        // against the next fault boundary when a plan is active.
+        let top: Option<HeapEntry> = if occupied == 0 {
+            None
+        } else {
+            loop {
+                match heap.pop() {
+                    None => break None,
+                    Some(e) => {
+                        let s = &slots[e.slot as usize];
+                        if s.live && s.gen == e.gen {
+                            break Some(e);
+                        }
+                        heap_stale -= 1;
                     }
-                    heap_stale -= 1;
                 }
             }
         };
+        let boundary = if active { clock.next_boundary() } else { None };
+        let take_boundary = match (&top, boundary) {
+            // A completion at exactly a boundary instant wins (strict `<`),
+            // matching the reference engine.
+            (Some(e), Some(b)) => b < e.finish_us,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => {
+                // Live slots remain but none can finish and no fault
+                // boundary can change that — stalled on a zero-capacity
+                // resource. Report the lowest live id (deterministic
+                // regardless of slot layout).
+                let activity = slots
+                    .iter()
+                    .filter(|s| s.live)
+                    .map(|s| s.id)
+                    .min()
+                    .expect("occupied > 0 implies a live slot");
+                return Err(SimError::Stalled { activity });
+            }
+        };
+
+        if take_boundary {
+            // The popped completion (if any) lies beyond the boundary; put
+            // it back and process the fault instead.
+            if let Some(e) = top {
+                heap.push(e);
+            }
+            now = now.max(boundary.expect("take_boundary implies a boundary"));
+            crashed_buf.clear();
+            restarted_buf.clear();
+            let caps_changed = clock.advance(now, &mut crashed_buf, &mut restarted_buf);
+            for &node in &restarted_buf {
+                faults.push(FaultEvent::NodeRestarted { node, at_us: now });
+            }
+            for &node in &crashed_buf {
+                faults.push(FaultEvent::NodeCrashed { node, at_us: now });
+            }
+            if !crashed_buf.is_empty() {
+                // Kill every in-flight activity touching a down node:
+                // forced completion at the crash instant, dependents
+                // released. Killed in ActivityId order for determinism.
+                doomed.clear();
+                for (si, s) in slots.iter().enumerate() {
+                    if s.live {
+                        if let Some(node) = clock.blocking_node(&graph.get(s.id).kind) {
+                            doomed.push((si as u32, node));
+                        }
+                    }
+                }
+                doomed.sort_by_key(|&(si, _)| slots[si as usize].id.0);
+                for &(si, node) in &doomed {
+                    let (id, rate, d, res_pos, targets) = {
+                        let s = &mut slots[si as usize];
+                        s.live = false;
+                        (s.id, s.rate, s.demand, s.res_pos, s.trace)
+                    };
+                    occupied -= 1;
+                    results[id.0 as usize].end_us = now;
+                    done += 1;
+                    faults.push(FaultEvent::ActivityKilled {
+                        activity: id,
+                        node,
+                        at_us: now,
+                    });
+                    if rate > 0.0 {
+                        // Its heap entry is orphaned by the kill.
+                        heap_stale += 1;
+                        for t in 0..targets.n as usize {
+                            let (ch, nd) = targets.ch[t];
+                            usage.defer(ch, nd, -rate);
+                        }
+                    }
+                    for (j, &r) in d.resources[..d.n_resources as usize].iter().enumerate() {
+                        let list = &mut res_users[r];
+                        let pos = res_pos[j] as usize;
+                        debug_assert_eq!(list[pos], si);
+                        list.swap_remove(pos);
+                        if pos < list.len() {
+                            let moved = list[pos] as usize;
+                            let ms = &mut slots[moved];
+                            for j2 in 0..ms.demand.n_resources as usize {
+                                if ms.demand.resources[j2] == r {
+                                    ms.res_pos[j2] = pos as u32;
+                                    break;
+                                }
+                            }
+                        }
+                        if !dirty[r] {
+                            dirty[r] = true;
+                            dirty_list.push(r);
+                        }
+                    }
+                    free.push(si);
+                    for &dep in &dependents[id.0 as usize] {
+                        indeg[dep.0 as usize] -= 1;
+                        if indeg[dep.0 as usize] == 0 {
+                            ready.push(dep);
+                        }
+                    }
+                }
+            }
+            if !crashed_buf.is_empty() || !restarted_buf.is_empty() {
+                // Re-examine parked activities: a restarted node frees
+                // them; a node that lost its last pending restart is gone
+                // for good.
+                let mut kept = 0;
+                for i in 0..parked.len() {
+                    let id = parked[i];
+                    match clock.blocking_node(&graph.get(id).kind) {
+                        None => ready.push(id),
+                        Some(node) => {
+                            if !clock.has_pending_restart(node) {
+                                return Err(SimError::NodeLost {
+                                    node,
+                                    activity: id,
+                                    at_us: now.round() as u64,
+                                });
+                            }
+                            parked[kept] = id;
+                            kept += 1;
+                        }
+                    }
+                }
+                parked.truncate(kept);
+            }
+            if caps_changed {
+                // Re-derive capacities and mark every changed resource
+                // dirty so the next refill re-rates its users.
+                clock.refresh_caps(&base_caps, &mut caps_scratch, now);
+                for (r, (&new_cap, cur)) in
+                    caps_scratch.iter().zip(table.caps.iter_mut()).enumerate()
+                {
+                    if new_cap != *cur {
+                        *cur = new_cap;
+                        if !dirty[r] {
+                            dirty[r] = true;
+                            dirty_list.push(r);
+                        }
+                    }
+                }
+            }
+            usage.commit(&mut trace, now);
+            continue;
+        }
+
+        let top = top.expect("take_boundary is false, so a completion was popped");
         now = now.max(top.finish_us);
 
         // Complete the popped slot plus every further slot projected to
@@ -710,6 +894,7 @@ pub(crate) fn run_incremental(
         results,
         makespan_us,
         trace,
+        faults,
     })
 }
 

@@ -16,6 +16,7 @@
 use std::fmt;
 
 use crate::activity::{ActivityGraph, ActivityId, ActivityKind};
+use crate::fault::{FaultClock, FaultEvent, FaultPlan};
 use crate::resources::{assign_rates, demand, Demand, ResourceTable};
 use crate::topology::{ClusterSpec, NodeId};
 use crate::trace::{Channel, UsageTrace};
@@ -48,6 +49,16 @@ pub enum SimError {
         /// The offending node id.
         node: NodeId,
     },
+    /// An activity became ready on a node that crashed with no restart
+    /// scheduled in the [`FaultPlan`] — the work can never run.
+    NodeLost {
+        /// The dead node.
+        node: NodeId,
+        /// The activity that needed it.
+        activity: ActivityId,
+        /// Simulated time of the attempt, microseconds (rounded).
+        at_us: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +74,17 @@ impl fmt::Display for SimError {
                 write!(f, "activity {activity:?} stalled at rate 0")
             }
             SimError::UnknownNode { node } => write!(f, "unknown node {node:?}"),
+            SimError::NodeLost {
+                node,
+                activity,
+                at_us,
+            } => {
+                write!(
+                    f,
+                    "activity {activity:?} cannot run: node {node:?} was lost \
+                     at t={at_us} µs (simulated) with no restart scheduled"
+                )
+            }
         }
     }
 }
@@ -78,6 +100,9 @@ pub struct SimResult {
     pub makespan_us: f64,
     /// Per-node, per-second resource usage.
     pub trace: UsageTrace,
+    /// Failures observed during the run (crashes, restarts, killed
+    /// activities), in simulated-time order. Empty for a healthy run.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl SimResult {
@@ -146,14 +171,35 @@ impl Simulation {
         Ok(())
     }
 
+    fn check_plan(&self, plan: &FaultPlan) -> Result<(), SimError> {
+        match plan.max_node() {
+            Some(node) if node.0 as usize >= self.cluster.len() => {
+                Err(SimError::UnknownNode { node })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Executes the DAG; returns per-activity timings and the usage trace.
     ///
     /// Uses the incremental scheduler (see [`crate::sched`]); results agree
     /// with [`Simulation::run_reference`] up to floating-point noise and are
     /// bit-identical across repeated runs of the same input.
     pub fn run(&self, graph: &ActivityGraph) -> Result<SimResult, SimError> {
+        self.run_with_faults(graph, &FaultPlan::default())
+    }
+
+    /// Executes the DAG under a [`FaultPlan`] with the incremental
+    /// scheduler. See [`crate::fault`] for the fault semantics; an empty
+    /// plan is bit-identical to [`Simulation::run`].
+    pub fn run_with_faults(
+        &self,
+        graph: &ActivityGraph,
+        plan: &FaultPlan,
+    ) -> Result<SimResult, SimError> {
         self.check_nodes(graph)?;
-        crate::sched::run_incremental(&self.cluster, graph)
+        self.check_plan(plan)?;
+        crate::sched::run_incremental(&self.cluster, graph, plan)
     }
 
     /// Executes the DAG with the naive reference engine: every event
@@ -164,9 +210,29 @@ impl Simulation {
     /// affected component — kept as the oracle for equivalence tests and as
     /// the baseline for the scheduler benchmarks.
     pub fn run_reference(&self, graph: &ActivityGraph) -> Result<SimResult, SimError> {
+        self.run_reference_with_faults(graph, &FaultPlan::default())
+    }
+
+    /// Executes the DAG under a [`FaultPlan`] with the reference engine —
+    /// the oracle for [`Simulation::run_with_faults`]. Fault semantics are
+    /// identical to the incremental engine: same kill instants, same
+    /// parking, same capacity windows.
+    pub fn run_reference_with_faults(
+        &self,
+        graph: &ActivityGraph,
+        plan: &FaultPlan,
+    ) -> Result<SimResult, SimError> {
         self.check_nodes(graph)?;
+        self.check_plan(plan)?;
         let n = graph.len();
-        let table = ResourceTable::new(&self.cluster);
+        let mut table = ResourceTable::new(&self.cluster);
+        let base_caps = table.caps.clone();
+        let active = !plan.is_empty();
+        let mut clock = FaultClock::new(plan, self.cluster.len());
+        let mut faults: Vec<FaultEvent> = Vec::new();
+        let mut parked: Vec<ActivityId> = Vec::new();
+        let mut crashed_buf: Vec<NodeId> = Vec::new();
+        let mut restarted_buf: Vec<NodeId> = Vec::new();
         let mut trace = UsageTrace::new(&self.cluster);
         let mut results = vec![
             ActivityResult {
@@ -197,10 +263,41 @@ impl Simulation {
         let mut done = 0usize;
         let mut now = 0.0f64;
 
+        // Faults scheduled at t=0 take effect before anything starts, so
+        // activities bound to a node that is dead from the outset park
+        // instead of starting.
+        if active && matches!(clock.next_boundary(), Some(b) if b <= 0.0) {
+            let caps_changed = clock.advance(0.0, &mut crashed_buf, &mut restarted_buf);
+            for &node in &restarted_buf {
+                faults.push(FaultEvent::NodeRestarted { node, at_us: 0.0 });
+            }
+            for &node in &crashed_buf {
+                faults.push(FaultEvent::NodeCrashed { node, at_us: 0.0 });
+            }
+            if caps_changed {
+                clock.refresh_caps(&base_caps, &mut table.caps, 0.0);
+            }
+        }
+
         while done < n {
             // Start everything ready; zero-amount activities finish at once.
+            // Under an active plan, activities bound to a down node park
+            // until its restart (or fail the run if it never restarts).
             while let Some(id) = ready.pop() {
                 let act = graph.get(id);
+                if active {
+                    if let Some(node) = clock.blocking_node(&act.kind) {
+                        if clock.has_pending_restart(node) {
+                            parked.push(id);
+                            continue;
+                        }
+                        return Err(SimError::NodeLost {
+                            node,
+                            activity: id,
+                            at_us: now.round() as u64,
+                        });
+                    }
+                }
                 let amount = act.kind.amount();
                 results[id.0 as usize].start_us = now;
                 if amount <= 0.0 {
@@ -224,60 +321,73 @@ impl Simulation {
             if done == n {
                 break;
             }
-            if running.is_empty() {
-                return Err(SimError::Deadlock {
-                    unstarted: n - done,
-                });
-            }
+
+            let boundary = if active { clock.next_boundary() } else { None };
 
             // Assign fair rates (`Demand` is `Copy`; the buffer is reused
-            // across steps).
-            demands.clear();
-            demands.extend(running.iter().map(|r| r.demand));
-            let rates = assign_rates(&table, &demands);
-            for (r, &rate) in running.iter_mut().zip(&rates) {
-                r.rate = rate;
-            }
-
-            // Time to earliest completion.
-            let mut dt = f64::INFINITY;
-            for r in &running {
-                if r.rate > 0.0 {
-                    dt = dt.min(r.remaining / r.rate);
+            // across steps) and find the earliest completion. `running` may
+            // be empty under an active plan — everything parked — in which
+            // case the only way forward is the next fault boundary.
+            let t1 = if running.is_empty() {
+                f64::INFINITY
+            } else {
+                demands.clear();
+                demands.extend(running.iter().map(|r| r.demand));
+                let rates = assign_rates(&table, &demands);
+                for (r, &rate) in running.iter_mut().zip(&rates) {
+                    r.rate = rate;
                 }
-            }
-            if !dt.is_finite() {
-                return Err(SimError::Stalled {
-                    activity: running[0].id,
-                });
-            }
+                let mut dt = f64::INFINITY;
+                for r in &running {
+                    if r.rate > 0.0 {
+                        dt = dt.min(r.remaining / r.rate);
+                    }
+                }
+                now + dt
+            };
 
-            // Accumulate usage over [now, now+dt), batched so each
+            // A completion at exactly a boundary instant wins (strict `<`),
+            // matching the incremental engine.
+            let at_boundary = matches!(boundary, Some(b) if b < t1);
+            let step_to = if at_boundary { boundary.unwrap() } else { t1 };
+            if !step_to.is_finite() {
+                return if running.is_empty() {
+                    Err(SimError::Deadlock {
+                        unstarted: n - done,
+                    })
+                } else {
+                    Err(SimError::Stalled {
+                        activity: running[0].id,
+                    })
+                };
+            }
+            let dt = step_to - now;
+
+            // Accumulate usage over [now, step_to), batched so each
             // (channel, node) pair gets one UsageTrace::add per step no
             // matter how many activities share it.
-            let t1 = now + dt;
             for r in &running {
                 let act = graph.get(r.id);
                 match &act.kind {
                     ActivityKind::Compute { node, .. } => {
-                        wave.push(&mut trace, Channel::Cpu, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::Cpu, *node, now, step_to, r.rate);
                     }
                     ActivityKind::DiskRead { node, .. } | ActivityKind::DiskWrite { node, .. } => {
-                        wave.push(&mut trace, Channel::Disk, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::Disk, *node, now, step_to, r.rate);
                     }
                     ActivityKind::Transfer { src, dst, .. } => {
-                        wave.push(&mut trace, Channel::NetOut, *src, now, t1, r.rate);
-                        wave.push(&mut trace, Channel::NetIn, *dst, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::NetOut, *src, now, step_to, r.rate);
+                        wave.push(&mut trace, Channel::NetIn, *dst, now, step_to, r.rate);
                     }
                     ActivityKind::SharedRead { node, .. } => {
-                        wave.push(&mut trace, Channel::NetIn, *node, now, t1, r.rate);
+                        wave.push(&mut trace, Channel::NetIn, *node, now, step_to, r.rate);
                     }
                     ActivityKind::Delay { .. } | ActivityKind::Barrier => {}
                 }
             }
-            wave.flush_all(&mut trace, t1);
+            wave.flush_all(&mut trace, step_to);
 
-            now = t1;
+            now = step_to;
             // Progress and complete.
             let mut i = 0;
             while i < running.len() {
@@ -299,6 +409,75 @@ impl Simulation {
                     i += 1;
                 }
             }
+
+            if at_boundary {
+                crashed_buf.clear();
+                restarted_buf.clear();
+                let caps_changed = clock.advance(now, &mut crashed_buf, &mut restarted_buf);
+                for &node in &restarted_buf {
+                    faults.push(FaultEvent::NodeRestarted { node, at_us: now });
+                }
+                for &node in &crashed_buf {
+                    faults.push(FaultEvent::NodeCrashed { node, at_us: now });
+                }
+                if !crashed_buf.is_empty() {
+                    // Kill every in-flight activity touching a down node:
+                    // forced completion at the crash instant, dependents
+                    // released. Killed in ActivityId order for determinism.
+                    let mut killed: Vec<(ActivityId, NodeId)> = running
+                        .iter()
+                        .filter_map(|r| {
+                            clock
+                                .blocking_node(&graph.get(r.id).kind)
+                                .map(|node| (r.id, node))
+                        })
+                        .collect();
+                    killed.sort_by_key(|&(id, _)| id.0);
+                    for &(id, node) in &killed {
+                        results[id.0 as usize].end_us = now;
+                        done += 1;
+                        faults.push(FaultEvent::ActivityKilled {
+                            activity: id,
+                            node,
+                            at_us: now,
+                        });
+                        for &dep in &dependents[id.0 as usize] {
+                            indeg[dep.0 as usize] -= 1;
+                            if indeg[dep.0 as usize] == 0 {
+                                ready.push(dep);
+                            }
+                        }
+                    }
+                    running.retain(|r| clock.blocking_node(&graph.get(r.id).kind).is_none());
+                }
+                if !crashed_buf.is_empty() || !restarted_buf.is_empty() {
+                    // Re-examine parked activities: a restarted node frees
+                    // them; a node that lost its last pending restart is
+                    // gone for good.
+                    let mut kept = 0;
+                    for i in 0..parked.len() {
+                        let id = parked[i];
+                        match clock.blocking_node(&graph.get(id).kind) {
+                            None => ready.push(id),
+                            Some(node) => {
+                                if !clock.has_pending_restart(node) {
+                                    return Err(SimError::NodeLost {
+                                        node,
+                                        activity: id,
+                                        at_us: now.round() as u64,
+                                    });
+                                }
+                                parked[kept] = id;
+                                kept += 1;
+                            }
+                        }
+                    }
+                    parked.truncate(kept);
+                }
+                if caps_changed {
+                    clock.refresh_caps(&base_caps, &mut table.caps, now);
+                }
+            }
         }
 
         let makespan_us = results.iter().map(|r| r.end_us).fold(0.0, f64::max);
@@ -306,6 +485,7 @@ impl Simulation {
             results,
             makespan_us,
             trace,
+            faults,
         })
     }
 }
@@ -547,6 +727,168 @@ mod tests {
         for (x, y) in a.results.iter().zip(&a2.results) {
             assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
             assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn crash_kills_in_flight_work_in_both_engines() {
+        // A 1e6-µs compute on node 1 is killed by a crash at 4e5; its
+        // dependent (a delay) is released at the crash instant.
+        let mut g = ActivityGraph::new();
+        let c = g.add(
+            ActivityKind::Compute {
+                node: NodeId(1),
+                work_core_us: 8e6,
+                parallelism: 8,
+            },
+            &[],
+            "c",
+        );
+        g.add(ActivityKind::Delay { duration_us: 100.0 }, &[c], "after");
+        let plan = FaultPlan::new().crash(NodeId(1), 4e5);
+        let sim = Simulation::new(cluster(2));
+        for res in [
+            sim.run_with_faults(&g, &plan).unwrap(),
+            sim.run_reference_with_faults(&g, &plan).unwrap(),
+        ] {
+            assert!((res.of(c).end_us - 4e5).abs() < 1e-6, "{:?}", res.of(c));
+            assert!((res.makespan_us - 4e5 - 100.0).abs() < 1e-6);
+            assert!(res.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::ActivityKilled { activity, node, .. }
+                    if *activity == c && *node == NodeId(1)
+            )));
+        }
+    }
+
+    #[test]
+    fn ready_work_parks_until_restart() {
+        // Node 0 is down over [0, 5e5); a compute ready at t=0 must wait
+        // for the replacement and then run at full speed.
+        let mut g = ActivityGraph::new();
+        let c = g.add(
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 8e5,
+                parallelism: 8,
+            },
+            &[],
+            "c",
+        );
+        let plan = FaultPlan::new().crash_with_restart(NodeId(0), 0.0, 5e5);
+        let sim = Simulation::new(cluster(1));
+        for res in [
+            sim.run_with_faults(&g, &plan).unwrap(),
+            sim.run_reference_with_faults(&g, &plan).unwrap(),
+        ] {
+            assert!((res.of(c).start_us - 5e5).abs() < 1e-6, "{:?}", res.of(c));
+            assert!((res.makespan_us - 6e5).abs() < 1.0, "{}", res.makespan_us);
+        }
+    }
+
+    #[test]
+    fn permanent_loss_is_an_error_with_timestamp() {
+        let mut g = ActivityGraph::new();
+        let gate = g.add(ActivityKind::Delay { duration_us: 300.0 }, &[], "gate");
+        g.add(
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 1e6,
+            },
+            &[gate],
+            "read",
+        );
+        let plan = FaultPlan::new().crash(NodeId(0), 100.0);
+        let sim = Simulation::new(cluster(1));
+        for res in [
+            sim.run_with_faults(&g, &plan),
+            sim.run_reference_with_faults(&g, &plan),
+        ] {
+            match res {
+                Err(SimError::NodeLost { node, at_us, .. }) => {
+                    assert_eq!(node, NodeId(0));
+                    assert_eq!(at_us, 300);
+                }
+                other => panic!("expected NodeLost, got {other:?}"),
+            }
+        }
+        let msg = SimError::NodeLost {
+            node: NodeId(0),
+            activity: ActivityId(1),
+            at_us: 300,
+        }
+        .to_string();
+        assert!(msg.contains("t=300"), "{msg}");
+    }
+
+    #[test]
+    fn slowdown_window_stretches_work() {
+        // Disk at half speed over the whole read: 1e6 bytes at an effective
+        // 50 bytes/µs take 2e4 µs instead of 1e4.
+        let mut g = ActivityGraph::new();
+        g.add(
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 1e6,
+            },
+            &[],
+            "r",
+        );
+        let plan = FaultPlan::new().slow(
+            NodeId(0),
+            crate::fault::DegradedChannel::Disk,
+            0.0,
+            1e9,
+            0.5,
+        );
+        let sim = Simulation::new(cluster(1));
+        for res in [
+            sim.run_with_faults(&g, &plan).unwrap(),
+            sim.run_reference_with_faults(&g, &plan).unwrap(),
+        ] {
+            assert!((res.makespan_us - 2e4).abs() < 10.0, "{}", res.makespan_us);
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_run() {
+        let sim = Simulation::new(cluster(2));
+        let mut g = ActivityGraph::new();
+        let a = g.add(
+            ActivityKind::DiskRead {
+                node: NodeId(0),
+                bytes: 3e6,
+            },
+            &[],
+            "a",
+        );
+        g.add(
+            ActivityKind::Transfer {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 2e6,
+            },
+            &[a],
+            "b",
+        );
+        let healthy = sim.run(&g).unwrap();
+        let planned = sim.run_with_faults(&g, &FaultPlan::new()).unwrap();
+        assert_eq!(healthy.makespan_us.to_bits(), planned.makespan_us.to_bits());
+        for (x, y) in healthy.results.iter().zip(&planned.results) {
+            assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
+            assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+        }
+        assert!(planned.faults.is_empty());
+    }
+
+    #[test]
+    fn plan_referencing_unknown_node_rejected() {
+        let sim = Simulation::new(cluster(2));
+        let g = ActivityGraph::new();
+        let plan = FaultPlan::new().crash(NodeId(9), 1.0);
+        match sim.run_with_faults(&g, &plan) {
+            Err(SimError::UnknownNode { node }) => assert_eq!(node, NodeId(9)),
+            other => panic!("expected UnknownNode, got {other:?}"),
         }
     }
 

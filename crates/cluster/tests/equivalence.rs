@@ -9,7 +9,8 @@
 
 use gpsim_cluster::trace::Channel;
 use gpsim_cluster::{
-    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, NodeId, NodeSpec, SimError, Simulation,
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, DegradedChannel, FaultPlan, NodeId,
+    NodeSpec, SimError, Simulation,
 };
 use proptest::prelude::*;
 
@@ -112,6 +113,47 @@ fn arb_world() -> impl Strategy<Value = World> {
         .prop_map(|(nodes, acts)| build_world(nodes, acts))
 }
 
+/// Raw draw for one fault plan: a crash (node selector, time, optional
+/// restart delay) plus up to two slowdown windows.
+type RawPlan = (u16, f64, Option<f64>, Vec<(u16, u8, f64, f64, f64)>);
+
+fn arb_raw_plan() -> impl Strategy<Value = RawPlan> {
+    (
+        any::<u16>(),
+        1.0f64..3.0e6,
+        proptest::option::of(1.0e5f64..1.0e6),
+        proptest::collection::vec(
+            (
+                any::<u16>(),
+                0u8..4,
+                1.0f64..2.4e6,
+                1.0e5f64..1.0e6,
+                0.1f64..1.0,
+            ),
+            0..=2,
+        ),
+    )
+}
+
+/// Instantiates a raw plan against a concrete cluster size.
+fn build_plan(raw: RawPlan, nodes: u16) -> FaultPlan {
+    let (crash_sel, at, restart, slows) = raw;
+    let mut plan = match restart {
+        Some(r) => FaultPlan::new().crash_with_restart(NodeId(crash_sel % nodes), at, r),
+        None => FaultPlan::new().crash(NodeId(crash_sel % nodes), at),
+    };
+    for (sel, ch, from, len, factor) in slows {
+        let channel = match ch {
+            0 => DegradedChannel::Cpu,
+            1 => DegradedChannel::Disk,
+            2 => DegradedChannel::Nic,
+            _ => DegradedChannel::All,
+        };
+        plan = plan.slow(NodeId(sel % nodes), channel, from, from + len, factor);
+    }
+    plan
+}
+
 /// Pads the shorter series with zeros; engines may disagree on whether the
 /// final event grazes a new bucket.
 fn series_close(a: &[(u64, f64)], b: &[(u64, f64)]) -> bool {
@@ -193,6 +235,90 @@ proptest! {
                     prop_assert_eq!(va.to_bits(), vb.to_bits());
                 }
             }
+        }
+    }
+
+    /// With an active fault plan, the incremental engine still reproduces
+    /// the reference engine: same timings, same makespan, same error kind
+    /// when the plan makes the job impossible. Fault-event lists are *not*
+    /// compared — engines may interleave kill bookkeeping differently
+    /// around near-coincident completions — but timings must agree.
+    #[test]
+    fn engines_agree_under_faults(w in arb_world(), raw in arb_raw_plan()) {
+        let plan = build_plan(raw, w.cluster.len() as u16);
+        let sim = Simulation::new(w.cluster.clone());
+        let inc = sim.run_with_faults(&w.graph, &plan);
+        let reference = sim.run_reference_with_faults(&w.graph, &plan);
+        match (inc, reference) {
+            (Ok(inc), Ok(reference)) => {
+                prop_assert!(
+                    close(inc.makespan_us, reference.makespan_us),
+                    "makespan {} vs {}", inc.makespan_us, reference.makespan_us
+                );
+                for (id, (x, y)) in inc.results.iter().zip(&reference.results).enumerate() {
+                    // NaN start/end (never-started work after an engine
+                    // error cannot occur on Ok; parked-forever cannot
+                    // occur either) — compare everything.
+                    prop_assert!(
+                        close(x.start_us, y.start_us),
+                        "act {id} start {} vs {}", x.start_us, y.start_us
+                    );
+                    prop_assert!(
+                        close(x.end_us, y.end_us),
+                        "act {id} end {} vs {}", x.end_us, y.end_us
+                    );
+                }
+            }
+            (
+                Err(SimError::NodeLost { at_us: a, node: na, .. }),
+                Err(SimError::NodeLost { at_us: b, node: nb, .. }),
+            ) => {
+                // Rounded simulated instants may differ by 1 µs across
+                // engines; the lost node must match.
+                prop_assert!(a.abs_diff(b) <= 1, "NodeLost at {a} vs {b}");
+                prop_assert_eq!(na, nb);
+            }
+            (inc, reference) => prop_assert!(
+                matches!(
+                    (&inc, &reference),
+                    (Err(SimError::Deadlock { .. }), Err(SimError::Deadlock { .. }))
+                        | (Err(SimError::Stalled { .. }), Err(SimError::Stalled { .. }))
+                ),
+                "engines disagree under faults: {inc:?} vs {reference:?}"
+            ),
+        }
+    }
+
+    /// Fault-injected runs of the incremental engine are bit-identical
+    /// across repeats: timings, makespan, and the fault-event list.
+    #[test]
+    fn fault_injection_is_bitwise_deterministic(w in arb_world(), raw in arb_raw_plan()) {
+        let plan = build_plan(raw, w.cluster.len() as u16);
+        let sim = Simulation::new(w.cluster.clone());
+        let first = sim.run_with_faults(&w.graph, &plan);
+        let second = sim.run_with_faults(&w.graph, &plan);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.makespan_us.to_bits(), b.makespan_us.to_bits());
+                for (x, y) in a.results.iter().zip(&b.results) {
+                    prop_assert_eq!(x.start_us.to_bits(), y.start_us.to_bits());
+                    prop_assert_eq!(x.end_us.to_bits(), y.end_us.to_bits());
+                }
+                prop_assert_eq!(&a.faults, &b.faults);
+                for ch in [Channel::Cpu, Channel::Disk, Channel::NetIn, Channel::NetOut] {
+                    for node in 0..w.cluster.len() as u16 {
+                        let sa = a.trace.series(ch, NodeId(node));
+                        let sb = b.trace.series(ch, NodeId(node));
+                        prop_assert_eq!(sa.len(), sb.len());
+                        for (&(ta, va), &(tb, vb)) in sa.iter().zip(&sb) {
+                            prop_assert_eq!(ta, tb);
+                            prop_assert_eq!(va.to_bits(), vb.to_bits());
+                        }
+                    }
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "determinism violated: {a:?} vs {b:?}"),
         }
     }
 

@@ -32,6 +32,14 @@ pub enum ChokePointKind {
         /// Number of parallel siblings compared.
         actors: usize,
     },
+    /// Time lost to failure recovery: a lost worker forced a checkpoint
+    /// reload / job restart, and part of the run was thrown away.
+    RecoveryOverhead {
+        /// Name of the lost node, from the `Recover` op's `FailedNode` info.
+        worker: String,
+        /// Simulated time wasted in the doomed attempt, µs (`WastedUs`).
+        wasted_us: u64,
+    },
 }
 
 /// One ranked finding.
@@ -107,6 +115,27 @@ pub fn find_choke_points(archive: &JobArchive, config: &ChokePointConfig) -> Vec
                         label: op.label(),
                         kind: ChokePointKind::DominantFraction { fraction },
                         severity: share * fraction,
+                    });
+                }
+            }
+        }
+
+        // Recovery overhead: a `Recover` operation (fault-injected runs)
+        // accounts for its own duration plus the work wasted before the
+        // crash, and names the lost worker.
+        if op.mission.kind == "Recover" {
+            if let Some(worker) = op.info_value("FailedNode").and_then(|v| v.as_text()) {
+                let wasted = op.info_f64("WastedUs").map(|w| w.max(0.0)).unwrap_or(0.0);
+                let severity = (duration as f64 + wasted) / total;
+                if severity >= config.min_severity {
+                    findings.push(ChokePoint {
+                        op: op.id,
+                        label: op.label(),
+                        kind: ChokePointKind::RecoveryOverhead {
+                            worker: worker.to_string(),
+                            wasted_us: wasted.round() as u64,
+                        },
+                        severity,
                     });
                 }
             }
@@ -316,6 +345,51 @@ mod tests {
             .expect("imbalance found");
         assert!(imb.label.contains("Compute-4"));
         assert!(imb.label.contains("Worker-1"));
+    }
+
+    #[test]
+    fn recovery_overhead_names_the_lost_worker() {
+        let mut t = OperationTree::new();
+        let job = stamped(&mut t, None, ("Job", "0"), ("Job", "0"), 0, 1000);
+        let proc_ = stamped(
+            &mut t,
+            Some(job),
+            ("Job", "0"),
+            ("ProcessGraph", "0"),
+            0,
+            900,
+        );
+        stamped(&mut t, Some(job), ("Job", "0"), ("Cleanup", "0"), 900, 1000);
+        let rec = stamped(
+            &mut t,
+            Some(proc_),
+            ("Master", "0"),
+            ("Recover", "0"),
+            400,
+            600,
+        );
+        t.set_info(
+            rec,
+            Info::raw("FailedNode", InfoValue::Text("node302".into())),
+        )
+        .unwrap();
+        t.set_info(rec, Info::raw("WastedUs", InfoValue::Int(150)))
+            .unwrap();
+        let a = JobArchive::new(JobMeta::default(), t);
+        let found = find_choke_points(&a, &ChokePointConfig::default());
+        let cp = found
+            .iter()
+            .find(|c| matches!(c.kind, ChokePointKind::RecoveryOverhead { .. }))
+            .expect("recovery overhead found");
+        assert_eq!(
+            cp.kind,
+            ChokePointKind::RecoveryOverhead {
+                worker: "node302".into(),
+                wasted_us: 150,
+            }
+        );
+        // Duration 200 + wasted 150 over a 1000 µs job.
+        assert!((cp.severity - 0.35).abs() < 1e-9, "{}", cp.severity);
     }
 
     #[test]

@@ -286,6 +286,12 @@ fn cmd_chokepoints(args: &[String]) -> Result<(), String> {
             } => {
                 format!("imbalance across {actors} actors (max/mean {max_over_mean:.2})")
             }
+            ChokePointKind::RecoveryOverhead { worker, wasted_us } => {
+                format!(
+                    "recovery after losing {worker} ({:.1} s wasted)",
+                    *wasted_us as f64 / 1e6
+                )
+            }
         };
         println!(
             "severity {:>5.1}%  {:<46} {}",

@@ -4,7 +4,7 @@
 //! use: pick a platform, a graph, and a job config; get back the archive,
 //! the environment log, the domain breakdown, and all feedback.
 
-use gpsim_cluster::SimError;
+use gpsim_cluster::{FaultPlan, SimError};
 use gpsim_graph::Graph;
 use gpsim_platforms::{
     GiraphPlatform, GraphMatPlatform, JobConfig, PlatformRun, PowerGraphPlatform,
@@ -43,6 +43,20 @@ impl Platform {
             Platform::Giraph => models::giraph_model(),
             Platform::PowerGraph => models::powergraph_model(),
             Platform::GraphMat => models::graphmat_model(),
+        }
+    }
+
+    /// The platform's model extended with checkpoint/recovery operation
+    /// types — required when evaluating a run under fault injection, or the
+    /// model-driven event filter drops the recovery events.
+    ///
+    /// # Panics
+    /// For [`Platform::GraphMat`], whose fault behavior is not modeled.
+    pub fn fault_model(self) -> granula_model::PerformanceModel {
+        match self {
+            Platform::Giraph => models::giraph_fault_model(),
+            Platform::PowerGraph => models::powergraph_fault_model(),
+            Platform::GraphMat => panic!("fault injection is not modeled for GraphMat"),
         }
     }
 }
@@ -87,6 +101,69 @@ pub fn run_experiment_on(
         Platform::GraphMat => GraphMatPlatform::default().run_on(graph, cfg, cluster)?,
     };
     let process = EvaluationProcess::new(platform.model());
+    let meta = JobMeta {
+        job_id: cfg.job_id.clone(),
+        platform: platform.name().into(),
+        algorithm: cfg.algorithm.name().into(),
+        dataset: cfg.dataset.clone(),
+        nodes: cfg.nodes as u32,
+        model: String::new(),
+    };
+    let report = process.evaluate(&run, meta);
+    let breakdown = DomainBreakdown::from_archive(&report.archive)
+        .expect("archive of a simulated run always has a runtime");
+    Ok(ExperimentResult {
+        report,
+        run,
+        breakdown,
+    })
+}
+
+/// Like [`run_experiment`], under an injected fault plan on the default
+/// DAS5-like cluster.
+///
+/// `giraph_checkpoint_interval` enables Giraph's checkpointing (every K
+/// supersteps) so recovery can replay from the last checkpoint instead of
+/// superstep zero; it is ignored by other platforms. When the plan contains
+/// crashes or checkpointing is on, the run is evaluated against
+/// [`Platform::fault_model`] so the recovery operations survive the
+/// model-driven event filter.
+///
+/// # Panics
+/// For [`Platform::GraphMat`] with a non-empty plan — its fault behavior is
+/// not modeled.
+pub fn run_experiment_with_faults(
+    platform: Platform,
+    graph: &Graph,
+    cfg: &JobConfig,
+    plan: &FaultPlan,
+    giraph_checkpoint_interval: Option<u32>,
+) -> Result<ExperimentResult, SimError> {
+    let run = match platform {
+        Platform::Giraph => {
+            let p = GiraphPlatform {
+                checkpoint_interval: giraph_checkpoint_interval,
+                ..GiraphPlatform::default()
+            };
+            p.run_with_faults(graph, cfg, plan)?
+        }
+        Platform::PowerGraph => PowerGraphPlatform::default().run_with_faults(graph, cfg, plan)?,
+        Platform::GraphMat => {
+            assert!(
+                plan.crashes.is_empty() && plan.slowdowns.is_empty(),
+                "fault injection is not modeled for GraphMat"
+            );
+            GraphMatPlatform::default().run(graph, cfg)?
+        }
+    };
+    let faulted = !plan.crashes.is_empty()
+        || (platform == Platform::Giraph && giraph_checkpoint_interval.is_some());
+    let model = if faulted {
+        platform.fault_model()
+    } else {
+        platform.model()
+    };
+    let process = EvaluationProcess::new(model);
     let meta = JobMeta {
         job_id: cfg.job_id.clone(),
         platform: platform.name().into(),
@@ -261,6 +338,63 @@ mod tests {
             p.breakdown.processing_us < g.breakdown.processing_us,
             "PowerGraph processing should be faster"
         );
+    }
+
+    #[test]
+    fn fault_experiment_surfaces_recovery_overhead() {
+        use crate::analysis::{find_choke_points, ChokePointConfig, ChokePointKind};
+        use gpsim_cluster::NodeId;
+
+        let (graph, scale) = crate::calibration::dg_graph_small(4_000, crate::calibration::DG_SEED);
+        for platform in [Platform::Giraph, Platform::PowerGraph] {
+            let mut cfg = match platform {
+                Platform::Giraph => crate::calibration::giraph_dg1000_job(),
+                _ => crate::calibration::powergraph_dg1000_job(),
+            };
+            cfg.scale_factor = scale;
+            let healthy = run_experiment(platform, &graph, &cfg).unwrap();
+            let plan = FaultPlan::new().crash(NodeId(2), healthy.run.makespan_us as f64 * 0.4);
+            let interval = (platform == Platform::Giraph).then_some(2);
+            let faulty =
+                run_experiment_with_faults(platform, &graph, &cfg, &plan, interval).unwrap();
+            assert!(
+                faulty.run.makespan_us > healthy.run.makespan_us,
+                "{}: recovery must cost time",
+                platform.name()
+            );
+            assert!(
+                faulty.report.assembly_warnings.is_empty(),
+                "{}: {:?}",
+                platform.name(),
+                &faulty.report.assembly_warnings[..3.min(faulty.report.assembly_warnings.len())]
+            );
+            let cps = find_choke_points(&faulty.report.archive, &ChokePointConfig::default());
+            let rec = cps
+                .iter()
+                .find_map(|c| match &c.kind {
+                    ChokePointKind::RecoveryOverhead { worker, wasted_us } => {
+                        Some((worker.clone(), *wasted_us))
+                    }
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{}: no RecoveryOverhead in {cps:?}", platform.name()));
+            assert_eq!(rec.0, "node302", "{}", platform.name());
+            assert!(rec.1 > 0, "{}", platform.name());
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_experiment() {
+        let (graph, scale) = crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED);
+        let mut cfg = crate::calibration::giraph_dg1000_job();
+        cfg.scale_factor = scale;
+        let plain = run_experiment(Platform::Giraph, &graph, &cfg).unwrap();
+        let faulted =
+            run_experiment_with_faults(Platform::Giraph, &graph, &cfg, &FaultPlan::new(), None)
+                .unwrap();
+        assert_eq!(plain.run.makespan_us, faulted.run.makespan_us);
+        assert_eq!(plain.run.events, faulted.run.events);
+        assert_eq!(plain.breakdown, faulted.breakdown);
     }
 
     #[test]

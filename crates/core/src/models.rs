@@ -259,6 +259,84 @@ pub fn powergraph_model() -> PerformanceModel {
     m
 }
 
+/// The Giraph model extended with checkpoint/recovery operations — the
+/// model an analyst uses when evaluating a run under fault injection.
+///
+/// Giraph checkpoints to HDFS every K supersteps; when a worker is lost
+/// mid-superstep the master aborts the attempt (`FailedSuperstep`),
+/// re-provisions a container through YARN, reloads the last checkpoint and
+/// replays the lost supersteps. The `Recover` operation carries the lost
+/// node (`FailedNode`) and the simulated time thrown away with the doomed
+/// attempt (`WastedUs`).
+pub fn giraph_fault_model() -> PerformanceModel {
+    let mut m = giraph_model();
+    m.name = "giraph-v4-faults".into();
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Master", "Checkpoint", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("IntervalSupersteps"))
+                .describe("Write a superstep checkpoint to the filesystem"),
+            OperationTypeDef::new("Master", "FailedSuperstep", AbstractionLevel::System)
+                .describe("A superstep attempt aborted by a worker loss"),
+            OperationTypeDef::new("Master", "Recover", AbstractionLevel::System)
+                .with_info(InfoRequirement::required("FailedNode"))
+                .with_info(InfoRequirement::required("WastedUs"))
+                .describe("Re-provision the lost worker and redo lost work"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Master", "Recover"),
+        vec![
+            OperationTypeDef::new("Master", "DetectFailure", AbstractionLevel::System)
+                .describe("Heartbeat timeout on the lost worker"),
+            OperationTypeDef::new("Master", "Provision", AbstractionLevel::System)
+                .describe("YARN retry: renegotiate, back off, relaunch"),
+            OperationTypeDef::new("Master", "LoadCheckpoint", AbstractionLevel::System)
+                .describe("All workers reload the last checkpoint"),
+            OperationTypeDef::new("Master", "Replay", AbstractionLevel::System)
+                .iterative()
+                .describe("Re-execute a superstep lost with the crash"),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The PowerGraph model extended with fail-stop recovery operations.
+///
+/// PowerGraph (as deployed in the paper) has no checkpointing: MPI is
+/// fail-stop, so a lost rank aborts the whole job and the job is
+/// resubmitted from scratch. `Recover` sits directly under the job root and
+/// carries the lost node and the wasted first-attempt time.
+pub fn powergraph_fault_model() -> PerformanceModel {
+    let mut m = powergraph_model();
+    m.name = "powergraph-v3-faults".into();
+    m.refine(
+        &OperationTypeId::new("Job", "PowerGraphJob"),
+        vec![
+            OperationTypeDef::new("Master", "Recover", AbstractionLevel::System)
+                .with_info(InfoRequirement::required("FailedNode"))
+                .with_info(InfoRequirement::required("WastedUs"))
+                .describe("Abort the job on a lost rank and resubmit it"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Master", "Recover"),
+        vec![
+            OperationTypeDef::new("Master", "DetectFailure", AbstractionLevel::System)
+                .describe("MPI notices the dead rank"),
+            OperationTypeDef::new("Master", "Respawn", AbstractionLevel::System)
+                .describe("mpirun respawns all ranks for the restart"),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
 /// The GraphMat performance model (SpMV workflow, parallel loader with an
 /// expensive format conversion).
 pub fn graphmat_model() -> PerformanceModel {
@@ -434,6 +512,47 @@ mod tests {
         for kind in ["Multiply", "Apply", "ConvertFormat", "ReadInput"] {
             assert!(
                 m.get_type(&OperationTypeId::new("Machine", kind)).is_some(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_models_extend_the_base_models() {
+        let m = giraph_fault_model();
+        for kind in ["Checkpoint", "FailedSuperstep", "Recover"] {
+            let t = m.get_type(&OperationTypeId::new("Master", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Job", "ProcessGraph")),
+                "{kind}"
+            );
+        }
+        for kind in ["DetectFailure", "Provision", "LoadCheckpoint", "Replay"] {
+            let t = m.get_type(&OperationTypeId::new("Master", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Master", "Recover")),
+                "{kind}"
+            );
+        }
+        // The healthy part of the model is untouched.
+        assert!(m
+            .get_type(&OperationTypeId::new("Job", "Superstep"))
+            .is_some());
+
+        let p = powergraph_fault_model();
+        assert_eq!(
+            p.get_type(&OperationTypeId::new("Master", "Recover"))
+                .unwrap()
+                .parent,
+            Some(OperationTypeId::new("Job", "PowerGraphJob"))
+        );
+        for kind in ["DetectFailure", "Respawn"] {
+            let t = p.get_type(&OperationTypeId::new("Master", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Master", "Recover")),
                 "{kind}"
             );
         }

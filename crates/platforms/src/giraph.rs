@@ -16,7 +16,8 @@
 //!    environment samples.
 
 use gpsim_cluster::{
-    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, FileSystem, NodeId, SimError, Simulation,
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, FaultPlan, FileSystem, NodeCrash, NodeId,
+    SimError, Simulation, YarnProvisioner,
 };
 use gpsim_graph::{EdgeCutPartition, Graph};
 use granula_model::{Actor, InfoValue, Mission};
@@ -49,6 +50,13 @@ pub struct GiraphPlatform {
     pub fs: FileSystem,
     /// Superstep cap for convergent algorithms.
     pub max_supersteps: u32,
+    /// Checkpoint every K supersteps (`None` disables checkpointing, the
+    /// Giraph default). Required for worker-loss recovery: without a
+    /// checkpoint the job reloads the input and replays from superstep 0.
+    pub checkpoint_interval: Option<u32>,
+    /// Time for the master to notice a lost worker (missed ZooKeeper
+    /// heartbeats), µs.
+    pub failure_detect_us: f64,
 }
 
 impl Default for GiraphPlatform {
@@ -61,6 +69,8 @@ impl Default for GiraphPlatform {
             cleanup_us: [2.0e6, 4.0e6, 5.0e6, 3.0e6],
             fs: FileSystem::hdfs(),
             max_supersteps: 10_000,
+            checkpoint_interval: None,
+            failure_detect_us: 2.0e6,
         }
     }
 }
@@ -109,6 +119,16 @@ impl GiraphPlatform {
         self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
     }
 
+    /// Runs a job on a DAS5-like cluster under an injected fault plan.
+    pub fn run_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        plan: &FaultPlan,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, &ClusterSpec::das5(cfg.nodes), plan)
+    }
+
     /// Runs a job on an explicit cluster (must have at least `cfg.nodes`
     /// nodes).
     pub fn run_on(
@@ -116,6 +136,32 @@ impl GiraphPlatform {
         g: &Graph,
         cfg: &JobConfig,
         cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, cluster, &FaultPlan::default())
+    }
+
+    /// Runs a job on an explicit cluster under an injected fault plan.
+    ///
+    /// Slowdown windows pass straight through to the simulator. A node
+    /// crash triggers the Giraph recovery protocol: the master detects the
+    /// lost worker through missed ZooKeeper heartbeats, re-provisions a
+    /// YARN container, every worker rolls back to the latest checkpoint
+    /// (or the original input when [`GiraphPlatform::checkpoint_interval`]
+    /// is `None`), and the lost supersteps are replayed. The recovery is
+    /// emitted as first-class Granula operations (`Checkpoint`,
+    /// `FailedSuperstep`, `Recover` with `DetectFailure` / `Provision` /
+    /// `LoadCheckpoint` / `Replay` children) so the archive can decompose
+    /// the slowdown.
+    ///
+    /// Only the earliest crash in the plan is modeled; Giraph's
+    /// single-failure recovery does not compose with further crashes, so
+    /// later ones are dropped from the executed plan.
+    pub fn run_on_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+        plan: &FaultPlan,
     ) -> Result<PlatformRun, SimError> {
         assert!(
             cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
@@ -140,87 +186,383 @@ impl GiraphPlatform {
             .map(|w| (verts[w] as f64 * 10.0 + edges[w] as f64 * costs.bytes_per_edge_in) * scale)
             .collect();
 
-        let mut dag = ActivityGraph::new();
-        let mut specs: Vec<OpSpec> = Vec::new();
+        // The earliest crash drives recovery; later crashes are dropped
+        // (single-failure model, see the doc comment).
+        let crash = plan
+            .crashes
+            .iter()
+            .min_by(|a, b| a.at_us.total_cmp(&b.at_us))
+            .cloned()
+            .filter(|_| !supersteps.is_empty());
+
+        let Some(crash) = crash else {
+            // Healthy (possibly degraded) layout: no recovery structure.
+            let mut b = Build::new(
+                self,
+                cfg,
+                cluster,
+                &supersteps,
+                &verts,
+                &edges,
+                &input_bytes,
+            );
+            let started = b.startup();
+            let loaded = b.load(started);
+            b.process_graph();
+            let mut prev = loaded;
+            for si in 0..supersteps.len() {
+                prev = b.superstep(si, prev, "job/proc/", true);
+                prev = b.maybe_checkpoint(si, prev);
+            }
+            let offloaded = b.offload(prev);
+            b.cleanup(offloaded);
+            return b.finish(plan, output);
+        };
+
+        // Phase 1: probe run — the same checkpointed job under the plan's
+        // slowdowns only — locates the crash inside the superstep schedule.
+        let slow_plan = FaultPlan {
+            crashes: Vec::new(),
+            slowdowns: plan.slowdowns.clone(),
+        };
+        let mut probe = Build::new(
+            self,
+            cfg,
+            cluster,
+            &supersteps,
+            &verts,
+            &edges,
+            &input_bytes,
+        );
+        let started = probe.startup();
+        let loaded = probe.load(started);
+        probe.process_graph();
+        let mut prev = loaded;
+        for si in 0..supersteps.len() {
+            prev = probe.superstep(si, prev, "job/proc/", true);
+            prev = probe.maybe_checkpoint(si, prev);
+        }
+        let offloaded = probe.offload(prev);
+        probe.cleanup(offloaded);
+        let probe_sim = Simulation::new(cluster.clone()).run_with_faults(&probe.dag, &slow_plan)?;
+
+        // Clamp the crash instant into the processing phase and find the
+        // superstep it interrupts.
+        let (proc_start, proc_end) = probe_sim
+            .span_of_tag(&probe.dag, "job/proc/")
+            .expect("jobs run at least one superstep");
+        let t_clamped = crash.at_us.clamp(proc_start + 1.0, proc_end - 1.0);
+        let mut s_idx = supersteps.len() - 1;
+        for (si, ss) in supersteps.iter().enumerate() {
+            let (_, end) = probe_sim
+                .span_of_tag(&probe.dag, &format!("job/proc/ss{}/", ss.superstep))
+                .expect("superstep was simulated");
+            if t_clamped < end {
+                s_idx = si;
+                break;
+            }
+        }
+        let s_star = supersteps[s_idx].superstep;
+        let (ss_start, ss_end) = probe_sim
+            .span_of_tag(&probe.dag, &format!("job/proc/ss{s_star}/"))
+            .expect("superstep was simulated");
+        let t_eff = t_clamped.clamp(ss_start + 1.0, (ss_end - 1.0).max(ss_start + 1.0));
+
+        // Latest checkpoint before the failed superstep; replay restarts
+        // after it, or from superstep 0 off the original input when the job
+        // never checkpointed.
+        let ckpt_idx: Option<usize> =
+            self.checkpoint_interval
+                .filter(|&kk| kk > 0)
+                .and_then(|kk| {
+                    (0..s_idx)
+                        .rev()
+                        .find(|&si| (supersteps[si].superstep + 1) % kk == 0)
+                });
+        let replay_from = ckpt_idx.map_or(0, |ci| ci + 1);
+        let wasted_since = if replay_from == 0 {
+            proc_start
+        } else {
+            probe_sim
+                .span_of_tag(
+                    &probe.dag,
+                    &format!("job/proc/ss{}/", supersteps[replay_from].superstep),
+                )
+                .expect("superstep was simulated")
+                .0
+        };
+        let wasted_us = t_eff - wasted_since;
+
+        // Phase 2: the recovery layout. Prefix (startup, load, supersteps
+        // before s*, their checkpoints) is identical to the probe; the
+        // failed superstep becomes a doomed attempt killed by the injected
+        // crash; detection, container re-provisioning, checkpoint reload
+        // and superstep replay follow under `job/proc/recovery/`.
+        let mut b = Build::new(
+            self,
+            cfg,
+            cluster,
+            &supersteps,
+            &verts,
+            &edges,
+            &input_bytes,
+        );
+        let started = b.startup();
+        let loaded = b.load(started);
+        b.process_graph();
+        let mut prev = loaded;
+        for si in 0..s_idx {
+            prev = b.superstep(si, prev, "job/proc/", true);
+            prev = b.maybe_checkpoint(si, prev);
+        }
+        b.doomed_attempt(s_idx, prev);
+
+        let master = b.master_node.clone();
+        let recover_actor = Actor::new("Master", "0");
+        let recover_key = (recover_actor.clone(), Mission::new("Recover", "0"));
+        let proc_domain = b.domain("ProcessGraph");
+        b.specs.push(
+            OpSpec::new(
+                recover_actor.clone(),
+                Mission::new("Recover", "0"),
+                Some(proc_domain),
+                "job/proc/recovery/",
+                &master,
+                "master",
+            )
+            .with_info(
+                "FailedNode",
+                InfoValue::Text(cluster.node(crash.node).name.clone()),
+            )
+            .with_info("WastedUs", InfoValue::Int(wasted_us.round() as i64)),
+        );
+        // The crash anchor pins failure detection to the injected instant.
+        let anchor = b.dag.add(
+            ActivityKind::Delay { duration_us: t_eff },
+            &[],
+            "job/meta/t-crash",
+        );
+        let detect = b.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.failure_detect_us,
+            },
+            &[anchor],
+            "job/proc/recovery/detect",
+        );
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("DetectFailure", "0"),
+            Some(recover_key.clone()),
+            "job/proc/recovery/detect",
+            &master,
+            "master",
+        ));
+        let provisioner = YarnProvisioner {
+            negotiation_us: self.negotiation_us,
+            container_alloc_us: self.container_alloc_us,
+            jvm_startup_us: self.jvm_startup_us,
+            zk_sync_us: self.zk_register_us,
+            ..YarnProvisioner::default()
+        };
+        let provisioned =
+            provisioner.reprovision(&mut b.dag, 1, &[detect], "job/proc/recovery/provision");
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("Provision", "0"),
+            Some(recover_key.clone()),
+            "job/proc/recovery/provision/",
+            &master,
+            "master",
+        ));
+        // All workers roll back: reload the checkpointed vertex state (or
+        // re-read the input when no checkpoint exists).
+        let mut reloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let bytes = if ckpt_idx.is_some() {
+                verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale
+            } else {
+                input_bytes[w as usize]
+            };
+            reloads.push(self.fs.read(
+                cluster,
+                &mut b.dag,
+                NodeId(w),
+                bytes,
+                &[provisioned],
+                &format!("job/proc/recovery/reload/w{w}/"),
+            ));
+        }
+        let reloaded = b.dag.barrier(&reloads, "job/proc/recovery/reload/done");
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("LoadCheckpoint", "0"),
+            Some(recover_key.clone()),
+            "job/proc/recovery/reload/",
+            &master,
+            "master",
+        ));
+        let mut prev = reloaded;
+        #[allow(clippy::needless_range_loop)]
+        for si in replay_from..=s_idx {
+            let s = supersteps[si].superstep;
+            prev = b.superstep(si, prev, "job/proc/recovery/replay/", false);
+            b.specs.push(OpSpec::new(
+                recover_actor.clone(),
+                Mission::new("Replay", s.to_string()),
+                Some(recover_key.clone()),
+                format!("job/proc/recovery/replay/ss{s}/"),
+                &master,
+                "master",
+            ));
+        }
+        // Checkpointing resumes its normal cadence after recovery.
+        prev = b.maybe_checkpoint(s_idx, prev);
+        for si in s_idx + 1..supersteps.len() {
+            prev = b.superstep(si, prev, "job/proc/", true);
+            prev = b.maybe_checkpoint(si, prev);
+        }
+        let offloaded = b.offload(prev);
+        b.cleanup(offloaded);
+
+        let restart_after = crash.restart_after_us.unwrap_or(self.failure_detect_us);
+        let exec_plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: crash.node,
+                at_us: t_eff,
+                restart_after_us: Some(restart_after),
+            }],
+            slowdowns: plan.slowdowns.clone(),
+        };
+        b.finish(&exec_plan, output)
+    }
+}
+
+/// Incremental DAG + spec builder shared by the healthy and the
+/// fault-recovery job layouts.
+struct Build<'a> {
+    p: &'a GiraphPlatform,
+    cfg: &'a JobConfig,
+    cluster: &'a ClusterSpec,
+    supersteps: &'a [SuperstepStats],
+    verts: &'a [u64],
+    edges: &'a [u64],
+    input_bytes: &'a [f64],
+    dag: ActivityGraph,
+    specs: Vec<OpSpec>,
+    job_actor: Actor,
+    job_key: (Actor, Mission),
+    master_node: String,
+}
+
+impl<'a> Build<'a> {
+    fn new(
+        p: &'a GiraphPlatform,
+        cfg: &'a JobConfig,
+        cluster: &'a ClusterSpec,
+        supersteps: &'a [SuperstepStats],
+        verts: &'a [u64],
+        edges: &'a [u64],
+        input_bytes: &'a [f64],
+    ) -> Self {
         let job_actor = Actor::new("Job", "0");
         let job_mission = Mission::new("GiraphJob", "0");
         let job_key = (job_actor.clone(), job_mission.clone());
         let master_node = cluster.node(NodeId(0)).name.clone();
-        let worker_node = |w: u16| cluster.node(NodeId(w)).name.clone();
-
-        specs.push(
-            OpSpec::new(
-                job_actor.clone(),
-                job_mission.clone(),
-                None,
-                "job/",
-                &master_node,
-                "client",
-            )
-            .with_info("Platform", InfoValue::Text("Giraph".into()))
-            .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
-            .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
-            .with_info("Workers", InfoValue::Int(k as i64)),
-        );
-        let domain = |mission: &str| (job_actor.clone(), Mission::new(mission, "0"));
-
-        // -------------------------------------------------- Startup (L1)
-        specs.push(OpSpec::new(
+        let specs: Vec<OpSpec> = vec![OpSpec::new(
             job_actor.clone(),
-            Mission::new("Startup", "0"),
-            Some(job_key.clone()),
-            "job/startup/",
+            job_mission,
+            None,
+            "job/",
             &master_node,
             "client",
+        )
+        .with_info("Platform", InfoValue::Text("Giraph".into()))
+        .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+        .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+        .with_info("Workers", InfoValue::Int(cfg.nodes as i64))];
+        Build {
+            p,
+            cfg,
+            cluster,
+            supersteps,
+            verts,
+            edges,
+            input_bytes,
+            dag: ActivityGraph::new(),
+            specs,
+            job_actor,
+            job_key,
+            master_node,
+        }
+    }
+
+    fn worker_node(&self, w: u16) -> String {
+        self.cluster.node(NodeId(w)).name.clone()
+    }
+
+    fn domain(&self, mission: &str) -> (Actor, Mission) {
+        (self.job_actor.clone(), Mission::new(mission, "0"))
+    }
+
+    // -------------------------------------------------- Startup (L1)
+    fn startup(&mut self) -> ActivityId {
+        let k = self.cfg.nodes;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("Startup", "0"),
+            Some(self.job_key.clone()),
+            "job/startup/",
+            &self.master_node,
+            "client",
         ));
-        let negotiate = dag.add(
+        let negotiate = self.dag.add(
             ActivityKind::Delay {
-                duration_us: self.negotiation_us,
+                duration_us: self.p.negotiation_us,
             },
             &[],
             "job/startup/jobstartup/negotiate",
         );
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("JobStartup", "0"),
-            Some(domain("Startup")),
+            Some(self.domain("Startup")),
             "job/startup/jobstartup/",
-            &master_node,
+            &self.master_node,
             "master",
         ));
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("LaunchWorkers", "0"),
-            Some(domain("Startup")),
+            Some(self.domain("Startup")),
             "job/startup/launch/",
-            &master_node,
+            &self.master_node,
             "master",
         ));
         let mut worker_ready: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for w in 0..k {
             let tagp = format!("job/startup/launch/w{w}/");
-            let alloc = dag.add(
+            let alloc = self.dag.add(
                 ActivityKind::Delay {
-                    duration_us: self.container_alloc_us * (1.0 + 0.12 * w as f64),
+                    duration_us: self.p.container_alloc_us * (1.0 + 0.12 * w as f64),
                 },
                 &[negotiate],
                 format!("{tagp}alloc"),
             );
-            let jvm = dag.add(
+            let jvm = self.dag.add(
                 ActivityKind::Delay {
-                    duration_us: self.jvm_startup_us,
+                    duration_us: self.p.jvm_startup_us,
                 },
                 &[alloc],
                 format!("{tagp}jvm"),
             );
-            let zk = dag.add(
+            let zk = self.dag.add(
                 ActivityKind::Delay {
-                    duration_us: self.zk_register_us,
+                    duration_us: self.p.zk_register_us,
                 },
                 &[jvm],
                 format!("{tagp}zk"),
             );
-            specs.push(OpSpec::new(
+            self.specs.push(OpSpec::new(
                 Actor::new("Worker", w.to_string()),
                 Mission::new("LocalStartup", "0"),
                 Some((
@@ -228,41 +570,46 @@ impl GiraphPlatform {
                     Mission::new("LaunchWorkers", "0"),
                 )),
                 tagp,
-                worker_node(w),
+                self.worker_node(w),
                 format!("worker-{w}"),
             ));
             worker_ready.push(zk);
         }
-        let started = dag.barrier(&worker_ready, "job/startup/all-ready");
+        self.dag.barrier(&worker_ready, "job/startup/all-ready")
+    }
 
-        // ------------------------------------------------ LoadGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
+    // ------------------------------------------------ LoadGraph (L1)
+    fn load(&mut self, started: ActivityId) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
             Mission::new("LoadGraph", "0"),
-            Some(job_key.clone()),
+            Some(self.job_key.clone()),
             "job/load/",
-            &master_node,
+            &self.master_node,
             "client",
         ));
         let mut loaded: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for w in 0..k {
             let node = NodeId(w);
             let tagp = format!("job/load/w{w}/");
-            specs.push(
+            self.specs.push(
                 OpSpec::new(
                     Actor::new("Worker", w.to_string()),
                     Mission::new("LocalLoad", "0"),
-                    Some(domain("LoadGraph")),
+                    Some(self.domain("LoadGraph")),
                     tagp.clone(),
-                    worker_node(w),
+                    self.worker_node(w),
                     format!("worker-{w}"),
                 )
                 .with_info(
                     "InputBytes",
-                    InfoValue::Int(input_bytes[w as usize].round() as i64),
+                    InfoValue::Int(self.input_bytes[w as usize].round() as i64),
                 ),
             );
-            specs.push(OpSpec::new(
+            self.specs.push(OpSpec::new(
                 Actor::new("Worker", w.to_string()),
                 Mission::new("LoadHdfsData", "0"),
                 Some((
@@ -270,18 +617,18 @@ impl GiraphPlatform {
                     Mission::new("LocalLoad", "0"),
                 )),
                 format!("{tagp}hdfs/"),
-                worker_node(w),
+                self.worker_node(w),
                 format!("worker-{w}"),
             ));
             // Pipelined chunks: read c -> parse c; read c+1 after read c.
-            let chunk_bytes = input_bytes[w as usize] / LOAD_CHUNKS as f64;
+            let chunk_bytes = self.input_bytes[w as usize] / LOAD_CHUNKS as f64;
             let parse_per_chunk = chunk_bytes * costs.parse_cpu_us_per_byte;
             let mut prev_read = started;
             let mut prev_parse: Option<ActivityId> = None;
             for c in 0..LOAD_CHUNKS {
-                let read = self.fs.read(
-                    cluster,
-                    &mut dag,
+                let read = self.p.fs.read(
+                    self.cluster,
+                    &mut self.dag,
                     node,
                     chunk_bytes,
                     &[prev_read],
@@ -293,7 +640,7 @@ impl GiraphPlatform {
                     Some(p) => vec![read, p],
                     None => vec![read],
                 };
-                let parse = dag.add(
+                let parse = self.dag.add(
                     ActivityKind::Compute {
                         node,
                         work_core_us: parse_per_chunk,
@@ -305,14 +652,16 @@ impl GiraphPlatform {
                 prev_read = read;
                 prev_parse = Some(parse);
             }
-            let parsed = dag.barrier(
+            let parsed = self.dag.barrier(
                 &[prev_parse.expect("LOAD_CHUNKS > 0")],
                 format!("{tagp}parse/done"),
             );
-            let build = dag.add(
+            let build = self.dag.add(
                 ActivityKind::Compute {
                     node,
-                    work_core_us: edges[w as usize] as f64 * scale * costs.build_cpu_us_per_edge,
+                    work_core_us: self.edges[w as usize] as f64
+                        * scale
+                        * costs.build_cpu_us_per_edge,
                     parallelism: costs.worker_threads,
                 },
                 &[parsed],
@@ -320,28 +669,48 @@ impl GiraphPlatform {
             );
             loaded.push(build);
         }
-        let all_loaded = dag.barrier(&loaded, "job/load/all-loaded");
+        self.dag.barrier(&loaded, "job/load/all-loaded")
+    }
 
-        // ---------------------------------------------- ProcessGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
+    // ---------------------------------------------- ProcessGraph (L1)
+    fn process_graph(&mut self) {
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
             Mission::new("ProcessGraph", "0"),
-            Some(job_key.clone()),
+            Some(self.job_key.clone()),
             "job/proc/",
-            &master_node,
+            &self.master_node,
             "client",
         ));
-        let mut prev_barrier = all_loaded;
-        for ss in &supersteps {
-            let s = ss.superstep;
-            let ss_tag = format!("job/proc/ss{s}/");
-            specs.push(
+    }
+
+    /// One BSP superstep: per-worker PreStep/Compute/Message/PostStep and
+    /// the ZooKeeper-coordinated global barrier. `prefix` places the
+    /// activities (`job/proc/` for first attempts, `job/proc/recovery/replay/`
+    /// for replays); `with_specs` controls whether the superstep emits its
+    /// own Granula operations (replays are covered by a single `Replay` op
+    /// pushed by the caller).
+    fn superstep(
+        &mut self,
+        si: usize,
+        prev_barrier: ActivityId,
+        prefix: &str,
+        with_specs: bool,
+    ) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let ss = &self.supersteps[si];
+        let s = ss.superstep;
+        let ss_tag = format!("{prefix}ss{s}/");
+        if with_specs {
+            self.specs.push(
                 OpSpec::new(
-                    job_actor.clone(),
+                    self.job_actor.clone(),
                     Mission::new("Superstep", s.to_string()),
-                    Some(domain("ProcessGraph")),
+                    Some(self.domain("ProcessGraph")),
                     ss_tag.clone(),
-                    &master_node,
+                    &self.master_node,
                     "master",
                 )
                 .with_info(
@@ -353,61 +722,69 @@ impl GiraphPlatform {
                     InfoValue::Int((ss.total_messages() as f64 * scale).round() as i64),
                 ),
             );
-            let mut worker_posts: Vec<ActivityId> = Vec::with_capacity(k as usize);
-            let mut computes: Vec<ActivityId> = Vec::with_capacity(k as usize);
-            for w in 0..k {
-                let node = NodeId(w);
-                let stats = &ss.per_worker[w as usize];
-                let w_tag = format!("{ss_tag}w{w}/");
-                specs.push(OpSpec::new(
+        }
+        let mut worker_posts: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        let mut computes: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let node = NodeId(w);
+            let stats = &ss.per_worker[w as usize];
+            let w_tag = format!("{ss_tag}w{w}/");
+            let local_parent = (
+                Actor::new("Worker", w.to_string()),
+                Mission::new("LocalSuperstep", s.to_string()),
+            );
+            if with_specs {
+                self.specs.push(OpSpec::new(
                     Actor::new("Worker", w.to_string()),
                     Mission::new("LocalSuperstep", s.to_string()),
-                    Some((job_actor.clone(), Mission::new("Superstep", s.to_string()))),
+                    Some((
+                        self.job_actor.clone(),
+                        Mission::new("Superstep", s.to_string()),
+                    )),
                     w_tag.clone(),
-                    worker_node(w),
+                    self.worker_node(w),
                     format!("worker-{w}"),
                 ));
-                let local_parent = (
-                    Actor::new("Worker", w.to_string()),
-                    Mission::new("LocalSuperstep", s.to_string()),
-                );
-                let pre = dag.add(
-                    ActivityKind::Delay {
-                        duration_us: costs.barrier_us * 0.4,
-                    },
-                    &[prev_barrier],
-                    format!("{w_tag}pre"),
-                );
-                let _ = pre;
-                specs.push(OpSpec::new(
+            }
+            let pre = self.dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us * 0.4,
+                },
+                &[prev_barrier],
+                format!("{w_tag}pre"),
+            );
+            if with_specs {
+                self.specs.push(OpSpec::new(
                     Actor::new("Worker", w.to_string()),
                     Mission::new("PreStep", s.to_string()),
                     Some(local_parent.clone()),
                     format!("{w_tag}pre"),
-                    worker_node(w),
+                    self.worker_node(w),
                     format!("worker-{w}"),
                 ));
-                let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
-                    + stats.active_vertices as f64 * costs.compute_us_per_vertex
-                    + stats.messages_sent as f64 * costs.serialize_us_per_message)
-                    * scale;
-                let compute = dag.add(
-                    ActivityKind::Compute {
-                        node,
-                        // Idle workers still tick over the barrier machinery.
-                        work_core_us: work.max(1_000.0),
-                        parallelism: costs.worker_threads,
-                    },
-                    &[pre],
-                    format!("{w_tag}compute"),
-                );
-                specs.push(
+            }
+            let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                + stats.active_vertices as f64 * costs.compute_us_per_vertex
+                + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                * scale;
+            let compute = self.dag.add(
+                ActivityKind::Compute {
+                    node,
+                    // Idle workers still tick over the barrier machinery.
+                    work_core_us: work.max(1_000.0),
+                    parallelism: costs.worker_threads,
+                },
+                &[pre],
+                format!("{w_tag}compute"),
+            );
+            if with_specs {
+                self.specs.push(
                     OpSpec::new(
                         Actor::new("Worker", w.to_string()),
                         Mission::new("Compute", s.to_string()),
                         Some(local_parent),
                         format!("{w_tag}compute"),
-                        worker_node(w),
+                        self.worker_node(w),
                         format!("worker-{w}"),
                     )
                     .with_info(
@@ -419,127 +796,234 @@ impl GiraphPlatform {
                         InfoValue::Int((stats.active_vertices as f64 * scale).round() as i64),
                     ),
                 );
-                computes.push(compute);
             }
-            for w in 0..k {
-                let stats = &ss.per_worker[w as usize];
-                let w_tag = format!("{ss_tag}w{w}/");
-                let local_parent = (
-                    Actor::new("Worker", w.to_string()),
-                    Mission::new("LocalSuperstep", s.to_string()),
-                );
-                // Message flushing: transfers to workers receiving remote
-                // messages from this worker.
-                let mut flushes: Vec<ActivityId> = Vec::new();
-                let mut remote_msgs = 0u64;
-                for dst in 0..k {
-                    let count = ss.remote_messages[w as usize][dst as usize];
-                    if dst == w || count == 0 {
-                        continue;
-                    }
-                    remote_msgs += count;
-                    flushes.push(dag.add(
-                        ActivityKind::Transfer {
-                            src: NodeId(w),
-                            dst: NodeId(dst),
-                            bytes: count as f64 * costs.bytes_per_message * scale,
-                        },
-                        &[computes[w as usize]],
-                        format!("{w_tag}msg/to{dst}"),
-                    ));
+            computes.push(compute);
+        }
+        for w in 0..k {
+            let stats = &ss.per_worker[w as usize];
+            let w_tag = format!("{ss_tag}w{w}/");
+            let local_parent = (
+                Actor::new("Worker", w.to_string()),
+                Mission::new("LocalSuperstep", s.to_string()),
+            );
+            // Message flushing: transfers to workers receiving remote
+            // messages from this worker.
+            let mut flushes: Vec<ActivityId> = Vec::new();
+            let mut remote_msgs = 0u64;
+            for dst in 0..k {
+                let count = ss.remote_messages[w as usize][dst as usize];
+                if dst == w || count == 0 {
+                    continue;
                 }
-                if !flushes.is_empty() {
-                    specs.push(
-                        OpSpec::new(
-                            Actor::new("Worker", w.to_string()),
-                            Mission::new("Message", s.to_string()),
-                            Some(local_parent.clone()),
-                            format!("{w_tag}msg/"),
-                            worker_node(w),
-                            format!("worker-{w}"),
-                        )
-                        .with_info(
-                            "RemoteMessages",
-                            InfoValue::Int((remote_msgs as f64 * scale).round() as i64),
-                        )
-                        .with_info(
-                            "MessagesSent",
-                            InfoValue::Int((stats.messages_sent as f64 * scale).round() as i64),
-                        ),
-                    );
-                }
-                let mut post_deps = flushes;
-                post_deps.push(computes[w as usize]);
-                let post = dag.add(
-                    ActivityKind::Delay {
-                        duration_us: costs.barrier_us * 0.6,
+                remote_msgs += count;
+                flushes.push(self.dag.add(
+                    ActivityKind::Transfer {
+                        src: NodeId(w),
+                        dst: NodeId(dst),
+                        bytes: count as f64 * costs.bytes_per_message * scale,
                     },
-                    &post_deps,
-                    format!("{w_tag}post"),
+                    &[computes[w as usize]],
+                    format!("{w_tag}msg/to{dst}"),
+                ));
+            }
+            if with_specs && !flushes.is_empty() {
+                self.specs.push(
+                    OpSpec::new(
+                        Actor::new("Worker", w.to_string()),
+                        Mission::new("Message", s.to_string()),
+                        Some(local_parent.clone()),
+                        format!("{w_tag}msg/"),
+                        self.worker_node(w),
+                        format!("worker-{w}"),
+                    )
+                    .with_info(
+                        "RemoteMessages",
+                        InfoValue::Int((remote_msgs as f64 * scale).round() as i64),
+                    )
+                    .with_info(
+                        "MessagesSent",
+                        InfoValue::Int((stats.messages_sent as f64 * scale).round() as i64),
+                    ),
                 );
-                specs.push(OpSpec::new(
+            }
+            let mut post_deps = flushes;
+            post_deps.push(computes[w as usize]);
+            let post = self.dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us * 0.6,
+                },
+                &post_deps,
+                format!("{w_tag}post"),
+            );
+            if with_specs {
+                self.specs.push(OpSpec::new(
                     Actor::new("Worker", w.to_string()),
                     Mission::new("PostStep", s.to_string()),
                     Some(local_parent),
                     format!("{w_tag}post"),
-                    worker_node(w),
+                    self.worker_node(w),
                     format!("worker-{w}"),
                 ));
-                worker_posts.push(post);
             }
-            // ZooKeeper-coordinated global barrier.
-            let zk_join = dag.barrier(&worker_posts, format!("{ss_tag}zk/join"));
-            let zk = dag.add(
-                ActivityKind::Delay {
-                    duration_us: costs.barrier_us * 0.3,
-                },
-                &[zk_join],
-                format!("{ss_tag}zk/sync"),
-            );
-            specs.push(OpSpec::new(
+            worker_posts.push(post);
+        }
+        // ZooKeeper-coordinated global barrier.
+        let zk_join = self.dag.barrier(&worker_posts, format!("{ss_tag}zk/join"));
+        let zk = self.dag.add(
+            ActivityKind::Delay {
+                duration_us: costs.barrier_us * 0.3,
+            },
+            &[zk_join],
+            format!("{ss_tag}zk/sync"),
+        );
+        if with_specs {
+            self.specs.push(OpSpec::new(
                 Actor::new("Master", "0"),
                 Mission::new("SyncZookeeper", s.to_string()),
-                Some((job_actor.clone(), Mission::new("Superstep", s.to_string()))),
+                Some((
+                    self.job_actor.clone(),
+                    Mission::new("Superstep", s.to_string()),
+                )),
                 format!("{ss_tag}zk/"),
-                &master_node,
+                &self.master_node,
                 "master",
             ));
-            prev_barrier = zk;
         }
+        zk
+    }
 
-        // --------------------------------------------- OffloadGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
+    /// Synchronous checkpoint after superstep `s`: every worker writes its
+    /// vertex state to the DFS before the next superstep may start.
+    fn checkpoint(&mut self, s: u32, prev: ActivityId) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let tag = format!("job/proc/ckpt{s}/");
+        self.specs.push(
+            OpSpec::new(
+                Actor::new("Master", "0"),
+                Mission::new("Checkpoint", s.to_string()),
+                Some(self.domain("ProcessGraph")),
+                tag.clone(),
+                &self.master_node,
+                "master",
+            )
+            .with_info(
+                "IntervalSupersteps",
+                InfoValue::Int(self.p.checkpoint_interval.unwrap_or(0) as i64),
+            ),
+        );
+        let mut writes: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let bytes = self.verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            writes.push(self.p.fs.write(
+                self.cluster,
+                &mut self.dag,
+                NodeId(w),
+                bytes,
+                &[prev],
+                &format!("{tag}w{w}/"),
+            ));
+        }
+        self.dag.barrier(&writes, format!("{tag}done"))
+    }
+
+    /// Checkpoint after superstep index `si` when the cadence says so
+    /// (never after the final superstep — nothing is left to protect).
+    fn maybe_checkpoint(&mut self, si: usize, prev: ActivityId) -> ActivityId {
+        match self.p.checkpoint_interval {
+            Some(kk)
+                if kk > 0
+                    && (self.supersteps[si].superstep + 1).is_multiple_of(kk)
+                    && si + 1 < self.supersteps.len() =>
+            {
+                self.checkpoint(self.supersteps[si].superstep, prev)
+            }
+            _ => prev,
+        }
+    }
+
+    /// The attempt at superstep `si` that the crash interrupts: per-worker
+    /// pre-step and compute, no barrier — the failure means the superstep
+    /// never commits, and recovery (not this attempt) gates further work.
+    fn doomed_attempt(&mut self, si: usize, prev_barrier: ActivityId) {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let ss = &self.supersteps[si];
+        let s = ss.superstep;
+        let tag = format!("job/proc/ss{s}/");
+        self.specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("FailedSuperstep", s.to_string()),
+            Some(self.domain("ProcessGraph")),
+            tag.clone(),
+            &self.master_node,
+            "master",
+        ));
+        for w in 0..k {
+            let node = NodeId(w);
+            let stats = &ss.per_worker[w as usize];
+            let pre = self.dag.add(
+                ActivityKind::Delay {
+                    duration_us: costs.barrier_us * 0.4,
+                },
+                &[prev_barrier],
+                format!("{tag}try/w{w}/pre"),
+            );
+            let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                + stats.active_vertices as f64 * costs.compute_us_per_vertex
+                + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                * scale;
+            self.dag.add(
+                ActivityKind::Compute {
+                    node,
+                    work_core_us: work.max(1_000.0),
+                    parallelism: costs.worker_threads,
+                },
+                &[pre],
+                format!("{tag}try/w{w}/compute"),
+            );
+        }
+    }
+
+    // --------------------------------------------- OffloadGraph (L1)
+    fn offload(&mut self, prev_barrier: ActivityId) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
             Mission::new("OffloadGraph", "0"),
-            Some(job_key.clone()),
+            Some(self.job_key.clone()),
             "job/offload/",
-            &master_node,
+            &self.master_node,
             "client",
         ));
         let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for w in 0..k {
             let tagp = format!("job/offload/w{w}/");
-            let bytes = verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale;
-            let write = self.fs.write(
-                cluster,
-                &mut dag,
+            let bytes = self.verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = self.p.fs.write(
+                self.cluster,
+                &mut self.dag,
                 NodeId(w),
                 bytes,
                 &[prev_barrier],
                 &format!("{tagp}hdfs/"),
             );
-            specs.push(
+            self.specs.push(
                 OpSpec::new(
                     Actor::new("Worker", w.to_string()),
                     Mission::new("LocalOffload", "0"),
-                    Some(domain("OffloadGraph")),
+                    Some(self.domain("OffloadGraph")),
                     tagp.clone(),
-                    worker_node(w),
+                    self.worker_node(w),
                     format!("worker-{w}"),
                 )
                 .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
             );
-            specs.push(OpSpec::new(
+            self.specs.push(OpSpec::new(
                 Actor::new("Worker", w.to_string()),
                 Mission::new("OffloadHdfsData", "0"),
                 Some((
@@ -547,107 +1031,115 @@ impl GiraphPlatform {
                     Mission::new("LocalOffload", "0"),
                 )),
                 format!("{tagp}hdfs/"),
-                worker_node(w),
+                self.worker_node(w),
                 format!("worker-{w}"),
             ));
             offloads.push(write);
         }
-        let all_offloaded = dag.barrier(&offloads, "job/offload/all-done");
+        self.dag.barrier(&offloads, "job/offload/all-done")
+    }
 
-        // -------------------------------------------------- Cleanup (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
+    // -------------------------------------------------- Cleanup (L1)
+    fn cleanup(&mut self, all_offloaded: ActivityId) {
+        let k = self.cfg.nodes;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
             Mission::new("Cleanup", "0"),
-            Some(job_key.clone()),
+            Some(self.job_key.clone()),
             "job/cleanup/",
-            &master_node,
+            &self.master_node,
             "client",
         ));
-        let cleanup_parent = domain("Cleanup");
+        let cleanup_parent = self.domain("Cleanup");
         let mut aborts: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for w in 0..k {
-            aborts.push(dag.add(
+            aborts.push(self.dag.add(
                 ActivityKind::Delay {
-                    duration_us: self.cleanup_us[0],
+                    duration_us: self.p.cleanup_us[0],
                 },
                 &[all_offloaded],
                 format!("job/cleanup/abort/w{w}"),
             ));
         }
-        let aborted = dag.barrier(&aborts, "job/cleanup/abort/join");
-        specs.push(OpSpec::new(
+        let aborted = self.dag.barrier(&aborts, "job/cleanup/abort/join");
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("AbortWorkers", "0"),
             Some(cleanup_parent.clone()),
             "job/cleanup/abort/",
-            &master_node,
+            &self.master_node,
             "master",
         ));
-        let client = dag.add(
+        let client = self.dag.add(
             ActivityKind::Delay {
-                duration_us: self.cleanup_us[1],
+                duration_us: self.p.cleanup_us[1],
             },
             &[aborted],
             "job/cleanup/client",
         );
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("ClientCleanup", "0"),
             Some(cleanup_parent.clone()),
             "job/cleanup/client",
-            &master_node,
+            &self.master_node,
             "master",
         ));
-        let server = dag.add(
+        let server = self.dag.add(
             ActivityKind::Delay {
-                duration_us: self.cleanup_us[2],
+                duration_us: self.p.cleanup_us[2],
             },
             &[client],
             "job/cleanup/server",
         );
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("ServerCleanup", "0"),
             Some(cleanup_parent.clone()),
             "job/cleanup/server",
-            &master_node,
+            &self.master_node,
             "master",
         ));
-        dag.add(
+        self.dag.add(
             ActivityKind::Delay {
-                duration_us: self.cleanup_us[3],
+                duration_us: self.p.cleanup_us[3],
             },
             &[server],
             "job/cleanup/zk",
         );
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
             Mission::new("ZkCleanup", "0"),
             Some(cleanup_parent),
             "job/cleanup/zk",
-            &master_node,
+            &self.master_node,
             "master",
         ));
+    }
 
-        // ------------------------------------------------------- Simulate
-        let sim = Simulation::new(cluster.clone()).run(&dag)?;
-        let events = emit_events(&specs, &dag, &sim);
+    // ------------------------------------------------------- Simulate
+    fn finish(self, plan: &FaultPlan, output: AlgorithmOutput) -> Result<PlatformRun, SimError> {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let sim = Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?;
+        let events = emit_events(&self.specs, &self.dag, &sim);
         let mut env_samples = trace_to_samples(&sim.trace);
         // Memory view: each worker's partition becomes resident over its
         // load interval and is released when its JVM exits at cleanup.
         let release = sim
-            .span_of_tag(&dag, "job/cleanup/")
+            .span_of_tag(&self.dag, "job/cleanup/")
             .map(|(s, _)| s.round() as u64)
             .unwrap_or(sim.makespan_us.round() as u64);
         let mut phases = Vec::with_capacity(k as usize);
         for w in 0..k {
-            if let Some((ls, le)) = sim.span_of_tag(&dag, &format!("job/load/w{w}/")) {
+            if let Some((ls, le)) = sim.span_of_tag(&self.dag, &format!("job/load/w{w}/")) {
                 phases.push(MemoryPhase {
-                    node: worker_node(w),
+                    node: self.worker_node(w),
                     ramp_start_us: ls.round() as u64,
                     ramp_end_us: le.round() as u64,
                     hold_until_us: release,
-                    bytes: edges[w as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                    bytes: self.edges[w as usize] as f64 * scale * costs.bytes_per_edge_mem,
                 });
             }
         }
@@ -657,7 +1149,7 @@ impl GiraphPlatform {
             env_samples,
             output,
             makespan_us: sim.makespan_us.round() as u64,
-            iterations: supersteps.len() as u32,
+            iterations: self.supersteps.len() as u32,
         })
     }
 }
@@ -767,6 +1259,109 @@ mod tests {
             "scaled run should be slower: {} vs {}",
             big.makespan_us,
             small.makespan_us
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_plain_run() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = GiraphPlatform::default();
+        let plain = p.run(&g, &cfg).unwrap();
+        let faultless = p.run_with_faults(&g, &cfg, &FaultPlan::new()).unwrap();
+        assert_eq!(plain.makespan_us, faultless.makespan_us);
+        assert_eq!(plain.events, faultless.events);
+    }
+
+    #[test]
+    fn checkpoints_appear_at_the_configured_cadence() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = GiraphPlatform {
+            checkpoint_interval: Some(2),
+            ..GiraphPlatform::default()
+        };
+        let run = p.run(&g, &cfg).unwrap();
+        let tree = Assembler::new().assemble(run.events).tree;
+        let root = tree.root().unwrap();
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        let n_ckpt = tree
+            .children(proc_)
+            .filter(|o| o.mission.kind == "Checkpoint")
+            .count() as u32;
+        // One checkpoint after every 2nd superstep, except the last.
+        assert_eq!(n_ckpt, (run.iterations - 1) / 2);
+    }
+
+    #[test]
+    fn crash_recovery_replays_from_checkpoint() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = GiraphPlatform {
+            checkpoint_interval: Some(2),
+            ..GiraphPlatform::default()
+        };
+        let healthy = p.run(&g, &cfg).unwrap();
+        let plan = FaultPlan::new().crash(NodeId(2), healthy.makespan_us as f64 * 0.5);
+        let faulty = p.run_with_faults(&g, &cfg, &plan).unwrap();
+        assert!(
+            faulty.makespan_us > healthy.makespan_us,
+            "recovery must cost time: {} vs {}",
+            faulty.makespan_us,
+            healthy.makespan_us
+        );
+        let outcome = Assembler::new().assemble(faulty.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        assert!(tree.children(proc_).any(|o| o.mission.kind == "Checkpoint"));
+        assert!(tree
+            .children(proc_)
+            .any(|o| o.mission.kind == "FailedSuperstep"));
+        let recover = tree
+            .child_by_mission(proc_, "Recover")
+            .expect("Recover operation");
+        for m in ["DetectFailure", "Provision", "LoadCheckpoint"] {
+            assert!(tree.child_by_mission(recover, m).is_some(), "missing {m}");
+        }
+        let n_replay = tree
+            .children(recover)
+            .filter(|o| o.mission.kind == "Replay")
+            .count();
+        assert!(n_replay >= 1, "lost supersteps must be replayed");
+        // The recovery op names the lost worker.
+        let rec_op = tree.op(recover);
+        assert!(rec_op
+            .infos
+            .iter()
+            .any(|i| i.name == "FailedNode" && i.value == InfoValue::Text("node302".into())));
+    }
+
+    #[test]
+    fn crash_without_checkpoints_replays_from_superstep_zero() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = GiraphPlatform::default(); // checkpointing disabled
+        let healthy = p.run(&g, &cfg).unwrap();
+        let plan = FaultPlan::new().crash(NodeId(1), healthy.makespan_us as f64 * 0.6);
+        let faulty = p.run_with_faults(&g, &cfg, &plan).unwrap();
+        let tree = Assembler::new().assemble(faulty.events).tree;
+        let root = tree.root().unwrap();
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        let recover = tree.child_by_mission(proc_, "Recover").unwrap();
+        let replays: Vec<String> = tree
+            .children(recover)
+            .filter(|o| o.mission.kind == "Replay")
+            .map(|o| o.mission.id.clone())
+            .collect();
+        assert!(
+            replays.contains(&"0".to_string()),
+            "without checkpoints replay starts at superstep 0, got {replays:?}"
+        );
+        assert!(
+            tree.children(proc_).all(|o| o.mission.kind != "Checkpoint"),
+            "no checkpoints were configured"
         );
     }
 

@@ -9,7 +9,8 @@
 //! the in-memory graph (paper §4.3, Figure 7).
 
 use gpsim_cluster::{
-    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, NodeId, SimError, Simulation,
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, FaultPlan, NodeCrash, NodeId, SimError,
+    Simulation,
 };
 use gpsim_graph::{Graph, VertexCutPartition};
 use granula_model::{Actor, InfoValue, Mission};
@@ -38,6 +39,9 @@ pub struct PowerGraphPlatform {
     pub loader_threads: u32,
     /// Iteration cap for convergent algorithms.
     pub max_iterations: u32,
+    /// Time for the MPI runtime to notice a dead rank and abort the job
+    /// (fail-stop), µs.
+    pub failure_detect_us: f64,
 }
 
 impl Default for PowerGraphPlatform {
@@ -48,6 +52,7 @@ impl Default for PowerGraphPlatform {
             finalize_us: 3.0e6,
             loader_threads: 2,
             max_iterations: 10_000,
+            failure_detect_us: 2.0e6,
         }
     }
 }
@@ -109,12 +114,45 @@ impl PowerGraphPlatform {
         self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
     }
 
+    /// Runs a job on a DAS5-like cluster under an injected fault plan.
+    pub fn run_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        plan: &FaultPlan,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, &ClusterSpec::das5(cfg.nodes), plan)
+    }
+
     /// Runs a job on an explicit cluster.
     pub fn run_on(
         &self,
         g: &Graph,
         cfg: &JobConfig,
         cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, cluster, &FaultPlan::default())
+    }
+
+    /// Runs a job on an explicit cluster under an injected fault plan.
+    ///
+    /// PowerGraph has no checkpointing: MPI is fail-stop, so a node crash
+    /// aborts the whole job once the runtime notices the dead rank, and the
+    /// job is resubmitted from scratch. The aborted attempt keeps its
+    /// original operation tags (truncated at the abort), the restart runs
+    /// under `job/r1/` with `:r1`-suffixed mission ids, and the abort +
+    /// respawn window is emitted as a `Recover` operation (with
+    /// `DetectFailure` and `Respawn` children) carrying the lost node and
+    /// the wasted first-attempt time.
+    ///
+    /// Only the earliest crash in the plan is modeled (one restart); later
+    /// crashes are dropped from the executed plan.
+    pub fn run_on_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+        plan: &FaultPlan,
     ) -> Result<PlatformRun, SimError> {
         assert!(
             cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
@@ -137,102 +175,295 @@ impl PowerGraphPlatform {
             + g.num_edges() as f64 * costs.bytes_per_edge_in)
             * scale;
 
-        let mut dag = ActivityGraph::new();
-        let mut specs: Vec<OpSpec> = Vec::new();
-        let job_actor = Actor::new("Job", "0");
-        let job_mission = Mission::new("PowerGraphJob", "0");
-        let job_key = (job_actor.clone(), job_mission.clone());
-        let node_name = |m: u16| cluster.node(NodeId(m)).name.clone();
-        let head = node_name(0);
+        let crash = plan
+            .crashes
+            .iter()
+            .min_by(|a, b| a.at_us.total_cmp(&b.at_us))
+            .cloned();
 
-        specs.push(
+        let mut b = PgBuild::new(
+            self,
+            cfg,
+            cluster,
+            &iterations,
+            &edge_sizes,
+            &masters,
+            total_bytes,
+            part.replication_factor(),
+        );
+        b.job("job/", "", &[]);
+
+        let Some(crash) = crash else {
+            return b.finish(plan, output);
+        };
+
+        // Fail-stop: simulate the first attempt under slowdowns only to
+        // learn which activities had started when the job aborted.
+        let slow_plan = FaultPlan {
+            crashes: Vec::new(),
+            slowdowns: plan.slowdowns.clone(),
+        };
+        let probe_sim = Simulation::new(cluster.clone()).run_with_faults(&b.dag, &slow_plan)?;
+        let t_eff = crash
+            .at_us
+            .clamp(1.0, (probe_sim.makespan_us - 1.0).max(1.0));
+
+        // Truncate the first attempt to the activities that had started
+        // before the abort. The kept set is dependency-closed (an activity
+        // starts only after its dependencies ended), so ids remap cleanly.
+        // Specs keep their tags: operations that never started have no span
+        // and are skipped at emission.
+        let mut kept = ActivityGraph::new();
+        let mut map: Vec<Option<ActivityId>> = Vec::with_capacity(b.dag.len());
+        for a in b.dag.iter() {
+            if probe_sim.results[a.id.0 as usize].start_us >= t_eff {
+                map.push(None);
+                continue;
+            }
+            let deps: Vec<ActivityId> = a.deps.iter().filter_map(|d| map[d.0 as usize]).collect();
+            map.push(Some(kept.add(a.kind.clone(), &deps, a.tag.clone())));
+        }
+        b.dag = kept;
+
+        // Abort + resubmit: detection of the dead rank, then a full MPI
+        // respawn, then the whole job again under `job/r1/`.
+        let head = b.head.clone();
+        let recover_key = (Actor::new("Master", "0"), Mission::new("Recover", "0"));
+        b.specs.push(
             OpSpec::new(
-                job_actor.clone(),
-                job_mission.clone(),
-                None,
-                "job/",
+                Actor::new("Master", "0"),
+                Mission::new("Recover", "0"),
+                Some(b.job_key.clone()),
+                "job/fail/",
                 &head,
                 "mpirun",
             )
-            .with_info("Platform", InfoValue::Text("PowerGraph".into()))
-            .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
-            .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
-            .with_info("Machines", InfoValue::Int(k as i64))
             .with_info(
-                "ReplicationFactor",
-                InfoValue::Float(part.replication_factor()),
-            ),
+                "FailedNode",
+                InfoValue::Text(cluster.node(crash.node).name.clone()),
+            )
+            .with_info("WastedUs", InfoValue::Int(t_eff.round() as i64)),
         );
-        let domain = |mission: &str| (job_actor.clone(), Mission::new(mission, "0"));
-
-        // -------------------------------------------------- Startup (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
-            Mission::new("Startup", "0"),
-            Some(job_key.clone()),
-            "job/startup/",
+        // The crash anchor pins failure detection to the injected instant.
+        let anchor = b.dag.add(
+            ActivityKind::Delay { duration_us: t_eff },
+            &[],
+            "job/meta/t-crash",
+        );
+        let detect = b.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.failure_detect_us,
+            },
+            &[anchor],
+            "job/fail/detect",
+        );
+        b.specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("DetectFailure", "0"),
+            Some(recover_key.clone()),
+            "job/fail/detect",
             &head,
             "mpirun",
         ));
-        let mpirun = dag.add(
+        let mpirun = b.dag.add(
             ActivityKind::Delay {
                 duration_us: self.mpirun_us,
             },
-            &[],
-            "job/startup/mpi/daemon",
+            &[detect],
+            "job/fail/respawn/mpi/daemon",
         );
         let mut ranks: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for m in 0..k {
-            ranks.push(dag.add(
+            ranks.push(b.dag.add(
                 ActivityKind::Delay {
                     duration_us: self.per_rank_us,
                 },
                 &[mpirun],
-                format!("job/startup/mpi/rank-{m}"),
+                format!("job/fail/respawn/mpi/rank-{m}"),
             ));
         }
-        specs.push(OpSpec::new(
+        let respawned = b.dag.barrier(&ranks, "job/fail/respawn/ready");
+        b.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
-            Mission::new("MpiSetup", "0"),
-            Some(domain("Startup")),
-            "job/startup/mpi/",
+            Mission::new("Respawn", "0"),
+            Some(recover_key),
+            "job/fail/respawn/",
             &head,
             "mpirun",
         ));
-        let started = dag.barrier(&ranks, "job/startup/ready");
+        b.job("job/r1/", ":r1", &[respawned]);
+
+        // Every rank dies with the job at the abort instant and is back for
+        // the restart; the lost node itself is replaced within the same
+        // window.
+        let exec_plan = FaultPlan {
+            crashes: (0..k)
+                .map(|m| NodeCrash {
+                    node: NodeId(m),
+                    at_us: t_eff,
+                    restart_after_us: Some(self.failure_detect_us),
+                })
+                .collect(),
+            slowdowns: plan.slowdowns.clone(),
+        };
+        b.finish(&exec_plan, output)
+    }
+}
+
+/// DAG + spec builder for one full PowerGraph job attempt; the fail-stop
+/// path builds two attempts into the same graph.
+struct PgBuild<'a> {
+    p: &'a PowerGraphPlatform,
+    cfg: &'a JobConfig,
+    cluster: &'a ClusterSpec,
+    iterations: &'a [IterationStats],
+    edge_sizes: &'a [u64],
+    masters: &'a [u64],
+    total_bytes: f64,
+    dag: ActivityGraph,
+    specs: Vec<OpSpec>,
+    job_actor: Actor,
+    job_key: (Actor, Mission),
+    head: String,
+}
+
+impl<'a> PgBuild<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        p: &'a PowerGraphPlatform,
+        cfg: &'a JobConfig,
+        cluster: &'a ClusterSpec,
+        iterations: &'a [IterationStats],
+        edge_sizes: &'a [u64],
+        masters: &'a [u64],
+        total_bytes: f64,
+        replication_factor: f64,
+    ) -> Self {
+        let job_actor = Actor::new("Job", "0");
+        let job_mission = Mission::new("PowerGraphJob", "0");
+        let job_key = (job_actor.clone(), job_mission.clone());
+        let head = cluster.node(NodeId(0)).name.clone();
+        let specs: Vec<OpSpec> = vec![OpSpec::new(
+            job_actor.clone(),
+            job_mission,
+            None,
+            "job/",
+            &head,
+            "mpirun",
+        )
+        .with_info("Platform", InfoValue::Text("PowerGraph".into()))
+        .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+        .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+        .with_info("Machines", InfoValue::Int(cfg.nodes as i64))
+        .with_info("ReplicationFactor", InfoValue::Float(replication_factor))];
+        PgBuild {
+            p,
+            cfg,
+            cluster,
+            iterations,
+            edge_sizes,
+            masters,
+            total_bytes,
+            dag: ActivityGraph::new(),
+            specs,
+            job_actor,
+            job_key,
+            head,
+        }
+    }
+
+    fn node_name(&self, m: u16) -> String {
+        self.cluster.node(NodeId(m)).name.clone()
+    }
+
+    fn domain(&self, mission: &str, suffix: &str) -> (Actor, Mission) {
+        (
+            self.job_actor.clone(),
+            Mission::new(mission, format!("0{suffix}")),
+        )
+    }
+
+    /// One full job attempt. `prefix` replaces the leading `job/` of every
+    /// activity tag (`job/r1/` for the restart); `suffix` is appended to
+    /// every mission id so the restarted operations stay distinct in the
+    /// archive; `deps` gates the attempt's first activity.
+    fn job(&mut self, prefix: &str, suffix: &str, deps: &[ActivityId]) {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let head = self.head.clone();
+
+        // -------------------------------------------------- Startup (L1)
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("Startup", format!("0{suffix}")),
+            Some(self.job_key.clone()),
+            format!("{prefix}startup/"),
+            &head,
+            "mpirun",
+        ));
+        let mpirun = self.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.p.mpirun_us,
+            },
+            deps,
+            format!("{prefix}startup/mpi/daemon"),
+        );
+        let mut ranks: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for m in 0..k {
+            ranks.push(self.dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.p.per_rank_us,
+                },
+                &[mpirun],
+                format!("{prefix}startup/mpi/rank-{m}"),
+            ));
+        }
+        self.specs.push(OpSpec::new(
+            Actor::new("Master", "0"),
+            Mission::new("MpiSetup", format!("0{suffix}")),
+            Some(self.domain("Startup", suffix)),
+            format!("{prefix}startup/mpi/"),
+            &head,
+            "mpirun",
+        ));
+        let started = self.dag.barrier(&ranks, format!("{prefix}startup/ready"));
 
         // ------------------------------------------------ LoadGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
-            Mission::new("LoadGraph", "0"),
-            Some(job_key.clone()),
-            "job/load/",
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("LoadGraph", format!("0{suffix}")),
+            Some(self.job_key.clone()),
+            format!("{prefix}load/"),
             &head,
             "machine-0",
         ));
         // Sequential read + parse pipeline, all on machine 0.
-        specs.push(
+        self.specs.push(
             OpSpec::new(
                 Actor::new("Machine", "0"),
-                Mission::new("SequentialLoad", "0"),
-                Some(domain("LoadGraph")),
-                "job/load/seq/",
+                Mission::new("SequentialLoad", format!("0{suffix}")),
+                Some(self.domain("LoadGraph", suffix)),
+                format!("{prefix}load/seq/"),
                 &head,
                 "machine-0",
             )
-            .with_info("InputBytes", InfoValue::Int(total_bytes.round() as i64)),
+            .with_info(
+                "InputBytes",
+                InfoValue::Int(self.total_bytes.round() as i64),
+            ),
         );
-        let chunk = total_bytes / LOAD_CHUNKS as f64;
+        let chunk = self.total_bytes / LOAD_CHUNKS as f64;
         let mut prev_read = started;
         let mut prev_parse: Option<ActivityId> = None;
         for c in 0..LOAD_CHUNKS {
-            let read = dag.add(
+            let read = self.dag.add(
                 ActivityKind::SharedRead {
                     node: NodeId(0),
                     bytes: chunk,
                 },
                 &[prev_read],
-                format!("job/load/seq/read/c{c}"),
+                format!("{prefix}load/seq/read/c{c}"),
             );
             // The parser is sequential: chunk c+1 is parsed only after chunk
             // c — reads are pipelined ahead, parsing is the bottleneck.
@@ -240,40 +471,43 @@ impl PowerGraphPlatform {
                 Some(p) => vec![read, p],
                 None => vec![read],
             };
-            let parse = dag.add(
+            let parse = self.dag.add(
                 ActivityKind::Compute {
                     node: NodeId(0),
                     work_core_us: chunk * costs.parse_cpu_us_per_byte,
-                    parallelism: self.loader_threads,
+                    parallelism: self.p.loader_threads,
                 },
                 &deps,
-                format!("job/load/seq/parse/c{c}"),
+                format!("{prefix}load/seq/parse/c{c}"),
             );
             prev_read = read;
             prev_parse = Some(parse);
         }
-        let parsed = dag.barrier(&[prev_parse.expect("LOAD_CHUNKS > 0")], "job/load/seq/done");
+        let parsed = self.dag.barrier(
+            &[prev_parse.expect("LOAD_CHUNKS > 0")],
+            format!("{prefix}load/seq/done"),
+        );
 
         // Distribute edge partitions to the other machines.
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Machine", "0"),
-            Mission::new("DistributeEdges", "0"),
-            Some(domain("LoadGraph")),
-            "job/load/dist/",
+            Mission::new("DistributeEdges", format!("0{suffix}")),
+            Some(self.domain("LoadGraph", suffix)),
+            format!("{prefix}load/dist/"),
             &head,
             "machine-0",
         ));
         let mut finalize_deps: Vec<(u16, ActivityId)> = vec![(0, parsed)];
         for m in 1..k {
-            let bytes = edge_sizes[m as usize] as f64 * costs.bytes_per_edge_in * scale;
-            let xfer = dag.add(
+            let bytes = self.edge_sizes[m as usize] as f64 * costs.bytes_per_edge_in * scale;
+            let xfer = self.dag.add(
                 ActivityKind::Transfer {
                     src: NodeId(0),
                     dst: NodeId(m),
                     bytes,
                 },
                 &[parsed],
-                format!("job/load/dist/m{m}"),
+                format!("{prefix}load/dist/m{m}"),
             );
             finalize_deps.push((m, xfer));
         }
@@ -281,53 +515,53 @@ impl PowerGraphPlatform {
         // All machines build their local graph structures.
         let mut built: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for (m, dep) in finalize_deps {
-            let build = dag.add(
+            let build = self.dag.add(
                 ActivityKind::Compute {
                     node: NodeId(m),
-                    work_core_us: edge_sizes[m as usize] as f64
+                    work_core_us: self.edge_sizes[m as usize] as f64
                         * scale
                         * costs.build_cpu_us_per_edge,
                     parallelism: costs.worker_threads,
                 },
                 &[dep],
-                format!("job/load/fin/m{m}/build"),
+                format!("{prefix}load/fin/m{m}/build"),
             );
-            specs.push(
+            self.specs.push(
                 OpSpec::new(
                     Actor::new("Machine", m.to_string()),
-                    Mission::new("FinalizeGraph", "0"),
-                    Some(domain("LoadGraph")),
-                    format!("job/load/fin/m{m}/"),
-                    node_name(m),
+                    Mission::new("FinalizeGraph", format!("0{suffix}")),
+                    Some(self.domain("LoadGraph", suffix)),
+                    format!("{prefix}load/fin/m{m}/"),
+                    self.node_name(m),
                     format!("machine-{m}"),
                 )
                 .with_info(
                     "LocalEdges",
-                    InfoValue::Int((edge_sizes[m as usize] as f64 * scale).round() as i64),
+                    InfoValue::Int((self.edge_sizes[m as usize] as f64 * scale).round() as i64),
                 ),
             );
             built.push(build);
         }
-        let all_loaded = dag.barrier(&built, "job/load/all-loaded");
+        let all_loaded = self.dag.barrier(&built, format!("{prefix}load/all-loaded"));
 
         // ---------------------------------------------- ProcessGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
-            Mission::new("ProcessGraph", "0"),
-            Some(job_key.clone()),
-            "job/proc/",
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("ProcessGraph", format!("0{suffix}")),
+            Some(self.job_key.clone()),
+            format!("{prefix}proc/"),
             &head,
             "machine-0",
         ));
         let mut prev_barrier = all_loaded;
-        for it in &iterations {
+        for it in self.iterations {
             let t = it.iteration;
-            let it_tag = format!("job/proc/it{t}/");
-            specs.push(
+            let it_tag = format!("{prefix}proc/it{t}/");
+            self.specs.push(
                 OpSpec::new(
-                    job_actor.clone(),
-                    Mission::new("Iteration", t.to_string()),
-                    Some(domain("ProcessGraph")),
+                    self.job_actor.clone(),
+                    Mission::new("Iteration", format!("{t}{suffix}")),
+                    Some(self.domain("ProcessGraph", suffix)),
                     it_tag.clone(),
                     &head,
                     "machine-0",
@@ -337,14 +571,17 @@ impl PowerGraphPlatform {
                     InfoValue::Int((it.active_vertices as f64 * scale).round() as i64),
                 ),
             );
-            let iter_parent = (job_actor.clone(), Mission::new("Iteration", t.to_string()));
+            let iter_parent = (
+                self.job_actor.clone(),
+                Mission::new("Iteration", format!("{t}{suffix}")),
+            );
 
             // Gather minor-step on every machine.
             let mut gathers: Vec<ActivityId> = Vec::with_capacity(k as usize);
             for m in 0..k {
                 let stats = &it.per_machine[m as usize];
                 let work = (stats.gather_edges as f64 * costs.compute_us_per_edge) * scale;
-                let gather = dag.add(
+                let gather = self.dag.add(
                     ActivityKind::Compute {
                         node: NodeId(m),
                         work_core_us: work.max(500.0),
@@ -353,13 +590,13 @@ impl PowerGraphPlatform {
                     &[prev_barrier],
                     format!("{it_tag}m{m}/gather"),
                 );
-                specs.push(
+                self.specs.push(
                     OpSpec::new(
                         Actor::new("Machine", m.to_string()),
-                        Mission::new("Gather", t.to_string()),
+                        Mission::new("Gather", format!("{t}{suffix}")),
                         Some(iter_parent.clone()),
                         format!("{it_tag}m{m}/gather"),
-                        node_name(m),
+                        self.node_name(m),
                         format!("machine-{m}"),
                     )
                     .with_info(
@@ -381,7 +618,7 @@ impl PowerGraphPlatform {
                         continue;
                     }
                     sync_total += count;
-                    exchanges.push(dag.add(
+                    exchanges.push(self.dag.add(
                         ActivityKind::Transfer {
                             src: NodeId(a as u16),
                             dst: NodeId(b as u16),
@@ -393,17 +630,17 @@ impl PowerGraphPlatform {
                 }
             }
             let exchange_done = if exchanges.is_empty() {
-                dag.barrier(&gathers, format!("{it_tag}ex/none"))
+                self.dag.barrier(&gathers, format!("{it_tag}ex/none"))
             } else {
                 let mut deps = exchanges.clone();
                 deps.extend_from_slice(&gathers);
-                dag.barrier(&deps, format!("{it_tag}ex/join"))
+                self.dag.barrier(&deps, format!("{it_tag}ex/join"))
             };
             if !exchanges.is_empty() {
-                specs.push(
+                self.specs.push(
                     OpSpec::new(
                         Actor::new("Master", "0"),
-                        Mission::new("Exchange", t.to_string()),
+                        Mission::new("Exchange", format!("{t}{suffix}")),
                         Some(iter_parent.clone()),
                         format!("{it_tag}ex/"),
                         &head,
@@ -420,7 +657,7 @@ impl PowerGraphPlatform {
             let mut scatters: Vec<ActivityId> = Vec::with_capacity(k as usize);
             for m in 0..k {
                 let stats = &it.per_machine[m as usize];
-                let apply = dag.add(
+                let apply = self.dag.add(
                     ActivityKind::Compute {
                         node: NodeId(m),
                         work_core_us: (stats.apply_vertices as f64
@@ -432,15 +669,15 @@ impl PowerGraphPlatform {
                     &[exchange_done],
                     format!("{it_tag}m{m}/apply"),
                 );
-                specs.push(OpSpec::new(
+                self.specs.push(OpSpec::new(
                     Actor::new("Machine", m.to_string()),
-                    Mission::new("Apply", t.to_string()),
+                    Mission::new("Apply", format!("{t}{suffix}")),
                     Some(iter_parent.clone()),
                     format!("{it_tag}m{m}/apply"),
-                    node_name(m),
+                    self.node_name(m),
                     format!("machine-{m}"),
                 ));
-                let scatter = dag.add(
+                let scatter = self.dag.add(
                     ActivityKind::Compute {
                         node: NodeId(m),
                         work_core_us: (stats.scatter_edges as f64
@@ -453,18 +690,18 @@ impl PowerGraphPlatform {
                     &[apply],
                     format!("{it_tag}m{m}/scatter"),
                 );
-                specs.push(OpSpec::new(
+                self.specs.push(OpSpec::new(
                     Actor::new("Machine", m.to_string()),
-                    Mission::new("Scatter", t.to_string()),
+                    Mission::new("Scatter", format!("{t}{suffix}")),
                     Some(iter_parent.clone()),
                     format!("{it_tag}m{m}/scatter"),
-                    node_name(m),
+                    self.node_name(m),
                     format!("machine-{m}"),
                 ));
                 scatters.push(scatter);
             }
-            let join = dag.barrier(&scatters, format!("{it_tag}barrier/join"));
-            prev_barrier = dag.add(
+            let join = self.dag.barrier(&scatters, format!("{it_tag}barrier/join"));
+            prev_barrier = self.dag.add(
                 ActivityKind::Delay {
                     duration_us: costs.barrier_us,
                 },
@@ -474,101 +711,116 @@ impl PowerGraphPlatform {
         }
 
         // --------------------------------------------- OffloadGraph (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
-            Mission::new("OffloadGraph", "0"),
-            Some(job_key.clone()),
-            "job/offload/",
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("OffloadGraph", format!("0{suffix}")),
+            Some(self.job_key.clone()),
+            format!("{prefix}offload/"),
             &head,
             "machine-0",
         ));
         let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
         for m in 0..k {
-            let bytes = masters[m as usize] as f64 * costs.bytes_per_vertex_out * scale;
-            let write = dag.add(
+            let bytes = self.masters[m as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = self.dag.add(
                 ActivityKind::SharedRead {
                     node: NodeId(m),
                     bytes,
                 },
                 &[prev_barrier],
-                format!("job/offload/m{m}/write"),
+                format!("{prefix}offload/m{m}/write"),
             );
-            specs.push(
+            self.specs.push(
                 OpSpec::new(
                     Actor::new("Machine", m.to_string()),
-                    Mission::new("LocalOffload", "0"),
-                    Some(domain("OffloadGraph")),
-                    format!("job/offload/m{m}/"),
-                    node_name(m),
+                    Mission::new("LocalOffload", format!("0{suffix}")),
+                    Some(self.domain("OffloadGraph", suffix)),
+                    format!("{prefix}offload/m{m}/"),
+                    self.node_name(m),
                     format!("machine-{m}"),
                 )
                 .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
             );
             offloads.push(write);
         }
-        let all_offloaded = dag.barrier(&offloads, "job/offload/done");
+        let all_offloaded = self.dag.barrier(&offloads, format!("{prefix}offload/done"));
 
         // -------------------------------------------------- Cleanup (L1)
-        specs.push(OpSpec::new(
-            job_actor.clone(),
-            Mission::new("Cleanup", "0"),
-            Some(job_key.clone()),
-            "job/cleanup/",
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("Cleanup", format!("0{suffix}")),
+            Some(self.job_key.clone()),
+            format!("{prefix}cleanup/"),
             &head,
             "mpirun",
         ));
-        dag.add(
+        self.dag.add(
             ActivityKind::Delay {
-                duration_us: self.finalize_us,
+                duration_us: self.p.finalize_us,
             },
             &[all_offloaded],
-            "job/cleanup/finalize",
+            format!("{prefix}cleanup/finalize"),
         );
-        specs.push(OpSpec::new(
+        self.specs.push(OpSpec::new(
             Actor::new("Master", "0"),
-            Mission::new("MpiFinalize", "0"),
-            Some(domain("Cleanup")),
-            "job/cleanup/finalize",
+            Mission::new("MpiFinalize", format!("0{suffix}")),
+            Some(self.domain("Cleanup", suffix)),
+            format!("{prefix}cleanup/finalize"),
             &head,
             "mpirun",
         ));
+    }
 
-        // ------------------------------------------------------- Simulate
-        let sim = Simulation::new(cluster.clone()).run(&dag)?;
-        let events = emit_events(&specs, &dag, &sim);
+    // ------------------------------------------------------- Simulate
+    fn finish(self, plan: &FaultPlan, output: AlgorithmOutput) -> Result<PlatformRun, SimError> {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let sim = Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?;
+        let events = emit_events(&self.specs, &self.dag, &sim);
         let mut env_samples = trace_to_samples(&sim.trace);
         // Memory view. Machine 0 temporarily holds the *entire* parsed edge
         // list as a staging buffer during the sequential load, released once
         // partitions have been distributed — the memory-pressure signature
         // of the single-loader design. Partitions then stay resident until
-        // MPI finalize.
-        let release = sim
-            .span_of_tag(&dag, "job/cleanup/")
-            .map(|(s, _)| s.round() as u64)
-            .unwrap_or(sim.makespan_us.round() as u64);
-        let mut phases = Vec::with_capacity(k as usize + 1);
-        if let (Some((ss, se)), Some((_, de))) = (
-            sim.span_of_tag(&dag, "job/load/seq/"),
-            sim.span_of_tag(&dag, "job/load/dist/")
-                .or(sim.span_of_tag(&dag, "job/load/seq/")),
-        ) {
-            phases.push(MemoryPhase {
-                node: head.clone(),
-                ramp_start_us: ss.round() as u64,
-                ramp_end_us: se.round() as u64,
-                hold_until_us: de.round() as u64,
-                bytes: total_bytes,
-            });
-        }
-        for m in 0..k {
-            if let Some((fs, fe)) = sim.span_of_tag(&dag, &format!("job/load/fin/m{m}/")) {
+        // MPI finalize. A restarted attempt repeats the pattern under its
+        // own tag prefix.
+        let mut phases = Vec::with_capacity(2 * (k as usize + 1));
+        for prefix in ["job/", "job/r1/"] {
+            if prefix == "job/r1/" && sim.span_of_tag(&self.dag, prefix).is_none() {
+                continue;
+            }
+            let release = sim
+                .span_of_tag(&self.dag, &format!("{prefix}cleanup/"))
+                .map(|(s, _)| s.round() as u64)
+                .unwrap_or(sim.makespan_us.round() as u64);
+            if let (Some((ss, se)), Some((_, de))) = (
+                sim.span_of_tag(&self.dag, &format!("{prefix}load/seq/")),
+                sim.span_of_tag(&self.dag, &format!("{prefix}load/dist/"))
+                    .or(sim.span_of_tag(&self.dag, &format!("{prefix}load/seq/"))),
+            ) {
                 phases.push(MemoryPhase {
-                    node: node_name(m),
-                    ramp_start_us: fs.round() as u64,
-                    ramp_end_us: fe.round() as u64,
-                    hold_until_us: release,
-                    bytes: edge_sizes[m as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                    node: self.head.clone(),
+                    ramp_start_us: ss.round() as u64,
+                    ramp_end_us: se.round() as u64,
+                    hold_until_us: de.round() as u64,
+                    bytes: self.total_bytes,
                 });
+            }
+            for m in 0..k {
+                if let Some((fs, fe)) =
+                    sim.span_of_tag(&self.dag, &format!("{prefix}load/fin/m{m}/"))
+                {
+                    phases.push(MemoryPhase {
+                        node: self.node_name(m),
+                        ramp_start_us: fs.round() as u64,
+                        ramp_end_us: fe.round() as u64,
+                        hold_until_us: release,
+                        bytes: self.edge_sizes[m as usize] as f64
+                            * scale
+                            * costs.bytes_per_edge_mem,
+                    });
+                }
             }
         }
         env_samples.extend(memory_samples(&phases, sim.makespan_us.round() as u64));
@@ -577,7 +829,7 @@ impl PowerGraphPlatform {
             env_samples,
             output,
             makespan_us: sim.makespan_us.round() as u64,
-            iterations: iterations.len() as u32,
+            iterations: self.iterations.len() as u32,
         })
     }
 }
@@ -696,5 +948,106 @@ mod tests {
                 "{algorithm:?}"
             );
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_plain_run() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = PowerGraphPlatform::default();
+        let plain = p.run(&g, &cfg).unwrap();
+        let faulted = p.run_with_faults(&g, &cfg, &FaultPlan::new()).unwrap();
+        assert_eq!(plain.makespan_us, faulted.makespan_us);
+        assert_eq!(plain.events, faulted.events);
+    }
+
+    #[test]
+    fn crash_triggers_full_restart() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = PowerGraphPlatform::default();
+        let healthy = p.run(&g, &cfg).unwrap();
+        let plan = FaultPlan::new().crash(NodeId(2), healthy.makespan_us as f64 * 0.5);
+        let faulty = p.run_with_faults(&g, &cfg, &plan).unwrap();
+        assert!(
+            faulty.makespan_us > healthy.makespan_us,
+            "fail-stop restart must cost time: {} vs {}",
+            faulty.makespan_us,
+            healthy.makespan_us
+        );
+        let outcome = Assembler::new().assemble(faulty.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        let recover = tree
+            .child_by_mission(root, "Recover")
+            .expect("Recover operation");
+        for m in ["DetectFailure", "Respawn"] {
+            assert!(tree.child_by_mission(recover, m).is_some(), "missing {m}");
+        }
+        let rec_op = tree.op(recover);
+        assert!(rec_op
+            .infos
+            .iter()
+            .any(|i| i.name == "FailedNode" && i.value == InfoValue::Text("node302".into())));
+        assert!(rec_op
+            .infos
+            .iter()
+            .any(|i| i.name == "WastedUs" && i.value.as_i64().is_some_and(|v| v > 0)));
+        // The restarted attempt runs as distinct `:r1` operations.
+        let restarted = tree
+            .children(root)
+            .filter(|o| o.mission.id.ends_with(":r1"))
+            .map(|o| o.mission.kind.clone())
+            .collect::<Vec<_>>();
+        for m in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(
+                restarted.iter().any(|k| k == m),
+                "missing restarted {m}: {restarted:?}"
+            );
+        }
+        // The restart finishes the job: its cleanup ends at the makespan.
+        let cleanup2 = tree
+            .children(root)
+            .find(|o| o.mission.kind == "Cleanup" && o.mission.id.ends_with(":r1"))
+            .unwrap();
+        assert!(cleanup2.end_us().unwrap() > healthy.makespan_us);
+    }
+
+    #[test]
+    fn crash_during_load_wastes_only_partial_load() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = PowerGraphPlatform::default();
+        let healthy = p.run(&g, &cfg).unwrap();
+        // Crash early, while machine 0 is still parsing.
+        let plan = FaultPlan::new().crash(NodeId(0), healthy.makespan_us as f64 * 0.1);
+        let faulty = p.run_with_faults(&g, &cfg, &plan).unwrap();
+        let tree = Assembler::new().assemble(faulty.events).tree;
+        let root = tree.root().unwrap();
+        // The doomed attempt never reached processing.
+        assert!(tree
+            .children(root)
+            .filter(|o| o.mission.kind == "ProcessGraph")
+            .all(|o| o.mission.id.ends_with(":r1")));
+        let recover = tree.child_by_mission(root, "Recover").unwrap();
+        let wasted = tree
+            .op(recover)
+            .infos
+            .iter()
+            .find(|i| i.name == "WastedUs")
+            .and_then(|i| i.value.as_i64())
+            .unwrap();
+        assert!(
+            (wasted as u64) < healthy.makespan_us / 4,
+            "early crash should waste little: {wasted}"
+        );
     }
 }

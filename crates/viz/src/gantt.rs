@@ -10,6 +10,23 @@ use granula_model::Operation;
 
 use crate::svg::{SvgCanvas, PALETTE};
 
+/// Mission kinds drawn as failure-recovery work: checkpointing, crash
+/// repair, and replay of lost progress. Rendered distinctly so the cost of
+/// a fault stands out against healthy computation and overhead.
+pub const RECOVERY_KINDS: &[&str] = &[
+    "Checkpoint",
+    "FailedSuperstep",
+    "Recover",
+    "DetectFailure",
+    "Provision",
+    "LoadCheckpoint",
+    "Replay",
+    "Respawn",
+];
+
+/// Solid fill for recovery bars in SVG output.
+const RECOVERY_COLOR: &str = "#d62728";
+
 /// A bar to draw: `(actor label, mission label, start, end, emphasized)`.
 #[derive(Debug, Clone, PartialEq)]
 struct Bar {
@@ -18,6 +35,7 @@ struct Bar {
     start_us: u64,
     end_us: u64,
     emphasized: bool,
+    recovery: bool,
 }
 
 /// A Figure-8-style chart builder.
@@ -45,6 +63,7 @@ impl GanttChart {
                     start_us: s,
                     end_us: e,
                     emphasized: op.mission.kind == emphasized_kind,
+                    recovery: RECOVERY_KINDS.contains(&op.mission.kind.as_str()),
                 });
             }
         };
@@ -99,8 +118,11 @@ impl GanttChart {
                 }
                 let (a, z) = (col(b.start_us), col(b.end_us));
                 for cell in line.iter_mut().take(z + 1).skip(a) {
-                    // Emphasized work overwrites overhead marks.
-                    if b.emphasized {
+                    // Recovery overwrites everything; emphasized work
+                    // overwrites overhead marks.
+                    if b.recovery {
+                        *cell = b'!';
+                    } else if b.emphasized && *cell != b'!' {
                         *cell = b'#';
                     } else if *cell == b' ' {
                         *cell = b'.';
@@ -114,7 +136,7 @@ impl GanttChart {
             ));
         }
         out.push_str(&format!(
-            "{:<10}  {:.2}s{}{:.2}s   (#=computation, .=overhead)\n",
+            "{:<10}  {:.2}s{}{:.2}s   (#=computation, .=overhead, !=recovery)\n",
             "",
             lo as f64 / 1e6,
             " ".repeat(width.saturating_sub(12)),
@@ -144,7 +166,12 @@ impl GanttChart {
                     continue;
                 }
                 let (x0, x1) = (x_of(b.start_us), x_of(b.end_us));
-                if b.emphasized {
+                if b.recovery {
+                    c.rect(x0, y + 2.0, x1 - x0, row_h - 8.0, RECOVERY_COLOR);
+                    if x1 - x0 > 56.0 {
+                        c.text(x0 + 2.0, y + 15.0, 9.0, &b.mission);
+                    }
+                } else if b.emphasized {
                     // Color by mission id so e.g. Compute-4 aligns vertically.
                     let idx = b
                         .mission
@@ -224,6 +251,40 @@ mod extra_tests {
         // Mission id 12 -> palette index 12 % len.
         let s = GanttChart::from_archive(&one_bar(), &["Compute"], "Compute").render_svg();
         assert!(s.contains(crate::svg::PALETTE[12 % crate::svg::PALETTE.len()]));
+    }
+
+    #[test]
+    fn recovery_operations_render_distinctly() {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+            .unwrap();
+        let mut add = |actor: (&str, &str), mission: (&str, &str), s: i64, e: i64| {
+            let id = t
+                .add_child(
+                    job,
+                    Actor::new(actor.0, actor.1),
+                    Mission::new(mission.0, mission.1),
+                )
+                .unwrap();
+            t.set_info(id, Info::raw(names::START_TIME, InfoValue::Int(s)))
+                .unwrap();
+            t.set_info(id, Info::raw(names::END_TIME, InfoValue::Int(e)))
+                .unwrap();
+        };
+        add(("Worker", "0"), ("Compute", "1"), 0, 400_000);
+        add(("Master", "0"), ("Recover", "0"), 400_000, 700_000);
+        add(("Master", "0"), ("Replay", "1"), 700_000, 900_000);
+        let a = JobArchive::new(JobMeta::default(), t);
+        let g = GanttChart::from_archive(&a, &["Compute", "Recover", "Replay"], "Compute");
+        let text = g.render_text(60);
+        assert!(text.contains('!'), "{text}");
+        assert!(text.contains('#'), "{text}");
+        let svg = g.render_svg();
+        assert!(
+            svg.contains(super::RECOVERY_COLOR),
+            "recovery color missing"
+        );
     }
 
     #[test]

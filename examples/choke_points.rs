@@ -38,6 +38,12 @@ fn main() {
                 } => {
                     format!("imbalance across {actors} actors (max/mean {max_over_mean:.2})")
                 }
+                ChokePointKind::RecoveryOverhead { worker, wasted_us } => {
+                    format!(
+                        "recovery after losing {worker} ({:.1}s wasted)",
+                        *wasted_us as f64 / 1e6
+                    )
+                }
             };
             println!(
                 "  severity {:>5.1}%  {:<46} {}",

@@ -16,7 +16,7 @@ use granula::process::EvaluationProcess;
 use granula_archive::{to_json_pretty, JobMeta, Query};
 use granula_viz::tree::render_operation_tree;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A workload: BFS over a 20k-vertex power-law graph on 8 nodes,
     //    volumes scaled up to emulate the paper's billion-scale dg1000.
     let graph = datagen_like(&GenConfig::datagen(20_000, 42));
@@ -30,9 +30,7 @@ fn main() {
     .with_scale(1.03e9 / 200_000.0);
 
     // 2. Monitoring (P2): run the instrumented platform.
-    let run = GiraphPlatform::default()
-        .run(&graph, &cfg)
-        .expect("simulation runs");
+    let run = GiraphPlatform::default().run(&graph, &cfg)?;
     println!(
         "platform run: {} log events, {} env samples, {} supersteps, output verified: {}",
         run.events.len(),
@@ -100,4 +98,5 @@ fn main() {
         "archive JSON: {} bytes (share or diff this artifact)",
         json.len()
     );
+    Ok(())
 }

@@ -9,14 +9,14 @@
 use granula::calibration;
 use granula::experiment::{run_experiment, Platform};
 use granula::regression::RegressionSuite;
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (graph, scale) = calibration::dg_graph_small(8_000, calibration::DG_SEED);
 
     // Baseline: the calibrated configuration.
     let mut base_cfg = calibration::giraph_dg1000_job();
     base_cfg.scale_factor = scale;
     println!("running baseline ...");
-    let baseline = run_experiment(Platform::Giraph, &graph, &base_cfg).expect("simulation runs");
+    let baseline = run_experiment(Platform::Giraph, &graph, &base_cfg)?;
     println!(
         "baseline total: {:.2}s (archived as the reference)",
         baseline.breakdown.total_s()
@@ -28,7 +28,7 @@ fn main() {
 
     // Candidate 1: identical configuration — must pass.
     println!("\nrunning candidate 1 (unchanged config) ...");
-    let cand1 = run_experiment(Platform::Giraph, &graph, &base_cfg).expect("simulation runs");
+    let cand1 = run_experiment(Platform::Giraph, &graph, &base_cfg)?;
     let report = suite
         .check(&cand1.report.archive)
         .expect("baseline matches");
@@ -39,7 +39,7 @@ fn main() {
     println!("\nrunning candidate 2 (worker threads 24 -> 6) ...");
     let mut bad_cfg = base_cfg.clone();
     bad_cfg.costs.worker_threads = 6;
-    let cand2 = run_experiment(Platform::Giraph, &graph, &bad_cfg).expect("simulation runs");
+    let cand2 = run_experiment(Platform::Giraph, &graph, &bad_cfg)?;
     let report = suite
         .check(&cand2.report.archive)
         .expect("baseline matches");
@@ -66,4 +66,5 @@ fn main() {
         "\nthe per-phase attribution (I/O and processing regress, setup does\n\
          not) is what coarse end-to-end timing could never tell you."
     );
+    Ok(())
 }
