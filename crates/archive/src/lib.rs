@@ -8,7 +8,14 @@
 //! with raw and derived infos — and lets users *query* the contents
 //! systematically (path expressions over the operation hierarchy), *share*
 //! results (a versioned JSON envelope), and *compare* jobs across platforms
-//! and configurations (the [`store::ArchiveStore`]).
+//! and configurations (the [`store::ArchiveStore`], keyed by unique job
+//! id — duplicate ids are rejected by [`ArchiveStore::add`] or replaced
+//! by [`ArchiveStore::upsert`]).
+//!
+//! Query patterns split `kind-id` on the *first* dash, so ids may contain
+//! dashes (`Compute@Worker-node-302` matches the actor id `node-302`);
+//! dangling or leading dashes are [`QueryError::BadSegment`] errors. See
+//! [`query`] for the full grammar.
 //!
 //! ```
 //! use granula_archive::{JobArchive, JobMeta, Query};
@@ -30,5 +37,5 @@ pub mod store;
 
 pub use archive::{JobArchive, JobMeta};
 pub use format::{from_json, to_json, to_json_pretty, FormatError, FORMAT_VERSION};
-pub use query::{Query, QueryError, Segment};
-pub use store::{ArchiveStore, ComparisonRow};
+pub use query::{KindPattern, Query, QueryError, Segment};
+pub use store::{ArchiveStore, ComparisonRow, DuplicateJobId};

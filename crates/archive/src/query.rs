@@ -10,6 +10,13 @@
 //! actor    := kind ("-" id)?            kind/id may be "*"
 //! ```
 //!
+//! A `kind-id` pattern splits on the *first* dash: the kind never
+//! contains `-`, while the id may (`Worker-node-302` is kind `Worker`,
+//! id `node-302`). A dangling dash (`Compute-`) or leading dash
+//! (`-302`) is rejected with [`QueryError::BadSegment`] — such patterns
+//! could never match. Parsed queries re-serialize losslessly through
+//! [`Display`](fmt::Display): `Query::parse(&q.to_string()) == Ok(q)`.
+//!
 //! Examples:
 //!
 //! * `GiraphJob/ProcessGraph/Superstep-4` — superstep 4 of the job;
@@ -55,13 +62,17 @@ pub struct KindPattern {
 
 impl KindPattern {
     fn parse(s: &str) -> Result<Self, QueryError> {
-        if s.is_empty() {
+        // Split on the *first* dash: kinds never contain `-`, but ids may
+        // (fault archives name workers `Worker-node-302`). An empty kind
+        // (leading dash or empty segment) or empty id (dangling dash)
+        // could never match anything, so both are parse errors.
+        let (kind, id) = match s.split_once('-') {
+            Some((k, i)) => (k, Some(i)),
+            None => (s, None),
+        };
+        if kind.is_empty() || id.is_some_and(str::is_empty) {
             return Err(QueryError::BadSegment(s.to_string()));
         }
-        let (kind, id) = match s.rsplit_once('-') {
-            Some((k, i)) if !k.is_empty() => (k, Some(i)),
-            _ => (s, None),
-        };
         let norm = |p: &str| if p == "*" { None } else { Some(p.to_string()) };
         Ok(KindPattern {
             kind: norm(kind),
@@ -137,6 +148,7 @@ impl Query {
     /// segment must match the root, each following segment matches children
     /// of the previous matches.
     pub fn select(&self, tree: &OperationTree) -> Vec<OpId> {
+        let _span = granula_trace::span!("archiving", "query.select {self}");
         let Some(root) = tree.root() else {
             return vec![];
         };
@@ -166,6 +178,7 @@ impl Query {
     /// preceding segments, if any, must match the chain of ancestors
     /// immediately above the hit.
     pub fn find_all(&self, tree: &OperationTree) -> Vec<OpId> {
+        let _span = granula_trace::span!("archiving", "query.find_all {self}");
         let last = self.segments.last().expect("parse guarantees >= 1 segment");
         let mut out = Vec::new();
         'op: for op in tree.iter() {
@@ -303,11 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn dashed_ids_split_on_first_dash() {
+        let q = Query::parse("Worker-node-302").unwrap();
+        assert_eq!(q.segments.len(), 1);
+        assert_eq!(q.segments[0].mission.kind.as_deref(), Some("Worker"));
+        assert_eq!(q.segments[0].mission.id.as_deref(), Some("node-302"));
+        let q = Query::parse("Compute@Worker-node-302").unwrap();
+        assert_eq!(q.segments[0].actor.kind.as_deref(), Some("Worker"));
+        assert_eq!(q.segments[0].actor.id.as_deref(), Some("node-302"));
+    }
+
+    #[test]
+    fn dangling_or_leading_dash_is_rejected() {
+        for s in ["Compute-", "-302", "A/Compute-", "A@Worker-", "A@-1", "-"] {
+            assert!(
+                matches!(Query::parse(s), Err(QueryError::BadSegment(_))),
+                "expected BadSegment for {s:?}"
+            );
+        }
+    }
+
+    #[test]
     fn display_roundtrip() {
         for s in [
             "GiraphJob/ProcessGraph/Superstep-4",
             "*/Compute@Worker-1",
             "LoadGraph@*-3",
+            "Worker-node-302",
+            "*/Compute@Worker-node-302",
         ] {
             let q = Query::parse(s).unwrap();
             assert_eq!(Query::parse(&q.to_string()).unwrap(), q, "roundtrip of {s}");

@@ -5,9 +5,24 @@
 //! comparison and benchmarking" (paper §4.1). The store groups archives and
 //! produces comparison tables over any mission kind.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::archive::JobArchive;
+
+/// Error returned by [`ArchiveStore::add`] when the store already holds
+/// an archive with the same job id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateJobId(pub String);
+
+impl fmt::Display for DuplicateJobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "archive store already holds job id `{}`", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateJobId {}
 
 /// One row of a cross-archive comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,9 +51,32 @@ impl ArchiveStore {
         Self::default()
     }
 
-    /// Adds an archive.
-    pub fn add(&mut self, archive: JobArchive) {
+    /// Adds an archive. Job ids are the store's lookup key
+    /// ([`get`](Self::get), [`regression`](Self::regression)), so a
+    /// duplicate id is rejected rather than silently shadowed; use
+    /// [`upsert`](Self::upsert) to replace an existing archive.
+    pub fn add(&mut self, archive: JobArchive) -> Result<(), DuplicateJobId> {
+        if self.get(&archive.meta.job_id).is_some() {
+            return Err(DuplicateJobId(archive.meta.job_id.clone()));
+        }
         self.archives.push(archive);
+        Ok(())
+    }
+
+    /// Adds an archive, replacing (and returning) any archive already
+    /// stored under the same job id.
+    pub fn upsert(&mut self, archive: JobArchive) -> Option<JobArchive> {
+        match self
+            .archives
+            .iter_mut()
+            .find(|a| a.meta.job_id == archive.meta.job_id)
+        {
+            Some(slot) => Some(std::mem::replace(slot, archive)),
+            None => {
+                self.archives.push(archive);
+                None
+            }
+        }
     }
 
     /// Number of archives held.
@@ -153,8 +191,10 @@ mod tests {
 
     fn store() -> ArchiveStore {
         let mut s = ArchiveStore::new();
-        s.add(archive("g0", "Giraph", 80_000_000, 35_000_000));
-        s.add(archive("p0", "PowerGraph", 400_000_000, 380_000_000));
+        s.add(archive("g0", "Giraph", 80_000_000, 35_000_000))
+            .unwrap();
+        s.add(archive("p0", "PowerGraph", 400_000_000, 380_000_000))
+            .unwrap();
         s
     }
 
@@ -177,9 +217,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_job_id_is_rejected() {
+        let mut s = store();
+        assert_eq!(
+            s.add(archive("g0", "Giraph", 1, 1)),
+            Err(DuplicateJobId("g0".into()))
+        );
+        assert_eq!(s.len(), 2);
+        // The original archive is untouched by the failed add.
+        assert_eq!(s.get("g0").unwrap().total_runtime_us(), Some(80_000_000));
+    }
+
+    #[test]
+    fn upsert_replaces_same_job_id() {
+        let mut s = store();
+        let replaced = s.upsert(archive("g0", "Giraph", 90_000_000, 35_000_000));
+        assert_eq!(replaced.unwrap().total_runtime_us(), Some(80_000_000));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("g0").unwrap().total_runtime_us(), Some(90_000_000));
+        // Upserting a fresh id behaves like add.
+        assert!(s.upsert(archive("x0", "Giraph", 1, 1)).is_none());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
     fn regression_is_relative_slowdown() {
         let mut s = store();
-        s.add(archive("g1", "Giraph", 88_000_000, 35_000_000));
+        s.add(archive("g1", "Giraph", 88_000_000, 35_000_000))
+            .unwrap();
         let r = s.regression("g0", "g1").unwrap();
         assert!((r - 0.1).abs() < 1e-9);
         // Speedup is negative.

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use granula_archive::{from_json, to_json, JobArchive, JobMeta, Query};
+use granula_archive::{from_json, to_json, ArchiveStore, JobArchive, JobMeta, Query};
 use granula_model::{Actor, Info, InfoValue, Mission, OperationTree};
 
 fn arb_value() -> impl Strategy<Value = InfoValue> {
@@ -57,6 +57,31 @@ fn arb_archive() -> impl Strategy<Value = JobArchive> {
         })
 }
 
+/// A `kind(-id)?` pattern per the query grammar: kind is `*` or dashless;
+/// the optional id is `*`, dashless, or dash-joined (ids may contain `-`).
+fn arb_kind_pattern() -> impl Strategy<Value = String> {
+    let kind = prop_oneof![Just(String::from("*")), "[A-Za-z]{1,6}".boxed()];
+    let id = prop_oneof![
+        Just(String::from("*")),
+        "[A-Za-z0-9]{1,4}".boxed(),
+        ("[A-Za-z0-9]{1,4}", "[A-Za-z0-9]{1,4}")
+            .prop_map(|(a, b)| format!("{a}-{b}"))
+            .boxed(),
+    ];
+    (kind, prop::option::of(id)).prop_map(|(kind, id)| match id {
+        Some(id) => format!("{kind}-{id}"),
+        None => kind,
+    })
+}
+
+/// One segment: a mission pattern with an optional `@actor` pattern.
+fn arb_segment() -> impl Strategy<Value = String> {
+    (arb_kind_pattern(), prop::option::of(arb_kind_pattern())).prop_map(|(m, a)| match a {
+        Some(a) => format!("{m}@{a}"),
+        None => m,
+    })
+}
+
 proptest! {
     /// The JSON envelope preserves archives bit-for-bit, including floats
     /// and time series.
@@ -96,6 +121,69 @@ proptest! {
         let q = Query::parse(&text).expect("constructed to be valid");
         let q2 = Query::parse(&q.to_string()).expect("display output re-parses");
         prop_assert_eq!(q, q2);
+    }
+
+    /// Full-grammar display/parse roundtrip: wildcard kinds and ids,
+    /// dashed ids, and `@actor` patterns all re-serialize losslessly.
+    #[test]
+    fn query_display_roundtrip_full_grammar(
+        segments in prop::collection::vec(arb_segment(), 1..5)
+    ) {
+        let text = segments.join("/");
+        let q = Query::parse(&text).expect("grammar-valid by construction");
+        let printed = q.to_string();
+        let q2 = Query::parse(&printed).expect("display output re-parses");
+        prop_assert_eq!(&q, &q2, "roundtrip of {} via {}", text, printed);
+        // Display is a fixed point: printing the reparsed query is
+        // identical to the first printing.
+        prop_assert_eq!(printed, q2.to_string());
+    }
+
+    /// Dangling-dash patterns are rejected wherever they appear.
+    #[test]
+    fn dangling_dash_rejected_everywhere(kind in "[A-Za-z]{1,6}", actor in "[A-Za-z]{1,6}") {
+        let dangling_mission = Query::parse(&format!("{kind}-")).is_err();
+        let dangling_actor = Query::parse(&format!("{kind}@{actor}-")).is_err();
+        let leading_dash = Query::parse(&format!("-{kind}")).is_err();
+        prop_assert!(dangling_mission, "dangling mission dash accepted");
+        prop_assert!(dangling_actor, "dangling actor dash accepted");
+        prop_assert!(leading_dash, "leading dash accepted");
+    }
+
+    /// The store keys archives by job id: re-adding an id fails and leaves
+    /// the store unchanged, while upsert replaces exactly that entry.
+    #[test]
+    fn store_add_rejects_duplicates_upsert_replaces(
+        ids in prop::collection::vec("[a-z]{1,6}", 1..8),
+        pick in 0usize..8,
+    ) {
+        let mut store = ArchiveStore::new();
+        let mut unique = Vec::new();
+        for id in &ids {
+            let meta = JobMeta {
+                job_id: id.clone(),
+                ..Default::default()
+            };
+            let archive = JobArchive::new(meta, OperationTree::new());
+            if unique.contains(id) {
+                prop_assert!(store.add(archive).is_err(), "duplicate {} accepted", id);
+            } else {
+                prop_assert!(store.add(archive).is_ok());
+                unique.push(id.clone());
+            }
+        }
+        prop_assert_eq!(store.len(), unique.len());
+        // Upserting an existing id replaces in place; a fresh id appends.
+        let target = &unique[pick % unique.len()];
+        let meta = JobMeta {
+            job_id: target.clone(),
+            platform: "Replacement".into(),
+            ..Default::default()
+        };
+        let replaced = store.upsert(JobArchive::new(meta, OperationTree::new()));
+        prop_assert!(replaced.is_some());
+        prop_assert_eq!(store.len(), unique.len());
+        prop_assert_eq!(store.get(target).expect("still present").meta.platform.as_str(), "Replacement");
     }
 
     /// Mission-kind durations never exceed the sum of all durations.

@@ -59,6 +59,7 @@ fn decompose(archive: &JobArchive) -> RecoveryBreakdown {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = granula_bench::trace_out_flag();
     header("Ablation — fault injection (BFS, dg1000, 8 nodes, crash at 40%)");
     let (graph, scale) = calibration::dg_graph_small(20_000, calibration::DG_SEED);
 
@@ -133,5 +134,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          fail-stop PowerGraph re-runs the whole job and the wasted first\n\
          attempt dwarfs the respawn itself."
     );
+    granula_bench::write_trace(&trace);
     Ok(())
 }

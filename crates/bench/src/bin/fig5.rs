@@ -13,6 +13,7 @@ use granula_bench::{compare, header, save_figure};
 use granula_viz::{BreakdownChart, BreakdownRow};
 
 fn main() {
+    let trace = granula_bench::trace_out_flag();
     header("Figure 5 — Domain-level job decomposition (BFS, dg1000, 8 nodes)");
     let mut chart = BreakdownChart::new();
 
@@ -85,4 +86,5 @@ fn main() {
 
     println!("{}", chart.render_text(72));
     save_figure("fig5_decomposition.svg", &chart.render_svg());
+    granula_bench::write_trace(&trace);
 }

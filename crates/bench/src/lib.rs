@@ -30,6 +30,34 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Parses `--trace-out <path>` from the process arguments; when present,
+/// resets and enables the self-observability tracer and returns the path
+/// the trace should be written to. Call once at the top of a figure or
+/// ablation binary's `main`.
+pub fn trace_out_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned())?;
+    granula_trace::reset();
+    granula_trace::enable();
+    Some(path)
+}
+
+/// Writes the collected Chrome trace-event JSON (and prints the metrics
+/// snapshot) when [`trace_out_flag`] armed the tracer. Call at the end of
+/// `main`; a no-op when `--trace-out` was not given.
+pub fn write_trace(path: &Option<String>) {
+    let Some(path) = path else { return };
+    granula_trace::disable();
+    let spans = granula_trace::take_spans();
+    let json = granula_trace::chrome_trace_json(&spans);
+    fs::write(path, &json).expect("write trace");
+    println!("  [trace: {} spans -> {path}]", spans.len());
+    print!("{}", granula_trace::metrics_snapshot());
+}
+
 /// Prints a `paper vs measured` comparison row with a relative error.
 pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
     let err = if paper != 0.0 {

@@ -324,6 +324,15 @@ pub(crate) fn run_incremental(
     plan: &FaultPlan,
 ) -> Result<SimResult, SimError> {
     let n = graph.len();
+    let _span = granula_trace::span!("engine", "run_incremental activities={n}");
+    // Hot-loop telemetry: plain local integers, flushed to the registry
+    // once per run (see the end of this function). The loop itself never
+    // touches the tracer, so disabled-mode overhead stays at zero.
+    let mut ev_events = 0u64;
+    let mut ev_refill_waves = 0u64;
+    let mut ev_compactions = 0u64;
+    let mut ev_heap_pops = 0u64;
+    let mut ev_stale_pops = 0u64;
     let mut table = ResourceTable::new(cluster);
     let base_caps = table.caps.clone();
     let active = !plan.is_empty();
@@ -494,6 +503,7 @@ pub(crate) fn run_incremental(
         }
 
         if !dirty_list.is_empty() {
+            ev_refill_waves += 1;
             // Transitive closure of the dirty resources over the
             // activity↔resource bipartite graph: BFS alternating
             // resource → users → their other resources.
@@ -645,6 +655,7 @@ pub(crate) fn run_incremental(
         // Compact the heap once stale entries outnumber valid ones, so the
         // working set stays O(live) instead of O(total pushes).
         if heap_stale > 128 && heap_stale * 2 > heap.len() {
+            ev_compactions += 1;
             let mut entries = std::mem::take(&mut heap).into_vec();
             entries.retain(|e| {
                 let s = &slots[e.slot as usize];
@@ -663,11 +674,13 @@ pub(crate) fn run_incremental(
                 match heap.pop() {
                     None => break None,
                     Some(e) => {
+                        ev_heap_pops += 1;
                         let s = &slots[e.slot as usize];
                         if s.live && s.gen == e.gen {
                             break Some(e);
                         }
                         heap_stale -= 1;
+                        ev_stale_pops += 1;
                     }
                 }
             }
@@ -693,6 +706,8 @@ pub(crate) fn run_incremental(
                 return Err(SimError::Stalled { activity });
             }
         };
+
+        ev_events += 1;
 
         if take_boundary {
             // The popped completion (if any) lies beyond the boundary; put
@@ -831,11 +846,14 @@ pub(crate) fn run_incremental(
             if !(s.live && s.gen == e.gen) {
                 heap.pop();
                 heap_stale -= 1;
+                ev_heap_pops += 1;
+                ev_stale_pops += 1;
                 continue;
             }
             if (e.finish_us - now) * s.rate <= s.eps_work {
                 completing.push(e.slot);
                 heap.pop();
+                ev_heap_pops += 1;
             } else {
                 break;
             }
@@ -887,6 +905,20 @@ pub(crate) fn run_incremental(
             }
         }
         usage.commit(&mut trace, now);
+    }
+
+    if granula_trace::enabled() {
+        granula_trace::counter_add("engine.events_processed", ev_events);
+        granula_trace::counter_add("engine.refill_waves", ev_refill_waves);
+        granula_trace::counter_add("engine.heap_compactions", ev_compactions);
+        granula_trace::counter_add("engine.heap_pops", ev_heap_pops);
+        granula_trace::counter_add("engine.heap_stale_pops", ev_stale_pops);
+        if ev_heap_pops > 0 {
+            granula_trace::gauge_set(
+                "engine.stale_entry_ratio",
+                ev_stale_pops as f64 / ev_heap_pops as f64,
+            );
+        }
     }
 
     let makespan_us = results.iter().map(|r| r.end_us).fold(0.0, f64::max);

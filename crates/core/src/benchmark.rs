@@ -154,7 +154,9 @@ impl BenchmarkSuite {
                     iterations: result.run.iterations,
                     validated,
                 });
-                store.add(result.report.archive);
+                store
+                    .add(result.report.archive)
+                    .expect("suite job ids are unique per (platform, algorithm)");
             }
         }
         BenchmarkReport { rows, store }

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("model") => cmd_model(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -68,7 +69,8 @@ fn print_usage() {
          \x20 regression <baseline.json> <candidate.json> [--tolerance 0.10]\n\
          \x20 diff       <baseline.json> <candidate.json> [--min-delta-ms 50] [--limit 20]\n\
          \x20 model      <giraph|powergraph|graphmat> [--out model.json]\n\
-         \x20 suite      --out-dir <dir> [--vertices N] [--nodes K]"
+         \x20 suite      --out-dir <dir> [--vertices N] [--nodes K]\n\
+         \x20 trace      <quickstart|fig5> [--out trace.json] [--metrics metrics.txt]"
     );
 }
 
@@ -388,6 +390,70 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         min_delta_ms * 1_000,
     );
     print!("{}", granula_viz::render_diff(&rows, limit));
+    Ok(())
+}
+
+/// `trace <experiment>` — run an experiment with the self-observability
+/// layer enabled and export a Chrome trace-event JSON (load it in
+/// `chrome://tracing` or Perfetto) plus a metrics snapshot.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let experiment = positional(args, 0)
+        .map(String::as_str)
+        .unwrap_or("quickstart");
+    let out = flag(args, "--out").unwrap_or_else(|| "trace.json".into());
+
+    granula_trace::reset();
+    granula_trace::enable();
+    let results = match experiment {
+        "quickstart" => vec![granula::experiment::dg1000_quick(Platform::Giraph, 5_000)],
+        "fig5" => {
+            let platforms = [Platform::Giraph, Platform::PowerGraph];
+            granula::experiment::par_map(&platforms, granula::experiment::default_threads(), |p| {
+                granula::experiment::dg1000(*p)
+            })
+        }
+        other => {
+            granula_trace::disable();
+            return Err(format!(
+                "unknown experiment `{other}` (try quickstart or fig5)"
+            ));
+        }
+    };
+    // Drive the visualization stage (and the archive query path) so the
+    // trace covers all four Granula sub-processes, not just P1-P3.
+    let query = Query::parse("*/ProcessGraph").map_err(|e| e.to_string())?;
+    for result in &results {
+        let archive = &result.report.archive;
+        let _ = query.find_all(&archive.tree);
+        let _ = granula_viz::report::html_report(archive, &result.report.env);
+    }
+    granula_trace::disable();
+
+    let spans = granula_trace::take_spans();
+    let json = granula_trace::chrome_trace_json(&spans);
+    fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+
+    let mut stages: std::collections::BTreeMap<&str, usize> = Default::default();
+    for s in &spans {
+        *stages.entry(s.stage).or_default() += 1;
+    }
+    println!(
+        "traced `{experiment}`: {} spans over {} stages -> {out} ({} bytes)",
+        spans.len(),
+        stages.len(),
+        json.len()
+    );
+    for (stage, n) in &stages {
+        println!("  {stage:<14} {n} spans");
+    }
+    let metrics = granula_trace::metrics_snapshot();
+    match flag(args, "--metrics") {
+        Some(path) => {
+            fs::write(&path, &metrics).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("metrics snapshot -> {path}");
+        }
+        None => print!("{metrics}"),
+    }
     Ok(())
 }
 

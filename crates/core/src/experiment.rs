@@ -95,12 +95,23 @@ pub fn run_experiment_on(
     cfg: &JobConfig,
     cluster: &gpsim_cluster::ClusterSpec,
 ) -> Result<ExperimentResult, SimError> {
-    let run = match platform {
-        Platform::Giraph => GiraphPlatform::default().run_on(graph, cfg, cluster)?,
-        Platform::PowerGraph => PowerGraphPlatform::default().run_on(graph, cfg, cluster)?,
-        Platform::GraphMat => GraphMatPlatform::default().run_on(graph, cfg, cluster)?,
+    let process = {
+        let _span = granula_trace::span!("modeling", "build_model {}", platform.name());
+        EvaluationProcess::new(platform.model())
     };
-    let process = EvaluationProcess::new(platform.model());
+    let run = {
+        let _span = granula_trace::span!(
+            "monitoring",
+            "platform_run {} ({})",
+            cfg.job_id,
+            platform.name()
+        );
+        match platform {
+            Platform::Giraph => GiraphPlatform::default().run_on(graph, cfg, cluster)?,
+            Platform::PowerGraph => PowerGraphPlatform::default().run_on(graph, cfg, cluster)?,
+            Platform::GraphMat => GraphMatPlatform::default().run_on(graph, cfg, cluster)?,
+        }
+    };
     let meta = JobMeta {
         job_id: cfg.job_id.clone(),
         platform: platform.name().into(),
@@ -139,31 +150,44 @@ pub fn run_experiment_with_faults(
     plan: &FaultPlan,
     giraph_checkpoint_interval: Option<u32>,
 ) -> Result<ExperimentResult, SimError> {
-    let run = match platform {
-        Platform::Giraph => {
-            let p = GiraphPlatform {
-                checkpoint_interval: giraph_checkpoint_interval,
-                ..GiraphPlatform::default()
-            };
-            p.run_with_faults(graph, cfg, plan)?
-        }
-        Platform::PowerGraph => PowerGraphPlatform::default().run_with_faults(graph, cfg, plan)?,
-        Platform::GraphMat => {
-            assert!(
-                plan.crashes.is_empty() && plan.slowdowns.is_empty(),
-                "fault injection is not modeled for GraphMat"
-            );
-            GraphMatPlatform::default().run(graph, cfg)?
+    let process = {
+        let _span = granula_trace::span!("modeling", "build_model {}", platform.name());
+        let faulted = !plan.crashes.is_empty()
+            || (platform == Platform::Giraph && giraph_checkpoint_interval.is_some());
+        let model = if faulted {
+            platform.fault_model()
+        } else {
+            platform.model()
+        };
+        EvaluationProcess::new(model)
+    };
+    let run = {
+        let _span = granula_trace::span!(
+            "monitoring",
+            "platform_run {} ({})",
+            cfg.job_id,
+            platform.name()
+        );
+        match platform {
+            Platform::Giraph => {
+                let p = GiraphPlatform {
+                    checkpoint_interval: giraph_checkpoint_interval,
+                    ..GiraphPlatform::default()
+                };
+                p.run_with_faults(graph, cfg, plan)?
+            }
+            Platform::PowerGraph => {
+                PowerGraphPlatform::default().run_with_faults(graph, cfg, plan)?
+            }
+            Platform::GraphMat => {
+                assert!(
+                    plan.crashes.is_empty() && plan.slowdowns.is_empty(),
+                    "fault injection is not modeled for GraphMat"
+                );
+                GraphMatPlatform::default().run(graph, cfg)?
+            }
         }
     };
-    let faulted = !plan.crashes.is_empty()
-        || (platform == Platform::Giraph && giraph_checkpoint_interval.is_some());
-    let model = if faulted {
-        platform.fault_model()
-    } else {
-        platform.model()
-    };
-    let process = EvaluationProcess::new(model);
     let meta = JobMeta {
         job_id: cfg.job_id.clone(),
         platform: platform.name().into(),

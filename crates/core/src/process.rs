@@ -77,13 +77,20 @@ impl EvaluationProcess {
     /// Runs P3 (archiving) over the output of a platform run (P2) and
     /// returns the archive plus the feedback for the next iteration.
     pub fn evaluate(&self, run: &PlatformRun, meta: JobMeta) -> EvaluationReport {
+        let _span =
+            granula_trace::span!("archiving", "evaluate {} ({})", meta.job_id, meta.platform);
         // Clock correction, then model-driven filtering.
         let mut events = run.events.clone();
         self.skew.correct_all(&mut events);
         let events_total = events.len();
         let filter = EventFilter::from_model(&self.model);
-        let events = filter.apply(events);
+        let events = {
+            let _span = granula_trace::span!("archiving", "filter_events {}", meta.job_id);
+            filter.apply(events)
+        };
         let events_kept = events.len();
+        granula_trace::counter_add("archive.events_total", events_total as u64);
+        granula_trace::counter_add("archive.events_kept", events_kept as u64);
 
         // Assembly into one operation tree.
         let assembler = if self.keep_source_records {
@@ -95,16 +102,26 @@ impl EvaluationProcess {
         let mut tree = outcome.tree;
 
         // Derive metrics: durations everywhere, then the model's rules.
-        let mut infos_derived = derive_all_durations(&mut tree);
-        infos_derived += RuleEngine::apply(&self.model, &mut tree);
+        let infos_derived = {
+            let _span = granula_trace::span!("archiving", "derive_metrics {}", meta.job_id);
+            let mut n = derive_all_durations(&mut tree);
+            n += RuleEngine::apply(&self.model, &mut tree);
+            n
+        };
 
         // Map environment data onto operations.
         let mut env = EnvLog::new();
         env.extend(run.env_samples.iter().cloned());
-        env.map_to_operations(&mut tree, ResourceKind::Cpu);
+        {
+            let _span = granula_trace::span!("archiving", "map_environment {}", meta.job_id);
+            env.map_to_operations(&mut tree, ResourceKind::Cpu);
+        }
 
         // Validate against the model: the feedback edge.
-        let validation = granula_model::validate::validate(&self.model, &tree);
+        let validation = {
+            let _span = granula_trace::span!("archiving", "validate {}", meta.job_id);
+            granula_model::validate::validate(&self.model, &tree)
+        };
 
         let meta = JobMeta {
             model: self.model.name.clone(),

@@ -69,6 +69,7 @@ impl Assembler {
     /// Assembles a tree from events. Events are sorted by timestamp first
     /// (stable, so same-timestamp events keep log order).
     pub fn assemble(&self, mut events: Vec<LogEvent>) -> AssemblyOutcome {
+        let _span = granula_trace::span!("archiving", "assemble events={}", events.len());
         events.sort_by_key(|e| e.time_us);
         let mut tree = OperationTree::new();
         let mut warnings = Vec::new();

@@ -172,7 +172,10 @@ impl GiraphPlatform {
         let costs = &cfg.costs;
         let scale = cfg.scale_factor;
         let part = EdgeCutPartition::hash(g.num_vertices(), k);
-        let (output, supersteps) = run_program(g, &part, cfg.algorithm, self.max_supersteps);
+        let (output, supersteps) = {
+            let _span = granula_trace::span!("platform", "giraph.vertex_program {}", cfg.job_id);
+            run_program(g, &part, cfg.algorithm, self.max_supersteps)
+        };
 
         // Per-worker data sizes (logical counts; scaled at use sites).
         let mut verts = vec![0u64; k as usize];
@@ -206,21 +209,25 @@ impl GiraphPlatform {
                 &edges,
                 &input_bytes,
             );
-            let started = b.startup();
-            let loaded = b.load(started);
-            b.process_graph();
-            let mut prev = loaded;
-            for si in 0..supersteps.len() {
-                prev = b.superstep(si, prev, "job/proc/", true);
-                prev = b.maybe_checkpoint(si, prev);
+            {
+                let _span = granula_trace::span!("platform", "giraph.build_dag {}", cfg.job_id);
+                let started = b.startup();
+                let loaded = b.load(started);
+                b.process_graph();
+                let mut prev = loaded;
+                for si in 0..supersteps.len() {
+                    prev = b.superstep(si, prev, "job/proc/", true);
+                    prev = b.maybe_checkpoint(si, prev);
+                }
+                let offloaded = b.offload(prev);
+                b.cleanup(offloaded);
             }
-            let offloaded = b.offload(prev);
-            b.cleanup(offloaded);
             return b.finish(plan, output);
         };
 
         // Phase 1: probe run — the same checkpointed job under the plan's
         // slowdowns only — locates the crash inside the superstep schedule.
+        let probe_span = granula_trace::span!("platform", "giraph.probe {}", cfg.job_id);
         let slow_plan = FaultPlan {
             crashes: Vec::new(),
             slowdowns: plan.slowdowns.clone(),
@@ -292,6 +299,7 @@ impl GiraphPlatform {
                 .0
         };
         let wasted_us = t_eff - wasted_since;
+        drop(probe_span);
 
         // Phase 2: the recovery layout. Prefix (startup, load, supersteps
         // before s*, their checkpoints) is identical to the probe; the
@@ -307,6 +315,8 @@ impl GiraphPlatform {
             &edges,
             &input_bytes,
         );
+        let recovery_span =
+            granula_trace::span!("platform", "giraph.recovery.build {}", cfg.job_id);
         let started = b.startup();
         let loaded = b.load(started);
         b.process_graph();
@@ -423,6 +433,7 @@ impl GiraphPlatform {
         }
         let offloaded = b.offload(prev);
         b.cleanup(offloaded);
+        drop(recovery_span);
 
         let restart_after = crash.restart_after_us.unwrap_or(self.failure_detect_us);
         let exec_plan = FaultPlan {
@@ -703,6 +714,7 @@ impl<'a> Build<'a> {
         let ss = &self.supersteps[si];
         let s = ss.superstep;
         let ss_tag = format!("{prefix}ss{s}/");
+        let _span = granula_trace::span!("platform", "giraph.superstep.build {ss_tag}");
         if with_specs {
             self.specs.push(
                 OpSpec::new(
@@ -937,6 +949,11 @@ impl<'a> Build<'a> {
                     && (self.supersteps[si].superstep + 1).is_multiple_of(kk)
                     && si + 1 < self.supersteps.len() =>
             {
+                let _span = granula_trace::span!(
+                    "platform",
+                    "giraph.checkpoint.build ss{}",
+                    self.supersteps[si].superstep
+                );
                 self.checkpoint(self.supersteps[si].superstep, prev)
             }
             _ => prev,
@@ -1122,8 +1139,14 @@ impl<'a> Build<'a> {
         let k = self.cfg.nodes;
         let costs = &self.cfg.costs;
         let scale = self.cfg.scale_factor;
-        let sim = Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?;
-        let events = emit_events(&self.specs, &self.dag, &sim);
+        let sim = {
+            let _span = granula_trace::span!("platform", "giraph.simulate {}", self.cfg.job_id);
+            Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?
+        };
+        let events = {
+            let _span = granula_trace::span!("platform", "giraph.emit_events {}", self.cfg.job_id);
+            emit_events(&self.specs, &self.dag, &sim)
+        };
         let mut env_samples = trace_to_samples(&sim.trace);
         // Memory view: each worker's partition becomes resident over its
         // load interval and is released when its JVM exits at cleanup.

@@ -163,7 +163,10 @@ impl PowerGraphPlatform {
         let costs = &cfg.costs;
         let scale = cfg.scale_factor;
         let part = VertexCutPartition::greedy(g, k);
-        let (output, iterations) = run_program(g, &part, cfg.algorithm, self.max_iterations);
+        let (output, iterations) = {
+            let _span = granula_trace::span!("platform", "powergraph.gas_program {}", cfg.job_id);
+            run_program(g, &part, cfg.algorithm, self.max_iterations)
+        };
 
         // Per-machine sizes.
         let edge_sizes = part.sizes();
@@ -199,6 +202,8 @@ impl PowerGraphPlatform {
 
         // Fail-stop: simulate the first attempt under slowdowns only to
         // learn which activities had started when the job aborted.
+        let recovery_span =
+            granula_trace::span!("platform", "powergraph.recovery.build {}", cfg.job_id);
         let slow_plan = FaultPlan {
             crashes: Vec::new(),
             slowdowns: plan.slowdowns.clone(),
@@ -292,6 +297,7 @@ impl PowerGraphPlatform {
             "mpirun",
         ));
         b.job("job/r1/", ":r1", &[respawned]);
+        drop(recovery_span);
 
         // Every rank dies with the job at the abort instant and is back for
         // the restart; the lost node itself is replaced within the same
@@ -576,7 +582,10 @@ impl<'a> PgBuild<'a> {
                 Mission::new("Iteration", format!("{t}{suffix}")),
             );
 
+            let _it_span = granula_trace::span!("platform", "powergraph.iteration.build {it_tag}");
+
             // Gather minor-step on every machine.
+            let gather_span = granula_trace::span!("platform", "powergraph.gather.build {it_tag}");
             let mut gathers: Vec<ActivityId> = Vec::with_capacity(k as usize);
             for m in 0..k {
                 let stats = &it.per_machine[m as usize];
@@ -607,7 +616,11 @@ impl<'a> PgBuild<'a> {
                 gathers.push(gather);
             }
 
+            drop(gather_span);
+
             // Exchange: replica syncs between machines.
+            let exchange_span =
+                granula_trace::span!("platform", "powergraph.exchange.build {it_tag}");
             let mut exchanges: Vec<ActivityId> = Vec::new();
             let mut sync_total = 0u64;
             #[allow(clippy::needless_range_loop)] // machine ids index the matrix
@@ -653,7 +666,11 @@ impl<'a> PgBuild<'a> {
                 );
             }
 
+            drop(exchange_span);
+
             // Apply + scatter per machine.
+            let apply_span =
+                granula_trace::span!("platform", "powergraph.apply_scatter.build {it_tag}");
             let mut scatters: Vec<ActivityId> = Vec::with_capacity(k as usize);
             for m in 0..k {
                 let stats = &it.per_machine[m as usize];
@@ -700,6 +717,7 @@ impl<'a> PgBuild<'a> {
                 ));
                 scatters.push(scatter);
             }
+            drop(apply_span);
             let join = self.dag.barrier(&scatters, format!("{it_tag}barrier/join"));
             prev_barrier = self.dag.add(
                 ActivityKind::Delay {
@@ -776,8 +794,15 @@ impl<'a> PgBuild<'a> {
         let k = self.cfg.nodes;
         let costs = &self.cfg.costs;
         let scale = self.cfg.scale_factor;
-        let sim = Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?;
-        let events = emit_events(&self.specs, &self.dag, &sim);
+        let sim = {
+            let _span = granula_trace::span!("platform", "powergraph.simulate {}", self.cfg.job_id);
+            Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?
+        };
+        let events = {
+            let _span =
+                granula_trace::span!("platform", "powergraph.emit_events {}", self.cfg.job_id);
+            emit_events(&self.specs, &self.dag, &sim)
+        };
         let mut env_samples = trace_to_samples(&sim.trace);
         // Memory view. Machine 0 temporarily holds the *entire* parsed edge
         // list as a staging buffer during the sequential load, released once

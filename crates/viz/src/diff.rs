@@ -101,7 +101,8 @@ pub fn render_diff(rows: &[DiffRow], limit: usize) -> String {
         .iter()
         .map(|r| r.delta_us().unsigned_abs())
         .max()
-        .expect("non-empty") as f64;
+        .expect("non-empty")
+        .max(1) as f64;
     let mut out = format!(
         "{:<56} {:>10} {:>10} {:>9}  {}\n",
         "operation path", "baseline", "candidate", "change", "impact"
@@ -122,9 +123,15 @@ pub fn render_diff(rows: &[DiffRow], limit: usize) -> String {
             Some(rel) => format!("{:+.1}%", 100.0 * rel),
             None => "new".into(),
         };
-        // Deep paths: keep the tail, which names the operation.
+        // Deep paths: keep the tail, which names the operation. The cut
+        // point must land on a char boundary (paths may carry non-ASCII
+        // actor/mission names from foreign archives).
         let path = if r.path.len() > 54 {
-            format!("…{}", &r.path[r.path.len() - 53..])
+            let mut cut = r.path.len() - 53;
+            while !r.path.is_char_boundary(cut) {
+                cut += 1;
+            }
+            format!("…{}", &r.path[cut..])
         } else {
             r.path.clone()
         };
@@ -215,6 +222,19 @@ mod tests {
         assert!(text.contains("more rows"));
         assert!(text.contains("+300.0%"));
         assert_eq!(render_diff(&[], 5), "(no differences above threshold)\n");
+    }
+
+    #[test]
+    fn long_non_ascii_paths_truncate_on_char_boundaries() {
+        // A deep path whose byte length puts the 53-byte cut inside a
+        // multi-byte character must not panic.
+        let rows = vec![DiffRow {
+            path: "Jöb-0/".repeat(12),
+            baseline_us: Some(1_000),
+            candidate_us: Some(5_000),
+        }];
+        let text = render_diff(&rows, 5);
+        assert!(text.contains('…'), "{text}");
     }
 
     #[test]

@@ -54,6 +54,11 @@ impl GanttChart {
         mission_kinds: &[&str],
         emphasized_kind: &str,
     ) -> Self {
+        let _span = granula_trace::span!(
+            "visualization",
+            "gantt.from_archive {}",
+            archive.meta.job_id
+        );
         let mut bars = Vec::new();
         let collect = |op: &Operation, bars: &mut Vec<Bar>| {
             if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
@@ -100,6 +105,13 @@ impl GanttChart {
     /// Renders as terminal text: emphasized bars as `#`, overhead as `.`,
     /// idle as spaces.
     pub fn render_text(&self, width: usize) -> String {
+        let _span = granula_trace::span!(
+            "visualization",
+            "gantt.render_text bars={}",
+            self.bars.len()
+        );
+        // A zero/one-column chart would underflow the column math below.
+        let width = width.max(2);
         let Some((lo, hi)) = self.effective_window() else {
             return String::from("(no operations)\n");
         };
@@ -148,6 +160,8 @@ impl GanttChart {
     /// Renders as SVG: emphasized bars in color (per mission id), overhead
     /// in gray — the visual of Figure 8.
     pub fn render_svg(&self) -> String {
+        let _span =
+            granula_trace::span!("visualization", "gantt.render_svg bars={}", self.bars.len());
         let Some((lo, hi)) = self.effective_window() else {
             return SvgCanvas::new(300.0, 60.0).finish();
         };

@@ -19,6 +19,7 @@ fn esc(s: &str) -> String {
 /// timeline with phase bands, a worker Gantt of the Compute operations, and
 /// the operation tree (pruned).
 pub fn html_report(archive: &JobArchive, env: &EnvLog) -> String {
+    let _span = granula_trace::span!("visualization", "html_report {}", archive.meta.job_id);
     let meta = &archive.meta;
     let mut html = String::new();
     html.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");

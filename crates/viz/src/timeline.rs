@@ -71,6 +71,10 @@ impl<'a> TimelineChart<'a> {
     /// Renders the cluster-cumulative series as an ASCII chart with the
     /// phase bands underneath, `height` value rows by `width` time columns.
     pub fn render_text(&self, width: usize, height: usize) -> String {
+        let _span = granula_trace::span!("visualization", "timeline.render_text {:?}", self.kind);
+        // Degenerate widths would underflow the column math below.
+        let width = width.max(2);
+        let height = height.max(1);
         let series = self.env.cumulative(self.kind);
         let (lo, hi) = self.span();
         if series.is_empty() || hi <= lo {
@@ -122,12 +126,21 @@ impl<'a> TimelineChart<'a> {
                     * (width - 1) as f64) as usize;
                 let label = p.label.as_bytes();
                 let end = b.min(width - 1);
+                if a > end {
+                    // Malformed band (start after end): skip rather than panic.
+                    continue;
+                }
                 for (rel, cell) in band[a..=end].iter_mut().enumerate() {
-                    *cell = if rel < label.len() { label[rel] } else { b'.' };
+                    *cell = match label.get(rel) {
+                        // Non-ASCII label bytes would break the UTF-8 band.
+                        Some(&c) if c.is_ascii() => c,
+                        Some(_) => b'?',
+                        None => b'.',
+                    };
                 }
             }
             out.push_str(&" ".repeat(10));
-            out.push_str(&String::from_utf8(band).expect("ascii band"));
+            out.push_str(&String::from_utf8(band).expect("band bytes are ascii by construction"));
             out.push('\n');
         }
         out.push_str(&format!(
@@ -142,6 +155,7 @@ impl<'a> TimelineChart<'a> {
     /// Renders per-node polylines plus phase bands as SVG (one colored line
     /// per node, like the paper's figures).
     pub fn render_svg(&self) -> String {
+        let _span = granula_trace::span!("visualization", "timeline.render_svg {:?}", self.kind);
         let (lo, hi) = self.span();
         let (w, h, left, top, bottom) = (760.0, 320.0, 60.0, 18.0, 60.0);
         let mut c = SvgCanvas::new(w, h);
@@ -261,6 +275,21 @@ mod tests {
             .render_svg();
         assert_eq!(s.matches("<polyline").count(), 2);
         assert!(s.contains("LoadGraph"));
+    }
+
+    #[test]
+    fn malformed_bands_and_degenerate_widths_do_not_panic() {
+        let e = env();
+        // Reversed band (start after end) and a non-ASCII label: both may
+        // arrive from foreign archives; rendering must stay total.
+        let chart = TimelineChart::new(&e, ResourceKind::Cpu)
+            .with_phase("Zürich", 0, 4_000_000)
+            .with_phase("Reversed", 8_000_000, 2_000_000);
+        let s = chart.render_text(30, 4);
+        assert!(s.contains("Z?"), "{s}"); // non-ASCII byte sanitized
+        assert!(!s.contains("Reversed"), "{s}");
+        // Zero-width charts are clamped rather than underflowing.
+        let _ = chart.render_text(0, 0);
     }
 
     #[test]

@@ -41,7 +41,9 @@ fn main() {
             100.0 * result.breakdown.fraction(Phase::InputOutput),
             100.0 * result.breakdown.fraction(Phase::Processing)
         );
-        store.add(result.report.archive);
+        store
+            .add(result.report.archive)
+            .expect("each platform archives under a distinct job id");
     }
 
     // Identical domain-level operations enable cross-platform comparison.

@@ -91,6 +91,18 @@ pub trait Deserialize: Sized {
 
 pub use serde_derive::{Deserialize, Serialize};
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Derive-macro helper: fetches and parses a struct field.
 pub fn from_field<T: Deserialize>(pairs: &[(String, Value)], key: &str) -> Result<T, DeError> {
     match pairs.iter().find(|(k, _)| k == key) {

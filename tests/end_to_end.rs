@@ -62,8 +62,8 @@ fn cross_platform_store_reproduces_paper_conclusions() {
     let mut store = ArchiveStore::new();
     let g = dg1000_quick(Platform::Giraph, 6_000);
     let p = dg1000_quick(Platform::PowerGraph, 6_000);
-    store.add(g.report.archive.clone());
-    store.add(p.report.archive.clone());
+    store.add(g.report.archive.clone()).unwrap();
+    store.add(p.report.archive.clone()).unwrap();
 
     // PowerGraph's processing is faster in absolute terms...
     let rows = store.compare("ProcessGraph");
