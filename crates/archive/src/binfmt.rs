@@ -1,0 +1,468 @@
+//! Versioned, self-describing **binary** archive format (`.gar`).
+//!
+//! The JSON envelope of [`crate::format`] is the sharing format; this module
+//! is the *serving* format: fig5/fig6-scale stores are archived once and
+//! re-queried many times without re-simulation, so loading them must not pay
+//! JSON tokenization costs. The encoding goes through the serde shim's
+//! self-describing [`Value`] tree, so every type that serializes to JSON
+//! serializes to the binary format with identical semantics — and float
+//! info values survive bit-for-bit ([`f64::to_bits`] is stored verbatim).
+//!
+//! ## Layout
+//!
+//! ```text
+//! +--------------------+----------------------+---------------------------+
+//! | magic  b"GRNA"     | version  u32 LE (=1) | payload  (tagged value)   |
+//! +--------------------+----------------------+---------------------------+
+//! ```
+//!
+//! The payload is one tagged value; trailing bytes after it are an error.
+//! Tagged values (all lengths/counts are LEB128 varints):
+//!
+//! | tag  | variant | body                                        |
+//! |------|---------|---------------------------------------------|
+//! | 0x00 | Null    | —                                           |
+//! | 0x01 | Bool    | 1 byte (0/1)                                |
+//! | 0x02 | Int     | zig-zag varint                              |
+//! | 0x03 | UInt    | varint                                      |
+//! | 0x04 | Float   | 8 bytes, `f64::to_bits` LE                  |
+//! | 0x05 | Str     | varint byte length + UTF-8 bytes            |
+//! | 0x06 | Array   | varint count + that many values             |
+//! | 0x07 | Object  | varint count + that many (Str-body, value)  |
+//!
+//! Encoding is a pure function of the value tree (the shim sorts map keys,
+//! struct fields encode in declaration order), so equal stores produce
+//! byte-identical files — the property the differential test suite pins.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::archive::JobArchive;
+use crate::store::ArchiveStore;
+
+/// File magic: "GRanula Native Archive".
+pub const MAGIC: [u8; 4] = *b"GRNA";
+
+/// Current binary format version.
+pub const BIN_FORMAT_VERSION: u32 = 1;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_BOOL: u8 = 0x01;
+const TAG_INT: u8 = 0x02;
+const TAG_UINT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_ARRAY: u8 = 0x06;
+const TAG_OBJECT: u8 = 0x07;
+
+/// Errors raised while encoding/decoding binary archives.
+#[derive(Debug)]
+pub enum BinError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The file's version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// The payload ended before a complete value was read.
+    Truncated,
+    /// Bytes remain after the payload value.
+    TrailingBytes(usize),
+    /// An unknown value tag was encountered.
+    BadTag(u8),
+    /// A string body was not valid UTF-8.
+    BadUtf8,
+    /// The decoded value tree did not have the expected shape.
+    De(DeError),
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic(m) => write!(f, "bad archive magic {m:?} (expected {MAGIC:?})"),
+            BinError::UnsupportedVersion(v) => write!(
+                f,
+                "binary archive version {v} is newer than supported {BIN_FORMAT_VERSION}"
+            ),
+            BinError::Truncated => write!(f, "binary archive truncated"),
+            BinError::TrailingBytes(n) => write!(f, "{n} trailing bytes after archive payload"),
+            BinError::BadTag(t) => write!(f, "unknown value tag 0x{t:02x}"),
+            BinError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            BinError::De(e) => write!(f, "archive shape error: {e}"),
+            BinError::Io(e) => write!(f, "archive I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<DeError> for BinError {
+    fn from(e: DeError) -> Self {
+        BinError::De(e)
+    }
+}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, BinError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(BinError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(BinError::Truncated);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------- values
+
+/// Appends the tagged encoding of a value.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            put_varint(out, zigzag(*i));
+        }
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            put_varint(out, *u);
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(pairs) => {
+            out.push(TAG_OBJECT);
+            put_varint(out, pairs.len() as u64);
+            for (k, val) in pairs {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, BinError> {
+    let len = get_varint(bytes, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(BinError::Truncated)?;
+    let slice = bytes.get(*pos..end).ok_or(BinError::Truncated)?;
+    *pos = end;
+    String::from_utf8(slice.to_vec()).map_err(|_| BinError::BadUtf8)
+}
+
+/// Decodes one tagged value starting at `pos`, advancing it.
+pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, BinError> {
+    let tag = *bytes.get(*pos).ok_or(BinError::Truncated)?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => {
+            let b = *bytes.get(*pos).ok_or(BinError::Truncated)?;
+            *pos += 1;
+            Ok(Value::Bool(b != 0))
+        }
+        TAG_INT => Ok(Value::Int(unzigzag(get_varint(bytes, pos)?))),
+        TAG_UINT => Ok(Value::UInt(get_varint(bytes, pos)?)),
+        TAG_FLOAT => {
+            let end = *pos + 8;
+            let slice = bytes.get(*pos..end).ok_or(BinError::Truncated)?;
+            *pos = end;
+            let bits = u64::from_le_bytes(slice.try_into().expect("8-byte slice"));
+            Ok(Value::Float(f64::from_bits(bits)))
+        }
+        TAG_STR => Ok(Value::Str(get_str(bytes, pos)?)),
+        TAG_ARRAY => {
+            let n = get_varint(bytes, pos)? as usize;
+            // Bound preallocation by what the input could possibly hold
+            // (every element is at least one tag byte).
+            let mut items = Vec::with_capacity(n.min(bytes.len() - *pos));
+            for _ in 0..n {
+                items.push(decode_value(bytes, pos)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let n = get_varint(bytes, pos)? as usize;
+            let mut pairs = Vec::with_capacity(n.min(bytes.len() - *pos));
+            for _ in 0..n {
+                let key = get_str(bytes, pos)?;
+                let val = decode_value(bytes, pos)?;
+                pairs.push((key, val));
+            }
+            Ok(Value::Object(pairs))
+        }
+        other => Err(BinError::BadTag(other)),
+    }
+}
+
+// -------------------------------------------------------------- envelopes
+
+/// Encodes any serializable payload under the magic + version header.
+fn to_bytes_generic<T: Serialize>(payload: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * 1024);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
+    encode_value(&payload.to_value(), &mut out);
+    out
+}
+
+/// Decodes a header-checked payload.
+fn from_bytes_generic<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
+    let magic: [u8; 4] = bytes
+        .get(..4)
+        .ok_or(BinError::Truncated)?
+        .try_into()
+        .expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(BinError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(
+        bytes
+            .get(4..8)
+            .ok_or(BinError::Truncated)?
+            .try_into()
+            .expect("4-byte slice"),
+    );
+    if version > BIN_FORMAT_VERSION {
+        return Err(BinError::UnsupportedVersion(version));
+    }
+    let mut pos = 8;
+    let value = decode_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(BinError::TrailingBytes(bytes.len() - pos));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes a whole store (all archives) to the binary format.
+pub fn store_to_bytes(store: &ArchiveStore) -> Vec<u8> {
+    to_bytes_generic(store)
+}
+
+/// Reads a store back from [`store_to_bytes`] output.
+pub fn store_from_bytes(bytes: &[u8]) -> Result<ArchiveStore, BinError> {
+    from_bytes_generic(bytes)
+}
+
+/// Serializes a single archive to the binary format.
+pub fn archive_to_bytes(archive: &JobArchive) -> Vec<u8> {
+    to_bytes_generic(archive)
+}
+
+/// Reads a single archive back from [`archive_to_bytes`] output.
+pub fn archive_from_bytes(bytes: &[u8]) -> Result<JobArchive, BinError> {
+    from_bytes_generic(bytes)
+}
+
+impl ArchiveStore {
+    /// Persists the store to `path` in the binary format.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BinError> {
+        let _span = granula_trace::span!("archiving", "store.save");
+        fs::write(path, store_to_bytes(self))?;
+        Ok(())
+    }
+
+    /// Loads a store persisted with [`ArchiveStore::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, BinError> {
+        let _span = granula_trace::span!("archiving", "store.load");
+        store_from_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::JobMeta;
+    use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
+
+    fn sample_store() -> ArchiveStore {
+        let mut store = ArchiveStore::new();
+        for (job, plat) in [("g0", "Giraph"), ("p0", "PowerGraph")] {
+            let mut t = OperationTree::new();
+            let root = t
+                .add_root(Actor::new("Job", "0"), Mission::new("Job", "0"))
+                .unwrap();
+            t.set_info(root, Info::raw(names::START_TIME, InfoValue::Int(0)))
+                .unwrap();
+            t.set_info(root, Info::raw(names::END_TIME, InfoValue::Int(81_900_000)))
+                .unwrap();
+            let c = t
+                .add_child(
+                    root,
+                    Actor::new("Worker", "1"),
+                    Mission::new("Compute", "0"),
+                )
+                .unwrap();
+            t.set_info(c, Info::raw("Rate", InfoValue::Float(0.1 + 0.2)))
+                .unwrap();
+            t.set_info(
+                c,
+                Info::raw(
+                    "Cpu",
+                    InfoValue::Series(vec![(0, 1.5), (10, f64::MIN_POSITIVE)]),
+                ),
+            )
+            .unwrap();
+            store
+                .add(JobArchive::new(
+                    JobMeta {
+                        job_id: job.into(),
+                        platform: plat.into(),
+                        algorithm: "BFS".into(),
+                        dataset: "dg".into(),
+                        nodes: 8,
+                        model: "m".into(),
+                    },
+                    t,
+                ))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn store_roundtrips_exactly() {
+        let store = sample_store();
+        let bytes = store_to_bytes(&store);
+        let back = store_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), store.len());
+        for (a, b) in store.iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let store = sample_store();
+        let a = store_to_bytes(&store);
+        let b = store_to_bytes(&store_from_bytes(&a).unwrap());
+        assert_eq!(a, b, "save -> load -> save must be byte-identical");
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let store = sample_store();
+        let mut bytes = store_to_bytes(&store);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            store_from_bytes(&bad_magic),
+            Err(BinError::BadMagic(_))
+        ));
+
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            store_from_bytes(&future),
+            Err(BinError::UnsupportedVersion(99))
+        ));
+
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(store_from_bytes(&bytes), Err(BinError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = store_to_bytes(&sample_store());
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            store_from_bytes(&bytes),
+            Err(BinError::TrailingBytes(4))
+        ));
+    }
+
+    #[test]
+    fn floats_survive_bit_for_bit() {
+        for f in [0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1e308, f64::NAN] {
+            let mut out = Vec::new();
+            encode_value(&Value::Float(f), &mut out);
+            let mut pos = 0;
+            let Value::Float(back) = decode_value(&out, &mut pos).unwrap() else {
+                panic!("float expected");
+            };
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn varints_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+        }
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn single_archive_roundtrip_and_file_io() {
+        let store = sample_store();
+        let archive = store.get("g0").unwrap();
+        let back = archive_from_bytes(&archive_to_bytes(archive)).unwrap();
+        assert_eq!(&back, archive);
+
+        let path = std::env::temp_dir().join(format!("granula-binfmt-{}.gar", std::process::id()));
+        store.save(&path).unwrap();
+        let loaded = ArchiveStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        let _ = std::fs::remove_file(&path);
+    }
+}

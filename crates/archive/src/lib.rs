@@ -14,8 +14,20 @@
 //!
 //! Query patterns split `kind-id` on the *first* dash, so ids may contain
 //! dashes (`Compute@Worker-node-302` matches the actor id `node-302`);
-//! dangling or leading dashes are [`QueryError::BadSegment`] errors. See
-//! [`query`] for the full grammar.
+//! dangling or leading dashes are [`QueryError::BadSegment`] errors. A
+//! trailing `[start..end]` window restricts matches to operations starting
+//! inside the half-open microsecond range. See [`query`] for the full
+//! grammar.
+//!
+//! Beyond the per-query scans, the crate provides a *serving layer*:
+//!
+//! * [`binfmt`] — a versioned, self-describing binary format
+//!   ([`ArchiveStore::save`]/[`ArchiveStore::load`]) so archives are
+//!   simulated once and re-queried forever;
+//! * [`index::TreeIndex`] — kind→ops, actor→ops, and start-time interval
+//!   indexes with a query planner;
+//! * [`engine::QueryEngine`] — the indexed store with a bounded LRU
+//!   result cache, invalidated on `add`/`upsert`.
 //!
 //! ```
 //! use granula_archive::{JobArchive, JobMeta, Query};
@@ -31,11 +43,20 @@
 //! ```
 
 pub mod archive;
+pub mod binfmt;
+pub mod engine;
 pub mod format;
+pub mod index;
 pub mod query;
 pub mod store;
 
 pub use archive::{JobArchive, JobMeta};
+pub use binfmt::{
+    archive_from_bytes, archive_to_bytes, store_from_bytes, store_to_bytes, BinError,
+    BIN_FORMAT_VERSION, MAGIC,
+};
+pub use engine::{EngineStats, QueryEngine, QueryMode, DEFAULT_CACHE_CAPACITY};
 pub use format::{from_json, to_json, to_json_pretty, FormatError, FORMAT_VERSION};
-pub use query::{KindPattern, Query, QueryError, Segment};
+pub use index::{QueryPlan, TreeIndex};
+pub use query::{KindPattern, Query, QueryError, Segment, TimeWindow};
 pub use store::{ArchiveStore, ComparisonRow, DuplicateJobId};

@@ -4,10 +4,11 @@
 //! language is a small path grammar over the operation hierarchy:
 //!
 //! ```text
-//! query    := segment ("/" segment)*
+//! query    := segment ("/" segment)* window?
 //! segment  := mission ("@" actor)?
 //! mission  := kind ("-" id)?            kind/id may be "*"
 //! actor    := kind ("-" id)?            kind/id may be "*"
+//! window   := "[" start? ".." end? "]"  microsecond timestamps
 //! ```
 //!
 //! A `kind-id` pattern splits on the *first* dash: the kind never
@@ -22,8 +23,15 @@
 //! * `GiraphJob/ProcessGraph/Superstep-4` — superstep 4 of the job;
 //! * `*/ProcessGraph/Superstep/Compute@Worker-*` — every worker-level
 //!   Compute under any superstep;
+//! * `Compute[1000000..2000000]` — Compute operations *starting* within
+//!   the half-open window `[1 s, 2 s)`; either bound may be omitted
+//!   (`[..5000]`, `[5000..]`);
 //! * a single segment such as `LoadGraph` can also be searched anywhere in
 //!   the tree via [`Query::find_all`].
+//!
+//! Results are returned in ascending operation-id order (the tree's
+//! insertion order), which makes query output canonical: the indexed
+//! engine in [`crate::engine`] and the scans here agree byte-for-byte.
 
 use std::fmt;
 
@@ -38,6 +46,8 @@ pub enum QueryError {
     Empty,
     /// A segment was malformed (e.g. empty mission, dangling `@`).
     BadSegment(String),
+    /// A time window was malformed (e.g. `[x..]`, unbalanced brackets).
+    BadWindow(String),
 }
 
 impl fmt::Display for QueryError {
@@ -45,6 +55,7 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Empty => write!(f, "empty query"),
             QueryError::BadSegment(s) => write!(f, "malformed query segment `{s}`"),
+            QueryError::BadWindow(s) => write!(f, "malformed time window in `{s}`"),
         }
     }
 }
@@ -124,29 +135,87 @@ impl Segment {
     }
 }
 
+/// A half-open `[start, end)` filter over operation *start* times, in
+/// microseconds since job epoch. `None` bounds are open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive lower bound on the start time.
+    pub start_us: Option<u64>,
+    /// Exclusive upper bound on the start time.
+    pub end_us: Option<u64>,
+}
+
+impl TimeWindow {
+    /// Does an operation starting at `start` (if known) fall in the window?
+    /// Operations without a recorded start time never match a window.
+    pub fn contains(&self, start: Option<u64>) -> bool {
+        let Some(s) = start else { return false };
+        self.start_us.is_none_or(|lo| s >= lo) && self.end_us.is_none_or(|hi| s < hi)
+    }
+
+    fn parse(s: &str) -> Result<Self, QueryError> {
+        let Some((lo, hi)) = s.split_once("..") else {
+            return Err(QueryError::BadWindow(s.to_string()));
+        };
+        let bound = |b: &str| -> Result<Option<u64>, QueryError> {
+            if b.is_empty() {
+                return Ok(None);
+            }
+            b.parse::<u64>()
+                .map(Some)
+                .map_err(|_| QueryError::BadWindow(s.to_string()))
+        };
+        Ok(TimeWindow {
+            start_us: bound(lo)?,
+            end_us: bound(hi)?,
+        })
+    }
+}
+
 /// A parsed path query.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Query {
     /// Segments from root to target.
     pub segments: Vec<Segment>,
+    /// Optional filter on the start time of matched operations.
+    pub window: Option<TimeWindow>,
 }
 
 impl Query {
-    /// Parses a `/`-separated query string.
+    /// Parses a `/`-separated query string with an optional trailing
+    /// `[start..end]` time window.
     pub fn parse(s: &str) -> Result<Self, QueryError> {
         if s.trim().is_empty() {
             return Err(QueryError::Empty);
         }
-        let segments = s
+        let (path, window) = match (s.ends_with(']'), s.find('[')) {
+            (true, Some(open)) => (
+                &s[..open],
+                Some(TimeWindow::parse(&s[open + 1..s.len() - 1])?),
+            ),
+            (false, None) => (s, None),
+            // A `[` without closing `]` (or vice versa) is malformed.
+            _ => return Err(QueryError::BadWindow(s.to_string())),
+        };
+        if path.trim().is_empty() {
+            return Err(QueryError::Empty);
+        }
+        let segments = path
             .split('/')
             .map(Segment::parse)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Query { segments })
+        Ok(Query { segments, window })
+    }
+
+    /// Window acceptance for one operation (`true` when the query has no
+    /// window).
+    pub fn window_accepts(&self, op: &Operation) -> bool {
+        self.window.is_none_or(|w| w.contains(op.start_us()))
     }
 
     /// Evaluates the query as an *absolute path* from the root: the first
     /// segment must match the root, each following segment matches children
-    /// of the previous matches.
+    /// of the previous matches. Results are in ascending operation-id order.
     pub fn select(&self, tree: &OperationTree) -> Vec<OpId> {
         let _span = granula_trace::span!("archiving", "query.select {self}");
         let Some(root) = tree.root() else {
@@ -171,18 +240,22 @@ impl Query {
                 break;
             }
         }
+        frontier.retain(|&id| self.window_accepts(tree.op(id)));
+        // Canonical order: operation ids, not frontier-expansion order.
+        frontier.sort_unstable();
         frontier
     }
 
     /// Evaluates the *last* segment anywhere in the tree (descendant search);
     /// preceding segments, if any, must match the chain of ancestors
-    /// immediately above the hit.
+    /// immediately above the hit. Results are in ascending operation-id
+    /// order (insertion order).
     pub fn find_all(&self, tree: &OperationTree) -> Vec<OpId> {
         let _span = granula_trace::span!("archiving", "query.find_all {self}");
         let last = self.segments.last().expect("parse guarantees >= 1 segment");
         let mut out = Vec::new();
         'op: for op in tree.iter() {
-            if !last.matches(op) {
+            if !last.matches(op) || !self.window_accepts(op) {
                 continue;
             }
             // Walk ancestors to match the remaining segments right-to-left.
@@ -225,6 +298,17 @@ impl fmt::Display for Query {
                     write!(f, "-{id}")?;
                 }
             }
+        }
+        if let Some(w) = &self.window {
+            write!(f, "[")?;
+            if let Some(lo) = w.start_us {
+                write!(f, "{lo}")?;
+            }
+            write!(f, "..")?;
+            if let Some(hi) = w.end_us {
+                write!(f, "{hi}")?;
+            }
+            write!(f, "]")?;
         }
         Ok(())
     }
@@ -344,9 +428,69 @@ mod tests {
             "LoadGraph@*-3",
             "Worker-node-302",
             "*/Compute@Worker-node-302",
+            "Compute[100..200]",
+            "*/Compute@Worker-1[..5000]",
+            "LoadGraph[99..]",
+            "LoadGraph[..]",
         ] {
             let q = Query::parse(s).unwrap();
             assert_eq!(Query::parse(&q.to_string()).unwrap(), q, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn window_filters_by_start_time() {
+        // Compute starts are 0 for all four children in `tree()`; give the
+        // supersteps distinct start times instead.
+        let mut t = tree();
+        let ss: Vec<_> = t.by_mission_kind("Superstep").map(|o| o.id).collect();
+        for (i, id) in ss.iter().enumerate() {
+            t.set_info(
+                *id,
+                Info::raw(
+                    granula_model::names::START_TIME,
+                    InfoValue::Int(1_000 * (i as i64 + 1)),
+                ),
+            )
+            .unwrap();
+        }
+        let all = Query::parse("Superstep").unwrap().find_all(&t);
+        assert_eq!(all.len(), 2);
+        let first = Query::parse("Superstep[1000..2000]").unwrap().find_all(&t);
+        assert_eq!(first, vec![ss[0]]);
+        // End bound is exclusive, start inclusive.
+        let none = Query::parse("Superstep[..1000]").unwrap().find_all(&t);
+        assert!(none.is_empty());
+        let both = Query::parse("Superstep[1000..]").unwrap().find_all(&t);
+        assert_eq!(both.len(), 2);
+        // select applies the same filter.
+        let sel = Query::parse("GiraphJob/ProcessGraph/Superstep[2000..]")
+            .unwrap()
+            .select(&t);
+        assert_eq!(sel, vec![ss[1]]);
+        // Ops without a start time never match a window.
+        let computes = Query::parse("Compute[0..]").unwrap().find_all(&t);
+        assert!(computes.is_empty());
+    }
+
+    #[test]
+    fn malformed_windows_rejected() {
+        for s in [
+            "A[1..2",
+            "A]1..2]",
+            "A[x..]",
+            "A[1.5..2]",
+            "A[12]",
+            "[1..2]",
+        ] {
+            assert!(
+                matches!(
+                    Query::parse(s),
+                    Err(QueryError::BadWindow(_) | QueryError::Empty)
+                ),
+                "expected window error for {s:?}, got {:?}",
+                Query::parse(s)
+            );
         }
     }
 

@@ -14,6 +14,7 @@ use granula_viz::{BreakdownChart, BreakdownRow};
 
 fn main() {
     let trace = granula_bench::trace_out_flag();
+    let archive_out = granula_bench::archive_out_flag();
     header("Figure 5 — Domain-level job decomposition (BFS, dg1000, 8 nodes)");
     let mut chart = BreakdownChart::new();
 
@@ -86,5 +87,6 @@ fn main() {
 
     println!("{}", chart.render_text(72));
     save_figure("fig5_decomposition.svg", &chart.render_svg());
+    granula_bench::write_archive_store(&archive_out, results.iter().map(|r| &r.report.archive));
     granula_bench::write_trace(&trace);
 }

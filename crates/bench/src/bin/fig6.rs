@@ -14,6 +14,7 @@ use granula_viz::TimelineChart;
 
 fn main() {
     let trace = granula_bench::trace_out_flag();
+    let archive_out = granula_bench::archive_out_flag();
     header("Figure 6 — CPU utilization of Giraph operations (BFS, dg1000, 8 nodes)");
     println!("running Giraph ...");
     let result = dg1000(Platform::Giraph);
@@ -67,5 +68,6 @@ fn main() {
     println!("  setup not compute-intensive:   {}", setup < 0.1 * load);
     println!("  LoadGraph CPU-heavy:           {}", load > proc_);
     println!("  ProcessGraph under-utilized:   {}", proc_ < 0.5 * 256.0);
+    granula_bench::write_archive_store(&archive_out, [&result.report.archive]);
     granula_bench::write_trace(&trace);
 }

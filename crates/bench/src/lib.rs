@@ -58,6 +58,33 @@ pub fn write_trace(path: &Option<String>) {
     print!("{}", granula_trace::metrics_snapshot());
 }
 
+/// Parses `--archive-out <path>` from the process arguments; when present,
+/// the figure binary packs the job archives it produced into a persistent
+/// binary store ([`granula_archive::ArchiveStore::save`]) at that path,
+/// ready for `granula-cli archive query`/`stat`.
+pub fn archive_out_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--archive-out")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Packs `archives` into a binary store at `path` when [`archive_out_flag`]
+/// was given; a no-op otherwise. Call at the end of a figure binary's
+/// `main`, handing it the job archives the figure produced.
+pub fn write_archive_store<'a>(
+    path: &Option<String>,
+    archives: impl IntoIterator<Item = &'a granula_archive::JobArchive>,
+) {
+    let Some(path) = path else { return };
+    let mut store = granula_archive::ArchiveStore::new();
+    for archive in archives {
+        store.upsert(archive.clone());
+    }
+    store.save(path).expect("write archive store");
+    println!("  [archive store: {} jobs -> {path}]", store.len());
+}
+
 /// Prints a `paper vs measured` comparison row with a relative error.
 pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
     let err = if paper != 0.0 {

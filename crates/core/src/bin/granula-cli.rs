@@ -23,8 +23,10 @@ use granula::analysis::{diagnose, find_choke_points, ChokePointConfig, ChokePoin
 use granula::experiment::{run_experiment, Platform};
 use granula::metrics::{DomainBreakdown, Phase};
 use granula::regression::RegressionSuite;
-use granula_archive::{from_json, to_json_pretty, JobArchive, Query};
-use granula_viz::tree::render_operation_tree;
+use granula_archive::{
+    from_json, to_json_pretty, ArchiveStore, JobArchive, Query, QueryEngine, QueryMode,
+};
+use granula_viz::tree::{render_operation_tree, render_ops};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
         Some("model") => cmd_model(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("archive") => cmd_archive(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -70,7 +73,10 @@ fn print_usage() {
          \x20 diff       <baseline.json> <candidate.json> [--min-delta-ms 50] [--limit 20]\n\
          \x20 model      <giraph|powergraph|graphmat> [--out model.json]\n\
          \x20 suite      --out-dir <dir> [--vertices N] [--nodes K]\n\
-         \x20 trace      <quickstart|fig5> [--out trace.json] [--metrics metrics.txt]"
+         \x20 trace      <quickstart|fig5> [--out trace.json] [--metrics metrics.txt]\n\
+         \x20 archive    save  <store.gar> <archive.json> [more.json ...]\n\
+         \x20 archive    query <store.gar> <job-id|*> <path-query> [--find-all] [--explain]\n\
+         \x20 archive    stat  <store.gar>"
     );
 }
 
@@ -453,6 +459,107 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             println!("metrics snapshot -> {path}");
         }
         None => print!("{metrics}"),
+    }
+    Ok(())
+}
+
+/// `archive <save|query|stat>` — build, interrogate, and summarize
+/// persistent binary archive stores (`.gar`). `save` packs shared JSON
+/// envelopes into one indexed store; `query` serves path queries through
+/// the indexed [`QueryEngine`]; `stat` reports per-job index shapes.
+fn cmd_archive(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("save") => cmd_archive_save(&args[1..]),
+        Some("query") => cmd_archive_query(&args[1..]),
+        Some("stat") => cmd_archive_stat(&args[1..]),
+        Some(other) => Err(format!("unknown archive action `{other}` (try `help`)")),
+        None => Err("usage: archive <save|query|stat> ...".into()),
+    }
+}
+
+fn cmd_archive_save(args: &[String]) -> Result<(), String> {
+    let out = positional(args, 0).ok_or("usage: archive save <store.gar> <archive.json> ...")?;
+    let mut store = ArchiveStore::new();
+    let mut i = 1;
+    while let Some(path) = positional(args, i) {
+        let archive = load_archive(path)?;
+        let job_id = archive.meta.job_id.clone();
+        store
+            .add(archive)
+            .map_err(|e| format!("adding {path}: {e}"))?;
+        println!("packed {path} (job `{job_id}`)");
+        i += 1;
+    }
+    if store.is_empty() {
+        return Err("usage: archive save <store.gar> <archive.json> ...".into());
+    }
+    store.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    let bytes = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("{} jobs -> {out} ({bytes} bytes)", store.len());
+    Ok(())
+}
+
+fn cmd_archive_query(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: archive query <store.gar> <job-id|*> <query> [--find-all] [--explain]";
+    let store_path = positional(args, 0).ok_or(USAGE)?;
+    let job_pat = positional(args, 1).ok_or(USAGE)?;
+    let text = positional(args, 2).ok_or(USAGE)?;
+    let query = Query::parse(text).map_err(|e| e.to_string())?;
+    let mode = if args.iter().any(|a| a == "--find-all") {
+        QueryMode::FindAll
+    } else {
+        QueryMode::Select
+    };
+    let mut engine =
+        QueryEngine::load(store_path).map_err(|e| format!("loading {store_path}: {e}"))?;
+    let jobs: Vec<String> = engine
+        .store()
+        .iter()
+        .map(|a| a.meta.job_id.clone())
+        .filter(|id| job_pat == "*" || id == job_pat)
+        .collect();
+    if jobs.is_empty() {
+        return Err(format!("no job matches `{job_pat}` in {store_path}"));
+    }
+    for job_id in jobs {
+        if args.iter().any(|a| a == "--explain") {
+            if let Some(plan) = engine.explain(&job_id, &query) {
+                println!("# {job_id}: plan = {plan}");
+            }
+        }
+        let hits = engine
+            .query(&job_id, &query, mode)
+            .ok_or_else(|| format!("job `{job_id}` vanished from the store"))?;
+        println!("{job_id}: {} operations match `{query}`", hits.len());
+        let tree = &engine.store().get(&job_id).expect("job listed above").tree;
+        print!("{}", render_ops(tree, &hits));
+    }
+    Ok(())
+}
+
+fn cmd_archive_stat(args: &[String]) -> Result<(), String> {
+    let store_path = positional(args, 0).ok_or("usage: archive stat <store.gar>")?;
+    let engine = QueryEngine::load(store_path).map_err(|e| format!("loading {store_path}: {e}"))?;
+    println!(
+        "{store_path}: {} jobs (format v{})",
+        engine.store().len(),
+        granula_archive::BIN_FORMAT_VERSION
+    );
+    for archive in engine.store().iter() {
+        let meta = &archive.meta;
+        let idx = engine.index(&meta.job_id).expect("every job is indexed");
+        println!(
+            "  {:<28} {} on {} | {} ops, {} infos | index: {} mission kinds, {} actor kinds, {} timestamped",
+            meta.job_id,
+            meta.algorithm,
+            meta.platform,
+            archive.num_operations(),
+            archive.num_infos(),
+            idx.num_mission_kinds(),
+            idx.num_actor_kinds(),
+            idx.num_timestamped()
+        );
     }
     Ok(())
 }

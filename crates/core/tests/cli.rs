@@ -190,6 +190,103 @@ fn suite_writes_every_archive() {
 }
 
 #[test]
+fn archive_save_query_stat_roundtrip() {
+    let dir = workdir("archive");
+    let a = run_job(&dir, "a", &[]);
+    let store = dir.join("store.gar");
+
+    // Pack the JSON envelope into a binary store.
+    let save = cli()
+        .args([
+            "archive",
+            "save",
+            store.to_str().unwrap(),
+            a.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    assert!(String::from_utf8_lossy(&save.stdout).contains("1 jobs ->"));
+    assert!(store.exists());
+
+    // Query it back through the indexed engine; hits list mission paths.
+    let query = cli()
+        .args([
+            "archive",
+            "query",
+            store.to_str().unwrap(),
+            "*",
+            "GiraphJob/ProcessGraph/Superstep",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        query.status.success(),
+        "{}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    let text = String::from_utf8_lossy(&query.stdout);
+    assert!(text.contains("plan = mission-kind index `Superstep`"));
+    assert!(text.contains("operations match"));
+    assert!(text.contains("GiraphJob-0/ProcessGraph-0/Superstep-0"));
+
+    // A window query routes through the interval index and still matches.
+    let windowed = cli()
+        .args([
+            "archive",
+            "query",
+            store.to_str().unwrap(),
+            "*",
+            "*[0..1000000000]",
+            "--find-all",
+        ])
+        .output()
+        .unwrap();
+    assert!(windowed.status.success());
+    assert!(String::from_utf8_lossy(&windowed.stdout).contains("operations match"));
+
+    // Stat reports the index shapes.
+    let stat = cli()
+        .args(["archive", "stat", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(stat.status.success());
+    let text = String::from_utf8_lossy(&stat.stdout);
+    assert!(text.contains("1 jobs (format v1)"));
+    assert!(text.contains("mission kinds"));
+
+    // Unknown job ids and truncated stores fail loudly.
+    let miss = cli()
+        .args([
+            "archive",
+            "query",
+            store.to_str().unwrap(),
+            "nope",
+            "GiraphJob",
+        ])
+        .output()
+        .unwrap();
+    assert!(!miss.status.success());
+    assert!(String::from_utf8_lossy(&miss.stderr).contains("no job matches"));
+
+    let truncated = dir.join("truncated.gar");
+    let bytes = fs::read(&store).unwrap();
+    fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let bad = cli()
+        .args(["archive", "stat", truncated.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn flags_before_positionals_parse_correctly() {
     let dir = workdir("flag-order");
     let baseline = run_job(&dir, "base", &[]);

@@ -190,6 +190,26 @@ proptest! {
     }
 }
 
+/// A failure `line_roundtrip` once caught, promoted to a named case: an
+/// info whose text value is a single space. The line format delimits
+/// fields with whitespace, so a value that *is* whitespace survives only
+/// because the value field is last and parsed greedily — exactly the kind
+/// of boundary a format change would silently break.
+#[test]
+fn line_roundtrip_preserves_whitespace_only_text_value() {
+    let event = LogEvent::info(
+        0,
+        "A",
+        "a",
+        Actor::new("A", "0"),
+        Mission::new("A", "0"),
+        "A",
+        InfoValue::Text(" ".into()),
+    );
+    let line = event.to_line();
+    assert_eq!(parse_line(&line), Some(event));
+}
+
 /// Deterministic check: a well-formed stream assembles without warnings and
 /// with exact timestamps.
 #[test]

@@ -98,6 +98,42 @@ pub fn render_operation_tree(tree: &OperationTree, max_depth: usize) -> String {
     out
 }
 
+/// Renders a flat listing of selected operations — the output format of
+/// `granula-cli archive query`. Each row shows the operation's path from
+/// the root (mission kinds joined by `/`), its actor, duration, and start
+/// time, so query hits are readable without re-rendering the whole tree.
+pub fn render_ops(tree: &OperationTree, ids: &[granula_model::OpId]) -> String {
+    let mut out = String::new();
+    for &id in ids {
+        let op = tree.op(id);
+        // Path of mission names from root to the op.
+        let mut path = vec![op.mission.to_string()];
+        let mut cur = op.parent;
+        while let Some(pid) = cur {
+            let p = tree.op(pid);
+            path.push(p.mission.to_string());
+            cur = p.parent;
+        }
+        path.reverse();
+        let duration = op
+            .duration_us()
+            .map(|d| format!("{:.3}s", d as f64 / 1e6))
+            .unwrap_or_else(|| "?".into());
+        let start = op
+            .start_us()
+            .map(|s| format!("@{:.3}s", s as f64 / 1e6))
+            .unwrap_or_else(|| "@?".into());
+        out.push_str(&format!(
+            "{:<56} {:<12} {:>10} {:>12}\n",
+            path.join("/"),
+            op.actor.to_string(),
+            duration,
+            start
+        ));
+    }
+    out
+}
+
 /// Renders only the types at one abstraction level (the "focus only on the
 /// system components of interest" view of R3).
 pub fn render_level(model: &PerformanceModel, level: AbstractionLevel) -> String {

@@ -119,6 +119,31 @@ fn regression_suite_detects_injected_slowdown_end_to_end() {
     assert!(report.regressions.iter().any(|r| r.subject == "total"));
 }
 
+/// The headline numbers of the paper's §4.2 comparison, locked to the
+/// microsecond at full dg1000 scale: Giraph finishes BFS in 81.9 s,
+/// PowerGraph in 398.8 s. The simulation is deterministic, so these are
+/// exact constants — any calibration or scheduler change that moves them
+/// must update this test (and the EXPERIMENTS.md narrative) deliberately.
+#[test]
+fn headline_makespans_are_locked_to_the_microsecond() {
+    let giraph = granula::experiment::dg1000(Platform::Giraph);
+    assert_eq!(giraph.run.makespan_us, 81_924_428, "Giraph dg1000 makespan");
+    let powergraph = granula::experiment::dg1000(Platform::PowerGraph);
+    assert_eq!(
+        powergraph.run.makespan_us, 398_746_817,
+        "PowerGraph dg1000 makespan"
+    );
+    // The archived root spans the whole run; its runtime is the makespan.
+    for (result, expect) in [(&giraph, 81_924_428), (&powergraph, 398_746_817)] {
+        assert_eq!(
+            result.report.archive.total_runtime_us(),
+            Some(expect),
+            "{} archive runtime",
+            result.report.archive.meta.platform
+        );
+    }
+}
+
 #[test]
 fn simulation_is_deterministic() {
     let a = dg1000_quick(Platform::Giraph, 4_000);

@@ -1,0 +1,176 @@
+//! Golden-file snapshot tests: the textual figure renders are compared
+//! byte-for-byte against checked-in fixtures under `tests/golden/`.
+//!
+//! The whole pipeline is deterministic — same seed, same scheduler, same
+//! renders — so any byte of drift in these snapshots is a behavior change
+//! that must be reviewed, not noise. CI runs this suite twice
+//! back-to-back to prove the renders are bit-deterministic run-over-run.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test golden
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use granula::experiment::{dg1000_quick, Platform};
+use granula_monitor::ResourceKind;
+use granula_viz::{BreakdownChart, BreakdownRow, GanttChart, TimelineChart};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the fixture `name`, or rewrites the fixture
+/// when `UPDATE_GOLDEN=1`. On mismatch the panic message carries a
+/// line-level diff so the drift is readable straight from the test log.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        println!("updated golden fixture {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run `UPDATE_GOLDEN=1 cargo test \
+             --release --test golden` to create it",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let mut diff = String::new();
+    let mut shown = 0;
+    let (mut exp_lines, mut act_lines) = (expected.lines(), actual.lines());
+    let mut line_no = 0;
+    loop {
+        let (e, a) = (exp_lines.next(), act_lines.next());
+        line_no += 1;
+        if e.is_none() && a.is_none() {
+            break;
+        }
+        if e != a {
+            let _ = writeln!(diff, "  line {line_no}:");
+            let _ = writeln!(diff, "  - {}", e.unwrap_or("<end of fixture>"));
+            let _ = writeln!(diff, "  + {}", a.unwrap_or("<end of output>"));
+            shown += 1;
+            if shown == 10 {
+                let _ = writeln!(diff, "  ... (further differences elided)");
+                break;
+            }
+        }
+    }
+    panic!(
+        "golden mismatch for {name} ({} fixture lines vs {} output lines):\n{diff}\
+         if the change is intentional: UPDATE_GOLDEN=1 cargo test --release --test golden",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+/// Figure 5 — domain-level breakdown of both platforms, rendered exactly
+/// the way the `fig5` binary does (per-mission segments, width 72).
+#[test]
+fn golden_fig5_breakdown() {
+    let mut chart = BreakdownChart::new();
+    for platform in [Platform::Giraph, Platform::PowerGraph] {
+        let result = dg1000_quick(platform, 8_000);
+        let archive = &result.report.archive;
+        let mut row = BreakdownRow::new(platform.name(), result.breakdown.total_us);
+        for kind in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            let d = archive.total_duration_of_us(kind);
+            if d > 0 {
+                row = row.with_segment(kind, d);
+            }
+        }
+        chart.add_row(row);
+    }
+    check_golden("fig5_breakdown.txt", &chart.render_text(72));
+}
+
+/// Figure 6 — cumulative CPU timeline of the Giraph job with phase bands.
+#[test]
+fn golden_fig6_cpu_timeline() {
+    let result = dg1000_quick(Platform::Giraph, 8_000);
+    let archive = &result.report.archive;
+    let env = &result.report.env;
+    let mut chart = TimelineChart::new(env, ResourceKind::Cpu);
+    let root = archive.tree.root().expect("archived job has a root");
+    for kind in [
+        "Startup",
+        "LoadGraph",
+        "ProcessGraph",
+        "OffloadGraph",
+        "Cleanup",
+    ] {
+        if let Some(id) = archive.tree.child_by_mission(root, kind) {
+            let op = archive.tree.op(id);
+            if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                chart = chart.with_phase(kind, s, e);
+            }
+        }
+    }
+    check_golden("fig6_cpu_timeline.txt", &chart.render_text(96, 14));
+}
+
+/// Figure 8 — per-worker Gantt of the Giraph supersteps.
+#[test]
+fn golden_fig8_gantt() {
+    let result = dg1000_quick(Platform::Giraph, 8_000);
+    let gantt = GanttChart::from_archive(
+        &result.report.archive,
+        &["PreStep", "Compute", "PostStep"],
+        "Compute",
+    );
+    check_golden("fig8_gantt.txt", &gantt.render_text(80));
+}
+
+/// Network timeline of the Giraph job — the beyond-the-paper channel the
+/// monitoring layer exposes (message bursts during ProcessGraph).
+#[test]
+fn golden_network_timeline() {
+    let result = dg1000_quick(Platform::Giraph, 8_000);
+    let archive = &result.report.archive;
+    let env = &result.report.env;
+    let root = archive.tree.root().expect("archived job has a root");
+    let mut chart = TimelineChart::new(env, ResourceKind::Network);
+    for kind in ["LoadGraph", "ProcessGraph"] {
+        if let Some(id) = archive.tree.child_by_mission(root, kind) {
+            let op = archive.tree.op(id);
+            if let (Some(s), Some(e)) = (op.start_us(), op.end_us()) {
+                chart = chart.with_phase(kind, s, e);
+            }
+        }
+    }
+    check_golden("network_timeline.txt", &chart.render_text(96, 10));
+}
+
+/// The archive query listing (`granula-cli archive query` output body):
+/// path, actor, duration, start time of each superstep hit.
+#[test]
+fn golden_query_listing() {
+    let result = dg1000_quick(Platform::Giraph, 8_000);
+    let tree = &result.report.archive.tree;
+    let query = granula_archive::Query::parse("GiraphJob/ProcessGraph/Superstep").unwrap();
+    let hits = query.select(tree);
+    check_golden(
+        "query_supersteps.txt",
+        &granula_viz::tree::render_ops(tree, &hits),
+    );
+}
