@@ -12,9 +12,13 @@
 //!
 //! ```text
 //! +--------------------+----------------------+---------------------------+
-//! | magic  b"GRNA"     | version  u32 LE (=1) | payload  (tagged value)   |
+//! | magic  b"GRNA"     | version  u32 LE (=2) | payload  (tagged value)   |
 //! +--------------------+----------------------+---------------------------+
 //! ```
+//!
+//! Version history: v1 stores carry only the archive list; v2 adds the
+//! [`crate::store::RunMeta`] run header. Readers accept any version up to
+//! the current one — a v1 payload simply decodes with an empty header.
 //!
 //! The payload is one tagged value; trailing bytes after it are an error.
 //! Tagged values (all lengths/counts are LEB128 varints):
@@ -46,8 +50,8 @@ use crate::store::ArchiveStore;
 /// File magic: "GRanula Native Archive".
 pub const MAGIC: [u8; 4] = *b"GRNA";
 
-/// Current binary format version.
-pub const BIN_FORMAT_VERSION: u32 = 1;
+/// Current binary format version (v2: run-metadata header).
+pub const BIN_FORMAT_VERSION: u32 = 2;
 
 const TAG_NULL: u8 = 0x00;
 const TAG_BOOL: u8 = 0x01;
@@ -450,6 +454,36 @@ mod tests {
         for v in [i64::MIN, -1, 0, 1, i64::MAX] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn v1_payload_without_run_header_still_loads() {
+        // Reconstruct what a v1 writer produced: version 1 in the header
+        // and no `run` key in the payload object.
+        let store = sample_store();
+        let Value::Object(pairs) = store.to_value() else {
+            panic!("store serializes to an object");
+        };
+        let v1_payload =
+            Value::Object(pairs.into_iter().filter(|(k, _)| k == "archives").collect());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        encode_value(&v1_payload, &mut bytes);
+
+        let back = store_from_bytes(&bytes).expect("v1 stores stay loadable");
+        assert_eq!(back.len(), store.len());
+        assert!(back.run().is_empty());
+    }
+
+    #[test]
+    fn run_header_survives_binary_roundtrip() {
+        let mut store = sample_store();
+        store.set_run(crate::store::RunMeta::new("r3", 42_000_000, "ci"));
+        let back = store_from_bytes(&store_to_bytes(&store)).unwrap();
+        assert_eq!(back.run(), store.run());
+        // Determinism holds with the header present.
+        assert_eq!(store_to_bytes(&store), store_to_bytes(&back));
     }
 
     #[test]

@@ -229,9 +229,11 @@ impl QueryEngine {
         self.indexes.get(job_id)
     }
 
-    /// The plan the engine would use for `query` on `job_id`.
-    pub fn explain(&self, job_id: &str, query: &Query) -> Option<QueryPlan> {
-        self.indexes.get(job_id).map(|idx| idx.plan(query))
+    /// The plan the engine would use for `query` on `job_id` in `mode`.
+    pub fn explain(&self, job_id: &str, query: &Query, mode: QueryMode) -> Option<QueryPlan> {
+        self.indexes
+            .get(job_id)
+            .map(|idx| idx.plan_for(query, mode))
     }
 
     /// Counters accumulated since construction.
@@ -251,7 +253,7 @@ impl QueryEngine {
     pub fn evaluate(&self, job_id: &str, query: &Query, mode: QueryMode) -> Option<Vec<OpId>> {
         let archive = self.store.get(job_id)?;
         Some(match self.indexes.get(job_id) {
-            Some(idx) => match idx.candidates(&idx.plan(query)) {
+            Some(idx) => match idx.candidates(&idx.plan_for(query, mode)) {
                 Some(candidates) => evaluate_candidates(&archive.tree, query, mode, &candidates),
                 None => scan(&archive.tree, query, mode),
             },
@@ -284,7 +286,7 @@ impl QueryEngine {
         let index = self.indexes.get(job_id);
         let result = Arc::new(match index {
             Some(idx) => {
-                let plan = idx.plan(query);
+                let plan = idx.plan_for(query, mode);
                 match idx.candidates(&plan) {
                     Some(candidates) => {
                         self.stats.indexed_queries += 1;
@@ -416,8 +418,10 @@ mod tests {
 
     #[test]
     fn indexed_results_equal_scans() {
+        // Big enough to clear the planner's SCAN_THRESHOLD so both access
+        // paths are exercised; small trees legitimately always scan.
         let mut engine = QueryEngine::new();
-        engine.add(archive("j", 5)).unwrap();
+        engine.add(archive("j", 100)).unwrap();
         let tree = engine.store().get("j").unwrap().tree.clone();
         for (q, mode) in queries() {
             let expected = scan(&tree, &q, mode);
@@ -428,8 +432,20 @@ mod tests {
             assert_eq!(engine.evaluate("j", &q, mode).unwrap(), expected);
             assert_eq!(engine.stats(), stats);
         }
-        assert!(engine.stats().indexed_queries >= 5);
-        assert!(engine.stats().scan_queries >= 1);
+        assert!(engine.stats().indexed_queries >= 2);
+        assert!(engine.stats().scan_queries >= 5);
+    }
+
+    #[test]
+    fn tiny_archives_always_take_the_scan_path() {
+        let mut engine = QueryEngine::new();
+        engine.add(archive("j", 5)).unwrap(); // 16 ops <= SCAN_THRESHOLD
+        let tree = engine.store().get("j").unwrap().tree.clone();
+        for (q, mode) in queries() {
+            assert_eq!(*engine.query("j", &q, mode).unwrap(), scan(&tree, &q, mode));
+        }
+        assert_eq!(engine.stats().indexed_queries, 0);
+        assert_eq!(engine.stats().scan_queries, queries().len() as u64);
     }
 
     #[test]

@@ -22,7 +22,20 @@ use std::fmt;
 
 use granula_model::{OpId, OperationTree};
 
+use crate::engine::QueryMode;
 use crate::query::{Query, Segment, TimeWindow};
+
+/// Trees at or below this operation count always plan to the linear
+/// scan: on tiny archives, choosing a plan and materializing a candidate
+/// list costs more than walking the whole tree (measured in
+/// `BENCH_archive.json`, `tiny` group — the PR-5 small-query regression).
+pub const SCAN_THRESHOLD: usize = 128;
+
+/// An index path must shrink the work by at least this factor to beat
+/// the scan: each candidate pays an ancestor-chain walk, so a candidate
+/// list covering most of the tree is slower than visiting every
+/// operation once.
+pub const SCAN_FALLBACK_FACTOR: usize = 2;
 
 /// Secondary indexes for one operation tree.
 #[derive(Debug, Clone, Default)]
@@ -83,7 +96,11 @@ impl TreeIndex {
             Some(hi) => self.by_start.partition_point(|&(s, _)| s < hi),
             None => self.by_start.len(),
         };
-        let mut ids: Vec<OpId> = self.by_start[from..to].iter().map(|&(_, id)| id).collect();
+        // A reversed window (`hi <= lo`) selects nothing, like the oracle.
+        let mut ids: Vec<OpId> = self.by_start[from..to.max(from)]
+            .iter()
+            .map(|&(_, id)| id)
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -96,7 +113,7 @@ impl TreeIndex {
             Some(hi) => self.by_start.partition_point(|&(s, _)| s < hi),
             None => self.by_start.len(),
         };
-        to - from
+        to.saturating_sub(from)
     }
 
     /// Number of operations in the indexed tree.
@@ -157,6 +174,36 @@ impl TreeIndex {
             }
         }
         best
+    }
+
+    /// Cost-aware planning: [`plan`](Self::plan) plus the scan-fallback
+    /// rules that fix the tiny-query regression measured in PR 5.
+    ///
+    /// * Trees of at most [`SCAN_THRESHOLD`] operations plan to the
+    ///   scan — the fixed planning/materialization overhead dominates.
+    /// * [`QueryMode::Select`] queries without a time window plan to the
+    ///   scan: an anchored path walk only descends children matching the
+    ///   leading segments, which is never more work than filtering a
+    ///   kind candidate list through per-candidate ancestor walks.
+    /// * A candidate list must be at least [`SCAN_FALLBACK_FACTOR`]×
+    ///   smaller than the tree, otherwise the scan wins.
+    ///
+    /// Results are identical either way — only the access path changes.
+    pub fn plan_for(&self, query: &Query, mode: QueryMode) -> QueryPlan {
+        let scan = QueryPlan::FullScan { ops: self.ops };
+        if self.ops <= SCAN_THRESHOLD {
+            return scan;
+        }
+        if mode == QueryMode::Select && query.window.is_none() {
+            return scan;
+        }
+        let plan = self.plan(query);
+        if !matches!(plan, QueryPlan::FullScan { .. })
+            && plan.cardinality().saturating_mul(SCAN_FALLBACK_FACTOR) >= self.ops
+        {
+            return scan;
+        }
+        plan
     }
 
     /// Materializes the candidate list of a plan, ascending by id.
@@ -297,6 +344,19 @@ mod tests {
     }
 
     #[test]
+    fn reversed_window_selects_nothing() {
+        let idx = TreeIndex::build(&tree());
+        // `[hi..lo]` with hi > lo: the scan oracle matches nothing, so the
+        // index must agree instead of underflowing `to - from`.
+        let w = TimeWindow {
+            start_us: Some(2_000),
+            end_us: Some(500),
+        };
+        assert_eq!(idx.started_in(w).len(), 0);
+        assert_eq!(idx.window_cardinality(w), 0);
+    }
+
+    #[test]
     fn planner_picks_smallest_candidate_list() {
         let idx = TreeIndex::build(&tree());
 
@@ -331,6 +391,91 @@ mod tests {
         // Unknown kind plans to an empty candidate list, not a scan.
         let q = Query::parse("Nope").unwrap();
         assert_eq!(idx.plan(&q).cardinality(), 0);
+    }
+
+    #[test]
+    fn cost_threshold_plans_tiny_trees_to_scan() {
+        let idx = TreeIndex::build(&tree()); // 10 ops, under SCAN_THRESHOLD
+        for (text, mode) in [
+            ("Superstep", QueryMode::FindAll),
+            ("Superstep[0..500]", QueryMode::FindAll),
+            ("GiraphJob/Superstep", QueryMode::Select),
+        ] {
+            let q = Query::parse(text).unwrap();
+            assert_eq!(
+                idx.plan_for(&q, mode),
+                QueryPlan::FullScan { ops: 10 },
+                "tiny tree, query `{text}`"
+            );
+        }
+        // The raw planner stays cost-blind; the threshold lives in plan_for.
+        assert!(matches!(
+            idx.plan(&Query::parse("Superstep").unwrap()),
+            QueryPlan::MissionKindIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn cost_aware_planner_keeps_only_selective_paths_on_large_trees() {
+        // 1 root + 200 supersteps + 400 computes = 601 ops.
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("GiraphJob", "0"))
+            .unwrap();
+        for s in 0..200 {
+            let ss = t
+                .add_child(
+                    job,
+                    Actor::new("Job", "0"),
+                    Mission::new("Superstep", s.to_string()),
+                )
+                .unwrap();
+            t.set_info(
+                ss,
+                Info::raw(names::START_TIME, InfoValue::Int(100 * s as i64)),
+            )
+            .unwrap();
+            for w in 0..2 {
+                t.add_child(
+                    ss,
+                    Actor::new("Worker", w.to_string()),
+                    Mission::new("Compute", "0"),
+                )
+                .unwrap();
+            }
+        }
+        let idx = TreeIndex::build(&t);
+
+        // Selective kind list: indexed.
+        let q = Query::parse("Superstep").unwrap();
+        assert!(matches!(
+            idx.plan_for(&q, QueryMode::FindAll),
+            QueryPlan::MissionKindIndex {
+                candidates: 200,
+                ..
+            }
+        ));
+
+        // Unselective kind list (400 of 601 ops): the scan wins.
+        let q = Query::parse("Compute").unwrap();
+        assert_eq!(
+            idx.plan_for(&q, QueryMode::FindAll),
+            QueryPlan::FullScan { ops: 601 }
+        );
+
+        // Anchored select without a window: the path walk wins.
+        let q = Query::parse("GiraphJob/Superstep").unwrap();
+        assert_eq!(
+            idx.plan_for(&q, QueryMode::Select),
+            QueryPlan::FullScan { ops: 601 }
+        );
+
+        // A narrow window stays indexed even for selects.
+        let q = Query::parse("GiraphJob/Superstep[0..500]").unwrap();
+        assert!(matches!(
+            idx.plan_for(&q, QueryMode::Select),
+            QueryPlan::IntervalIndex { candidates: 5, .. }
+        ));
     }
 
     #[test]

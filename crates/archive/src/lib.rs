@@ -57,6 +57,6 @@ pub use binfmt::{
 };
 pub use engine::{EngineStats, QueryEngine, QueryMode, DEFAULT_CACHE_CAPACITY};
 pub use format::{from_json, to_json, to_json_pretty, FormatError, FORMAT_VERSION};
-pub use index::{QueryPlan, TreeIndex};
+pub use index::{QueryPlan, TreeIndex, SCAN_FALLBACK_FACTOR, SCAN_THRESHOLD};
 pub use query::{KindPattern, Query, QueryError, Segment, TimeWindow};
-pub use store::{ArchiveStore, ComparisonRow, DuplicateJobId};
+pub use store::{ArchiveStore, ComparisonRow, DuplicateJobId, RunMeta};

@@ -7,9 +7,48 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{from_field, DeError, Deserialize, Serialize, Value};
 
 use crate::archive::JobArchive;
+
+/// Metadata identifying one archived run inside a history sequence.
+///
+/// A store written by a benchmark or CI run carries this header so a
+/// directory of `.gar` files can be ordered into a time series without
+/// relying on filenames or filesystem timestamps. An empty `run_id`
+/// marks a store from before the header existed (binary format v1) or
+/// one that never claimed a place in a history.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Stable identifier of the run (e.g. `r4`, a CI build number).
+    pub run_id: String,
+    /// Wall-clock timestamp of the run, microseconds since the epoch.
+    /// Zero when unknown; ordering falls back to `run_id`.
+    pub timestamp_us: u64,
+    /// Free-form description (branch, commit, machine).
+    pub label: String,
+}
+
+impl RunMeta {
+    /// Creates a fully specified run header.
+    pub fn new(run_id: impl Into<String>, timestamp_us: u64, label: impl Into<String>) -> Self {
+        RunMeta {
+            run_id: run_id.into(),
+            timestamp_us,
+            label: label.into(),
+        }
+    }
+
+    /// True when no field was ever set (v1 stores decode to this).
+    pub fn is_empty(&self) -> bool {
+        self.run_id.is_empty() && self.timestamp_us == 0 && self.label.is_empty()
+    }
+
+    /// History ordering: by timestamp, then run id as a tie-break.
+    pub fn sort_key(&self) -> (u64, &str) {
+        (self.timestamp_us, &self.run_id)
+    }
+}
 
 /// Error returned by [`ArchiveStore::add`] when the store already holds
 /// an archive with the same job id.
@@ -40,15 +79,61 @@ pub struct ComparisonRow {
 }
 
 /// In-memory collection of performance archives.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ArchiveStore {
     archives: Vec<JobArchive>,
+    /// Run header stamped when the store is one entry of a history.
+    run: RunMeta,
+}
+
+// Hand-rolled serde impls rather than derives: stores written before the
+// run header existed (binary format v1) have no `run` key, and the derive
+// would reject them. Serialization keeps `archives` first so v2 payloads
+// are a pure field extension of v1.
+impl Serialize for ArchiveStore {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("archives".to_string(), self.archives.to_value()),
+            ("run".to_string(), self.run.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ArchiveStore {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("ArchiveStore object"))?;
+        let archives = from_field(pairs, "archives")?;
+        let run = match v.get("run") {
+            Some(rv) => RunMeta::from_value(rv)?,
+            // v1 store: no header was ever written.
+            None => RunMeta::default(),
+        };
+        Ok(ArchiveStore { archives, run })
+    }
 }
 
 impl ArchiveStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The run header, empty unless [`set_run`](Self::set_run) stamped it.
+    pub fn run(&self) -> &RunMeta {
+        &self.run
+    }
+
+    /// Stamps the run header carried by the serialized store.
+    pub fn set_run(&mut self, run: RunMeta) {
+        self.run = run;
+    }
+
+    /// Builder-style [`set_run`](Self::set_run).
+    pub fn with_run(mut self, run: RunMeta) -> Self {
+        self.run = run;
+        self
     }
 
     /// Adds an archive. Job ids are the store's lookup key
@@ -254,5 +339,35 @@ mod tests {
     #[test]
     fn regression_unknown_job_is_none() {
         assert_eq!(store().regression("g0", "nope"), None);
+    }
+
+    #[test]
+    fn run_header_roundtrips_and_orders() {
+        let mut s = store();
+        assert!(s.run().is_empty());
+        s.set_run(RunMeta::new("r7", 1_700_000_000_000_000, "nightly"));
+        let v = s.to_value();
+        let back = ArchiveStore::from_value(&v).unwrap();
+        assert_eq!(back.run(), s.run());
+        assert_eq!(back.len(), s.len());
+
+        let earlier = RunMeta::new("r9", 1_600_000_000_000_000, "x");
+        assert!(earlier.sort_key() < s.run().sort_key());
+        // Equal timestamps fall back to the run id.
+        let tie = RunMeta::new("r8", s.run().timestamp_us, "y");
+        assert!(s.run().sort_key() < tie.sort_key());
+    }
+
+    #[test]
+    fn store_without_run_key_decodes_to_default_header() {
+        // A v1 payload: only the `archives` field exists.
+        let s = store();
+        let Value::Object(pairs) = s.to_value() else {
+            panic!("store serializes to an object");
+        };
+        let v1 = Value::Object(pairs.into_iter().filter(|(k, _)| k == "archives").collect());
+        let back = ArchiveStore::from_value(&v1).unwrap();
+        assert!(back.run().is_empty());
+        assert_eq!(back.len(), 2);
     }
 }

@@ -15,14 +15,30 @@ use proptest::prelude::*;
 
 use granula_archive::{
     store_from_bytes, store_to_bytes, ArchiveStore, JobArchive, JobMeta, Query, QueryEngine,
-    QueryMode,
+    QueryMode, SCAN_THRESHOLD,
 };
 use granula_model::{names, Actor, Info, InfoValue, Mission, OperationTree};
 
 /// An archive whose tree mixes a handful of kinds (so kind indexes have
 /// real candidate lists) and stamps start times on a subset of operations
-/// (so interval queries select non-trivially).
+/// (so interval queries select non-trivially). Trees this size sit under
+/// the planner's `SCAN_THRESHOLD`, so these archives exercise the
+/// cost-based scan fallback; see [`arb_big_archive`] for the indexed
+/// paths.
 fn arb_archive(job_id: &'static str) -> impl Strategy<Value = JobArchive> {
+    arb_archive_sized(job_id, 0..40)
+}
+
+/// An archive big enough (> [`SCAN_THRESHOLD`] operations) that the
+/// planner actually routes selective queries through the indexes.
+fn arb_big_archive(job_id: &'static str) -> impl Strategy<Value = JobArchive> {
+    arb_archive_sized(job_id, 160..320)
+}
+
+fn arb_archive_sized(
+    job_id: &'static str,
+    nodes: std::ops::Range<usize>,
+) -> impl Strategy<Value = JobArchive> {
     (
         prop::collection::vec(
             (
@@ -31,7 +47,7 @@ fn arb_archive(job_id: &'static str) -> impl Strategy<Value = JobArchive> {
                 "[0-9]{1,2}",
                 prop::option::of(0u64..5_000),
             ),
-            0..40,
+            nodes,
         ),
         prop::collection::vec(
             ("[A-Za-z]{1,8}", any::<i64>().prop_map(InfoValue::Int)),
@@ -172,6 +188,39 @@ proptest! {
             prop_assert_eq!(&*selected, &q.select(&tree), "select over `{}`", &text);
             let found = engine.query("job-a", &q, QueryMode::FindAll).expect("job held");
             prop_assert_eq!(&*found, &q.find_all(&tree), "find_all over `{}`", &text);
+        }
+    }
+
+    /// Above the cost threshold the planner genuinely engages the
+    /// indexes — and its per-query choice (index route, low-selectivity
+    /// fallback, or Select-without-window fallback) must never change
+    /// what a query returns.
+    #[test]
+    fn cost_aware_planner_equals_scan_above_threshold(
+        a in arb_big_archive("job-a"),
+        queries in prop::collection::vec(arb_query_text(), 1..8),
+    ) {
+        let tree = a.tree.clone();
+        prop_assert!(tree.len() > SCAN_THRESHOLD, "archive must clear the threshold");
+        let mut engine = QueryEngine::new();
+        engine.add(a).expect("fresh id");
+        for text in queries {
+            let q = Query::parse(&text).expect("grammar-valid by construction");
+            for mode in [QueryMode::Select, QueryMode::FindAll] {
+                let oracle = match mode {
+                    QueryMode::Select => q.select(&tree),
+                    QueryMode::FindAll => q.find_all(&tree),
+                };
+                let got = engine.evaluate("job-a", &q, mode).expect("job held");
+                prop_assert_eq!(
+                    got,
+                    oracle,
+                    "planner route diverged for `{}` ({:?}, plan {:?})",
+                    &text,
+                    mode,
+                    engine.explain("job-a", &q, mode)
+                );
+            }
         }
     }
 

@@ -7,7 +7,11 @@
 //!   `--archive-out` (hundreds of operations);
 //! - `cluster`: a synthetic 200-superstep × 64-worker job (~13k
 //!   operations) — the shape one paper-scale experiment on a larger
-//!   cluster archives.
+//!   cluster archives;
+//! - `tiny`: an 8 × 8 job (74 operations) sitting under the planner's
+//!   `SCAN_THRESHOLD` — the crossover regime where PR 5 measured
+//!   `indexed` slower than `scan` and `plan_for` now falls back to the
+//!   scan, so `indexed` must track `scan` to within planning overhead.
 //!
 //! Three access paths per query shape:
 //!
@@ -143,6 +147,7 @@ fn archive_query(c: &mut Criterion) {
         dg1000_quick(Platform::Giraph, 8_000).report.archive,
     );
     bench_archive(c, "archive_query_cluster", cluster_archive(200, 64));
+    bench_archive(c, "archive_query_tiny", cluster_archive(8, 8));
 }
 
 criterion_group!(benches, archive_query);

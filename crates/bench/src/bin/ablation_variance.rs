@@ -10,13 +10,7 @@ use granula::calibration;
 use granula::experiment::{run_experiment, Platform};
 use granula::metrics::Phase;
 use granula_bench::header;
-
-fn mean_std(values: &[f64]) -> (f64, f64) {
-    let n = values.len() as f64;
-    let mean = values.iter().sum::<f64>() / n;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-    (mean, var.sqrt())
-}
+use granula_regress::stats::mean_std;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Ablation — decomposition variance over 5 graph instances (BFS, dg1000 scale)");

@@ -81,8 +81,27 @@ pub fn write_archive_store<'a>(
     for archive in archives {
         store.upsert(archive.clone());
     }
+    store = store.with_run(run_meta_from_env());
     store.save(path).expect("write archive store");
     println!("  [archive store: {} jobs -> {path}]", store.len());
+}
+
+/// Builds the store's run header from the environment, so CI can stamp
+/// the stores it archives into a regression history:
+///
+/// * `GRANULA_RUN_ID` — run identifier (e.g. the commit SHA);
+/// * `GRANULA_RUN_TIMESTAMP` — microseconds since epoch, ordering the
+///   run within a history (defaults to 0: "no recorded time");
+/// * `GRANULA_RUN_LABEL` — free-form description.
+///
+/// All unset: the default (empty) header, as before.
+pub fn run_meta_from_env() -> granula_archive::RunMeta {
+    let var = |name: &str| std::env::var(name).unwrap_or_default();
+    granula_archive::RunMeta::new(
+        var("GRANULA_RUN_ID"),
+        var("GRANULA_RUN_TIMESTAMP").parse().unwrap_or(0),
+        var("GRANULA_RUN_LABEL"),
+    )
 }
 
 /// Prints a `paper vs measured` comparison row with a relative error.
@@ -109,5 +128,20 @@ mod tests {
         save_figure("probe.txt", "x");
         assert!(d.join("probe.txt").exists());
         std::env::remove_var("GRANULA_FIGURES");
+    }
+
+    #[test]
+    fn run_meta_comes_from_the_environment() {
+        assert_eq!(run_meta_from_env(), granula_archive::RunMeta::default());
+        std::env::set_var("GRANULA_RUN_ID", "abc123");
+        std::env::set_var("GRANULA_RUN_TIMESTAMP", "42");
+        std::env::set_var("GRANULA_RUN_LABEL", "ci fig5");
+        let meta = run_meta_from_env();
+        assert_eq!(meta.run_id, "abc123");
+        assert_eq!(meta.timestamp_us, 42);
+        assert_eq!(meta.label, "ci fig5");
+        std::env::remove_var("GRANULA_RUN_ID");
+        std::env::remove_var("GRANULA_RUN_TIMESTAMP");
+        std::env::remove_var("GRANULA_RUN_LABEL");
     }
 }

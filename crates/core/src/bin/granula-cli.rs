@@ -26,7 +26,9 @@ use granula::regression::RegressionSuite;
 use granula_archive::{
     from_json, to_json_pretty, ArchiveStore, JobArchive, Query, QueryEngine, QueryMode,
 };
+use granula_regress::{analyze, render_text, History, Status, Tolerance};
 use granula_viz::tree::{render_operation_tree, render_ops};
+use granula_viz::trend::{render_trend_svg, TrendChart};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("archive") => cmd_archive(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -76,7 +79,9 @@ fn print_usage() {
          \x20 trace      <quickstart|fig5> [--out trace.json] [--metrics metrics.txt]\n\
          \x20 archive    save  <store.gar> <archive.json> [more.json ...]\n\
          \x20 archive    query <store.gar> <job-id|*> <path-query> [--find-all] [--explain]\n\
-         \x20 archive    stat  <store.gar>"
+         \x20 archive    stat  <store.gar>\n\
+         \x20 regress    <history-dir> [--current <store.gar>] [--out regress.json] [--svg trend.svg]\n\
+         \x20            [--tolerance 0.02] [--alpha 1e-3] [--window 4] [--label <text>]"
     );
 }
 
@@ -524,7 +529,7 @@ fn cmd_archive_query(args: &[String]) -> Result<(), String> {
     }
     for job_id in jobs {
         if args.iter().any(|a| a == "--explain") {
-            if let Some(plan) = engine.explain(&job_id, &query) {
+            if let Some(plan) = engine.explain(&job_id, &query, mode) {
                 println!("# {job_id}: plan = {plan}");
             }
         }
@@ -560,6 +565,85 @@ fn cmd_archive_stat(args: &[String]) -> Result<(), String> {
             idx.num_actor_kinds(),
             idx.num_timestamped()
         );
+    }
+    Ok(())
+}
+
+/// `regress <history-dir>`: the continuous performance-regression
+/// service. Ingests every `.gar` store in the directory as a time
+/// series (ordered by run header), optionally appends the run under
+/// test, and verdicts each per-job metric through the statistical
+/// detector of `granula-regress`. Exits nonzero on a `regressed`
+/// verdict so CI can gate on it.
+fn cmd_regress(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: regress <history-dir> [--current <store.gar>] [--out regress.json] \
+                         [--svg trend.svg] [--tolerance 0.02] [--alpha 1e-3] [--window 4] [--label <text>] \
+                         [--scale-current <factor>]";
+    let dir = positional(args, 0).ok_or(USAGE)?;
+    let mut tol = Tolerance::default();
+    if let Some(v) = flag(args, "--tolerance") {
+        tol.rel = v.parse().map_err(|e| format!("--tolerance: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--alpha") {
+        tol.alpha = v.parse().map_err(|e| format!("--alpha: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--window") {
+        tol.window = v.parse().map_err(|e| format!("--window: {e}"))?;
+    }
+    let mut history = History::load_dir(dir).map_err(|e| format!("loading {dir}: {e}"))?;
+    if let Some(current) = flag(args, "--current") {
+        let mut store =
+            ArchiveStore::load(&current).map_err(|e| format!("loading {current}: {e}"))?;
+        // Deterministic slowdown injection, for smoke-testing the gate
+        // itself (CI runs the fresh store twice: unscaled expecting `ok`,
+        // scaled past the band expecting a nonzero exit).
+        if let Some(factor) = flag(args, "--scale-current") {
+            let factor: f64 = factor
+                .parse()
+                .map_err(|e| format!("--scale-current: {e}"))?;
+            store = granula_regress::scaled_store(&store, factor);
+        }
+        if let Some(label) = flag(args, "--label") {
+            let mut run = store.run().clone();
+            run.label = label;
+            store.set_run(run);
+        }
+        let source = std::path::Path::new(&current)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| current.clone());
+        history.push_latest(store, source);
+    }
+    if history.is_empty() {
+        return Err(format!("no .gar stores found under {dir}"));
+    }
+    let (report, analyzed) = analyze(&mut history, &tol);
+    print!("{}", render_text(&report));
+    let out = flag(args, "--out").unwrap_or_else(|| "regress.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    if let Some(svg_path) = flag(args, "--svg") {
+        let charts: Vec<TrendChart> = analyzed
+            .iter()
+            .map(|a| {
+                let mut chart =
+                    TrendChart::new(format!("{} {}", a.series.job_id, a.series.metric), "us");
+                for (i, value) in a.series.values.iter().enumerate() {
+                    chart.push(report.runs[a.series.run_indexes[i]].run_id.clone(), *value);
+                }
+                let m = a.detection.baseline_mean;
+                chart.band = Some((m * (1.0 - tol.rel), m * (1.0 + tol.rel)));
+                chart.flagged = a.detection.first_offending;
+                chart
+            })
+            .collect();
+        fs::write(&svg_path, render_trend_svg(&charts))
+            .map_err(|e| format!("writing {svg_path}: {e}"))?;
+        println!("wrote {svg_path}");
+    }
+    if report.verdict == Status::Regressed {
+        return Err("performance regression detected (see report above)".to_string());
     }
     Ok(())
 }

@@ -214,6 +214,8 @@ fn archive_save_query_stat_roundtrip() {
     assert!(store.exists());
 
     // Query it back through the indexed engine; hits list mission paths.
+    // An anchored select without a window is cost-planned to the scan
+    // (the anchored walk already prunes; see TreeIndex::plan_for).
     let query = cli()
         .args([
             "archive",
@@ -231,8 +233,29 @@ fn archive_save_query_stat_roundtrip() {
         String::from_utf8_lossy(&query.stderr)
     );
     let text = String::from_utf8_lossy(&query.stdout);
-    assert!(text.contains("plan = mission-kind index `Superstep`"));
+    assert!(text.contains("plan = full scan"), "{text}");
     assert!(text.contains("operations match"));
+    assert!(text.contains("GiraphJob-0/ProcessGraph-0/Superstep-0"));
+
+    // A selective find-all genuinely engages the mission-kind index.
+    let find_all = cli()
+        .args([
+            "archive",
+            "query",
+            store.to_str().unwrap(),
+            "*",
+            "ProcessGraph/Superstep",
+            "--find-all",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(find_all.status.success());
+    let text = String::from_utf8_lossy(&find_all.stdout);
+    assert!(
+        text.contains("plan = mission-kind index `Superstep`"),
+        "{text}"
+    );
     assert!(text.contains("GiraphJob-0/ProcessGraph-0/Superstep-0"));
 
     // A window query routes through the interval index and still matches.
@@ -257,7 +280,7 @@ fn archive_save_query_stat_roundtrip() {
         .unwrap();
     assert!(stat.status.success());
     let text = String::from_utf8_lossy(&stat.stdout);
-    assert!(text.contains("1 jobs (format v1)"));
+    assert!(text.contains("1 jobs (format v2)"), "{text}");
     assert!(text.contains("mission kinds"));
 
     // Unknown job ids and truncated stores fail loudly.

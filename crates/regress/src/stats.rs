@@ -1,0 +1,450 @@
+//! The shared statistics layer: descriptive moments, Welch's t-test, a
+//! one-sample prediction test, and a changepoint scan over sliding
+//! windows.
+//!
+//! Extracted from the variance-ablation machinery in `granula-bench`
+//! (which now reuses [`mean_std`]) and grown into the statistical core of
+//! the regression service. Everything is pure, dependency-free `f64`
+//! arithmetic; p-values come from the Student-t distribution evaluated
+//! through the regularized incomplete beta function (Lentz's continued
+//! fraction), so no lookup tables and no external crates.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Mean and *population* standard deviation (the spread estimator the
+/// variance ablation reports: divisor `n`, not `n - 1`).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Mean and *unbiased* sample variance (divisor `n - 1`), the pair the
+/// t-tests are built on. Variance is 0 for fewer than two samples.
+pub fn sample_mean_var(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    if values.len() < 2 {
+        return (mean(values), 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Outcome of a t-test: the statistic, its degrees of freedom, and the
+/// two-sided p-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic. Positive means the second sample (or the tested
+    /// point) is *larger* than the first sample's mean.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the two-sample test).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+/// Welch's unequal-variances t-test between two samples. Returns `None`
+/// when either sample has fewer than two points. Deterministic-simulation
+/// degeneracies (both samples constant) are mapped to `p = 1` for equal
+/// means and `p = 0` otherwise.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, va) = sample_mean_var(a);
+    let (mb, vb) = sample_mean_var(b);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return Some(degenerate(ma, mb, na + nb - 2.0));
+    }
+    let t = (mb - ma) / se2.sqrt();
+    let tail = |v: f64, n: f64| {
+        if v > 0.0 {
+            (v / n).powi(2) / (n - 1.0)
+        } else {
+            0.0
+        }
+    };
+    let denom = tail(va, na) + tail(vb, nb);
+    let df = if denom > 0.0 {
+        se2.powi(2) / denom
+    } else {
+        na + nb - 2.0
+    };
+    Some(TTest {
+        t,
+        df,
+        p: t_sf_two_sided(t, df),
+    })
+}
+
+/// One-sample *prediction* test: is the single observation `x` consistent
+/// with being one more draw from the population behind `baseline`? Uses
+/// the prediction-interval standard error `s * sqrt(1 + 1/n)` with
+/// `n - 1` degrees of freedom. Returns `None` for fewer than two
+/// baseline points.
+pub fn prediction_t_test(baseline: &[f64], x: f64) -> Option<TTest> {
+    if baseline.len() < 2 {
+        return None;
+    }
+    let n = baseline.len() as f64;
+    let (m, v) = sample_mean_var(baseline);
+    let se2 = v * (1.0 + 1.0 / n);
+    if se2 <= 0.0 {
+        return Some(degenerate(m, x, n - 1.0));
+    }
+    let t = (x - m) / se2.sqrt();
+    Some(TTest {
+        t,
+        df: n - 1.0,
+        p: t_sf_two_sided(t, n - 1.0),
+    })
+}
+
+/// Zero-variance fallback: equal values are a certain match, different
+/// values a certain mismatch.
+fn degenerate(base: f64, other: f64, df: f64) -> TTest {
+    if other == base {
+        TTest { t: 0.0, df, p: 1.0 }
+    } else {
+        TTest {
+            t: if other > base {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            },
+            df,
+            p: 0.0,
+        }
+    }
+}
+
+// ------------------------------------------------------- t distribution
+
+/// Two-sided survival probability of a Student-t statistic:
+/// `P(|T| >= |t|)` for `df` degrees of freedom, via
+/// `I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn t_sf_two_sided(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    if df <= 0.0 || !df.is_finite() {
+        return 1.0;
+    }
+    reg_inc_beta(df / 2.0, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the continued fraction inputs positive.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Continued-fraction kernel of the incomplete beta function (modified
+/// Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Pick the representation whose continued fraction converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+// ------------------------------------------------------------ changepoint
+
+/// A statistically significant level shift located inside a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangePoint {
+    /// Index of the first offending sample: the earliest run whose value
+    /// breaches the tolerance band around the preceding baseline, in the
+    /// direction of the detected shift.
+    pub index: usize,
+    /// The t statistic at the detected split (sign = shift direction).
+    pub t: f64,
+    /// Two-sided p-value at the detected split.
+    pub p: f64,
+    /// Mean of the series before [`index`](Self::index).
+    pub before_mean: f64,
+    /// Mean of the post-shift window at the detected split.
+    pub after_mean: f64,
+}
+
+/// Scans a series for a level shift: every split point compares the full
+/// prefix against a sliding window of up to `window` following samples
+/// with Welch's t-test (or the one-sample prediction test when only the
+/// final sample remains). A split is *significant* when its p-value is
+/// below `alpha` **and** the relative mean shift exceeds
+/// `min_rel_shift` — the band gate is primary, so statistically resolvable
+/// but operationally irrelevant micro-shifts are never flagged. Among
+/// significant splits the largest `|t|` wins (earliest on ties), then the
+/// index is walked back to the first sample breaching the band in the
+/// shift's direction.
+///
+/// Returns `None` for series shorter than 4 samples or when no split is
+/// significant.
+pub fn changepoint_scan(
+    series: &[f64],
+    window: usize,
+    alpha: f64,
+    min_rel_shift: f64,
+) -> Option<ChangePoint> {
+    let n = series.len();
+    if n < 4 {
+        return None;
+    }
+    let window = window.max(2);
+    let rel = |from: f64, to: f64| (to - from) / from.abs().max(f64::EPSILON);
+    let mut best: Option<ChangePoint> = None;
+    for i in 2..n {
+        let pre = &series[..i];
+        let post = &series[i..(i + window).min(n)];
+        let test = if post.len() >= 2 {
+            welch_t_test(pre, post)
+        } else {
+            prediction_t_test(pre, post[0])
+        };
+        let Some(test) = test else { continue };
+        let (pre_mean, post_mean) = (mean(pre), mean(post));
+        let shift = rel(pre_mean, post_mean);
+        if test.p < alpha && shift.abs() > min_rel_shift {
+            // Strict `>` keeps the earliest split on |t| ties (e.g. two
+            // zero-variance infinities).
+            if best.as_ref().is_none_or(|b| test.t.abs() > b.t.abs()) {
+                best = Some(ChangePoint {
+                    index: i,
+                    t: test.t,
+                    p: test.p,
+                    before_mean: pre_mean,
+                    after_mean: post_mean,
+                });
+            }
+        }
+    }
+    let mut cp = best?;
+    // Walk back to the onset: a drift's maximum-|t| split sits well after
+    // the first band breach.
+    let upward = cp.after_mean > cp.before_mean;
+    while cp.index > 2 {
+        let prev = cp.index - 1;
+        let base = mean(&series[..prev]);
+        let dev = rel(base, series[prev]);
+        if dev.abs() > min_rel_shift && (dev > 0.0) == upward {
+            cp.index = prev;
+        } else {
+            break;
+        }
+    }
+    cp.before_mean = mean(&series[..cp.index]);
+    Some(cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let (m, s) = mean_std(&xs);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12, "population std, got {s}");
+        let (m2, v) = sample_mean_var(&xs);
+        assert_eq!(m, m2);
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn incomplete_beta_reference_values() {
+        // I_0.5(a, a) = 0.5 by symmetry.
+        for a in [0.5, 1.0, 2.0, 7.5] {
+            assert!((reg_inc_beta(a, a, 0.5) - 0.5).abs() < 1e-10);
+        }
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.1, 0.25, 0.9] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn t_distribution_reference_values() {
+        // df=1 is a Cauchy: P(|T| >= 1) = 0.5.
+        assert!((t_sf_two_sided(1.0, 1.0) - 0.5).abs() < 1e-9);
+        // Classic table entries.
+        assert!((t_sf_two_sided(2.228, 10.0) - 0.05).abs() < 5e-4);
+        assert!((t_sf_two_sided(2.086, 20.0) - 0.05).abs() < 5e-4);
+        assert!((t_sf_two_sided(0.0, 7.0) - 1.0).abs() < 1e-12);
+        assert_eq!(t_sf_two_sided(f64::INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    fn welch_detects_separated_samples() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [12.0, 12.1, 11.9, 12.05, 11.95];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t > 10.0, "t = {}", r.t);
+        assert!(r.p < 1e-6, "p = {}", r.p);
+        // Same distribution: insignificant.
+        let r = welch_t_test(&a, &[10.02, 9.97, 10.03, 9.98]).unwrap();
+        assert!(r.p > 0.1, "p = {}", r.p);
+        assert!(welch_t_test(&a, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn welch_handles_zero_variance() {
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        let r = welch_t_test(&flat, &[5.0, 5.0]).unwrap();
+        assert_eq!((r.t, r.p), (0.0, 1.0));
+        let r = welch_t_test(&flat, &[6.0, 6.0]).unwrap();
+        assert_eq!(r.p, 0.0);
+        assert_eq!(r.t, f64::INFINITY);
+    }
+
+    #[test]
+    fn prediction_test_widares_with_small_n() {
+        let base = [100.0, 101.0, 99.0, 100.5, 99.5];
+        let inside = prediction_t_test(&base, 100.2).unwrap();
+        assert!(inside.p > 0.5);
+        let outside = prediction_t_test(&base, 110.0).unwrap();
+        assert!(outside.p < 0.01, "p = {}", outside.p);
+        assert!(outside.t > 0.0);
+    }
+
+    #[test]
+    fn changepoint_finds_step_exactly() {
+        let mut series: Vec<f64> = Vec::new();
+        let noise = [0.001, -0.002, 0.0015, -0.0005, 0.002, -0.001];
+        for i in 0..8 {
+            series.push(100.0 * (1.0 + noise[i % noise.len()]));
+        }
+        for i in 0..6 {
+            series.push(110.0 * (1.0 + noise[(i + 3) % noise.len()]));
+        }
+        let cp = changepoint_scan(&series, 4, 1e-3, 0.02).expect("10% step is found");
+        assert_eq!(cp.index, 8);
+        assert!(cp.t > 0.0);
+        assert!((cp.before_mean - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn changepoint_walks_back_to_drift_onset() {
+        // 6 flat, 3 ramp steps of +4%, then a plateau.
+        let mut series = vec![100.0; 6];
+        for j in 1..=3 {
+            series.push(100.0 * (1.0 + 0.04 * j as f64));
+        }
+        series.extend([112.0; 5]);
+        let cp = changepoint_scan(&series, 4, 1e-3, 0.02).expect("drift is found");
+        assert_eq!(cp.index, 6, "first band breach is the first ramp step");
+    }
+
+    #[test]
+    fn changepoint_ignores_jitter_and_short_series() {
+        let series: Vec<f64> = (0..20)
+            .map(|i| 100.0 * (1.0 + 0.004 * ((i * 7 % 5) as f64 - 2.0) / 2.0))
+            .collect();
+        assert_eq!(changepoint_scan(&series, 4, 1e-3, 0.02), None);
+        assert_eq!(changepoint_scan(&[1.0, 2.0, 3.0], 4, 0.05, 0.0), None);
+    }
+
+    #[test]
+    fn changepoint_detects_improvement_direction() {
+        let mut series = vec![100.0, 100.1, 99.9, 100.05, 99.95, 100.0];
+        series.extend([90.0, 90.1, 89.9, 90.05]);
+        let cp = changepoint_scan(&series, 4, 1e-3, 0.02).unwrap();
+        assert_eq!(cp.index, 6);
+        assert!(cp.t < 0.0, "faster runs give a negative shift");
+    }
+}

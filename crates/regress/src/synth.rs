@@ -1,0 +1,97 @@
+//! Synthetic history construction: deterministic timing perturbation of
+//! archives, used by the fixture generator, the proptest suite, and CI's
+//! injected-slowdown smoke check.
+
+use granula_archive::ArchiveStore;
+use granula_model::{names, InfoValue, OperationTree};
+
+/// Multiplies every timing info (`StartTime`, `EndTime`, `Duration`) in
+/// the tree by `factor`, rounding to the nearest microsecond.
+///
+/// Scaling all three keeps the tree self-consistent:
+/// [`duration_us`](granula_model::Operation::duration_us) prefers the
+/// explicit `Duration` info over `EndTime - StartTime`, so scaling only
+/// the endpoints would leave stale durations behind.
+pub fn scale_timings(tree: &mut OperationTree, factor: f64) {
+    for id in tree.dfs() {
+        let op = tree.op_mut(id);
+        for info in &mut op.infos {
+            if info.name != names::START_TIME
+                && info.name != names::END_TIME
+                && info.name != names::DURATION
+            {
+                continue;
+            }
+            if let InfoValue::Int(v) = info.value {
+                info.value = InfoValue::Int((v as f64 * factor).round() as i64);
+            }
+        }
+    }
+}
+
+/// A deep copy of `store` with every archive's timings scaled by
+/// `factor`. The run header is preserved; restamp it with
+/// [`ArchiveStore::set_run`] when the copy joins a history as a new run.
+pub fn scaled_store(store: &ArchiveStore, factor: f64) -> ArchiveStore {
+    let mut out = ArchiveStore::new().with_run(store.run().clone());
+    for archive in store.iter() {
+        let mut archive = archive.clone();
+        scale_timings(&mut archive.tree, factor);
+        out.add(archive).expect("source store has unique job ids");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granula_archive::{JobArchive, JobMeta};
+    use granula_model::{Actor, Info, Mission};
+
+    fn store(total_us: i64) -> ArchiveStore {
+        let mut t = OperationTree::new();
+        let job = t
+            .add_root(Actor::new("Job", "0"), Mission::new("GiraphJob", "0"))
+            .unwrap();
+        t.set_info(job, Info::raw(names::START_TIME, InfoValue::Int(0)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::END_TIME, InfoValue::Int(total_us)))
+            .unwrap();
+        t.set_info(job, Info::raw(names::DURATION, InfoValue::Int(total_us)))
+            .unwrap();
+        let mut s = ArchiveStore::new();
+        s.add(JobArchive::new(
+            JobMeta {
+                job_id: "j".into(),
+                ..JobMeta::default()
+            },
+            t,
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn scaling_moves_all_three_timing_infos() {
+        let scaled = scaled_store(&store(1_000_000), 1.05);
+        let a = scaled.get("j").unwrap();
+        assert_eq!(a.total_runtime_us(), Some(1_050_000));
+        let root = a.tree.root().unwrap();
+        assert_eq!(
+            a.tree.op(root).info_i64(names::END_TIME),
+            Some(1_050_000),
+            "endpoints scale together with the duration"
+        );
+    }
+
+    #[test]
+    fn unit_factor_is_identity() {
+        let base = store(123_456);
+        let scaled = scaled_store(&base, 1.0);
+        assert_eq!(
+            scaled.get("j").unwrap().tree,
+            base.get("j").unwrap().tree,
+            "factor 1.0 must not perturb rounded timings"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the shift detector — the statistical
+//! replacement for hand-locked goldens has to earn its two guarantees:
+//!
+//! 1. **No false positives**: deterministic-simulation jitter strictly
+//!    inside the tolerance band never flags, across a thousand generated
+//!    histories (this is what lets CI gate on the verdict).
+//! 2. **No missed onsets**: an injected step or ramp-and-plateau drift is
+//!    detected, attributed to the exact run where the shift began.
+
+use proptest::prelude::*;
+
+use granula_regress::{detect, Status, Tolerance};
+
+/// Applies multiplicative jitter to a constant base level.
+fn jittered(base: f64, jitter: &[f64]) -> Vec<f64> {
+    jitter.iter().map(|j| base * (1.0 + j)).collect()
+}
+
+/// Jitter strictly inside half the ±2% band: worst-case window means
+/// differ by under 1%, so the band gate must hold regardless of
+/// statistical significance.
+fn arb_jitter(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-0.005f64..0.005, len)
+}
+
+fn arb_base() -> impl Strategy<Value = f64> {
+    1.0e5f64..1.0e9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Guarantee 1: a jitter-only series never flags.
+    #[test]
+    fn jitter_only_series_never_flags(
+        base in arb_base(),
+        jitter in arb_jitter(6..24),
+    ) {
+        let series = jittered(base, &jitter);
+        let d = detect(&series, &Tolerance::default());
+        prop_assert_eq!(
+            d.status,
+            Status::Ok,
+            "false positive on jitter-only series: {:?} (series {:?})",
+            d,
+            series
+        );
+        prop_assert!(d.first_offending.is_none());
+    }
+
+    /// Guarantee 2a: a step shift past the band is always caught, and the
+    /// first offending index is exactly where the step landed.
+    #[test]
+    fn step_shift_is_detected_at_its_onset(
+        base in arb_base(),
+        pre in prop::collection::vec(-0.003f64..0.003, 5..12),
+        post in prop::collection::vec(-0.003f64..0.003, 4..8),
+        step in 0.04f64..0.15,
+    ) {
+        let mut series = jittered(base, &pre);
+        series.extend(jittered(base * (1.0 + step), &post));
+        let d = detect(&series, &Tolerance::default());
+        prop_assert_eq!(d.status, Status::Regressed, "missed +{}% step: {:?}", step * 100.0, d);
+        prop_assert_eq!(
+            d.first_offending,
+            Some(pre.len()),
+            "wrong onset for +{}% step over {} pre-runs: {:?}",
+            step * 100.0,
+            pre.len(),
+            d
+        );
+        prop_assert!(d.effect > 0.02, "effect {} under the band", d.effect);
+    }
+
+    /// Guarantee 2b: a ramp that drifts upward and plateaus is attributed
+    /// to the *first* ramp run, not to the statistically loudest split.
+    #[test]
+    fn drift_is_walked_back_to_its_first_run(
+        base in arb_base(),
+        flat_len in 6usize..=10,
+        ramp_len in 2usize..=4,
+        step in 0.05f64..0.10,
+        plateau_len in 6usize..=10,
+        jitter in prop::collection::vec(-0.003f64..0.003, 30),
+    ) {
+        let mut series = Vec::new();
+        let mut level = base;
+        for j in &jitter[..flat_len] {
+            series.push(base * (1.0 + j));
+        }
+        for j in &jitter[flat_len..flat_len + ramp_len] {
+            level *= 1.0 + step;
+            series.push(level * (1.0 + j));
+        }
+        for j in &jitter[flat_len + ramp_len..flat_len + ramp_len + plateau_len] {
+            series.push(level * (1.0 + j));
+        }
+        let d = detect(&series, &Tolerance::default());
+        prop_assert_eq!(d.status, Status::Regressed, "missed drift: {:?}", d);
+        prop_assert_eq!(
+            d.first_offending,
+            Some(flat_len),
+            "drift onset is the first ramp run (flat {}, ramp {} x {}%): {:?}",
+            flat_len,
+            ramp_len,
+            step * 100.0,
+            d
+        );
+    }
+
+    /// Downward shifts are reported as improvements, never regressions.
+    #[test]
+    fn speedups_are_improvements(
+        base in arb_base(),
+        pre in prop::collection::vec(-0.003f64..0.003, 5..10),
+        post in prop::collection::vec(-0.003f64..0.003, 4..8),
+        drop in 0.04f64..0.15,
+    ) {
+        let mut series = jittered(base, &pre);
+        series.extend(jittered(base * (1.0 - drop), &post));
+        let d = detect(&series, &Tolerance::default());
+        prop_assert_eq!(d.status, Status::Improved, "{:?}", d);
+        prop_assert!(d.effect < -0.02);
+    }
+}

@@ -11,7 +11,9 @@
 //!   (Figures 6–7),
 //! * [`gantt`] — per-worker operation charts exposing imbalance (Figure 8),
 //! * [`tree`] — performance-model and operation hierarchies (Figures 1, 4),
-//! * [`report`] — a self-contained HTML report combining everything.
+//! * [`report`] — a self-contained HTML report combining everything,
+//! * [`trend`] — metric trends over an archive history, the rendering
+//!   side of the `granula-cli regress` service.
 //!
 //! Every renderer has a plain-text (terminal) output; the timeline,
 //! breakdown, and gantt renderers also emit dependency-free SVG via
@@ -24,9 +26,11 @@ pub mod report;
 pub mod svg;
 pub mod timeline;
 pub mod tree;
+pub mod trend;
 
 pub use breakdown::{BreakdownChart, BreakdownRow, Segment};
 pub use diff::{diff_archives, render_diff, DiffRow};
 pub use gantt::GanttChart;
 pub use svg::SvgCanvas;
 pub use timeline::TimelineChart;
+pub use trend::{render_trend_svg, TrendChart};

@@ -1,0 +1,177 @@
+//! Trend charts: one metric's value across a run history, with the
+//! tolerance band and the first offending run highlighted. The rendering
+//! side of the regression service's `regress.json`.
+
+use crate::svg::{SvgCanvas, PALETTE};
+
+/// One metric series prepared for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendChart {
+    /// Chart title, e.g. `"giraph-bfs-dg1000 makespan"`.
+    pub title: String,
+    /// Unit suffix printed after values, e.g. `"us"`.
+    pub unit: String,
+    /// `(label, value)` per run, oldest first.
+    pub points: Vec<(String, f64)>,
+    /// Tolerance band `(low, high)` around the baseline mean, drawn as a
+    /// shaded corridor; omitted when `None`.
+    pub band: Option<(f64, f64)>,
+    /// Index of the first offending run, marked on the chart.
+    pub flagged: Option<usize>,
+}
+
+impl TrendChart {
+    /// A chart with no band and no flag.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        TrendChart {
+            title: title.into(),
+            unit: unit.into(),
+            points: Vec::new(),
+            band: None,
+            flagged: None,
+        }
+    }
+
+    /// Appends a run's value.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.points.push((label.into(), value));
+    }
+
+    /// Plain-text sparkline rendering: one line per run, a bar scaled to
+    /// the series maximum, the flagged run marked with `<<`.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{} [{}]\n", self.title, self.unit);
+        let max = self
+            .points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::EPSILON, f64::max);
+        let label_w = self.points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        const BAR: usize = 40;
+        for (i, (label, value)) in self.points.iter().enumerate() {
+            let filled = ((value / max) * BAR as f64).round() as usize;
+            let mut line = format!(
+                "  {label:<label_w$}  {:<BAR$} {value:>14.0}",
+                "#".repeat(filled.min(BAR)),
+            );
+            if let Some((lo, hi)) = self.band {
+                if *value < lo || *value > hi {
+                    line.push_str("  !band");
+                }
+            }
+            if self.flagged == Some(i) {
+                line.push_str("  <<");
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a stack of trend charts into one SVG panel, one row per
+/// chart: the tolerance corridor (shaded), the series polyline, and a
+/// marker at the flagged run.
+pub fn render_trend_svg(charts: &[TrendChart]) -> String {
+    const ROW_H: f64 = 140.0;
+    const W: f64 = 640.0;
+    const MARGIN: f64 = 40.0;
+    let mut canvas = SvgCanvas::new(W, ROW_H * charts.len().max(1) as f64);
+    for (row, chart) in charts.iter().enumerate() {
+        let top = row as f64 * ROW_H;
+        canvas.text(8.0, top + 16.0, 12.0, &chart.title);
+        if chart.points.is_empty() {
+            continue;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, v) in &chart.points {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        if let Some((blo, bhi)) = chart.band {
+            lo = lo.min(blo);
+            hi = hi.max(bhi);
+        }
+        let pad = ((hi - lo) * 0.1).max(hi.abs() * 1e-6).max(1e-9);
+        let (lo, hi) = (lo - pad, hi + pad);
+        let plot_top = top + 24.0;
+        let plot_h = ROW_H - 40.0;
+        let y = |v: f64| plot_top + plot_h * (1.0 - (v - lo) / (hi - lo));
+        let x = |i: usize| {
+            let n = chart.points.len().max(2) as f64;
+            MARGIN + (W - 2.0 * MARGIN) * i as f64 / (n - 1.0)
+        };
+        if let Some((blo, bhi)) = chart.band {
+            canvas.rect(MARGIN, y(bhi), W - 2.0 * MARGIN, y(blo) - y(bhi), "#eef2e6");
+        }
+        let pts: Vec<(f64, f64)> = chart
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, (_, v))| (x(i), y(*v)))
+            .collect();
+        canvas.polyline(&pts, PALETTE[row % PALETTE.len()], 1.5);
+        for (i, &(px, py)) in pts.iter().enumerate() {
+            canvas.rect(px - 1.5, py - 1.5, 3.0, 3.0, PALETTE[row % PALETTE.len()]);
+            if chart.flagged == Some(i) {
+                canvas.line(px, plot_top, px, plot_top + plot_h, PALETTE[1], 1.0);
+                canvas.text(px + 3.0, plot_top + 10.0, 10.0, &chart.points[i].0);
+            }
+        }
+        // First and last run labels anchor the x axis.
+        canvas.text(MARGIN, top + ROW_H - 4.0, 9.0, &chart.points[0].0);
+        let last = chart.points.len() - 1;
+        canvas.text(
+            (W - MARGIN - 30.0).max(MARGIN),
+            top + ROW_H - 4.0,
+            9.0,
+            &chart.points[last].0,
+        );
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> TrendChart {
+        let mut c = TrendChart::new("job makespan", "us");
+        for (i, v) in [100.0, 101.0, 99.0, 110.0].iter().enumerate() {
+            c.push(format!("r{i}"), *v);
+        }
+        c.band = Some((98.0, 102.0));
+        c.flagged = Some(3);
+        c
+    }
+
+    #[test]
+    fn text_marks_band_breach_and_flag() {
+        let text = chart().render_text();
+        assert!(text.starts_with("job makespan [us]"));
+        assert_eq!(text.lines().count(), 5);
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("!band") && last.contains("<<"), "{last}");
+        assert!(!text.lines().nth(1).unwrap().contains("!band"));
+    }
+
+    #[test]
+    fn svg_panel_draws_series_band_and_marker() {
+        let svg = render_trend_svg(&[chart(), TrendChart::new("empty", "us")]);
+        assert!(svg.starts_with("<svg "));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("#eef2e6"), "band corridor is shaded");
+        assert!(svg.contains("job makespan"));
+        assert!(svg.contains("empty"), "empty charts still get a title");
+        assert_eq!(svg.matches("<line").count(), 1, "one flag marker");
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let mut c = TrendChart::new("flat", "us");
+        c.push("a", 5.0);
+        c.push("b", 5.0);
+        let svg = render_trend_svg(&[c]);
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+}

@@ -7,6 +7,7 @@ use granula::experiment::{dg1000_quick, run_experiment, Platform};
 use granula::metrics::{DomainBreakdown, Phase};
 use granula::regression::RegressionSuite;
 use granula_archive::{from_json, to_json, ArchiveStore, Query};
+use granula_regress::{analyze, History, Status, Tolerance};
 
 #[test]
 fn giraph_pipeline_end_to_end() {
@@ -119,25 +120,64 @@ fn regression_suite_detects_injected_slowdown_end_to_end() {
     assert!(report.regressions.iter().any(|r| r.subject == "total"));
 }
 
-/// The headline numbers of the paper's §4.2 comparison, locked to the
-/// microsecond at full dg1000 scale: Giraph finishes BFS in 81.9 s,
-/// PowerGraph in 398.8 s. The simulation is deterministic, so these are
-/// exact constants — any calibration or scheduler change that moves them
-/// must update this test (and the EXPERIMENTS.md narrative) deliberately.
+/// The headline numbers of the paper's §4.2 comparison at full dg1000
+/// scale: Giraph finishes BFS in ~81.9 s, PowerGraph in ~398.7 s.
+///
+/// These used to be hand-locked to the microsecond; they are now gated
+/// by the statistical trend check of `granula-regress` against the
+/// committed fixture history (`tests/fixtures/history/`), plus a coarse
+/// absolute anchor to the paper's own measurements. A calibration or
+/// scheduler change that moves the makespan beyond the ±2% band fails
+/// here with the offending run named; regenerate the fixtures
+/// (`UPDATE_GOLDEN=1 cargo test --test regress_history`) to accept it
+/// deliberately (and update the EXPERIMENTS.md narrative).
 #[test]
-fn headline_makespans_are_locked_to_the_microsecond() {
+fn headline_makespans_stay_inside_the_trend_band() {
     let giraph = granula::experiment::dg1000(Platform::Giraph);
-    assert_eq!(giraph.run.makespan_us, 81_924_428, "Giraph dg1000 makespan");
     let powergraph = granula::experiment::dg1000(Platform::PowerGraph);
-    assert_eq!(
-        powergraph.run.makespan_us, 398_746_817,
-        "PowerGraph dg1000 makespan"
+
+    // Coarse absolute anchor to the paper (§4.2): ±5% of 81.59 s and
+    // 400.38 s keeps the simulation tethered to the source even if the
+    // fixture history were regenerated from a drifted build.
+    let g_us = giraph.run.makespan_us as f64;
+    let p_us = powergraph.run.makespan_us as f64;
+    assert!(
+        (g_us / 81.59e6 - 1.0).abs() < 0.05,
+        "Giraph makespan {g_us} µs strays from the paper's 81.59 s"
     );
+    assert!(
+        (p_us / 400.38e6 - 1.0).abs() < 0.05,
+        "PowerGraph makespan {p_us} µs strays from the paper's 400.38 s"
+    );
+
+    // Statistical gate: the fresh run joins the fixture history as the
+    // run under test; every metric must stay inside the tolerance band.
+    let mut store = ArchiveStore::new();
+    store.add(giraph.report.archive.clone()).unwrap();
+    store.add(powergraph.report.archive.clone()).unwrap();
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/history");
+    let mut history = History::load_dir(&fixtures).expect("committed fixture history");
+    assert!(history.len() >= 5, "fixture corpus holds at least 5 runs");
+    history.push_latest(store, "current");
+    let (report, _) = analyze(&mut history, &Tolerance::default());
+    for m in &report.metrics {
+        assert_eq!(
+            m.status,
+            Status::Ok,
+            "{} {} drifted: effect {:+.2}% since {:?} (p={:.2e})",
+            m.job_id,
+            m.metric,
+            m.effect * 100.0,
+            m.first_offending_run,
+            m.p_value
+        );
+    }
+    assert_eq!(report.verdict, Status::Ok);
     // The archived root spans the whole run; its runtime is the makespan.
-    for (result, expect) in [(&giraph, 81_924_428), (&powergraph, 398_746_817)] {
+    for result in [&giraph, &powergraph] {
         assert_eq!(
             result.report.archive.total_runtime_us(),
-            Some(expect),
+            Some(result.run.makespan_us),
             "{} archive runtime",
             result.report.archive.meta.platform
         );
