@@ -21,6 +21,7 @@
 pub mod activity;
 pub mod fault;
 pub mod fs;
+pub mod intern;
 pub mod provision;
 pub mod resources;
 pub(crate) mod sched;
@@ -28,7 +29,8 @@ pub mod sim;
 pub mod topology;
 pub mod trace;
 
-pub use activity::{Activity, ActivityGraph, ActivityId, ActivityKind};
+pub use activity::{ActivityGraph, ActivityId, ActivityKind, ActivityRef};
+pub use intern::Symbol;
 pub use fault::{DegradedChannel, FaultEvent, FaultPlan, NodeCrash, Slowdown};
 pub use fs::{DfsSpec, FileSystem, LocalFsSpec, SharedFsSpec};
 pub use provision::{MpiLauncher, NativeLauncher, Provisioner, YarnProvisioner};

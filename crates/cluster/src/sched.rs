@@ -6,40 +6,55 @@
 //! emits a trace span per activity per step. That is O(running) work per
 //! event even when the event touches a single disk on a single node.
 //!
-//! This module exploits the component structure of max-min fairness: the
-//! progressive-filling fixpoint decomposes over connected components of the
-//! bipartite activity↔resource graph, so an arrival or departure can only
-//! change the rates of activities *transitively coupled to it through shared
-//! resources*. The engine therefore keeps, per event:
+//! This module exploits the component structure of max-min fairness twice.
+//!
+//! **Within an event**, the progressive-filling fixpoint decomposes over
+//! connected components of the bipartite activity↔resource graph, so an
+//! arrival or departure can only change the rates of activities
+//! *transitively coupled to it through shared resources*. The engine keeps,
+//! per event:
 //!
 //! - **dirty resources** — resources where the user set changed;
 //! - an **affected set** — the transitive closure of the dirty resources
 //!   over `resource → users → their resources`, found by BFS;
 //! - a **component-local refill** — progressive filling restricted to the
-//!   affected activities (the closure contains every user of every involved
-//!   resource, so filling it against full capacities reproduces exactly the
-//!   joint fixpoint for those activities);
+//!   affected activities;
 //! - a **lazy completion heap** — a binary heap of `(projected finish, slot,
 //!   generation)` entries. A slot's generation bumps whenever its rate
-//!   changes, invalidating stale heap entries, which are skipped on pop
-//!   instead of being removed eagerly.
+//!   changes, invalidating stale heap entries, which are skipped on pop.
+//!
+//! **Across the whole run**, the same decomposition is applied statically:
+//! [`partition`] splits the activity graph into connected components over
+//! `dependency ∪ shared-resource` edges, and [`run_partitioned`] simulates
+//! each component independently — optionally on scoped worker threads —
+//! then merges results, traces, and fault events deterministically.
+//! Components never exchange rates (max-min fairness is exactly
+//! component-local) and never share a `(channel, node)` trace series, so
+//! the merge is a scatter of per-activity results, an element-wise trace
+//! sum, and a replay of the global fault timeline with per-component kill
+//! records spliced in at their boundary instants.
+//!
+//! Slot state lives in [`Slots`], a struct-of-arrays: the refill wave, the
+//! heap-validity checks, and the stalled-scan each touch only the one or
+//! two parallel arrays they need instead of dragging whole slot structs
+//! through the cache.
 //!
 //! Remaining work is accounted lazily: each slot stores `(anchor_us,
 //! remaining-at-anchor, rate)` and is only re-anchored when its rate
-//! actually changes. Usage-trace spans are flushed at the same boundaries
-//! and merged per `(channel, node, span start)` so that e.g. 200 readers on
-//! one disk produce one [`UsageTrace`] accumulation per step, not 200.
-//!
-//! All scratch state (fill buffers, BFS marks, the flush accumulator) is
-//! owned by the run and reused across steps: the steady-state loop performs
-//! no allocation beyond occasional `Vec` growth.
+//! actually changes. Usage-trace spans are flushed at event boundaries and
+//! merged per `(channel, node)` so that e.g. 200 readers on one disk
+//! produce one [`UsageTrace`] accumulation per step, not 200.
 //!
 //! Determinism: iteration orders (ready stack, BFS discovery, heap
-//! tie-breaks by slot index) are pure functions of the input graph, so a
-//! given `(cluster, graph)` pair always produces bit-identical results.
+//! tie-breaks by slot index, component order by minimum activity id, merge
+//! order by component index) are pure functions of the input graph, so a
+//! given `(cluster, graph, plan)` triple always produces bit-identical
+//! results at any thread count.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 use crate::activity::{ActivityGraph, ActivityId, ActivityKind};
 use crate::fault::{FaultClock, FaultEvent, FaultPlan};
@@ -114,51 +129,6 @@ fn trace_targets(kind: &ActivityKind) -> TraceTargets {
         ActivityKind::Delay { .. } | ActivityKind::Barrier => {}
     }
     t
-}
-
-/// A running activity. `remaining` is the work left at `anchor_us`; the
-/// pair is only updated ("re-anchored") when the rate changes, so projected
-/// completion is `anchor_us + remaining / rate`.
-#[derive(Debug)]
-struct Slot {
-    id: ActivityId,
-    demand: Demand,
-    rate: f64,
-    anchor_us: f64,
-    remaining: f64,
-    /// Completion tolerance in work units (`1e-6 × amount`, floored at
-    /// `1e-6`), matching the reference engine's epsilon grouping.
-    eps_work: f64,
-    gen: u32,
-    live: bool,
-    trace: TraceTargets,
-    /// Position of this slot inside each of its resources' user lists,
-    /// kept in sync by the O(1) swap-remove on completion.
-    res_pos: [u32; 2],
-}
-
-impl Slot {
-    fn vacant() -> Self {
-        Slot {
-            id: ActivityId(0),
-            demand: Demand {
-                resources: [0, 0],
-                n_resources: 0,
-                cap: 0.0,
-            },
-            rate: 0.0,
-            anchor_us: 0.0,
-            remaining: 0.0,
-            eps_work: 0.0,
-            gen: 0,
-            live: false,
-            trace: TraceTargets {
-                ch: [(Channel::Cpu, NodeId(0)); 2],
-                n: 0,
-            },
-            res_pos: [0; 2],
-        }
-    }
 }
 
 /// Dense per-`(channel, node)` accumulator batching [`UsageTrace`] spans.
@@ -314,31 +284,254 @@ impl PairUsage {
     }
 }
 
-/// Executes `graph` on `cluster` with the incremental scheduler, honoring
-/// `plan` (see [`crate::fault`]). Node and plan validity are the caller's
-/// responsibility ([`crate::sim::Simulation::run`] checks before
-/// dispatching here).
-pub(crate) fn run_incremental(
+/// Struct-of-arrays slot storage for running activities.
+///
+/// Each array is indexed by slot; slots are recycled through a free list so
+/// the arrays stay dense at O(peak concurrency). The hot loops each touch
+/// only the arrays they need: heap-validity checks read `live`/`gen`, the
+/// refill wave reads `demand`, re-anchoring reads/writes the four `f64`
+/// columns — contiguous scans instead of striding over a 100-byte struct.
+///
+/// `gen` survives slot reuse (it is incremented, never reset), so heap
+/// entries from a slot's previous occupant can never validate against the
+/// new one.
+struct Slots {
+    /// Component-local activity index occupying the slot.
+    id: Vec<u32>,
+    demand: Vec<Demand>,
+    rate: Vec<f64>,
+    anchor_us: Vec<f64>,
+    remaining: Vec<f64>,
+    /// Completion tolerance in work units (`1e-6 × amount`, floored at
+    /// `1e-6`), matching the reference engine's epsilon grouping.
+    eps_work: Vec<f64>,
+    gen: Vec<u32>,
+    live: Vec<bool>,
+    trace: Vec<TraceTargets>,
+    /// Position of this slot inside each of its resources' user lists,
+    /// kept in sync by the O(1) swap-remove on completion.
+    res_pos: Vec<[u32; 2]>,
+}
+
+impl Slots {
+    fn new() -> Self {
+        Slots {
+            id: Vec::new(),
+            demand: Vec::new(),
+            rate: Vec::new(),
+            anchor_us: Vec::new(),
+            remaining: Vec::new(),
+            eps_work: Vec::new(),
+            gen: Vec::new(),
+            live: Vec::new(),
+            trace: Vec::new(),
+            res_pos: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Appends one vacant slot and returns its index.
+    fn push_vacant(&mut self) -> usize {
+        self.id.push(0);
+        self.demand.push(Demand {
+            resources: [0, 0],
+            n_resources: 0,
+            cap: 0.0,
+        });
+        self.rate.push(0.0);
+        self.anchor_us.push(0.0);
+        self.remaining.push(0.0);
+        self.eps_work.push(0.0);
+        self.gen.push(0);
+        self.live.push(false);
+        self.trace.push(TraceTargets {
+            ch: [(Channel::Cpu, NodeId(0)); 2],
+            n: 0,
+        });
+        self.res_pos.push([0; 2]);
+        self.id.len() - 1
+    }
+}
+
+/// Hot-loop telemetry, accumulated locally per component and flushed to the
+/// trace registry once per [`run_partitioned`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct EngineStats {
+    pub(crate) events: u64,
+    pub(crate) refill_waves: u64,
+    pub(crate) compactions: u64,
+    pub(crate) heap_pops: u64,
+    pub(crate) stale_pops: u64,
+}
+
+impl EngineStats {
+    fn absorb(&mut self, o: &EngineStats) {
+        self.events += o.events;
+        self.refill_waves += o.refill_waves;
+        self.compactions += o.compactions;
+        self.heap_pops += o.heap_pops;
+        self.stale_pops += o.stale_pops;
+    }
+}
+
+/// Result of simulating one connected component in isolation.
+struct CompOutcome {
+    /// Per-activity results, indexed by component-local activity index.
+    results: Vec<ActivityResult>,
+    trace: UsageTrace,
+    /// `(at_us, global activity id, node)` for every activity killed by a
+    /// crash, in the order the component emitted them (ascending time,
+    /// ascending id within a time).
+    kills: Vec<(f64, u32, NodeId)>,
+    /// Highest fault boundary this component processed in its main loop
+    /// (prestep boundaries at t ≤ 0 excluded).
+    last_boundary: Option<f64>,
+    makespan: f64,
+    stats: EngineStats,
+}
+
+/// Connected components of the activity graph over
+/// `dependency ∪ shared-resource` edges.
+///
+/// `comp_items[comp_off[c]..comp_off[c+1]]` lists component `c`'s activity
+/// ids in ascending order; components are numbered by their minimum
+/// activity id. `g2l[i]` is activity `i`'s index within its component —
+/// ascending global order maps to ascending local order, which is what
+/// keeps the per-component engine's iteration orders identical to the
+/// monolithic engine's.
+pub(crate) struct Partition {
+    pub(crate) comp_off: Vec<u32>,
+    pub(crate) comp_items: Vec<u32>,
+    pub(crate) g2l: Vec<u32>,
+}
+
+impl Partition {
+    pub(crate) fn component_count(&self) -> usize {
+        self.comp_off.len().saturating_sub(1)
+    }
+}
+
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    // Path halving.
+    while parent[x as usize] != x {
+        let gp = parent[parent[x as usize] as usize];
+        parent[x as usize] = gp;
+        x = gp;
+    }
+    x
+}
+
+fn uf_union(parent: &mut [u32], a: u32, b: u32) {
+    let ra = uf_find(parent, a);
+    let rb = uf_find(parent, b);
+    if ra != rb {
+        // Smaller root wins so roots stay stable-ish; correctness does not
+        // depend on it (component numbering re-sorts by min id below).
+        if ra < rb {
+            parent[rb as usize] = ra;
+        } else {
+            parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Partitions `graph` into connected components over dependency edges and
+/// shared-resource co-use (two activities demanding the same resource are
+/// coupled, transitively). Max-min fair rates — and therefore the whole
+/// event timeline — decompose exactly over these components.
+pub(crate) fn partition(cluster: &ClusterSpec, graph: &ActivityGraph) -> Partition {
+    let n = graph.len();
+    let table = ResourceTable::new(cluster);
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    // First activity seen demanding each resource; later users union with it.
+    let mut res_rep: Vec<u32> = vec![u32::MAX; table.len()];
+    for i in 0..n {
+        let id = ActivityId(i as u32);
+        for &d in graph.deps_of(id) {
+            uf_union(&mut parent, i as u32, d.0);
+        }
+        let dem = demand(&table, graph.kind_of(id));
+        for &r in &dem.resources[..dem.n_resources as usize] {
+            if res_rep[r] == u32::MAX {
+                res_rep[r] = i as u32;
+            } else {
+                uf_union(&mut parent, i as u32, res_rep[r]);
+            }
+        }
+    }
+    // Number components by first appearance (== minimum activity id) and
+    // group members with a counting sort so each component's items ascend.
+    let mut comp_of = vec![0u32; n];
+    let mut comp_sizes: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let root = uf_find(&mut parent, i as u32) as usize;
+        let c = if root == i {
+            comp_sizes.push(0);
+            (comp_sizes.len() - 1) as u32
+        } else {
+            // The root has a smaller id than any non-root member under the
+            // min-root union rule, so it was numbered already.
+            comp_of[root]
+        };
+        comp_of[i] = c;
+        comp_sizes[c as usize] += 1;
+    }
+    let k = comp_sizes.len();
+    let mut comp_off = vec![0u32; k + 1];
+    for c in 0..k {
+        comp_off[c + 1] = comp_off[c] + comp_sizes[c];
+    }
+    let mut cursor: Vec<u32> = comp_off[..k].to_vec();
+    let mut comp_items = vec![0u32; n];
+    let mut g2l = vec![0u32; n];
+    for i in 0..n {
+        let c = comp_of[i] as usize;
+        let pos = cursor[c];
+        comp_items[pos as usize] = i as u32;
+        g2l[i] = pos - comp_off[c];
+        cursor[c] += 1;
+    }
+    Partition {
+        comp_off,
+        comp_items,
+        g2l,
+    }
+}
+
+/// Simulates one connected component in isolation.
+///
+/// `ids` lists the component's activities (ascending global ids) and `g2l`
+/// maps global activity id → component-local index (only entries for this
+/// component's activities are read). The body is an exact port of the
+/// pre-partitioning monolithic engine with component-local indexing: for a
+/// single-component graph every f64 operation happens in the same order,
+/// so results, traces, and fault timing are bit-identical to it.
+///
+/// Fault handling differs from the monolithic engine in bookkeeping only:
+/// `NodeCrashed`/`NodeRestarted` events are *not* recorded here (every
+/// component sees the same global fault plan; [`run_partitioned`] replays
+/// the plan once to reconstruct them), while `ActivityKilled` events are
+/// recorded as raw `(at_us, id, node)` rows for the merge to splice into
+/// the replayed timeline.
+fn run_component(
     cluster: &ClusterSpec,
     graph: &ActivityGraph,
     plan: &FaultPlan,
-) -> Result<SimResult, SimError> {
-    let n = graph.len();
-    let _span = granula_trace::span!("engine", "run_incremental activities={n}");
-    // Hot-loop telemetry: plain local integers, flushed to the registry
-    // once per run (see the end of this function). The loop itself never
-    // touches the tracer, so disabled-mode overhead stays at zero.
-    let mut ev_events = 0u64;
-    let mut ev_refill_waves = 0u64;
-    let mut ev_compactions = 0u64;
-    let mut ev_heap_pops = 0u64;
-    let mut ev_stale_pops = 0u64;
+    ids: &[u32],
+    g2l: &[u32],
+) -> Result<CompOutcome, SimError> {
+    let n = ids.len();
+    let mut stats = EngineStats::default();
     let mut table = ResourceTable::new(cluster);
     let base_caps = table.caps.clone();
     let active = !plan.is_empty();
     let mut clock = FaultClock::new(plan, cluster.len());
-    let mut faults: Vec<FaultEvent> = Vec::new();
-    let mut parked: Vec<ActivityId> = Vec::new();
+    let mut kills: Vec<(f64, u32, NodeId)> = Vec::new();
+    let mut last_boundary: Option<f64> = None;
+    let mut parked: Vec<u32> = Vec::new();
     let mut crashed_buf: Vec<NodeId> = Vec::new();
     let mut restarted_buf: Vec<NodeId> = Vec::new();
     let mut doomed: Vec<(u32, NodeId)> = Vec::new();
@@ -353,24 +546,39 @@ pub(crate) fn run_incremental(
         n
     ];
 
-    // Dependency bookkeeping, identical to the reference engine.
+    // Dependency bookkeeping over component-local indices, as a CSR built
+    // in two passes. Filling ascending keeps each dependent list in
+    // ascending local (== global) order, matching the monolithic engine's
+    // push order.
     let mut indeg = vec![0u32; n];
-    let mut dependents: Vec<Vec<ActivityId>> = vec![Vec::new(); n];
-    for a in graph.iter() {
-        indeg[a.id.0 as usize] = a.deps.len() as u32;
-        for d in &a.deps {
-            dependents[d.0 as usize].push(a.id);
+    let mut dep_cnt = vec![0u32; n];
+    for (li, &gi) in ids.iter().enumerate() {
+        let deps = graph.deps_of(ActivityId(gi));
+        indeg[li] = deps.len() as u32;
+        for d in deps {
+            dep_cnt[g2l[d.0 as usize] as usize] += 1;
         }
     }
-    let mut ready: Vec<ActivityId> = graph
-        .iter()
-        .filter(|a| a.deps.is_empty())
-        .map(|a| a.id)
-        .collect();
+    let mut dep_off = vec![0u32; n + 1];
+    for i in 0..n {
+        dep_off[i + 1] = dep_off[i] + dep_cnt[i];
+    }
+    let mut dep_cursor = dep_off[..n].to_vec();
+    let mut dep_buf = vec![0u32; dep_off[n] as usize];
+    for (li, &gi) in ids.iter().enumerate() {
+        for d in graph.deps_of(ActivityId(gi)) {
+            let dl = g2l[d.0 as usize] as usize;
+            dep_buf[dep_cursor[dl] as usize] = li as u32;
+            dep_cursor[dl] += 1;
+        }
+    }
+    let dependents = |li: usize| &dep_buf[dep_off[li] as usize..dep_off[li + 1] as usize];
 
-    // Slot storage with a free list; slot indices are reused so every
-    // side table stays dense.
-    let mut slots: Vec<Slot> = Vec::new();
+    let mut ready: Vec<u32> = (0..n as u32).filter(|&li| indeg[li as usize] == 0).collect();
+
+    // SoA slot storage with a free list; slot indices are reused so every
+    // column stays dense.
+    let mut slots = Slots::new();
     let mut free: Vec<u32> = Vec::new();
     let mut occupied = 0usize;
 
@@ -402,15 +610,10 @@ pub(crate) fn run_incremental(
 
     // Faults scheduled at t=0 take effect before anything starts, so
     // activities bound to a node that is dead from the outset park instead
-    // of starting (mirrors the reference engine).
+    // of starting (mirrors the reference engine). The events themselves
+    // are replayed by the merge.
     if active && matches!(clock.next_boundary(), Some(b) if b <= 0.0) {
         let caps_changed = clock.advance(0.0, &mut crashed_buf, &mut restarted_buf);
-        for &node in &restarted_buf {
-            faults.push(FaultEvent::NodeRestarted { node, at_us: 0.0 });
-        }
-        for &node in &crashed_buf {
-            faults.push(FaultEvent::NodeCrashed { node, at_us: 0.0 });
-        }
         if caps_changed {
             clock.refresh_caps(&base_caps, &mut table.caps, 0.0);
         }
@@ -421,62 +624,61 @@ pub(crate) fn run_incremental(
         // cascading through their dependents. Under an active plan,
         // activities bound to a down node park until its restart (or fail
         // the run if it never restarts).
-        while let Some(id) = ready.pop() {
-            let act = graph.get(id);
+        while let Some(li) = ready.pop() {
+            let li = li as usize;
+            let kind = graph.kind_of(ActivityId(ids[li]));
             if active {
-                if let Some(node) = clock.blocking_node(&act.kind) {
+                if let Some(node) = clock.blocking_node(kind) {
                     if clock.has_pending_restart(node) {
-                        parked.push(id);
+                        parked.push(li as u32);
                         continue;
                     }
                     return Err(SimError::NodeLost {
                         node,
-                        activity: id,
+                        activity: ActivityId(ids[li]),
                         at_us: now.round() as u64,
                     });
                 }
             }
-            let amount = act.kind.amount();
-            results[id.0 as usize].start_us = now;
+            let amount = kind.amount();
+            results[li].start_us = now;
             if amount <= 0.0 {
-                results[id.0 as usize].end_us = now;
+                results[li].end_us = now;
                 done += 1;
-                for &dep in &dependents[id.0 as usize] {
-                    indeg[dep.0 as usize] -= 1;
-                    if indeg[dep.0 as usize] == 0 {
+                for &dep in dependents(li) {
+                    indeg[dep as usize] -= 1;
+                    if indeg[dep as usize] == 0 {
                         ready.push(dep);
                     }
                 }
                 continue;
             }
-            let d = demand(&table, &act.kind);
+            let d = demand(&table, kind);
             let si = match free.pop() {
                 Some(i) => i as usize,
                 None => {
-                    slots.push(Slot::vacant());
+                    let i = slots.push_vacant();
                     in_affected.push(false);
-                    slots.len() - 1
+                    i
                 }
             };
-            let gen = slots[si].gen.wrapping_add(1);
-            slots[si] = Slot {
-                id,
-                demand: d,
-                rate: 0.0,
-                anchor_us: now,
-                remaining: amount,
-                eps_work: 1e-6 * amount.max(1.0),
-                gen,
-                live: true,
-                trace: trace_targets(&act.kind),
-                res_pos: [0; 2],
-            };
+            let gen = slots.gen[si].wrapping_add(1);
+            slots.id[si] = li as u32;
+            slots.demand[si] = d;
+            slots.rate[si] = 0.0;
+            slots.anchor_us[si] = now;
+            slots.remaining[si] = amount;
+            slots.eps_work[si] = 1e-6 * amount.max(1.0);
+            slots.gen[si] = gen;
+            slots.live[si] = true;
+            slots.trace[si] = trace_targets(kind);
+            slots.res_pos[si] = [0; 2];
             occupied += 1;
             if d.n_resources == 0 {
                 // No shared resource: the rate is fixed for the slot's
                 // lifetime (a delay's 1 µs/µs), so it never refills.
                 let rate = if d.cap.is_finite() { d.cap } else { 1.0 };
-                slots[si].rate = rate;
+                slots.rate[si] = rate;
                 heap.push(HeapEntry {
                     finish_us: now + amount / rate,
                     slot: si as u32,
@@ -484,7 +686,7 @@ pub(crate) fn run_incremental(
                 });
             } else {
                 for (j, &r) in d.resources[..d.n_resources as usize].iter().enumerate() {
-                    slots[si].res_pos[j] = res_users[r].len() as u32;
+                    slots.res_pos[si][j] = res_users[r].len() as u32;
                     res_users[r].push(si as u32);
                     if !dirty[r] {
                         dirty[r] = true;
@@ -503,7 +705,7 @@ pub(crate) fn run_incremental(
         }
 
         if !dirty_list.is_empty() {
-            ev_refill_waves += 1;
+            stats.refill_waves += 1;
             // Transitive closure of the dirty resources over the
             // activity↔resource bipartite graph: BFS alternating
             // resource → users → their other resources.
@@ -525,9 +727,8 @@ pub(crate) fn run_incremental(
                         in_affected[si as usize] = true;
                         affected.push(si);
                         // Copy the demand into a dense scratch row so the
-                        // fill rounds below iterate contiguously instead of
-                        // chasing the (much larger) Slot structs.
-                        let d = slots[si as usize].demand;
+                        // fill rounds below iterate contiguously.
+                        let d = slots.demand[si as usize];
                         aff_demand.push(d);
                         for &r2 in &d.resources[..d.n_resources as usize] {
                             if !res_seen[r2] {
@@ -620,32 +821,33 @@ pub(crate) fn run_incremental(
             // slots whose rate actually changed; untouched slots keep
             // their (still valid) heap entries.
             for (k, &si) in affected.iter().enumerate() {
-                in_affected[si as usize] = false;
-                let s = &mut slots[si as usize];
+                let si = si as usize;
+                in_affected[si] = false;
                 let r_new = new_rate[k];
-                if r_new == s.rate {
+                if r_new == slots.rate[si] {
                     continue;
                 }
-                if s.rate > 0.0 && now > s.anchor_us {
-                    s.remaining -= s.rate * (now - s.anchor_us);
+                if slots.rate[si] > 0.0 && now > slots.anchor_us[si] {
+                    slots.remaining[si] -= slots.rate[si] * (now - slots.anchor_us[si]);
                 }
-                for t in 0..s.trace.n as usize {
-                    let (ch, node) = s.trace.ch[t];
-                    usage.defer(ch, node, r_new - s.rate);
+                let targets = slots.trace[si];
+                for t in 0..targets.n as usize {
+                    let (ch, node) = targets.ch[t];
+                    usage.defer(ch, node, r_new - slots.rate[si]);
                 }
-                s.anchor_us = now;
-                if s.rate > 0.0 {
+                slots.anchor_us[si] = now;
+                if slots.rate[si] > 0.0 {
                     // The slot's previous heap entry (one exists whenever it
                     // had a positive rate) is orphaned by the gen bump.
                     heap_stale += 1;
                 }
-                s.rate = r_new;
-                s.gen = s.gen.wrapping_add(1);
+                slots.rate[si] = r_new;
+                slots.gen[si] = slots.gen[si].wrapping_add(1);
                 if r_new > 0.0 {
                     heap.push(HeapEntry {
-                        finish_us: now + s.remaining.max(0.0) / r_new,
-                        slot: si,
-                        gen: s.gen,
+                        finish_us: now + slots.remaining[si].max(0.0) / r_new,
+                        slot: si as u32,
+                        gen: slots.gen[si],
                     });
                 }
             }
@@ -655,11 +857,11 @@ pub(crate) fn run_incremental(
         // Compact the heap once stale entries outnumber valid ones, so the
         // working set stays O(live) instead of O(total pushes).
         if heap_stale > 128 && heap_stale * 2 > heap.len() {
-            ev_compactions += 1;
+            stats.compactions += 1;
             let mut entries = std::mem::take(&mut heap).into_vec();
             entries.retain(|e| {
-                let s = &slots[e.slot as usize];
-                s.live && s.gen == e.gen
+                let si = e.slot as usize;
+                slots.live[si] && slots.gen[si] == e.gen
             });
             heap = BinaryHeap::from(entries);
             heap_stale = 0;
@@ -674,13 +876,13 @@ pub(crate) fn run_incremental(
                 match heap.pop() {
                     None => break None,
                     Some(e) => {
-                        ev_heap_pops += 1;
-                        let s = &slots[e.slot as usize];
-                        if s.live && s.gen == e.gen {
+                        stats.heap_pops += 1;
+                        let si = e.slot as usize;
+                        if slots.live[si] && slots.gen[si] == e.gen {
                             break Some(e);
                         }
                         heap_stale -= 1;
-                        ev_stale_pops += 1;
+                        stats.stale_pops += 1;
                     }
                 }
             }
@@ -697,17 +899,16 @@ pub(crate) fn run_incremental(
                 // boundary can change that — stalled on a zero-capacity
                 // resource. Report the lowest live id (deterministic
                 // regardless of slot layout).
-                let activity = slots
-                    .iter()
-                    .filter(|s| s.live)
-                    .map(|s| s.id)
+                let activity = (0..slots.len())
+                    .filter(|&si| slots.live[si])
+                    .map(|si| ActivityId(ids[slots.id[si] as usize]))
                     .min()
                     .expect("occupied > 0 implies a live slot");
                 return Err(SimError::Stalled { activity });
             }
         };
 
-        ev_events += 1;
+        stats.events += 1;
 
         if take_boundary {
             // The popped completion (if any) lies beyond the boundary; put
@@ -715,43 +916,38 @@ pub(crate) fn run_incremental(
             if let Some(e) = top {
                 heap.push(e);
             }
-            now = now.max(boundary.expect("take_boundary implies a boundary"));
+            let b = boundary.expect("take_boundary implies a boundary");
+            now = now.max(b);
+            last_boundary = Some(b);
             crashed_buf.clear();
             restarted_buf.clear();
             let caps_changed = clock.advance(now, &mut crashed_buf, &mut restarted_buf);
-            for &node in &restarted_buf {
-                faults.push(FaultEvent::NodeRestarted { node, at_us: now });
-            }
-            for &node in &crashed_buf {
-                faults.push(FaultEvent::NodeCrashed { node, at_us: now });
-            }
             if !crashed_buf.is_empty() {
                 // Kill every in-flight activity touching a down node:
                 // forced completion at the crash instant, dependents
                 // released. Killed in ActivityId order for determinism.
                 doomed.clear();
-                for (si, s) in slots.iter().enumerate() {
-                    if s.live {
-                        if let Some(node) = clock.blocking_node(&graph.get(s.id).kind) {
+                for si in 0..slots.len() {
+                    if slots.live[si] {
+                        let gi = ids[slots.id[si] as usize];
+                        if let Some(node) = clock.blocking_node(graph.kind_of(ActivityId(gi))) {
                             doomed.push((si as u32, node));
                         }
                     }
                 }
-                doomed.sort_by_key(|&(si, _)| slots[si as usize].id.0);
+                doomed.sort_by_key(|&(si, _)| slots.id[si as usize]);
                 for &(si, node) in &doomed {
-                    let (id, rate, d, res_pos, targets) = {
-                        let s = &mut slots[si as usize];
-                        s.live = false;
-                        (s.id, s.rate, s.demand, s.res_pos, s.trace)
-                    };
+                    let si = si as usize;
+                    slots.live[si] = false;
+                    let li = slots.id[si] as usize;
+                    let rate = slots.rate[si];
+                    let d = slots.demand[si];
+                    let res_pos = slots.res_pos[si];
+                    let targets = slots.trace[si];
                     occupied -= 1;
-                    results[id.0 as usize].end_us = now;
+                    results[li].end_us = now;
                     done += 1;
-                    faults.push(FaultEvent::ActivityKilled {
-                        activity: id,
-                        node,
-                        at_us: now,
-                    });
+                    kills.push((now, ids[li], node));
                     if rate > 0.0 {
                         // Its heap entry is orphaned by the kill.
                         heap_stale += 1;
@@ -763,14 +959,14 @@ pub(crate) fn run_incremental(
                     for (j, &r) in d.resources[..d.n_resources as usize].iter().enumerate() {
                         let list = &mut res_users[r];
                         let pos = res_pos[j] as usize;
-                        debug_assert_eq!(list[pos], si);
+                        debug_assert_eq!(list[pos] as usize, si);
                         list.swap_remove(pos);
                         if pos < list.len() {
                             let moved = list[pos] as usize;
-                            let ms = &mut slots[moved];
-                            for j2 in 0..ms.demand.n_resources as usize {
-                                if ms.demand.resources[j2] == r {
-                                    ms.res_pos[j2] = pos as u32;
+                            let md = slots.demand[moved];
+                            for j2 in 0..md.n_resources as usize {
+                                if md.resources[j2] == r {
+                                    slots.res_pos[moved][j2] = pos as u32;
                                     break;
                                 }
                             }
@@ -780,10 +976,10 @@ pub(crate) fn run_incremental(
                             dirty_list.push(r);
                         }
                     }
-                    free.push(si);
-                    for &dep in &dependents[id.0 as usize] {
-                        indeg[dep.0 as usize] -= 1;
-                        if indeg[dep.0 as usize] == 0 {
+                    free.push(si as u32);
+                    for &dep in dependents(li) {
+                        indeg[dep as usize] -= 1;
+                        if indeg[dep as usize] == 0 {
                             ready.push(dep);
                         }
                     }
@@ -795,18 +991,18 @@ pub(crate) fn run_incremental(
                 // for good.
                 let mut kept = 0;
                 for i in 0..parked.len() {
-                    let id = parked[i];
-                    match clock.blocking_node(&graph.get(id).kind) {
-                        None => ready.push(id),
+                    let li = parked[i];
+                    match clock.blocking_node(graph.kind_of(ActivityId(ids[li as usize]))) {
+                        None => ready.push(li),
                         Some(node) => {
                             if !clock.has_pending_restart(node) {
                                 return Err(SimError::NodeLost {
                                     node,
-                                    activity: id,
+                                    activity: ActivityId(ids[li as usize]),
                                     at_us: now.round() as u64,
                                 });
                             }
-                            parked[kept] = id;
+                            parked[kept] = li;
                             kept += 1;
                         }
                     }
@@ -842,30 +1038,32 @@ pub(crate) fn run_incremental(
         completing.clear();
         completing.push(top.slot);
         while let Some(&e) = heap.peek() {
-            let s = &slots[e.slot as usize];
-            if !(s.live && s.gen == e.gen) {
+            let si = e.slot as usize;
+            if !(slots.live[si] && slots.gen[si] == e.gen) {
                 heap.pop();
                 heap_stale -= 1;
-                ev_heap_pops += 1;
-                ev_stale_pops += 1;
+                stats.heap_pops += 1;
+                stats.stale_pops += 1;
                 continue;
             }
-            if (e.finish_us - now) * s.rate <= s.eps_work {
+            if (e.finish_us - now) * slots.rate[si] <= slots.eps_work[si] {
                 completing.push(e.slot);
                 heap.pop();
-                ev_heap_pops += 1;
+                stats.heap_pops += 1;
             } else {
                 break;
             }
         }
         for &si in &completing {
-            let (id, rate, d, res_pos, targets) = {
-                let s = &mut slots[si as usize];
-                s.live = false;
-                (s.id, s.rate, s.demand, s.res_pos, s.trace)
-            };
+            let si = si as usize;
+            slots.live[si] = false;
+            let li = slots.id[si] as usize;
+            let rate = slots.rate[si];
+            let d = slots.demand[si];
+            let res_pos = slots.res_pos[si];
+            let targets = slots.trace[si];
             occupied -= 1;
-            results[id.0 as usize].end_us = now;
+            results[li].end_us = now;
             done += 1;
             if rate != 0.0 {
                 for t in 0..targets.n as usize {
@@ -879,14 +1077,14 @@ pub(crate) fn run_incremental(
                 // back-pointer fixed up.
                 let list = &mut res_users[r];
                 let pos = res_pos[j] as usize;
-                debug_assert_eq!(list[pos], si);
+                debug_assert_eq!(list[pos] as usize, si);
                 list.swap_remove(pos);
                 if pos < list.len() {
                     let moved = list[pos] as usize;
-                    let ms = &mut slots[moved];
-                    for j2 in 0..ms.demand.n_resources as usize {
-                        if ms.demand.resources[j2] == r {
-                            ms.res_pos[j2] = pos as u32;
+                    let md = slots.demand[moved];
+                    for j2 in 0..md.n_resources as usize {
+                        if md.resources[j2] == r {
+                            slots.res_pos[moved][j2] = pos as u32;
                             break;
                         }
                     }
@@ -896,10 +1094,10 @@ pub(crate) fn run_incremental(
                     dirty_list.push(r);
                 }
             }
-            free.push(si);
-            for &dep in &dependents[id.0 as usize] {
-                indeg[dep.0 as usize] -= 1;
-                if indeg[dep.0 as usize] == 0 {
+            free.push(si as u32);
+            for &dep in dependents(li) {
+                indeg[dep as usize] -= 1;
+                if indeg[dep as usize] == 0 {
                     ready.push(dep);
                 }
             }
@@ -907,21 +1105,247 @@ pub(crate) fn run_incremental(
         usage.commit(&mut trace, now);
     }
 
+    let makespan = results.iter().map(|r| r.end_us).fold(0.0, f64::max);
+    Ok(CompOutcome {
+        results,
+        trace,
+        kills,
+        last_boundary,
+        makespan,
+        stats,
+    })
+}
+
+/// Highest fault boundary processed by any component (used to decide
+/// whether a boundary landing exactly on the makespan was reached).
+fn max_last_boundary(comps: &[CompOutcome]) -> Option<f64> {
+    comps
+        .iter()
+        .filter_map(|c| c.last_boundary)
+        .fold(None, |acc, b| match acc {
+            None => Some(b),
+            Some(a) => Some(a.max(b)),
+        })
+}
+
+/// Executes `graph` on `cluster` with the incremental scheduler, honoring
+/// `plan` (see [`crate::fault`]). The graph is partitioned into connected
+/// components which are simulated independently — on up to `threads`
+/// scoped worker threads when `threads > 1` — and merged deterministically.
+/// Node and plan validity are the caller's responsibility
+/// ([`crate::sim::Simulation::run`] checks before dispatching here).
+///
+/// Results are identical for every value of `threads`: workers pull
+/// component indices from an atomic cursor but deposit outcomes by index,
+/// and every merge step iterates in component order.
+pub(crate) fn run_partitioned(
+    cluster: &ClusterSpec,
+    graph: &ActivityGraph,
+    plan: &FaultPlan,
+    threads: usize,
+) -> Result<SimResult, SimError> {
+    let n = graph.len();
+    let part = partition(cluster, graph);
+    let k = part.component_count();
+    let _span = granula_trace::span!(
+        "engine",
+        "run_partitioned activities={n} components={k} threads={threads}"
+    );
+
+    // Simulate every component (even after one errors: the canonical error
+    // merge below needs all verdicts to pick the same error the monolithic
+    // engine would have reported).
+    let mut outcomes: Vec<Option<Result<CompOutcome, SimError>>> = Vec::with_capacity(k);
+    if threads <= 1 || k <= 1 {
+        for c in 0..k {
+            let items = &part.comp_items
+                [part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
+            outcomes.push(Some(run_component(cluster, graph, plan, items, &part.g2l)));
+        }
+    } else {
+        outcomes.resize_with(k, || None);
+        let slots = Mutex::new(&mut outcomes);
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(k);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<CompOutcome, SimError>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        if c >= k {
+                            break;
+                        }
+                        let items = &part.comp_items
+                            [part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
+                        local.push((c, run_component(cluster, graph, plan, items, &part.g2l)));
+                    }
+                    let mut out = slots.lock().unwrap();
+                    for (c, r) in local {
+                        out[c] = Some(r);
+                    }
+                });
+            }
+        });
+    }
+
+    // Canonical error merge, matching what the monolithic engine reports:
+    // the first node loss in time wins over everything (it aborts the run
+    // mid-timeline); a stall wins over deadlock (stalls are detected while
+    // other components still hold live work, deadlock only once nothing
+    // does); deadlock reports the total unstarted count.
+    let mut comps: Vec<CompOutcome> = Vec::with_capacity(k);
+    let mut node_lost: Option<(u64, u32, NodeId)> = None;
+    let mut stalled: Option<u32> = None;
+    let mut deadlocked = false;
+    let mut unstarted_total = 0usize;
+    for r in outcomes.into_iter().map(|o| o.expect("all components ran")) {
+        match r {
+            Ok(c) => comps.push(c),
+            Err(SimError::NodeLost {
+                node,
+                activity,
+                at_us,
+            }) => {
+                let better = node_lost
+                    .map_or(true, |(a, id, _)| (at_us, activity.0) < (a, id));
+                if better {
+                    node_lost = Some((at_us, activity.0, node));
+                }
+            }
+            Err(SimError::Stalled { activity }) => {
+                stalled = Some(stalled.map_or(activity.0, |s| s.min(activity.0)));
+            }
+            Err(SimError::Deadlock { unstarted }) => {
+                deadlocked = true;
+                unstarted_total += unstarted;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if let Some((at_us, id, node)) = node_lost {
+        return Err(SimError::NodeLost {
+            node,
+            activity: ActivityId(id),
+            at_us,
+        });
+    }
+    if let Some(id) = stalled {
+        return Err(SimError::Stalled {
+            activity: ActivityId(id),
+        });
+    }
+    if deadlocked {
+        return Err(SimError::Deadlock {
+            unstarted: unstarted_total,
+        });
+    }
+
+    // Scatter per-activity results back to global ids and fold makespan in
+    // component order.
+    let mut results = vec![
+        ActivityResult {
+            start_us: f64::NAN,
+            end_us: f64::NAN
+        };
+        n
+    ];
+    let mut makespan_us = 0.0f64;
+    for (c, comp) in comps.iter().enumerate() {
+        let items =
+            &part.comp_items[part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
+        for (li, r) in comp.results.iter().enumerate() {
+            results[items[li] as usize] = *r;
+        }
+        makespan_us = makespan_us.max(comp.makespan);
+    }
+
+    // Components never share a (channel, node) series — trace targets are
+    // derived from the same resources that define the partition — so the
+    // merged trace is an element-wise sum onto zeros. The single-component
+    // case moves its trace through untouched (bit-identical path).
+    let trace = if comps.len() == 1 {
+        std::mem::replace(&mut comps[0].trace, UsageTrace::new(cluster))
+    } else {
+        let mut t = UsageTrace::new(cluster);
+        for comp in &comps {
+            t.absorb(&comp.trace);
+        }
+        t
+    };
+
+    // Rebuild the global fault timeline: replay the plan's boundaries that
+    // the run reached (all below the makespan, plus a final boundary
+    // landing exactly on it if some component processed one there), and
+    // splice each component's kill records in at their boundary instants,
+    // sorted by activity id within an instant — exactly the monolithic
+    // engine's emission order.
+    let mut faults: Vec<FaultEvent> = Vec::new();
+    if !plan.is_empty() {
+        let mut kills: Vec<(f64, u32, NodeId)> = Vec::new();
+        for comp in &comps {
+            kills.extend_from_slice(&comp.kills);
+        }
+        kills.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let last = max_last_boundary(&comps);
+        let mut clock = FaultClock::new(plan, cluster.len());
+        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut restarted: Vec<NodeId> = Vec::new();
+        if matches!(clock.next_boundary(), Some(b) if b <= 0.0) {
+            clock.advance(0.0, &mut crashed, &mut restarted);
+            for &node in &restarted {
+                faults.push(FaultEvent::NodeRestarted { node, at_us: 0.0 });
+            }
+            for &node in &crashed {
+                faults.push(FaultEvent::NodeCrashed { node, at_us: 0.0 });
+            }
+        }
+        let mut ki = 0usize;
+        while let Some(b) = clock.next_boundary() {
+            let reached = b < makespan_us || last.is_some_and(|m| m == b);
+            if !reached {
+                break;
+            }
+            crashed.clear();
+            restarted.clear();
+            clock.advance(b, &mut crashed, &mut restarted);
+            for &node in &restarted {
+                faults.push(FaultEvent::NodeRestarted { node, at_us: b });
+            }
+            for &node in &crashed {
+                faults.push(FaultEvent::NodeCrashed { node, at_us: b });
+            }
+            while ki < kills.len() && kills[ki].0 == b {
+                faults.push(FaultEvent::ActivityKilled {
+                    activity: ActivityId(kills[ki].1),
+                    node: kills[ki].2,
+                    at_us: b,
+                });
+                ki += 1;
+            }
+        }
+        debug_assert_eq!(ki, kills.len(), "every kill maps to a replayed boundary");
+    }
+
     if granula_trace::enabled() {
-        granula_trace::counter_add("engine.events_processed", ev_events);
-        granula_trace::counter_add("engine.refill_waves", ev_refill_waves);
-        granula_trace::counter_add("engine.heap_compactions", ev_compactions);
-        granula_trace::counter_add("engine.heap_pops", ev_heap_pops);
-        granula_trace::counter_add("engine.heap_stale_pops", ev_stale_pops);
-        if ev_heap_pops > 0 {
+        let mut stats = EngineStats::default();
+        for comp in &comps {
+            stats.absorb(&comp.stats);
+        }
+        granula_trace::counter_add("engine.events_processed", stats.events);
+        granula_trace::counter_add("engine.refill_waves", stats.refill_waves);
+        granula_trace::counter_add("engine.heap_compactions", stats.compactions);
+        granula_trace::counter_add("engine.heap_pops", stats.heap_pops);
+        granula_trace::counter_add("engine.heap_stale_pops", stats.stale_pops);
+        granula_trace::gauge_set("engine.components", k as f64);
+        if stats.heap_pops > 0 {
             granula_trace::gauge_set(
                 "engine.stale_entry_ratio",
-                ev_stale_pops as f64 / ev_heap_pops as f64,
+                stats.stale_pops as f64 / stats.heap_pops as f64,
             );
         }
     }
 
-    let makespan_us = results.iter().map(|r| r.end_us).fold(0.0, f64::max);
     Ok(SimResult {
         results,
         makespan_us,
@@ -1008,5 +1432,92 @@ mod tests {
         let s = trace.series(Channel::Disk, NodeId(0));
         // 1.0 over [0,20) plus 1.0 over [10,20) = 30 units in the bucket.
         assert!((s[0].1 - 30.0).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn partition_separates_independent_islands() {
+        use crate::activity::ActivityGraph;
+        let cluster = ClusterSpec::homogeneous(
+            2,
+            NodeSpec {
+                name: String::new(),
+                cores: 4,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        );
+        let mut g = ActivityGraph::new();
+        // Island A: chain of two computes on node 0.
+        let a0 = g.add(
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1e6,
+                parallelism: 4,
+            },
+            &[],
+            "a0",
+        );
+        let _a1 = g.add(
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1e6,
+                parallelism: 4,
+            },
+            &[a0],
+            "a1",
+        );
+        // Island B: one disk read on node 1.
+        let _b0 = g.add(
+            ActivityKind::DiskRead {
+                node: NodeId(1),
+                bytes: 1e6,
+            },
+            &[],
+            "b0",
+        );
+        let p = partition(&cluster, &g);
+        assert_eq!(p.component_count(), 2);
+        assert_eq!(&p.comp_items[..], &[0, 1, 2]);
+        assert_eq!(&p.comp_off[..], &[0, 2, 3]);
+        assert_eq!(&p.g2l[..], &[0, 1, 0]);
+    }
+
+    #[test]
+    fn partition_couples_via_shared_resources() {
+        use crate::activity::ActivityGraph;
+        let cluster = ClusterSpec::homogeneous(
+            1,
+            NodeSpec {
+                name: String::new(),
+                cores: 4,
+                disk_bps: 1e8,
+                nic_bps: 1e8,
+                mem_bytes: 1,
+            },
+        );
+        let mut g = ActivityGraph::new();
+        // No dependency edges, but both computes land on node 0's cores —
+        // max-min couples them, so they must share a component.
+        g.add(
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1e6,
+                parallelism: 4,
+            },
+            &[],
+            "x",
+        );
+        g.add(
+            ActivityKind::Compute {
+                node: NodeId(0),
+                work_core_us: 1e6,
+                parallelism: 4,
+            },
+            &[],
+            "y",
+        );
+        let p = partition(&cluster, &g);
+        assert_eq!(p.component_count(), 1);
     }
 }

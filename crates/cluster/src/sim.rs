@@ -5,13 +5,21 @@
 //! earliest completion, accumulates resource usage into the [`UsageTrace`],
 //! and releases newly-ready activities. Deterministic by construction.
 //!
-//! Two engines share this contract. [`Simulation::run`] is the incremental
-//! scheduler ([`crate::sched`]): rates are recomputed only for activities
-//! transitively coupled to an arrival or departure through shared resources,
-//! and the next completion comes from a lazy-invalidation heap instead of a
-//! scan. [`Simulation::run_reference`] is the straightforward
+//! Two engines share this contract. [`Simulation::run`] is the partitioned
+//! incremental scheduler ([`crate::sched`]): the DAG splits into connected
+//! components over `dependency ∪ shared-resource` edges, each simulated
+//! independently (optionally on scoped worker threads) with rates
+//! recomputed only for activities transitively coupled to an arrival or
+//! departure, and the next completion coming from a lazy-invalidation heap
+//! instead of a scan. [`Simulation::run_reference`] is the straightforward
 //! recompute-everything loop, kept as the oracle the incremental engine is
 //! tested against.
+//!
+//! Small DAGs skip the incremental machinery: below
+//! [`Simulation::DEFAULT_CUTOVER`] activities the per-event closure/heap
+//! bookkeeping costs more than it saves, so [`Simulation::run`] dispatches
+//! to the dense recompute loop there (tunable via
+//! [`Simulation::with_cutover`]).
 
 use std::fmt;
 
@@ -130,6 +138,8 @@ impl SimResult {
 #[derive(Debug, Clone)]
 pub struct Simulation {
     cluster: ClusterSpec,
+    cutover: usize,
+    threads: Option<usize>,
 }
 
 struct Running {
@@ -140,9 +150,38 @@ struct Running {
 }
 
 impl Simulation {
-    /// Creates an engine over a cluster.
+    /// Activity count below which [`Simulation::run`] uses the dense
+    /// recompute engine instead of the incremental one. Chosen from the
+    /// `simulator_scale` bench sweep: the incremental engine's closure/heap
+    /// bookkeeping only pays for itself above a few thousand activities
+    /// (the seed engine was 1.3–1.5× *faster* on 651/3251-activity DAGs).
+    pub const DEFAULT_CUTOVER: usize = 4096;
+
+    /// Creates an engine over a cluster with the default small-DAG cutover
+    /// and auto-detected thread count.
     pub fn new(cluster: ClusterSpec) -> Self {
-        Simulation { cluster }
+        Simulation {
+            cluster,
+            cutover: Self::DEFAULT_CUTOVER,
+            threads: None,
+        }
+    }
+
+    /// Sets the activity count below which [`Simulation::run`] uses the
+    /// dense engine. `0` forces the incremental engine for every size
+    /// (useful for equivalence tests); `usize::MAX` forces the dense one.
+    pub fn with_cutover(mut self, cutover: usize) -> Self {
+        self.cutover = cutover;
+        self
+    }
+
+    /// Sets the worker-thread budget for the partitioned engine. `1` is
+    /// fully sequential; higher counts simulate independent components
+    /// concurrently. Results are bit-identical for every value. Defaults to
+    /// the machine's available parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// The cluster being simulated.
@@ -150,11 +189,19 @@ impl Simulation {
         &self.cluster
     }
 
+    fn thread_budget(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
     fn check_nodes(&self, graph: &ActivityGraph) -> Result<(), SimError> {
         let n = self.cluster.len() as u16;
         let bad = |node: &NodeId| node.0 >= n;
         for a in graph.iter() {
-            let offending = match &a.kind {
+            let offending = match a.kind {
                 ActivityKind::Compute { node, .. }
                 | ActivityKind::DiskRead { node, .. }
                 | ActivityKind::DiskWrite { node, .. }
@@ -182,16 +229,18 @@ impl Simulation {
 
     /// Executes the DAG; returns per-activity timings and the usage trace.
     ///
-    /// Uses the incremental scheduler (see [`crate::sched`]); results agree
-    /// with [`Simulation::run_reference`] up to floating-point noise and are
-    /// bit-identical across repeated runs of the same input.
+    /// Uses the partitioned incremental scheduler (see [`crate::sched`])
+    /// above the cutover and the dense recompute engine below it; results
+    /// agree with [`Simulation::run_reference`] up to floating-point noise
+    /// and are bit-identical across repeated runs of the same input at any
+    /// thread count.
     pub fn run(&self, graph: &ActivityGraph) -> Result<SimResult, SimError> {
         self.run_with_faults(graph, &FaultPlan::default())
     }
 
-    /// Executes the DAG under a [`FaultPlan`] with the incremental
-    /// scheduler. See [`crate::fault`] for the fault semantics; an empty
-    /// plan is bit-identical to [`Simulation::run`].
+    /// Executes the DAG under a [`FaultPlan`]. See [`crate::fault`] for the
+    /// fault semantics; an empty plan is bit-identical to
+    /// [`Simulation::run`].
     pub fn run_with_faults(
         &self,
         graph: &ActivityGraph,
@@ -199,7 +248,11 @@ impl Simulation {
     ) -> Result<SimResult, SimError> {
         self.check_nodes(graph)?;
         self.check_plan(plan)?;
-        crate::sched::run_incremental(&self.cluster, graph, plan)
+        if graph.len() < self.cutover {
+            self.run_dense(graph, plan)
+        } else {
+            crate::sched::run_partitioned(&self.cluster, graph, plan, self.thread_budget())
+        }
     }
 
     /// Executes the DAG with the naive reference engine: every event
@@ -224,6 +277,15 @@ impl Simulation {
     ) -> Result<SimResult, SimError> {
         self.check_nodes(graph)?;
         self.check_plan(plan)?;
+        self.run_dense(graph, plan)
+    }
+
+    /// The dense recompute loop shared by [`Simulation::run_reference`] and
+    /// the small-DAG path of [`Simulation::run`]: every event re-runs
+    /// progressive filling over all running activities. O(running) per
+    /// event, but with near-zero bookkeeping — fastest below a few thousand
+    /// activities.
+    fn run_dense(&self, graph: &ActivityGraph, plan: &FaultPlan) -> Result<SimResult, SimError> {
         let n = graph.len();
         let mut table = ResourceTable::new(&self.cluster);
         let base_caps = table.caps.clone();
@@ -247,7 +309,7 @@ impl Simulation {
         let mut dependents: Vec<Vec<ActivityId>> = vec![Vec::new(); n];
         for a in graph.iter() {
             indeg[a.id.0 as usize] = a.deps.len() as u32;
-            for d in &a.deps {
+            for d in a.deps {
                 dependents[d.0 as usize].push(a.id);
             }
         }
@@ -286,7 +348,7 @@ impl Simulation {
             while let Some(id) = ready.pop() {
                 let act = graph.get(id);
                 if active {
-                    if let Some(node) = clock.blocking_node(&act.kind) {
+                    if let Some(node) = clock.blocking_node(act.kind) {
                         if clock.has_pending_restart(node) {
                             parked.push(id);
                             continue;
@@ -313,7 +375,7 @@ impl Simulation {
                     running.push(Running {
                         id,
                         remaining: amount,
-                        demand: demand(&table, &act.kind),
+                        demand: demand(&table, act.kind),
                         rate: 0.0,
                     });
                 }
@@ -368,7 +430,7 @@ impl Simulation {
             // matter how many activities share it.
             for r in &running {
                 let act = graph.get(r.id);
-                match &act.kind {
+                match act.kind {
                     ActivityKind::Compute { node, .. } => {
                         wave.push(&mut trace, Channel::Cpu, *node, now, step_to, r.rate);
                     }
@@ -428,7 +490,7 @@ impl Simulation {
                         .iter()
                         .filter_map(|r| {
                             clock
-                                .blocking_node(&graph.get(r.id).kind)
+                                .blocking_node(graph.get(r.id).kind)
                                 .map(|node| (r.id, node))
                         })
                         .collect();
@@ -448,7 +510,7 @@ impl Simulation {
                             }
                         }
                     }
-                    running.retain(|r| clock.blocking_node(&graph.get(r.id).kind).is_none());
+                    running.retain(|r| clock.blocking_node(graph.get(r.id).kind).is_none());
                 }
                 if !crashed_buf.is_empty() || !restarted_buf.is_empty() {
                     // Re-examine parked activities: a restarted node frees
@@ -457,7 +519,7 @@ impl Simulation {
                     let mut kept = 0;
                     for i in 0..parked.len() {
                         let id = parked[i];
-                        match clock.blocking_node(&graph.get(id).kind) {
+                        match clock.blocking_node(graph.get(id).kind) {
                             None => ready.push(id),
                             Some(node) => {
                                 if !clock.has_pending_restart(node) {

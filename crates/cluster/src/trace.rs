@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::Symbol;
 use crate::topology::{ClusterSpec, NodeId};
 
 /// Which channel of the trace to read.
@@ -26,7 +27,9 @@ pub enum Channel {
 pub struct UsageTrace {
     /// Bucket width in microseconds (default: one second).
     pub bucket_us: u64,
-    node_names: Vec<String>,
+    /// Interned node names — `Copy`-cheap records, no per-trace `String`
+    /// clones; serde round-trips them as text so archives stay portable.
+    node_names: Vec<Symbol>,
     cpu: Vec<Vec<f64>>,
     disk: Vec<Vec<f64>>,
     net_in: Vec<Vec<f64>>,
@@ -45,7 +48,11 @@ impl UsageTrace {
         let n = cluster.len();
         UsageTrace {
             bucket_us,
-            node_names: cluster.nodes.iter().map(|s| s.name.clone()).collect(),
+            node_names: cluster
+                .nodes
+                .iter()
+                .map(|s| Symbol::intern(&s.name))
+                .collect(),
             cpu: vec![Vec::new(); n],
             disk: vec![Vec::new(); n],
             net_in: vec![Vec::new(); n],
@@ -53,9 +60,34 @@ impl UsageTrace {
         }
     }
 
-    /// Node names in [`NodeId`] order.
-    pub fn node_names(&self) -> &[String] {
+    /// Node names in [`NodeId`] order, as interned symbols
+    /// ([`Symbol::as_str`] resolves the text).
+    pub fn node_names(&self) -> &[Symbol] {
         &self.node_names
+    }
+
+    /// Element-wise sum of `other` into `self`. Used by the partitioned
+    /// engine's merge: components never share a `(channel, node)` series,
+    /// so every destination slot receives at most one non-zero
+    /// contribution and the merge is exact (adding onto 0.0 is bitwise
+    /// lossless for the non-negative usage values traces hold).
+    pub(crate) fn absorb(&mut self, other: &UsageTrace) {
+        debug_assert_eq!(self.bucket_us, other.bucket_us);
+        debug_assert_eq!(self.node_names.len(), other.node_names.len());
+        fn absorb_series(dst: &mut Vec<f64>, src: &[f64]) {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0.0);
+            }
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for i in 0..self.node_names.len() {
+            absorb_series(&mut self.cpu[i], &other.cpu[i]);
+            absorb_series(&mut self.disk[i], &other.disk[i]);
+            absorb_series(&mut self.net_in[i], &other.net_in[i]);
+            absorb_series(&mut self.net_out[i], &other.net_out[i]);
+        }
     }
 
     /// Accumulates a constant-rate usage of `rate` (unit/µs) on `node` over

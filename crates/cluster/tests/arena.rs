@@ -1,0 +1,131 @@
+//! Stress and property tests for the arena-backed activity storage and the
+//! global string interner — the structures the full-scale (dg1000-volume)
+//! experiments lean on.
+
+use gpsim_cluster::{ActivityGraph, ActivityId, ActivityKind, NodeId, Symbol};
+use proptest::prelude::*;
+
+/// A million-activity graph builds, indexes, and iterates correctly. This
+/// is the dg1000-full construction shape: long per-worker chains stitched
+/// by barriers, with heavily shared tag text.
+#[test]
+fn arena_holds_a_million_activities() {
+    const WORKERS: u32 = 8;
+    const STEPS: u32 = 160_000; // 8 workers × 160k steps ≈ 1.28M activities
+
+    let mut g = ActivityGraph::with_capacity(
+        (WORKERS * STEPS + STEPS) as usize,
+        (WORKERS * STEPS * 2) as usize,
+    );
+    let mut prev: Vec<Option<ActivityId>> = vec![None; WORKERS as usize];
+    let mut last_barrier: Option<ActivityId> = None;
+    for step in 0..STEPS {
+        let mut layer = Vec::with_capacity(WORKERS as usize);
+        for w in 0..WORKERS {
+            let mut deps = Vec::new();
+            if let Some(p) = prev[w as usize] {
+                deps.push(p);
+            }
+            if let Some(b) = last_barrier {
+                deps.push(b);
+            }
+            let id = g.add(
+                ActivityKind::Compute {
+                    node: NodeId(w as u16),
+                    work_core_us: 1.0 + (step % 7) as f64,
+                    parallelism: 1,
+                },
+                &deps,
+                // Tag text repeats across steps: interning must dedupe it.
+                if w % 2 == 0 { "worker/even" } else { "worker/odd" },
+            );
+            prev[w as usize] = Some(id);
+            layer.push(id);
+        }
+        if step % 1000 == 999 {
+            last_barrier = Some(g.barrier(&layer, "superstep/barrier"));
+        }
+    }
+
+    assert!(g.len() > 1_000_000, "only {} activities", g.len());
+    assert_eq!(g.iter().count(), g.len());
+
+    // Spot-check structural integrity across the arena.
+    let mid = ActivityId((g.len() / 2) as u32);
+    for d in g.deps_of(mid) {
+        assert!(d.0 < mid.0, "dependency {d:?} not before {mid:?}");
+    }
+    assert!(matches!(
+        g.kind_of(mid),
+        ActivityKind::Compute { .. } | ActivityKind::Barrier
+    ));
+
+    // Tag interning: three distinct strings total, shared by all activities.
+    let even = Symbol::intern("worker/even");
+    let odd = Symbol::intern("worker/odd");
+    let bar = Symbol::intern("superstep/barrier");
+    assert!(g.iter().all(|a| {
+        let t = a.tag_symbol();
+        t == even || t == odd || t == bar
+    }));
+    assert_eq!(g.tagged("superstep/").count(), (STEPS / 1000) as usize);
+
+    // Every dependency edge lands in the flat CSR pool exactly once.
+    let edges: usize = g.iter().map(|a| a.deps.len()).sum();
+    assert_eq!(edges, g.dep_count());
+}
+
+proptest! {
+    /// Interning is a bijection for the life of the process: any string
+    /// round-trips through its symbol, and symbol equality tracks string
+    /// equality.
+    #[test]
+    fn interner_round_trips(a in ".{0,40}", b in ".{0,40}") {
+        let sa = Symbol::intern(&a);
+        let sb = Symbol::intern(&b);
+        prop_assert_eq!(sa.as_str(), a.as_str());
+        prop_assert_eq!(sb.as_str(), b.as_str());
+        prop_assert_eq!(sa == sb, a == b);
+        // Re-interning is idempotent.
+        prop_assert_eq!(Symbol::intern(&a), sa);
+    }
+
+    /// Graphs survive a serde round trip: same kinds, deps, and tag text
+    /// (symbols serialize as text, so this also crosses the interner).
+    #[test]
+    fn graph_serde_round_trips(
+        specs in proptest::collection::vec((0u8..3, ".{0,12}", 1.0f64..1e6), 0..20),
+    ) {
+        let mut g = ActivityGraph::new();
+        for (i, (sel, tag, amount)) in specs.iter().enumerate() {
+            let deps: Vec<ActivityId> = if i == 0 {
+                Vec::new()
+            } else {
+                vec![ActivityId((i - 1) as u32)]
+            };
+            let kind = match sel {
+                0 => ActivityKind::Compute {
+                    node: NodeId(0),
+                    work_core_us: *amount,
+                    parallelism: 2,
+                },
+                1 => ActivityKind::DiskRead {
+                    node: NodeId(0),
+                    bytes: *amount,
+                },
+                _ => ActivityKind::Barrier,
+            };
+            g.add(kind, &deps, tag.as_str());
+        }
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ActivityGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.len(), g.len());
+        prop_assert_eq!(back.dep_count(), g.dep_count());
+        for (x, y) in g.iter().zip(back.iter()) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.deps, y.deps);
+            prop_assert_eq!(x.tag(), y.tag());
+            prop_assert_eq!(format!("{:?}", x.kind), format!("{:?}", y.kind));
+        }
+    }
+}

@@ -84,7 +84,7 @@ proptest! {
             prop_assert!(r.end_us >= r.start_us, "negative duration");
             prop_assert!(r.start_us >= 0.0);
             max_end = max_end.max(r.end_us);
-            for d in &a.deps {
+            for d in a.deps {
                 prop_assert!(
                     res.of(*d).end_us <= r.start_us + 1e-6,
                     "activity started before its dependency finished"

@@ -29,6 +29,14 @@ pub const DG1000_SCALE: f64 = 1_030.0;
 /// Seed of the experiment graph (fixed for reproducibility).
 pub const DG_SEED: u64 = 1_000;
 
+/// Vertices of the **full-scale** dg1000 graph: the real dataset volume,
+/// no down-sampling (103 M vertices + 927 M edges = 1.03e9 elements, the
+/// size the paper quotes). Runs at `scale_factor = 1.0`.
+pub const DG_FULL_VERTICES: u32 = 103_000_000;
+
+/// Edges of the full-scale dg1000 graph (the Datagen 9:1 edge ratio).
+pub const DG_FULL_EDGES: u64 = 927_000_000;
+
 /// Shape targets extracted from the paper's evaluation (§4, Figures 5–8).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperTargets {
@@ -64,6 +72,20 @@ pub fn dg_graph() -> Graph {
     gpsim_graph::gen::datagen_like(&GenConfig {
         vertices: DG_VERTICES,
         edges: DG_EDGES,
+        alpha: 2.2,
+        seed: DG_SEED,
+    })
+}
+
+/// Generates the **full-scale** dg1000 graph: 103 M vertices, 927 M edges,
+/// built as out-CSR only through the streaming generator (two alias-method
+/// passes, no edge list, no reverse CSR — ~6 GB high-water instead of
+/// ~17 GB). Takes minutes of real time and is deterministic in
+/// [`DG_SEED`]. Forward-traversal algorithms only (BFS).
+pub fn dg_graph_full() -> Graph {
+    gpsim_graph::gen::datagen_like_full(&GenConfig {
+        vertices: DG_FULL_VERTICES,
+        edges: DG_FULL_EDGES,
         alpha: 2.2,
         seed: DG_SEED,
     })

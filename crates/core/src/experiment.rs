@@ -291,6 +291,46 @@ pub fn dg1000(platform: Platform) -> ExperimentResult {
     run_experiment(platform, &graph, &cfg).expect("dg1000 simulation is well-formed")
 }
 
+/// The paper's Giraph dg1000 experiment at **full scale**: the algorithm
+/// executes on the real dataset volume (103 M vertices, 927 M edges) with
+/// `scale_factor = 1.0` — no down-sampling, no demand scaling. The graph
+/// is built out-CSR-only via the streaming generator and BFS runs through
+/// the flat frontier engine, so the dominant costs are one generator
+/// sweep and one O(n + m) traversal; expect minutes of wall-clock and a
+/// ~7 GB high-water mark.
+///
+/// Only Giraph is supported: PowerGraph's vertex-cut partitioner and the
+/// GAS gather phase need the reverse CSR, which the out-only full-scale
+/// graph deliberately does not carry.
+///
+/// # Panics
+/// For platforms other than [`Platform::Giraph`].
+pub fn dg1000_full() -> ExperimentResult {
+    dg1000_full_sized(calibration::DG_FULL_VERTICES)
+}
+
+/// [`dg1000_full`] with an adjustable vertex count, for smoke runs that
+/// exercise the same streaming-generation + flat-BFS path at a fraction of
+/// the wall-clock. Edges keep the Datagen 9:1 ratio and the scale factor
+/// is adjusted so the job still emulates the 1.03e9-element dataset; at
+/// [`calibration::DG_FULL_VERTICES`] the factor is exactly 1.0.
+pub fn dg1000_full_sized(vertices: u32) -> ExperimentResult {
+    let _span = granula_trace::span!("experiment", "dg1000_full giraph");
+    let graph = {
+        let _span = granula_trace::span!("experiment", "dg1000_full.generate");
+        gpsim_graph::gen::datagen_like_full(&gpsim_graph::gen::GenConfig {
+            vertices,
+            edges: vertices as u64 * 9,
+            alpha: 2.2,
+            seed: calibration::DG_SEED,
+        })
+    };
+    let mut cfg = calibration::giraph_dg1000_job();
+    cfg.job_id = "giraph-bfs-dg1000-full".into();
+    cfg.scale_factor = 1.03e9 / (vertices as f64 * 10.0);
+    run_experiment(Platform::Giraph, &graph, &cfg).expect("dg1000 simulation is well-formed")
+}
+
 /// A fast variant of [`dg1000`] on a smaller logical graph with the scale
 /// factor adjusted to keep emulating the full dataset. Used by tests.
 pub fn dg1000_quick(platform: Platform, vertices: u32) -> ExperimentResult {

@@ -86,6 +86,57 @@ impl Graph {
         }
     }
 
+    /// Builds an **out-edges-only** graph from a replayable edge stream,
+    /// without ever materializing an edge list.
+    ///
+    /// `each_pass` is invoked twice with an edge sink and must emit the
+    /// identical edge sequence both times (pass 1 counts degrees, pass 2
+    /// fills the CSR). This is the full-scale loader: a dg1000-sized graph
+    /// (~927 M edges) costs only the out-CSR itself (~4.5 GB) instead of
+    /// the ~17 GB that [`Graph::from_edges`] needs for the edge list plus
+    /// both CSR directions.
+    ///
+    /// The reverse CSR is left empty: [`Graph::in_neighbors`] and
+    /// [`Graph::in_degree`] report no in-edges. Use this constructor only
+    /// for forward-traversal algorithms (BFS, PageRank-by-push, SSSP).
+    pub fn from_out_edges<F>(n: u32, mut each_pass: F) -> Graph
+    where
+        F: FnMut(&mut dyn FnMut(VertexId, VertexId)),
+    {
+        let nu = n as usize;
+        let mut out_deg = vec![0u64; nu + 1];
+        let mut m = 0u64;
+        each_pass(&mut |s, t| {
+            assert!(
+                (s as usize) < nu && (t as usize) < nu,
+                "edge ({s},{t}) out of range"
+            );
+            out_deg[s as usize + 1] += 1;
+            m += 1;
+        });
+        for i in 0..nu {
+            out_deg[i + 1] += out_deg[i];
+        }
+        let mut out_targets = vec![0 as VertexId; m as usize];
+        let mut cursor = out_deg.clone();
+        let mut m2 = 0u64;
+        each_pass(&mut |s, t| {
+            let c = &mut cursor[s as usize];
+            out_targets[*c as usize] = t;
+            *c += 1;
+            m2 += 1;
+        });
+        assert_eq!(m, m2, "edge stream must replay identically across passes");
+        Graph {
+            out_offsets: out_deg,
+            out_targets,
+            in_offsets: vec![0u64; nu + 1],
+            in_sources: Vec::new(),
+            weights: None,
+            in_weights: None,
+        }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> u32 {
         (self.out_offsets.len() - 1) as u32
@@ -213,5 +264,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         Graph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn from_out_edges_matches_from_edges_forward() {
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 3), (0, 1)];
+        let dense = Graph::from_edges(4, &edges);
+        let streamed = Graph::from_out_edges(4, |sink| {
+            for &(s, t) in &edges {
+                sink(s, t);
+            }
+        });
+        assert_eq!(streamed.num_vertices(), dense.num_vertices());
+        assert_eq!(streamed.num_edges(), dense.num_edges());
+        for v in 0..4 {
+            assert_eq!(streamed.neighbors(v), dense.neighbors(v), "vertex {v}");
+            assert_eq!(streamed.out_degree(v), dense.out_degree(v));
+        }
+        // The reverse direction is intentionally absent.
+        assert_eq!(streamed.in_neighbors(3), &[] as &[u32]);
+        assert_eq!(streamed.in_degree(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay identically")]
+    fn from_out_edges_rejects_diverging_streams() {
+        let mut pass = 0;
+        Graph::from_out_edges(2, |sink| {
+            pass += 1;
+            if pass == 1 {
+                sink(0, 1);
+            }
+        });
     }
 }

@@ -195,7 +195,7 @@ pub fn trace_to_samples(trace: &UsageTrace) -> Vec<ResourceSample> {
         for (t, v) in trace.series(Channel::Cpu, node) {
             out.push(ResourceSample {
                 time_us: t,
-                node: name.clone(),
+                node: name.as_str().to_owned(),
                 kind: ResourceKind::Cpu,
                 value: v,
             });
@@ -203,7 +203,7 @@ pub fn trace_to_samples(trace: &UsageTrace) -> Vec<ResourceSample> {
         for (t, v) in trace.series(Channel::Disk, node) {
             out.push(ResourceSample {
                 time_us: t,
-                node: name.clone(),
+                node: name.as_str().to_owned(),
                 kind: ResourceKind::Disk,
                 value: v,
             });
@@ -211,7 +211,7 @@ pub fn trace_to_samples(trace: &UsageTrace) -> Vec<ResourceSample> {
         for (t, v) in trace.series(Channel::NetIn, node) {
             out.push(ResourceSample {
                 time_us: t,
-                node: name.clone(),
+                node: name.as_str().to_owned(),
                 kind: ResourceKind::Network,
                 value: v,
             });

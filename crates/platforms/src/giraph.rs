@@ -83,7 +83,9 @@ fn run_program(
 ) -> (AlgorithmOutput, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::Bfs { source } => {
-            let out = pregel::run(g, part, &pregel::BfsProgram { source }, max_supersteps);
+            // Size-dispatched: full-scale graphs take the flat frontier
+            // engine, which produces bit-identical counters.
+            let out = pregel::run_bfs(g, part, source, max_supersteps);
             (AlgorithmOutput::Levels(out.values), out.supersteps)
         }
         Algorithm::PageRank { iterations } => {

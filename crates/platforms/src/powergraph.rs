@@ -226,7 +226,7 @@ impl PowerGraphPlatform {
                 continue;
             }
             let deps: Vec<ActivityId> = a.deps.iter().filter_map(|d| map[d.0 as usize]).collect();
-            map.push(Some(kept.add(a.kind.clone(), &deps, a.tag.clone())));
+            map.push(Some(kept.add(*a.kind, &deps, a.tag_symbol())));
         }
         b.dag = kept;
 

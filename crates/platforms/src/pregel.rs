@@ -189,6 +189,104 @@ pub fn run<P: VertexProgram>(
     PregelOutcome { values, supersteps }
 }
 
+/// Vertex count at which [`run_bfs`] switches from the generic engine to
+/// the flat frontier engine. The generic engine keeps a `Vec` inbox per
+/// vertex — two pointer-width triples each — which at dg1000 scale
+/// (103 M vertices) is ~5 GB of mostly-empty vectors plus an allocation
+/// per delivered message; the flat engine carries the same information in
+/// three dense arrays.
+pub const FLAT_BFS_THRESHOLD: u32 = 2_000_000;
+
+/// BFS through the engine best suited to the graph's size: the generic
+/// vertex-program engine below [`FLAT_BFS_THRESHOLD`] vertices, the flat
+/// frontier engine at or above it. Both produce identical values and
+/// identical per-superstep counters (see `flat_bfs_matches_generic_engine`).
+pub fn run_bfs(
+    g: &Graph,
+    partition: &EdgeCutPartition,
+    source: VertexId,
+    max_supersteps: u32,
+) -> PregelOutcome<u32> {
+    if g.num_vertices() >= FLAT_BFS_THRESHOLD {
+        run_bfs_flat(g, partition, source, max_supersteps)
+    } else {
+        run(g, partition, &BfsProgram { source }, max_supersteps)
+    }
+}
+
+/// Level-synchronous BFS over dense arrays, replicating the generic
+/// engine's observable behavior exactly:
+///
+/// - the computed set of superstep `s > 0` is the set of message receivers
+///   of superstep `s - 1` (improved or not — a visited vertex that is
+///   messaged again still executes, scans its edges, and sends nothing);
+/// - all messages of superstep `s` carry level `s`, so a receiver improves
+///   iff it is unvisited;
+/// - counters (active vertices, edges scanned, messages sent/received, the
+///   worker-to-worker matrix) count per message, not per unique receiver.
+pub fn run_bfs_flat(
+    g: &Graph,
+    partition: &EdgeCutPartition,
+    source: VertexId,
+    max_supersteps: u32,
+) -> PregelOutcome<u32> {
+    let n = g.num_vertices() as usize;
+    let k = partition.k as usize;
+    let mut values = vec![u32::MAX; n];
+    values[source as usize] = 0;
+    let mut computed: Vec<VertexId> = vec![source];
+    // Membership stamp for the next frontier: `queued[v] == s + 1` means v
+    // is already in superstep s's receiver set.
+    let mut queued = vec![0u32; n];
+    let mut supersteps = Vec::new();
+
+    for superstep in 0..max_supersteps {
+        if computed.is_empty() {
+            break;
+        }
+        let mut per_worker = vec![WorkerSuperstep::default(); k];
+        let mut remote = vec![vec![0u64; k]; k];
+        let mut next: Vec<VertexId> = Vec::new();
+        for &v in &computed {
+            let w = partition.owner_of(v) as usize;
+            let deg = g.out_degree(v) as u64;
+            per_worker[w].active_vertices += 1;
+            per_worker[w].edges_scanned += deg;
+            let improved = if superstep == 0 {
+                v == source
+            } else if superstep < values[v as usize] {
+                values[v as usize] = superstep;
+                true
+            } else {
+                false
+            };
+            if improved {
+                per_worker[w].messages_sent += deg;
+                let row = &mut remote[w];
+                for &t in g.neighbors(v) {
+                    row[partition.owner_of(t) as usize] += 1;
+                    if queued[t as usize] != superstep + 1 {
+                        queued[t as usize] = superstep + 1;
+                        next.push(t);
+                    }
+                }
+            }
+        }
+        for row in &remote {
+            for (wt, &count) in row.iter().enumerate() {
+                per_worker[wt].messages_received += count;
+            }
+        }
+        supersteps.push(SuperstepStats {
+            superstep,
+            per_worker,
+            remote_messages: remote,
+        });
+        computed = next;
+    }
+    PregelOutcome { values, supersteps }
+}
+
 // ---------------------------------------------------------------------------
 // Vertex programs for the Graphalytics algorithms.
 // ---------------------------------------------------------------------------
@@ -472,6 +570,50 @@ mod tests {
         let p = partition(&g);
         let out = run(&g, &p, &BfsProgram { source: 1 }, 1_000);
         assert_eq!(out.values, algos::bfs(&g, 1));
+    }
+
+    #[test]
+    fn flat_bfs_matches_generic_engine() {
+        // Values AND every per-superstep counter must be identical: the
+        // Giraph DAG is built from these counters, so any divergence would
+        // change full-scale makespans.
+        for (vertices, seed, source) in [(2_000, 99, 1u32), (5_000, 7, 42), (300, 3, 0)] {
+            let g = datagen_like(&GenConfig::datagen(vertices, seed));
+            let p = EdgeCutPartition::hash(g.num_vertices(), 8);
+            let generic = run(&g, &p, &BfsProgram { source }, 1_000);
+            let flat = run_bfs_flat(&g, &p, source, 1_000);
+            assert_eq!(flat.values, generic.values, "seed {seed}");
+            assert_eq!(flat.supersteps, generic.supersteps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn flat_bfs_handles_self_loops_and_duplicate_edges() {
+        let g = Graph::from_edges(4, &[(0, 0), (0, 1), (0, 1), (1, 2), (2, 0), (3, 3)]);
+        let p = EdgeCutPartition::hash(4, 2);
+        let generic = run(&g, &p, &BfsProgram { source: 0 }, 100);
+        let flat = run_bfs_flat(&g, &p, 0, 100);
+        assert_eq!(flat.values, generic.values);
+        assert_eq!(flat.supersteps, generic.supersteps);
+    }
+
+    #[test]
+    fn run_bfs_dispatches_below_threshold() {
+        let g = graph();
+        let p = partition(&g);
+        let via_dispatch = run_bfs(&g, &p, 1, 1_000);
+        let generic = run(&g, &p, &BfsProgram { source: 1 }, 1_000);
+        assert_eq!(via_dispatch.values, generic.values);
+        assert_eq!(via_dispatch.supersteps, generic.supersteps);
+    }
+
+    #[test]
+    fn flat_bfs_respects_superstep_cap() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = EdgeCutPartition::hash(5, 2);
+        let out = run_bfs_flat(&g, &p, 0, 2);
+        assert_eq!(out.supersteps.len(), 2);
+        assert_eq!(out.values, vec![0, 1, u32::MAX, u32::MAX, u32::MAX]);
     }
 
     #[test]
