@@ -8,19 +8,44 @@
 //! serializes to the binary format with identical semantics — and float
 //! info values survive bit-for-bit ([`f64::to_bits`] is stored verbatim).
 //!
-//! ## Layout
+//! ## Layout (format v3)
 //!
 //! ```text
-//! +--------------------+----------------------+---------------------------+
-//! | magic  b"GRNA"     | version  u32 LE (=2) | payload  (tagged value)   |
-//! +--------------------+----------------------+---------------------------+
+//! +----------------+---------------------+
+//! | magic  b"GRNA" | version  u32 LE (=3)|
+//! +----------------+---------------------+
+//! | RUN frame      (run header)          |
+//! | JOB frame      (one per archive)     |
+//! | ...                                  |
+//! | TRAILER frame  (per-job offset table)|
+//! +--------------------------------------+
+//! | footer: trailer offset u64 LE        |
+//! |         + CRC32C(offset) u32 LE      |
+//! |         + end magic b"GREN"          |
+//! +--------------------------------------+
 //! ```
 //!
-//! Version history: v1 stores carry only the archive list; v2 adds the
-//! [`crate::store::RunMeta`] run header. Readers accept any version up to
-//! the current one — a v1 payload simply decodes with an empty header.
+//! Every frame is independently checksummed:
 //!
-//! The payload is one tagged value; trailing bytes after it are an error.
+//! ```text
+//! frame := kind u8 | payload_len u32 LE | payload | crc32c u32 LE
+//! ```
+//!
+//! where the CRC32C ([`crate::crc`]) covers `kind + payload_len + payload`.
+//! A bit flip, torn write, or truncation therefore damages *frames*, not
+//! the file: the salvage layer ([`crate::salvage`]) recovers every job
+//! whose frame still verifies, locating frames either by a sequential
+//! walk or through the trailer's offset table (reachable from the fixed
+//! footer even when mid-file frames are mangled — and the seed of the
+//! future mmap'd zero-copy read path, which needs per-job extents without
+//! a full deserialize).
+//!
+//! Version history: v1 stores carry only the archive list; v2 adds the
+//! [`crate::store::RunMeta`] run header (both as one raw tagged value after
+//! the 8-byte header, no frames, no checksums); v3 adds the framing above.
+//! Readers accept all three — a v1 payload simply decodes with an empty
+//! header, and v1/v2 files skip checksum verification (they carry none).
+//!
 //! Tagged values (all lengths/counts are LEB128 varints):
 //!
 //! | tag  | variant | body                                        |
@@ -34,6 +59,12 @@
 //! | 0x06 | Array   | varint count + that many values             |
 //! | 0x07 | Object  | varint count + that many (Str-body, value)  |
 //!
+//! The decoder treats every length, count, and tag as **hostile**: counts
+//! are capped by the bytes actually remaining (a forged 4 GB header can
+//! never drive a 4 GB allocation), nesting depth is capped by
+//! [`MAX_VALUE_DEPTH`], and every malformed shape is a structured
+//! [`BinError`] — never a panic, hang, or abort.
+//!
 //! Encoding is a pure function of the value tree (the shim sorts map keys,
 //! struct fields encode in declaration order), so equal stores produce
 //! byte-identical files — the property the differential test suite pins.
@@ -45,13 +76,24 @@ use std::path::Path;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::archive::JobArchive;
-use crate::store::ArchiveStore;
+use crate::crc::crc32c;
+use crate::durable;
+use crate::store::{ArchiveStore, RunMeta};
 
 /// File magic: "GRanula Native Archive".
 pub const MAGIC: [u8; 4] = *b"GRNA";
 
-/// Current binary format version (v2: run-metadata header).
-pub const BIN_FORMAT_VERSION: u32 = 2;
+/// End-of-file magic closing the footer.
+pub const END_MAGIC: [u8; 4] = *b"GREN";
+
+/// Current binary format version (v3: checksummed frames + trailer).
+pub const BIN_FORMAT_VERSION: u32 = 3;
+
+/// Maximum nesting depth of a decoded value tree. Archives serialize
+/// flat (operations are arrays indexed by id, not recursive structures),
+/// so real payloads stay under ~16 levels; the cap only exists to turn a
+/// forged `[[[[…` chain into an error instead of a stack overflow.
+pub const MAX_VALUE_DEPTH: usize = 64;
 
 const TAG_NULL: u8 = 0x00;
 const TAG_BOOL: u8 = 0x01;
@@ -62,6 +104,22 @@ const TAG_STR: u8 = 0x05;
 const TAG_ARRAY: u8 = 0x06;
 const TAG_OBJECT: u8 = 0x07;
 
+/// Frame kinds of format v3.
+pub const FRAME_RUN: u8 = 0x01;
+/// One serialized [`JobArchive`].
+pub const FRAME_JOB: u8 = 0x02;
+/// The per-job offset table closing the frame sequence.
+pub const FRAME_TRAILER: u8 = 0x03;
+
+/// Frame header bytes (`kind u8` + `payload_len u32`).
+pub const FRAME_HEADER_LEN: usize = 5;
+/// Bytes a frame adds around its payload (header + trailing CRC).
+pub const FRAME_OVERHEAD: usize = FRAME_HEADER_LEN + 4;
+/// Footer bytes (`trailer offset u64` + CRC + end magic).
+pub const FOOTER_LEN: usize = 16;
+/// File header bytes (magic + version).
+pub const HEADER_LEN: usize = 8;
+
 /// Errors raised while encoding/decoding binary archives.
 #[derive(Debug)]
 pub enum BinError {
@@ -71,12 +129,29 @@ pub enum BinError {
     UnsupportedVersion(u32),
     /// The payload ended before a complete value was read.
     Truncated,
-    /// Bytes remain after the payload value.
+    /// Bytes remain after the payload value (v1/v2) or footer (v3).
     TrailingBytes(usize),
     /// An unknown value tag was encountered.
     BadTag(u8),
     /// A string body was not valid UTF-8.
     BadUtf8,
+    /// A value nested deeper than [`MAX_VALUE_DEPTH`].
+    TooDeep(usize),
+    /// A frame's CRC32C did not match its bytes.
+    FrameChecksum {
+        /// Byte offset of the frame within the file.
+        offset: usize,
+    },
+    /// A frame header carried an unknown or out-of-order kind byte.
+    BadFrameKind {
+        /// Byte offset of the frame within the file.
+        offset: usize,
+        /// The kind byte found.
+        kind: u8,
+    },
+    /// The frame sequence, trailer, or footer is structurally invalid
+    /// (mismatched offset table, bad footer, duplicate job id, …).
+    Malformed(String),
     /// The decoded value tree did not have the expected shape.
     De(DeError),
     /// Underlying filesystem error.
@@ -95,6 +170,16 @@ impl fmt::Display for BinError {
             BinError::TrailingBytes(n) => write!(f, "{n} trailing bytes after archive payload"),
             BinError::BadTag(t) => write!(f, "unknown value tag 0x{t:02x}"),
             BinError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            BinError::TooDeep(d) => {
+                write!(f, "value nesting exceeds depth limit {d}")
+            }
+            BinError::FrameChecksum { offset } => {
+                write!(f, "frame at byte {offset} failed its CRC32C check")
+            }
+            BinError::BadFrameKind { offset, kind } => {
+                write!(f, "unexpected frame kind 0x{kind:02x} at byte {offset}")
+            }
+            BinError::Malformed(what) => write!(f, "malformed archive: {what}"),
             BinError::De(e) => write!(f, "archive shape error: {e}"),
             BinError::Io(e) => write!(f, "archive I/O error: {e}"),
         }
@@ -117,7 +202,7 @@ impl From<std::io::Error> for BinError {
 
 // ------------------------------------------------------------- primitives
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -129,7 +214,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, BinError> {
+pub(crate) fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, BinError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -200,7 +285,10 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
     }
 }
 
-fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, BinError> {
+pub(crate) fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, BinError> {
+    // The length prefix is untrusted: validate the slice *before* any
+    // allocation, so a forged 4 GB length is a `Truncated` error, not an
+    // allocation attempt.
     let len = get_varint(bytes, pos)? as usize;
     let end = pos.checked_add(len).ok_or(BinError::Truncated)?;
     let slice = bytes.get(*pos..end).ok_or(BinError::Truncated)?;
@@ -209,7 +297,19 @@ fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, BinError> {
 }
 
 /// Decodes one tagged value starting at `pos`, advancing it.
+///
+/// Hardened against hostile input: element counts are capped by the
+/// bytes remaining (each element costs at least one byte, each object
+/// pair at least two), and nesting past [`MAX_VALUE_DEPTH`] is a
+/// [`BinError::TooDeep`] rather than a stack overflow.
 pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, BinError> {
+    decode_value_at(bytes, pos, 0)
+}
+
+fn decode_value_at(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, BinError> {
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(BinError::TooDeep(MAX_VALUE_DEPTH));
+    }
     let tag = *bytes.get(*pos).ok_or(BinError::Truncated)?;
     *pos += 1;
     match tag {
@@ -222,7 +322,7 @@ pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, BinError> {
         TAG_INT => Ok(Value::Int(unzigzag(get_varint(bytes, pos)?))),
         TAG_UINT => Ok(Value::UInt(get_varint(bytes, pos)?)),
         TAG_FLOAT => {
-            let end = *pos + 8;
+            let end = pos.checked_add(8).ok_or(BinError::Truncated)?;
             let slice = bytes.get(*pos..end).ok_or(BinError::Truncated)?;
             *pos = end;
             let bits = u64::from_le_bytes(slice.try_into().expect("8-byte slice"));
@@ -232,19 +332,29 @@ pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, BinError> {
         TAG_ARRAY => {
             let n = get_varint(bytes, pos)? as usize;
             // Bound preallocation by what the input could possibly hold
-            // (every element is at least one tag byte).
-            let mut items = Vec::with_capacity(n.min(bytes.len() - *pos));
+            // (every element is at least one tag byte), so a forged
+            // count can never drive an unbounded allocation.
+            let remaining = bytes.len().saturating_sub(*pos);
+            if n > remaining {
+                return Err(BinError::Truncated);
+            }
+            let mut items = Vec::with_capacity(n);
             for _ in 0..n {
-                items.push(decode_value(bytes, pos)?);
+                items.push(decode_value_at(bytes, pos, depth + 1)?);
             }
             Ok(Value::Array(items))
         }
         TAG_OBJECT => {
             let n = get_varint(bytes, pos)? as usize;
-            let mut pairs = Vec::with_capacity(n.min(bytes.len() - *pos));
+            // Every pair costs at least two bytes (key length + value tag).
+            let remaining = bytes.len().saturating_sub(*pos);
+            if n > remaining / 2 {
+                return Err(BinError::Truncated);
+            }
+            let mut pairs = Vec::with_capacity(n);
             for _ in 0..n {
                 let key = get_str(bytes, pos)?;
-                let val = decode_value(bytes, pos)?;
+                let val = decode_value_at(bytes, pos, depth + 1)?;
                 pairs.push((key, val));
             }
             Ok(Value::Object(pairs))
@@ -253,19 +363,147 @@ pub fn decode_value(bytes: &[u8], pos: &mut usize) -> Result<Value, BinError> {
     }
 }
 
-// -------------------------------------------------------------- envelopes
+// ---------------------------------------------------------------- frames
 
-/// Encodes any serializable payload under the magic + version header.
-fn to_bytes_generic<T: Serialize>(payload: &T) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 * 1024);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
-    encode_value(&payload.to_value(), &mut out);
+/// Appends one checksummed frame, returning its byte offset in `out`.
+fn push_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> usize {
+    let start = out.len();
+    assert!(
+        payload.len() < u32::MAX as usize,
+        "frame payloads are u32-sized"
+    );
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32c(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    start
+}
+
+/// Reads and CRC-verifies the frame starting at `pos`, advancing it.
+/// Returns `(kind, payload, frame_offset)`.
+fn read_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<(u8, &'a [u8], usize), BinError> {
+    let offset = *pos;
+    let header = bytes
+        .get(offset..offset + FRAME_HEADER_LEN)
+        .ok_or(BinError::Truncated)?;
+    let kind = header[0];
+    let payload_len = u32::from_le_bytes(header[1..5].try_into().expect("4-byte slice")) as usize;
+    let payload_end = offset
+        .checked_add(FRAME_HEADER_LEN)
+        .and_then(|p| p.checked_add(payload_len))
+        .ok_or(BinError::Truncated)?;
+    let frame_end = payload_end.checked_add(4).ok_or(BinError::Truncated)?;
+    if frame_end > bytes.len() {
+        return Err(BinError::Truncated);
+    }
+    let stored = u32::from_le_bytes(
+        bytes[payload_end..frame_end]
+            .try_into()
+            .expect("4-byte slice"),
+    );
+    if crc32c(&bytes[offset..payload_end]) != stored {
+        return Err(BinError::FrameChecksum { offset });
+    }
+    *pos = frame_end;
+    Ok((kind, &bytes[offset + FRAME_HEADER_LEN..payload_end], offset))
+}
+
+/// One row of the trailer's per-job offset table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrailerEntry {
+    /// Job id of the archive the frame holds.
+    pub job_id: String,
+    /// Byte offset of the job's frame within the file.
+    pub offset: usize,
+    /// Whole frame length in bytes (header + payload + CRC).
+    pub len: usize,
+}
+
+fn encode_trailer(entries: &[TrailerEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 32 + 4);
+    put_varint(&mut out, entries.len() as u64);
+    for e in entries {
+        put_varint(&mut out, e.job_id.len() as u64);
+        out.extend_from_slice(e.job_id.as_bytes());
+        put_varint(&mut out, e.offset as u64);
+        put_varint(&mut out, e.len as u64);
+    }
     out
 }
 
-/// Decodes a header-checked payload.
-fn from_bytes_generic<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
+pub(crate) fn decode_trailer(payload: &[u8]) -> Result<Vec<TrailerEntry>, BinError> {
+    let mut pos = 0;
+    let n = get_varint(payload, &mut pos)? as usize;
+    if n > payload.len().saturating_sub(pos) / 3 {
+        // Each entry costs at least 3 bytes (empty id + two varints).
+        return Err(BinError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let job_id = get_str(payload, &mut pos)?;
+        let offset = get_varint(payload, &mut pos)? as usize;
+        let len = get_varint(payload, &mut pos)? as usize;
+        entries.push(TrailerEntry {
+            job_id,
+            offset,
+            len,
+        });
+    }
+    if pos != payload.len() {
+        return Err(BinError::TrailingBytes(payload.len() - pos));
+    }
+    Ok(entries)
+}
+
+fn push_footer(out: &mut Vec<u8>, trailer_offset: usize) {
+    let offset_bytes = (trailer_offset as u64).to_le_bytes();
+    out.extend_from_slice(&offset_bytes);
+    out.extend_from_slice(&crc32c(&offset_bytes).to_le_bytes());
+    out.extend_from_slice(&END_MAGIC);
+}
+
+/// Parses the fixed footer at `bytes[pos..pos + FOOTER_LEN]`, returning
+/// the trailer offset it points at.
+fn read_footer(bytes: &[u8], pos: usize) -> Result<usize, BinError> {
+    let footer = bytes
+        .get(pos..pos + FOOTER_LEN)
+        .ok_or(BinError::Truncated)?;
+    if footer[12..16] != END_MAGIC {
+        return Err(BinError::Malformed("footer end magic missing".into()));
+    }
+    let stored = u32::from_le_bytes(footer[8..12].try_into().expect("4-byte slice"));
+    if crc32c(&footer[..8]) != stored {
+        return Err(BinError::Malformed("footer checksum mismatch".into()));
+    }
+    Ok(u64::from_le_bytes(footer[..8].try_into().expect("8-byte slice")) as usize)
+}
+
+/// Locates the trailer through the footer at the file's end, independent
+/// of the frames before it. Used by the salvage path when the sequential
+/// walk dies mid-file, and by the future mmap read path to find per-job
+/// extents without touching the payloads.
+pub(crate) fn trailer_via_footer(bytes: &[u8]) -> Result<(Vec<TrailerEntry>, usize), BinError> {
+    let footer_at = bytes
+        .len()
+        .checked_sub(FOOTER_LEN)
+        .ok_or(BinError::Truncated)?;
+    let trailer_offset = read_footer(bytes, footer_at)?;
+    if trailer_offset < HEADER_LEN || trailer_offset >= footer_at {
+        return Err(BinError::Malformed(format!(
+            "footer points outside the file (trailer at {trailer_offset})"
+        )));
+    }
+    let mut pos = trailer_offset;
+    let (kind, payload, offset) = read_frame(bytes, &mut pos)?;
+    if kind != FRAME_TRAILER {
+        return Err(BinError::BadFrameKind { offset, kind });
+    }
+    Ok((decode_trailer(payload)?, trailer_offset))
+}
+
+/// Reads the version field of the 8-byte file header.
+pub(crate) fn header_version(bytes: &[u8]) -> Result<u32, BinError> {
     let magic: [u8; 4] = bytes
         .get(..4)
         .ok_or(BinError::Truncated)?
@@ -281,10 +519,80 @@ fn from_bytes_generic<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
             .try_into()
             .expect("4-byte slice"),
     );
-    if version > BIN_FORMAT_VERSION {
+    if version == 0 || version > BIN_FORMAT_VERSION {
         return Err(BinError::UnsupportedVersion(version));
     }
-    let mut pos = 8;
+    Ok(version)
+}
+
+/// Summary of one frame of a v3 file, as reported by [`frame_table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Frame kind ([`FRAME_RUN`], [`FRAME_JOB`], [`FRAME_TRAILER`]).
+    pub kind: u8,
+    /// Byte offset of the frame within the file.
+    pub offset: usize,
+    /// Whole frame length (header + payload + CRC).
+    pub len: usize,
+    /// Job id, for [`FRAME_JOB`] frames listed in the trailer.
+    pub job_id: Option<String>,
+}
+
+/// Strictly walks a v3 file and returns its frame layout without
+/// decoding any job payload — the cheap structural view the corruption
+/// tests and the future mmap path share. Errors on v1/v2 files (they
+/// have no frames) and on any integrity violation.
+pub fn frame_table(bytes: &[u8]) -> Result<Vec<FrameInfo>, BinError> {
+    let version = header_version(bytes)?;
+    if version < 3 {
+        return Err(BinError::Malformed(format!(
+            "format v{version} predates frames"
+        )));
+    }
+    let (entries, _) = trailer_via_footer(bytes)?;
+    let by_offset: std::collections::HashMap<usize, &str> = entries
+        .iter()
+        .map(|e| (e.offset, e.job_id.as_str()))
+        .collect();
+    let mut frames = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let start = pos;
+        let (kind, _, offset) = read_frame(bytes, &mut pos)?;
+        frames.push(FrameInfo {
+            kind,
+            offset,
+            len: pos - start,
+            job_id: by_offset.get(&offset).map(|s| s.to_string()),
+        });
+        if kind == FRAME_TRAILER {
+            break;
+        }
+    }
+    read_footer(bytes, pos)?;
+    Ok(frames)
+}
+
+// -------------------------------------------------------------- envelopes
+
+fn encode_payload<T: Serialize>(payload: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * 1024);
+    encode_value(&payload.to_value(), &mut out);
+    out
+}
+
+fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, BinError> {
+    let mut pos = 0;
+    let value = decode_value(payload, &mut pos)?;
+    if pos != payload.len() {
+        return Err(BinError::TrailingBytes(payload.len() - pos));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Decodes a v1/v2 file: one raw tagged value after the 8-byte header.
+fn legacy_from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
+    let mut pos = HEADER_LEN;
     let value = decode_value(bytes, &mut pos)?;
     if pos != bytes.len() {
         return Err(BinError::TrailingBytes(bytes.len() - pos));
@@ -294,29 +602,145 @@ fn from_bytes_generic<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
 
 /// Serializes a whole store (all archives) to the binary format.
 pub fn store_to_bytes(store: &ArchiveStore) -> Vec<u8> {
-    to_bytes_generic(store)
+    let mut out = Vec::with_capacity(64 * 1024);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
+    push_frame(&mut out, FRAME_RUN, &encode_payload(store.run()));
+    let mut entries = Vec::with_capacity(store.len());
+    for archive in store.iter() {
+        let payload = encode_payload(archive);
+        let offset = push_frame(&mut out, FRAME_JOB, &payload);
+        entries.push(TrailerEntry {
+            job_id: archive.meta.job_id.clone(),
+            offset,
+            len: payload.len() + FRAME_OVERHEAD,
+        });
+    }
+    let trailer_offset = push_frame(&mut out, FRAME_TRAILER, &encode_trailer(&entries));
+    push_footer(&mut out, trailer_offset);
+    out
 }
 
-/// Reads a store back from [`store_to_bytes`] output.
+/// Reads a store back from [`store_to_bytes`] output (or any earlier
+/// format version). Every frame must verify; use
+/// [`crate::salvage::salvage_from_bytes`] to recover what it can from a
+/// file this function rejects.
 pub fn store_from_bytes(bytes: &[u8]) -> Result<ArchiveStore, BinError> {
-    from_bytes_generic(bytes)
+    let version = header_version(bytes)?;
+    if version < 3 {
+        return legacy_from_bytes(bytes);
+    }
+
+    let mut pos = HEADER_LEN;
+    let (kind, payload, offset) = read_frame(bytes, &mut pos)?;
+    if kind != FRAME_RUN {
+        return Err(BinError::BadFrameKind { offset, kind });
+    }
+    let run: RunMeta = decode_payload(payload)?;
+
+    let mut store = ArchiveStore::new().with_run(run);
+    let mut seen = Vec::new();
+    let (trailer, trailer_start) = loop {
+        let start = pos;
+        let (kind, payload, offset) = read_frame(bytes, &mut pos)?;
+        match kind {
+            FRAME_JOB => {
+                let archive: JobArchive = decode_payload(payload)?;
+                seen.push(TrailerEntry {
+                    job_id: archive.meta.job_id.clone(),
+                    offset,
+                    len: pos - start,
+                });
+                store
+                    .add(archive)
+                    .map_err(|dup| BinError::Malformed(format!("duplicate job id `{}`", dup.0)))?;
+            }
+            FRAME_TRAILER => break (decode_trailer(payload)?, start),
+            other => {
+                return Err(BinError::BadFrameKind {
+                    offset,
+                    kind: other,
+                })
+            }
+        }
+    };
+    if trailer != seen {
+        return Err(BinError::Malformed(format!(
+            "trailer lists {} jobs but the file holds {}",
+            trailer.len(),
+            seen.len()
+        )));
+    }
+    let trailer_offset = read_footer(bytes, pos)?;
+    if trailer_offset != trailer_start {
+        return Err(BinError::Malformed(format!(
+            "footer points at byte {trailer_offset}, trailer is at {trailer_start}"
+        )));
+    }
+    let after_footer = pos + FOOTER_LEN;
+    if after_footer != bytes.len() {
+        return Err(BinError::TrailingBytes(bytes.len() - after_footer));
+    }
+    Ok(store)
 }
 
-/// Serializes a single archive to the binary format.
+/// Serializes a single archive to the binary format: one JOB frame plus
+/// trailer/footer (no run header — that belongs to stores).
 pub fn archive_to_bytes(archive: &JobArchive) -> Vec<u8> {
-    to_bytes_generic(archive)
+    let mut out = Vec::with_capacity(16 * 1024);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
+    let payload = encode_payload(archive);
+    let offset = push_frame(&mut out, FRAME_JOB, &payload);
+    let entries = [TrailerEntry {
+        job_id: archive.meta.job_id.clone(),
+        offset,
+        len: payload.len() + FRAME_OVERHEAD,
+    }];
+    let trailer_offset = push_frame(&mut out, FRAME_TRAILER, &encode_trailer(&entries));
+    push_footer(&mut out, trailer_offset);
+    out
 }
 
-/// Reads a single archive back from [`archive_to_bytes`] output.
+/// Reads a single archive back from [`archive_to_bytes`] output (or a
+/// v1/v2 single-archive file).
 pub fn archive_from_bytes(bytes: &[u8]) -> Result<JobArchive, BinError> {
-    from_bytes_generic(bytes)
+    let version = header_version(bytes)?;
+    if version < 3 {
+        return legacy_from_bytes(bytes);
+    }
+    let mut pos = HEADER_LEN;
+    let (kind, payload, offset) = read_frame(bytes, &mut pos)?;
+    if kind != FRAME_JOB {
+        return Err(BinError::BadFrameKind { offset, kind });
+    }
+    let archive: JobArchive = decode_payload(payload)?;
+    let (kind, trailer_payload, offset) = read_frame(bytes, &mut pos)?;
+    if kind != FRAME_TRAILER {
+        return Err(BinError::BadFrameKind { offset, kind });
+    }
+    let trailer = decode_trailer(trailer_payload)?;
+    if trailer.len() != 1 || trailer[0].job_id != archive.meta.job_id {
+        return Err(BinError::Malformed(
+            "trailer does not match the archive".into(),
+        ));
+    }
+    read_footer(bytes, pos)?;
+    let after_footer = pos + FOOTER_LEN;
+    if after_footer != bytes.len() {
+        return Err(BinError::TrailingBytes(bytes.len() - after_footer));
+    }
+    Ok(archive)
 }
 
 impl ArchiveStore {
-    /// Persists the store to `path` in the binary format.
+    /// Persists the store to `path` in the binary format. The write is
+    /// atomic and durable ([`crate::durable::write_atomic`]): a crash
+    /// mid-save leaves either the previous file or the new one, never a
+    /// torn mix.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BinError> {
         let _span = granula_trace::span!("archiving", "store.save");
-        fs::write(path, store_to_bytes(self))?;
+        durable::write_atomic(path, &store_to_bytes(self))?;
         Ok(())
     }
 
@@ -378,6 +802,25 @@ mod tests {
         store
     }
 
+    /// Encodes a store the way a v1/v2 writer did: raw payload value
+    /// after the header, no frames, no checksums.
+    fn to_bytes_legacy(store: &ArchiveStore, version: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        let payload = match version {
+            1 => {
+                let Value::Object(pairs) = store.to_value() else {
+                    panic!("store serializes to an object");
+                };
+                Value::Object(pairs.into_iter().filter(|(k, _)| k == "archives").collect())
+            }
+            _ => store.to_value(),
+        };
+        encode_value(&payload, &mut bytes);
+        bytes
+    }
+
     #[test]
     fn store_roundtrips_exactly() {
         let store = sample_store();
@@ -398,9 +841,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_store_roundtrips() {
+        let store = ArchiveStore::new().with_run(crate::store::RunMeta::new("r0", 7, "empty"));
+        let bytes = store_to_bytes(&store);
+        let back = store_from_bytes(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.run(), store.run());
+        assert_eq!(bytes, store_to_bytes(&back));
+    }
+
+    #[test]
     fn header_is_validated() {
         let store = sample_store();
-        let mut bytes = store_to_bytes(&store);
+        let bytes = store_to_bytes(&store);
 
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
@@ -416,8 +869,15 @@ mod tests {
             Err(BinError::UnsupportedVersion(99))
         ));
 
-        bytes.truncate(bytes.len() - 3);
-        assert!(matches!(store_from_bytes(&bytes), Err(BinError::Truncated)));
+        // Chopping into the footer: structurally invalid, never a panic.
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 3);
+        assert!(store_from_bytes(&torn).is_err());
+
+        // Chopping mid-frame is a truncation.
+        let mut torn = bytes;
+        torn.truncate(40);
+        assert!(matches!(store_from_bytes(&torn), Err(BinError::Truncated)));
     }
 
     #[test]
@@ -427,6 +887,82 @@ mod tests {
         assert!(matches!(
             store_from_bytes(&bytes),
             Err(BinError::TrailingBytes(4))
+        ));
+    }
+
+    #[test]
+    fn frame_corruption_is_a_checksum_error() {
+        let store = sample_store();
+        let bytes = store_to_bytes(&store);
+        // Flip one bit inside the first job frame's payload.
+        let frames = frame_table(&bytes).unwrap();
+        let job = frames.iter().find(|f| f.kind == FRAME_JOB).unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[job.offset + FRAME_HEADER_LEN + 10] ^= 0x04;
+        match store_from_bytes(&corrupt) {
+            Err(BinError::FrameChecksum { offset }) => assert_eq!(offset, job.offset),
+            other => panic!("expected FrameChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_table_reports_the_layout() {
+        let store = sample_store();
+        let bytes = store_to_bytes(&store);
+        let frames = frame_table(&bytes).unwrap();
+        let kinds: Vec<u8> = frames.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds, [FRAME_RUN, FRAME_JOB, FRAME_JOB, FRAME_TRAILER]);
+        let ids: Vec<_> = frames.iter().filter_map(|f| f.job_id.as_deref()).collect();
+        assert_eq!(ids, ["g0", "p0"]);
+        // Frames tile the file exactly: header..frames..footer.
+        assert_eq!(frames[0].offset, HEADER_LEN);
+        for w in frames.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+        let last = frames.last().unwrap();
+        assert_eq!(last.offset + last.len + FOOTER_LEN, bytes.len());
+    }
+
+    #[test]
+    fn forged_giant_length_prefixes_fail_without_allocating() {
+        // A legacy payload claiming a 4-billion-element array: the
+        // decoder must bound `with_capacity` by the bytes remaining and
+        // return Truncated instead of attempting the allocation.
+        for tag in [TAG_ARRAY, TAG_OBJECT, TAG_STR] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            bytes.extend_from_slice(&2u32.to_le_bytes());
+            bytes.push(tag);
+            put_varint(&mut bytes, 4_000_000_000);
+            assert!(
+                matches!(store_from_bytes(&bytes), Err(BinError::Truncated)),
+                "tag 0x{tag:02x} with forged length must be Truncated"
+            );
+        }
+        // Same forged count inside a v3 frame payload.
+        let mut payload = Vec::new();
+        payload.push(TAG_ARRAY);
+        put_varint(&mut payload, 4_000_000_000);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&BIN_FORMAT_VERSION.to_le_bytes());
+        push_frame(&mut bytes, FRAME_RUN, &payload);
+        assert!(store_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_an_error_not_a_stack_overflow() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..10_000 {
+            bytes.push(TAG_ARRAY);
+            bytes.push(1); // varint count = 1
+        }
+        bytes.push(TAG_NULL);
+        assert!(matches!(
+            store_from_bytes(&bytes),
+            Err(BinError::TooDeep(MAX_VALUE_DEPTH))
         ));
     }
 
@@ -458,22 +994,28 @@ mod tests {
 
     #[test]
     fn v1_payload_without_run_header_still_loads() {
-        // Reconstruct what a v1 writer produced: version 1 in the header
-        // and no `run` key in the payload object.
         let store = sample_store();
-        let Value::Object(pairs) = store.to_value() else {
-            panic!("store serializes to an object");
-        };
-        let v1_payload =
-            Value::Object(pairs.into_iter().filter(|(k, _)| k == "archives").collect());
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&1u32.to_le_bytes());
-        encode_value(&v1_payload, &mut bytes);
-
+        let bytes = to_bytes_legacy(&store, 1);
         let back = store_from_bytes(&bytes).expect("v1 stores stay loadable");
         assert_eq!(back.len(), store.len());
         assert!(back.run().is_empty());
+    }
+
+    #[test]
+    fn v2_payload_loads_and_resaves_as_v3() {
+        let mut store = sample_store();
+        store.set_run(crate::store::RunMeta::new("r2", 42, "legacy"));
+        let v2 = to_bytes_legacy(&store, 2);
+        let back = store_from_bytes(&v2).expect("v2 stores stay loadable");
+        assert_eq!(back.run(), store.run());
+        assert_eq!(back.len(), store.len());
+        for (a, b) in store.iter().zip(back.iter()) {
+            assert_eq!(a, b, "v2 payload loads byte-for-byte identically");
+        }
+        // Re-saving upgrades to the framed format, deterministically.
+        let v3 = store_to_bytes(&back);
+        assert_eq!(v3[4..8], BIN_FORMAT_VERSION.to_le_bytes());
+        assert_eq!(v3, store_to_bytes(&store_from_bytes(&v3).unwrap()));
     }
 
     #[test]

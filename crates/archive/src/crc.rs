@@ -1,0 +1,114 @@
+//! CRC32C (Castagnoli) — the checksum guarding every frame of the
+//! binary archive format ([`crate::binfmt`], format v3).
+//!
+//! Self-contained software implementation (the container has no registry
+//! access, and the polynomial is short enough that a slice-by-one table
+//! is plenty for archive-sized inputs): reflected polynomial
+//! `0x82F63B78`, init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF` — the same
+//! parameterization as `crc32c(3)`, iSCSI, and ext4, so archives can be
+//! verified by standard external tooling.
+
+/// The reflected CRC32C polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32C of `bytes` in one shot.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Incremental CRC32C state, for checksumming a frame as it streams.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher (initial state `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum (applies the output XOR).
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from RFC 3720 (iSCSI) appendix B.4 and the
+    /// canonical "123456789" check value.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 7, 500, 999, 1000] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32c(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_checksum() {
+        let data = b"granula archive frame payload";
+        let base = crc32c(data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.to_vec();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&corrupted), base, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

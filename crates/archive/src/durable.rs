@@ -1,0 +1,134 @@
+//! Crash-safe file writes for archive artifacts.
+//!
+//! Archives are durable evidence (paper §3.3): a half-written `.gar`
+//! after a crash or power loss must never replace a good one. Every
+//! archive write therefore goes through [`write_atomic`]:
+//!
+//! 1. the bytes are written to a temporary file **in the target's
+//!    directory** (same filesystem, so the rename below is atomic);
+//! 2. the temporary file is `fsync`ed — its contents are on disk before
+//!    anything points at them;
+//! 3. it is renamed over the target — POSIX rename is atomic, so readers
+//!    observe either the complete old file or the complete new one,
+//!    never a mix;
+//! 4. the parent directory is `fsync`ed, making the rename itself
+//!    durable (without this a crash can roll the directory entry back
+//!    to the old file — acceptable — or, on some filesystems, to a
+//!    zero-length inode — not acceptable).
+//!
+//! The temporary name embeds the process id and an in-process counter,
+//! so concurrent writers (the parallel experiment runner archiving to a
+//! shared directory) never collide on the staging file. If any step
+//! fails, the temporary file is removed and the target is untouched.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes staging files of concurrent writers in one process.
+static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically and durably replaces `path` with `bytes`
+/// (write temp → fsync file → rename → fsync dir).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("not a writable file path: {}", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        sync_dir(&dir);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsyncs a directory so a just-completed rename survives power loss.
+/// Best-effort: some platforms/filesystems refuse to open or sync
+/// directories, and an undurable-but-complete rename is still correct.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("granula-durable-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = temp_path("replace.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_staging_file_left_behind() {
+        let path = temp_path("staging.bin");
+        write_atomic(&path, b"x").unwrap();
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("staging.bin.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bare_filename_resolves_to_cwd() {
+        // `save("store.gar")` must stage in `.` rather than fail on an
+        // empty parent path.
+        let name = format!("granula-durable-cwd-{}.bin", std::process::id());
+        write_atomic(&name, b"cwd").unwrap();
+        assert_eq!(fs::read(&name).unwrap(), b"cwd");
+        let _ = fs::remove_file(&name);
+    }
+
+    #[test]
+    fn failed_write_leaves_target_untouched() {
+        let path = temp_path("untouched.bin");
+        write_atomic(&path, b"good").unwrap();
+        // Writing *through* the file as a directory must fail…
+        let bad = path.join("child.bin");
+        assert!(write_atomic(&bad, b"bad").is_err());
+        // …and the original is intact.
+        assert_eq!(fs::read(&path).unwrap(), b"good");
+        let _ = fs::remove_file(&path);
+    }
+}

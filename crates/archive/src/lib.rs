@@ -21,9 +21,16 @@
 //!
 //! Beyond the per-query scans, the crate provides a *serving layer*:
 //!
-//! * [`binfmt`] — a versioned, self-describing binary format
+//! * [`binfmt`] — a versioned, self-describing binary format with
+//!   per-frame CRC32C checksums and a per-job offset trailer
 //!   ([`ArchiveStore::save`]/[`ArchiveStore::load`]) so archives are
 //!   simulated once and re-queried forever;
+//! * [`durable`] — atomic, fsync'd file replacement backing every save,
+//!   so a crash mid-write never leaves a torn archive;
+//! * [`salvage`] — best-effort recovery ([`ArchiveStore::salvage`])
+//!   that pulls every checksum-intact job out of a damaged file;
+//! * [`mutate`] — seedable fault injection (truncation, bit flips, torn
+//!   tails) powering the corruption test harness and `archive fuzz`;
 //! * [`index::TreeIndex`] — kind→ops, actor→ops, and start-time interval
 //!   indexes with a query planner;
 //! * [`engine::QueryEngine`] — the indexed store with a bounded LRU
@@ -44,19 +51,27 @@
 
 pub mod archive;
 pub mod binfmt;
+pub mod crc;
+pub mod durable;
 pub mod engine;
 pub mod format;
 pub mod index;
+pub mod mutate;
 pub mod query;
+pub mod salvage;
 pub mod store;
 
 pub use archive::{JobArchive, JobMeta};
 pub use binfmt::{
-    archive_from_bytes, archive_to_bytes, store_from_bytes, store_to_bytes, BinError,
-    BIN_FORMAT_VERSION, MAGIC,
+    archive_from_bytes, archive_to_bytes, frame_table, store_from_bytes, store_to_bytes, BinError,
+    FrameInfo, TrailerEntry, BIN_FORMAT_VERSION, MAGIC, MAX_VALUE_DEPTH,
 };
+pub use crc::crc32c;
+pub use durable::write_atomic;
 pub use engine::{EngineStats, QueryEngine, QueryMode, DEFAULT_CACHE_CAPACITY};
 pub use format::{from_json, to_json, to_json_pretty, FormatError, FORMAT_VERSION};
 pub use index::{QueryPlan, TreeIndex, SCAN_FALLBACK_FACTOR, SCAN_THRESHOLD};
+pub use mutate::{flip_bit, torn_tail, truncate_at, Mutation, Mutator};
 pub use query::{KindPattern, Query, QueryError, Segment, TimeWindow};
+pub use salvage::{salvage_from_bytes, LostFrame, SalvageReport};
 pub use store::{ArchiveStore, ComparisonRow, DuplicateJobId, RunMeta};

@@ -88,7 +88,10 @@ fn main() {
         vertices,
         vertices as u64 * 9,
         if full {
-            format!("the paper's dg1000 volume: {} elements", DG_FULL_VERTICES as u64 + DG_FULL_EDGES)
+            format!(
+                "the paper's dg1000 volume: {} elements",
+                DG_FULL_VERTICES as u64 + DG_FULL_EDGES
+            )
         } else {
             "smoke variant, demand rescaled to dg1000".into()
         }

@@ -275,9 +275,10 @@ impl ActivityGraph {
             order
         });
         let start = order.partition_point(|&i| self.tag_str(i) < prefix);
-        let end =
-            start + order[start..].partition_point(|&i| self.tag_str(i).starts_with(prefix));
-        order[start..end].iter().map(move |&i| self.get(ActivityId(i)))
+        let end = start + order[start..].partition_point(|&i| self.tag_str(i).starts_with(prefix));
+        order[start..end]
+            .iter()
+            .map(move |&i| self.get(ActivityId(i)))
     }
 }
 

@@ -30,9 +30,9 @@ pub mod topology;
 pub mod trace;
 
 pub use activity::{ActivityGraph, ActivityId, ActivityKind, ActivityRef};
-pub use intern::Symbol;
 pub use fault::{DegradedChannel, FaultEvent, FaultPlan, NodeCrash, Slowdown};
 pub use fs::{DfsSpec, FileSystem, LocalFsSpec, SharedFsSpec};
+pub use intern::Symbol;
 pub use provision::{MpiLauncher, NativeLauncher, Provisioner, YarnProvisioner};
 pub use sim::{ActivityResult, SimError, SimResult, Simulation};
 pub use topology::{ClusterSpec, NodeId, NodeSpec};

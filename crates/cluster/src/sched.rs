@@ -574,7 +574,9 @@ fn run_component(
     }
     let dependents = |li: usize| &dep_buf[dep_off[li] as usize..dep_off[li + 1] as usize];
 
-    let mut ready: Vec<u32> = (0..n as u32).filter(|&li| indeg[li as usize] == 0).collect();
+    let mut ready: Vec<u32> = (0..n as u32)
+        .filter(|&li| indeg[li as usize] == 0)
+        .collect();
 
     // SoA slot storage with a free list; slot indices are reused so every
     // column stays dense.
@@ -1158,8 +1160,7 @@ pub(crate) fn run_partitioned(
     let mut outcomes: Vec<Option<Result<CompOutcome, SimError>>> = Vec::with_capacity(k);
     if threads <= 1 || k <= 1 {
         for c in 0..k {
-            let items = &part.comp_items
-                [part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
+            let items = &part.comp_items[part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
             outcomes.push(Some(run_component(cluster, graph, plan, items, &part.g2l)));
         }
     } else {
@@ -1207,8 +1208,7 @@ pub(crate) fn run_partitioned(
                 activity,
                 at_us,
             }) => {
-                let better = node_lost
-                    .map_or(true, |(a, id, _)| (at_us, activity.0) < (a, id));
+                let better = node_lost.is_none_or(|(a, id, _)| (at_us, activity.0) < (a, id));
                 if better {
                     node_lost = Some((at_us, activity.0, node));
                 }
@@ -1252,8 +1252,7 @@ pub(crate) fn run_partitioned(
     ];
     let mut makespan_us = 0.0f64;
     for (c, comp) in comps.iter().enumerate() {
-        let items =
-            &part.comp_items[part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
+        let items = &part.comp_items[part.comp_off[c] as usize..part.comp_off[c + 1] as usize];
         for (li, r) in comp.results.iter().enumerate() {
             results[items[li] as usize] = *r;
         }

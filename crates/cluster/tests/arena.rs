@@ -37,7 +37,11 @@ fn arena_holds_a_million_activities() {
                 },
                 &deps,
                 // Tag text repeats across steps: interning must dedupe it.
-                if w % 2 == 0 { "worker/even" } else { "worker/odd" },
+                if w % 2 == 0 {
+                    "worker/even"
+                } else {
+                    "worker/odd"
+                },
             );
             prev[w as usize] = Some(id);
             layer.push(id);

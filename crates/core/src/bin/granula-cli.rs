@@ -80,6 +80,8 @@ fn print_usage() {
          \x20 archive    save  <store.gar> <archive.json> [more.json ...]\n\
          \x20 archive    query <store.gar> <job-id|*> <path-query> [--find-all] [--explain]\n\
          \x20 archive    stat  <store.gar>\n\
+         \x20 archive    fsck  <store.gar> [--repair] [--out <repaired.gar>]\n\
+         \x20 archive    fuzz  <store.gar> [--mutations 1000] [--seed 42]\n\
          \x20 regress    <history-dir> [--current <store.gar>] [--out regress.json] [--svg trend.svg]\n\
          \x20            [--tolerance 0.02] [--alpha 1e-3] [--window 4] [--label <text>]"
     );
@@ -477,8 +479,10 @@ fn cmd_archive(args: &[String]) -> Result<(), String> {
         Some("save") => cmd_archive_save(&args[1..]),
         Some("query") => cmd_archive_query(&args[1..]),
         Some("stat") => cmd_archive_stat(&args[1..]),
+        Some("fsck") => cmd_archive_fsck(&args[1..]),
+        Some("fuzz") => cmd_archive_fuzz(&args[1..]),
         Some(other) => Err(format!("unknown archive action `{other}` (try `help`)")),
-        None => Err("usage: archive <save|query|stat> ...".into()),
+        None => Err("usage: archive <save|query|stat|fsck|fuzz> ...".into()),
     }
 }
 
@@ -566,6 +570,98 @@ fn cmd_archive_stat(args: &[String]) -> Result<(), String> {
             idx.num_timestamped()
         );
     }
+    Ok(())
+}
+
+/// `archive fsck <store.gar>`: verifies every checksum of a `.gar` file
+/// and reports, frame by frame, what a corrupted file still holds. Exits
+/// nonzero when the file is damaged — unless `--repair` is given, which
+/// writes the salvaged store (atomically, durably) and exits zero as
+/// long as anything was recovered.
+fn cmd_archive_fsck(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: archive fsck <store.gar> [--repair] [--out <repaired.gar>]";
+    let store_path = positional(args, 0).ok_or(USAGE)?;
+    let report = ArchiveStore::salvage(store_path).map_err(|e| format!("{store_path}: {e}"))?;
+    print!("{store_path}: {}", report.render_text());
+    if report.clean {
+        return Ok(());
+    }
+    if !args.iter().any(|a| a == "--repair") {
+        return Err(format!(
+            "{store_path} is corrupt ({} of {} job(s) recoverable; re-run with --repair to keep them)",
+            report.recovered.len(),
+            report
+                .expected_jobs
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "?".to_string()),
+        ));
+    }
+    if report.is_total_loss() {
+        return Err(format!(
+            "{store_path}: nothing recoverable, not writing a repair"
+        ));
+    }
+    let out = flag(args, "--out").unwrap_or_else(|| store_path.clone());
+    report
+        .store
+        .save(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "repaired -> {out}: kept {} job(s), dropped {}",
+        report.recovered.len(),
+        report.lost.len()
+    );
+    Ok(())
+}
+
+/// `archive fuzz <store.gar>`: the bounded-time corruption smoke. Loads
+/// the store's bytes, applies N seeded mutations (truncations, bit
+/// flips, torn tails), and feeds each corrupted copy to the strict
+/// loader and the salvage path. Any panic aborts the process — the
+/// absence of one over the run is the proof CI wants. Exits nonzero only
+/// if a salvage "recovers" a job the pristine store never held.
+fn cmd_archive_fuzz(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: archive fuzz <store.gar> [--mutations 1000] [--seed 42]";
+    let store_path = positional(args, 0).ok_or(USAGE)?;
+    let mutations: u64 = flag(args, "--mutations")
+        .map(|v| v.parse().map_err(|e| format!("--mutations: {e}")))
+        .transpose()?
+        .unwrap_or(1000);
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let base = fs::read(store_path).map_err(|e| format!("reading {store_path}: {e}"))?;
+    let pristine =
+        granula_archive::store_from_bytes(&base).map_err(|e| format!("{store_path}: {e}"))?;
+    let known: Vec<String> = pristine.iter().map(|a| a.meta.job_id.clone()).collect();
+    let mut mutator = granula_archive::Mutator::new(seed);
+    let (mut loaded, mut salvaged_some, mut rejected) = (0u64, 0u64, 0u64);
+    for _ in 0..mutations {
+        let (bytes, mutation) = mutator.mutate(&base);
+        match granula_archive::store_from_bytes(&bytes) {
+            Ok(_) => loaded += 1,
+            Err(_) => {
+                let r = granula_archive::salvage_from_bytes(&bytes);
+                for id in &r.recovered {
+                    if !known.contains(id) {
+                        return Err(format!(
+                            "mutation {mutation} fabricated job `{id}` out of corruption"
+                        ));
+                    }
+                }
+                if r.recovered.is_empty() && !r.run_recovered {
+                    rejected += 1;
+                } else {
+                    salvaged_some += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "fuzz {store_path}: {mutations} mutations (seed {seed}) | \
+         {loaded} loaded clean, {salvaged_some} partially salvaged, {rejected} rejected | 0 panics"
+    );
     Ok(())
 }
 

@@ -280,7 +280,7 @@ fn archive_save_query_stat_roundtrip() {
         .unwrap();
     assert!(stat.status.success());
     let text = String::from_utf8_lossy(&stat.stdout);
-    assert!(text.contains("1 jobs (format v2)"), "{text}");
+    assert!(text.contains("1 jobs (format v3)"), "{text}");
     assert!(text.contains("mission kinds"));
 
     // Unknown job ids and truncated stores fail loudly.

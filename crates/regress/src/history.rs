@@ -7,6 +7,7 @@ use std::io;
 use std::path::Path;
 
 use granula_archive::{ArchiveStore, Query, QueryEngine, QueryMode, RunMeta};
+use serde::{Deserialize, Serialize};
 
 /// Mission kinds reported as per-phase cost metrics, the choke-point
 /// phases of the paper's fig. 5 breakdown plus the superstep loop.
@@ -50,10 +51,23 @@ pub struct MetricSeries {
     pub run_indexes: Vec<usize>,
 }
 
+/// A history run that could not be ingested (unreadable or corrupt
+/// `.gar` file). Skipped runs are carried through analysis into the
+/// report (`skipped_runs` in `regress.json`) so a regression verdict
+/// always discloses the evidence it was *not* able to weigh.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkippedRun {
+    /// The file name of the run that was skipped.
+    pub source: String,
+    /// Why loading failed.
+    pub reason: String,
+}
+
 /// An ordered sequence of archived runs.
 #[derive(Debug, Default)]
 pub struct History {
     runs: Vec<RunEntry>,
+    skipped: Vec<SkippedRun>,
 }
 
 impl History {
@@ -65,6 +79,13 @@ impl History {
     /// Loads every `*.gar` file in `dir` (sorted by file name, then
     /// re-ordered by run header). Pre-header stores keep their filename
     /// position via the stable sort and get the file stem as run id.
+    ///
+    /// A run that fails to load — unreadable file, failed checksum,
+    /// truncated or malformed payload — does **not** abort the ingest: a
+    /// crashed run must not take regression detection down with it. The
+    /// run is recorded in [`History::skipped`] instead, and the detector
+    /// degrades to `insufficient` on its own when too few runs survive.
+    /// Only the directory listing itself failing is an error.
     pub fn load_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
         let _span = granula_trace::span!("archiving", "history.load_dir");
         let mut paths: Vec<_> = std::fs::read_dir(dir.as_ref())?
@@ -74,13 +95,17 @@ impl History {
         paths.sort();
         let mut history = History::new();
         for path in paths {
-            let store = ArchiveStore::load(&path)
-                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
             let name = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            history.push_store(store, name);
+            match ArchiveStore::load(&path) {
+                Ok(store) => history.push_store(store, name),
+                Err(e) => history.skipped.push(SkippedRun {
+                    source: name,
+                    reason: e.to_string(),
+                }),
+            }
         }
         Ok(history)
     }
@@ -127,6 +152,11 @@ impl History {
     /// The ordered runs.
     pub fn runs(&self) -> &[RunEntry] {
         &self.runs
+    }
+
+    /// Runs that were present on disk but could not be loaded.
+    pub fn skipped(&self) -> &[SkippedRun] {
+        &self.skipped
     }
 
     /// Mutable access to one run's entry (for query/upsert interleaving).
@@ -287,6 +317,32 @@ mod tests {
         }
         assert_eq!(series[0].values[0], 1_000_000.0);
         assert_eq!(series[1].values[0], 250_000.0);
+    }
+
+    #[test]
+    fn load_dir_skips_corrupt_runs_with_reasons() {
+        let dir = std::env::temp_dir().join(format!("granula-hist-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        store(RunMeta::new("good", 1_000, ""), 100)
+            .save(dir.join("good.gar"))
+            .unwrap();
+        // A torn write: valid store chopped mid-file.
+        let mut torn =
+            granula_archive::store_to_bytes(&store(RunMeta::new("torn", 2_000, ""), 100));
+        torn.truncate(torn.len() / 2);
+        std::fs::write(dir.join("torn.gar"), &torn).unwrap();
+        // Not an archive at all.
+        std::fs::write(dir.join("junk.gar"), b"not an archive").unwrap();
+        let h = History::load_dir(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.runs()[0].meta.run_id, "good");
+        let mut skipped: Vec<_> = h.skipped().iter().map(|s| s.source.as_str()).collect();
+        skipped.sort();
+        assert_eq!(skipped, ["junk.gar", "torn.gar"]);
+        for s in h.skipped() {
+            assert!(!s.reason.is_empty(), "{}: reason must say why", s.source);
+        }
     }
 
     #[test]

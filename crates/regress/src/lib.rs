@@ -40,7 +40,7 @@ pub mod stats;
 pub mod synth;
 
 pub use detect::{detect, Detection, Status, Tolerance};
-pub use history::{History, MetricSeries, RunEntry, MAKESPAN, PHASE_KINDS};
+pub use history::{History, MetricSeries, RunEntry, SkippedRun, MAKESPAN, PHASE_KINDS};
 pub use report::{
     analyze, render_text, AnalyzedSeries, MetricReport, RegressReport, RunInfo, SCHEMA_VERSION,
 };

@@ -3,11 +3,16 @@
 use serde::{Deserialize, Serialize};
 
 use crate::detect::{detect, Detection, Status, Tolerance};
-use crate::history::{History, MetricSeries};
+use crate::history::{History, MetricSeries, SkippedRun};
 
 /// Version stamped into `regress.json`; consumers (CI) check it before
 /// trusting the field layout.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `skipped_runs`: history files that were present on disk but
+/// could not be loaded (corrupt or unreadable `.gar`). They no longer
+/// abort the analysis — the verdict is computed over the surviving runs,
+/// degrading to `insufficient` when too few remain.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One run of the analyzed history, in series order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +64,9 @@ pub struct RegressReport {
     pub tolerance: Tolerance,
     /// The analyzed runs, oldest first.
     pub runs: Vec<RunInfo>,
+    /// History files that could not be loaded and were excluded from the
+    /// analysis, with the reason each failed.
+    pub skipped_runs: Vec<SkippedRun>,
     /// Per-metric verdicts, sorted by `(job_id, metric)`.
     pub metrics: Vec<MetricReport>,
     /// Aggregate verdict: `regressed` if any metric regressed, else
@@ -134,6 +142,7 @@ pub fn analyze(history: &mut History, tol: &Tolerance) -> (RegressReport, Vec<An
             schema_version: SCHEMA_VERSION,
             tolerance: *tol,
             runs,
+            skipped_runs: history.skipped().to_vec(),
             metrics,
             verdict,
         },
@@ -150,6 +159,12 @@ pub fn render_text(report: &RegressReport) -> String {
         report.tolerance.rel * 100.0,
         report.tolerance.alpha
     ));
+    for s in &report.skipped_runs {
+        out.push_str(&format!(
+            "  WARNING: skipped unreadable run {}: {}\n",
+            s.source, s.reason
+        ));
+    }
     let width = report
         .metrics
         .iter()
@@ -261,11 +276,57 @@ mod tests {
             "verdict",
             "metrics",
             "runs",
+            "skipped_runs",
             "first_offending_run",
             "p_value",
         ] {
             assert!(json.contains(key), "regress.json must carry `{key}`");
         }
+    }
+
+    #[test]
+    fn skipped_runs_flow_into_the_report() {
+        let dir = std::env::temp_dir().join(format!("granula-report-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, f) in [1.0, 1.001, 0.999, 1.0005, 1.0, 0.9995].iter().enumerate() {
+            let run = RunMeta::new(format!("r{i}"), 1_000 + i as u64, "");
+            scaled_store(&base_store(1_000_000), *f)
+                .with_run(run)
+                .save(dir.join(format!("r{i}.gar")))
+                .unwrap();
+        }
+        std::fs::write(dir.join("crashed.gar"), b"GRNA torn to bits").unwrap();
+        let mut h = History::load_dir(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, _) = analyze(&mut h, &Tolerance::default());
+        assert_eq!(report.verdict, Status::Ok, "6 good runs still analyze");
+        assert_eq!(report.skipped_runs.len(), 1);
+        assert_eq!(report.skipped_runs[0].source, "crashed.gar");
+        let text = render_text(&report);
+        assert!(text.contains("WARNING: skipped unreadable run crashed.gar"));
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("crashed.gar"));
+    }
+
+    #[test]
+    fn too_few_surviving_runs_degrade_to_insufficient() {
+        let dir = std::env::temp_dir().join(format!("granula-report-few-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two good runs (below Tolerance::default().min_runs), two corrupt.
+        for i in 0..2 {
+            let run = RunMeta::new(format!("r{i}"), 1_000 + i as u64, "");
+            base_store(1_000_000)
+                .with_run(run)
+                .save(dir.join(format!("r{i}.gar")))
+                .unwrap();
+        }
+        std::fs::write(dir.join("bad1.gar"), b"zzzz").unwrap();
+        std::fs::write(dir.join("bad2.gar"), b"").unwrap();
+        let mut h = History::load_dir(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, _) = analyze(&mut h, &Tolerance::default());
+        assert_eq!(report.verdict, Status::Insufficient);
+        assert_eq!(report.skipped_runs.len(), 2);
     }
 
     #[test]
