@@ -381,8 +381,12 @@ fn push_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> usize {
 }
 
 /// Reads and CRC-verifies the frame starting at `pos`, advancing it.
-/// Returns `(kind, payload, frame_offset)`.
-fn read_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<(u8, &'a [u8], usize), BinError> {
+/// Returns `(kind, payload, frame_offset)`. Shared with the mmap'd
+/// zero-copy reader ([`crate::zerocopy`]), which calls it per extent.
+pub(crate) fn read_frame<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+) -> Result<(u8, &'a [u8], usize), BinError> {
     let offset = *pos;
     let header = bytes
         .get(offset..offset + FRAME_HEADER_LEN)

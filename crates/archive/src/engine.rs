@@ -28,6 +28,7 @@ use granula_model::{OpId, OperationTree};
 use crate::archive::JobArchive;
 use crate::binfmt::BinError;
 use crate::index::{QueryPlan, TreeIndex};
+use crate::lru::LruMap;
 use crate::query::Query;
 use crate::store::{ArchiveStore, DuplicateJobId};
 
@@ -65,71 +66,35 @@ struct CacheKey {
     query: String,
 }
 
-#[derive(Debug)]
-struct CacheEntry {
-    result: Arc<Vec<OpId>>,
-    /// Monotone use tick; smallest = least recently used.
-    last_used: u64,
-}
-
-/// Bounded LRU memo of query results. Small and scan-evicted: the
-/// capacity is a few hundred entries, so an O(capacity) eviction scan is
-/// cheaper than maintaining an intrusive list.
+/// Bounded LRU memo of query results, backed by the ordered
+/// [`LruMap`]: victim selection is O(log capacity) instead of the
+/// per-insert full scan (and double hash lookup) the first version paid.
+/// The serving layer keeps one of these per shard, which puts `put` on
+/// the miss path of every shard — see `crates/archive/src/lru.rs`.
 #[derive(Debug)]
 struct QueryCache {
-    entries: HashMap<CacheKey, CacheEntry>,
-    capacity: usize,
-    tick: u64,
+    entries: LruMap<CacheKey, Arc<Vec<OpId>>>,
 }
 
 impl QueryCache {
     fn new(capacity: usize) -> Self {
         QueryCache {
-            entries: HashMap::new(),
-            capacity: capacity.max(1),
-            tick: 0,
+            entries: LruMap::new(capacity),
         }
     }
 
     fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<OpId>>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.entries.get_mut(key).map(|e| {
-            e.last_used = tick;
-            Arc::clone(&e.result)
-        })
+        self.entries.get(key).map(Arc::clone)
     }
 
     /// Inserts, returning `true` when an entry was evicted to make room.
     fn put(&mut self, key: CacheKey, result: Arc<Vec<OpId>>) -> bool {
-        self.tick += 1;
-        let mut evicted = false;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(lru) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&lru);
-                evicted = true;
-            }
-        }
-        self.entries.insert(
-            key,
-            CacheEntry {
-                result,
-                last_used: self.tick,
-            },
-        );
-        evicted
+        self.entries.insert(key, result)
     }
 
     /// Drops every cached result for one job; returns how many.
     fn invalidate_job(&mut self, job_id: &str) -> u64 {
-        let before = self.entries.len();
-        self.entries.retain(|k, _| k.job_id != job_id);
-        (before - self.entries.len()) as u64
+        self.entries.retain(|k, _| k.job_id != job_id) as u64
     }
 
     fn len(&self) -> usize {
@@ -312,7 +277,10 @@ impl QueryEngine {
     }
 }
 
-fn scan(tree: &OperationTree, query: &Query, mode: QueryMode) -> Vec<OpId> {
+/// Evaluates `query` by the linear-scan oracle — shared with the sharded
+/// serving layer ([`crate::shard`]), which must stay observationally
+/// identical to this engine.
+pub(crate) fn scan(tree: &OperationTree, query: &Query, mode: QueryMode) -> Vec<OpId> {
     match mode {
         QueryMode::Select => query.select(tree),
         QueryMode::FindAll => query.find_all(tree),
@@ -323,7 +291,7 @@ fn scan(tree: &OperationTree, query: &Query, mode: QueryMode) -> Vec<OpId> {
 /// ids). Each candidate is checked against the last segment and window,
 /// then its ancestor chain against the leading segments — exactly the
 /// semantics of the linear scans, restricted to the candidates.
-fn evaluate_candidates(
+pub(crate) fn evaluate_candidates(
     tree: &OperationTree,
     query: &Query,
     mode: QueryMode,

@@ -1,0 +1,273 @@
+//! Many-client load generator for the archive daemon.
+//!
+//! `granula-cli loadgen` (and the CI serve smoke step) drives a running
+//! [`crate::serve::Server`] with N concurrent TCP clients, each sending
+//! pipelined batches of `Q` requests over the job × query cross product,
+//! and reports latency percentiles plus throughput as the
+//! `BENCH_serve.json` artifact. The generator is a protocol client like
+//! any other — it measures the daemon through the same wire the viz UI
+//! and analysts will use, not through an in-process shortcut.
+//!
+//! Latency accounting: each batch write→read round trip is timed and
+//! divided evenly over the batch's requests (pipelined requests share
+//! the RTT; attributing it wholesale to each member would overcount by
+//! the batch factor). Percentiles are exact (full sort), not sketched —
+//! request counts here are thousands, not billions.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// What to throw at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7071`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends (rounded up to whole batches).
+    pub requests_per_client: usize,
+    /// Pipelined requests per batch (≥1).
+    pub batch: usize,
+    /// Job ids to spread requests over.
+    pub jobs: Vec<String>,
+    /// Query texts (sent in `findall` mode), crossed with `jobs`.
+    pub queries: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7071".into(),
+            clients: 8,
+            requests_per_client: 500,
+            batch: 8,
+            jobs: Vec::new(),
+            queries: vec![
+                "Compute".into(),
+                "GiraphJob/Superstep/Compute".into(),
+                "*@Worker".into(),
+                "Superstep".into(),
+            ],
+        }
+    }
+}
+
+/// Latency percentiles in microseconds, per request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyUs {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+    /// Slowest request.
+    pub max: u64,
+}
+
+/// The `BENCH_serve.json` payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Report schema version (bump on shape changes).
+    pub schema: u32,
+    /// Concurrent clients that ran.
+    pub clients: u64,
+    /// Pipelined requests per batch.
+    pub batch: u64,
+    /// Requests sent across all clients.
+    pub total_requests: u64,
+    /// `OK` responses.
+    pub ok: u64,
+    /// `NOJOB` responses.
+    pub nojob: u64,
+    /// `ERR` responses.
+    pub errors: u64,
+    /// Wall time of the whole run, microseconds.
+    pub elapsed_us: u64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Per-request latency distribution.
+    pub latency_us: LatencyUs,
+}
+
+/// Current [`LoadReport::schema`].
+pub const LOAD_REPORT_SCHEMA: u32 = 1;
+
+struct ClientOutcome {
+    /// Per-request latencies (batch RTT / batch size), microseconds.
+    latencies: Vec<u64>,
+    ok: u64,
+    nojob: u64,
+    errors: u64,
+}
+
+/// Reads until `n` newline-terminated lines have arrived; returns them.
+fn read_lines(stream: &mut TcpStream, n: usize) -> std::io::Result<Vec<String>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    while buf.iter().filter(|&&b| b == b'\n').count() < n {
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed mid-batch",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    Ok(buf
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .collect())
+}
+
+fn run_client(config: &LoadConfig, client_index: usize) -> std::io::Result<ClientOutcome> {
+    let mut stream = TcpStream::connect(&config.addr)?;
+    stream.set_nodelay(true)?;
+    let batch = config.batch.max(1);
+    let batches = config.requests_per_client.div_ceil(batch);
+    let mut outcome = ClientOutcome {
+        latencies: Vec::with_capacity(batches * batch),
+        ok: 0,
+        nojob: 0,
+        errors: 0,
+    };
+    // Each client starts at a different point of the job × query cross
+    // product so concurrent clients don't serve identical request
+    // streams in lockstep.
+    let mut cursor = client_index * 7;
+    for _ in 0..batches {
+        let mut lines = String::new();
+        for _ in 0..batch {
+            let job = &config.jobs[cursor % config.jobs.len()];
+            let query = &config.queries[(cursor / config.jobs.len()) % config.queries.len()];
+            lines.push_str(&format!("Q findall {job} {query}\n"));
+            cursor += 1;
+        }
+        let start = Instant::now();
+        stream.write_all(lines.as_bytes())?;
+        let responses = read_lines(&mut stream, batch)?;
+        let rtt_us = start.elapsed().as_micros() as u64;
+        let per_request = (rtt_us / batch as u64).max(1);
+        for response in responses {
+            outcome.latencies.push(per_request);
+            if response.starts_with("OK ") {
+                outcome.ok += 1;
+            } else if response.starts_with("NOJOB ") {
+                outcome.nojob += 1;
+            } else {
+                outcome.errors += 1;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the configured load against a live daemon and aggregates the
+/// report. Requires at least one job id in `config.jobs`.
+pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    if config.jobs.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "load config needs at least one job id",
+        ));
+    }
+    let started = Instant::now();
+    let outcomes: Vec<std::io::Result<ClientOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|i| scope.spawn(move || run_client(config, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let elapsed_us = started.elapsed().as_micros() as u64;
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut nojob, mut errors) = (0u64, 0u64, 0u64);
+    for outcome in outcomes {
+        let outcome = outcome?;
+        latencies.extend(outcome.latencies);
+        ok += outcome.ok;
+        nojob += outcome.nojob;
+        errors += outcome.errors;
+    }
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let mean = latencies
+        .iter()
+        .sum::<u64>()
+        .checked_div(total)
+        .unwrap_or(0);
+    Ok(LoadReport {
+        schema: LOAD_REPORT_SCHEMA,
+        clients: config.clients.max(1) as u64,
+        batch: config.batch.max(1) as u64,
+        total_requests: total,
+        ok,
+        nojob,
+        errors,
+        elapsed_us,
+        throughput_rps: if elapsed_us == 0 {
+            0.0
+        } else {
+            total as f64 / (elapsed_us as f64 / 1_000_000.0)
+        },
+        latency_us: LatencyUs {
+            p50: percentile(&latencies, 0.50),
+            p90: percentile(&latencies, 0.90),
+            p99: percentile(&latencies, 0.99),
+            mean,
+            max: latencies.last().copied().unwrap_or(0),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.90), 90);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = LoadReport {
+            schema: LOAD_REPORT_SCHEMA,
+            total_requests: 10,
+            throughput_rps: 123.4,
+            latency_us: LatencyUs {
+                p50: 5,
+                p99: 9,
+                ..LatencyUs::default()
+            },
+            ..LoadReport::default()
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        for field in ["\"schema\"", "\"p50\"", "\"p99\"", "\"throughput_rps\""] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Read-only memory mapping of archive files.
+//!
+//! The zero-copy read path ([`crate::zerocopy::MappedStore`]) wants the
+//! whole `.gar` file addressable as one `&[u8]` without reading it into
+//! the heap: the format-v3 trailer records per-job byte extents, so a
+//! cold archive can serve its first query by touching only the footer,
+//! the trailer, and the one job frame the query needs. The kernel pages
+//! the rest in lazily — or never.
+//!
+//! The workspace builds offline with no external crates, so the mapping
+//! goes straight to the C library `mmap(2)`/`munmap(2)` symbols that the
+//! standard library already links on Unix. On non-Unix targets (or when
+//! the map syscall fails — e.g. an empty file, or a filesystem that
+//! refuses mappings) the type degrades to an ordinary heap read with the
+//! same API; callers only lose the laziness, never correctness.
+//!
+//! ## Safety
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the memory is never
+//! written through, and file writes by *other* processes are not
+//! expected — served archives are immutable artifacts (every writer in
+//! this workspace goes through [`crate::durable::write_atomic`], which
+//! replaces the file by rename rather than writing in place, so an
+//! existing mapping keeps seeing the old, complete bytes). Truncating a
+//! mapped file out from under the process would raise `SIGBUS` on
+//! access, as with any mmap consumer; the serve daemon documents that
+//! archives must not be truncated in place while served.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        // `mmap(2)` / `munmap(2)` as exposed by the C library the Rust
+        // standard library links. On 64-bit Unix `off_t` is `i64` and
+        // `size_t` is `usize`, so these signatures match both glibc and
+        // musl; the module is compiled only for 64-bit Unix targets.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// `MAP_FAILED` is `(void*)-1`.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// A live `mmap` region, unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Map {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    },
+    /// Heap fallback: the file was read eagerly.
+    Heap(Vec<u8>),
+}
+
+/// A file's bytes, memory-mapped when the platform allows it.
+#[derive(Debug)]
+pub struct Mapped {
+    backing: Backing,
+}
+
+// SAFETY: the mapped region is read-only for the whole lifetime of the
+// value (PROT_READ, never remapped), so shared references to its bytes
+// are safe to send and share across threads; the heap variant is a Vec.
+unsafe impl Send for Mapped {}
+unsafe impl Sync for Mapped {}
+
+impl Mapped {
+    /// Maps `path` read-only, falling back to a heap read when mapping
+    /// is unavailable (non-Unix target, empty file, or syscall failure).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Mapped> {
+        let path = path.as_ref();
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                let len = len as usize;
+                // SAFETY: fd is a freshly opened, owned file; length is
+                // its current size; PROT_READ/MAP_PRIVATE never allows a
+                // write through this mapping. The fd may be closed after
+                // mmap returns — the mapping keeps the file referenced.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != sys::map_failed() {
+                    if let Some(ptr) = std::ptr::NonNull::new(ptr.cast::<u8>()) {
+                        return Ok(Mapped {
+                            backing: Backing::Map { ptr, len },
+                        });
+                    }
+                }
+            }
+            drop(file);
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            // Keep the signature identical across platforms.
+            let _ = File::open(path)?;
+        }
+        Ok(Mapped {
+            backing: Backing::Heap(std::fs::read(path)?),
+        })
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            // SAFETY: ptr/len came from a successful PROT_READ mmap that
+            // lives exactly as long as `self` (unmapped only in Drop).
+            Backing::Map { ptr, len } => unsafe { std::slice::from_raw_parts(ptr.as_ptr(), *len) },
+            Backing::Heap(v) => v,
+        }
+    }
+
+    /// Byte length of the file.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the bytes come from a live memory mapping rather than
+    /// the heap fallback — i.e. reads are demand-paged, not pre-read.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Map { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Map { ptr, len } => {
+                // SAFETY: exactly the region returned by mmap in `open`,
+                // unmapped once; no slice into it can outlive `self`.
+                unsafe {
+                    sys::munmap(ptr.as_ptr().cast(), *len);
+                }
+            }
+            Backing::Heap(_) => {}
+        }
+    }
+}
+
+impl Deref for Mapped {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("granula-mmap-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = tmp("exact");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let m = Mapped::open(&path).unwrap();
+        assert_eq!(m.bytes(), payload.as_slice());
+        assert_eq!(m.len(), payload.len());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(m.is_mapped(), "64-bit unix must take the mmap path");
+        drop(m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_degrades_to_heap() {
+        let path = tmp("empty");
+        std::fs::write(&path, b"").unwrap();
+        let m = Mapped::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped(), "zero-length mappings are invalid");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mapped::open(tmp("missing-never-created")).is_err());
+    }
+
+    #[test]
+    fn mapping_survives_concurrent_readers() {
+        let path = tmp("threads");
+        let payload = vec![0xA5u8; 1 << 16];
+        std::fs::write(&path, &payload).unwrap();
+        let m = std::sync::Arc::new(Mapped::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || m.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0xA5u64 * (1 << 16));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

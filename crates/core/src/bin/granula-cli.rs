@@ -15,7 +15,9 @@
 //! collaboration workflow the paper's requirement R2 calls for.
 
 use std::fs;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gpsim_graph::gen::{datagen_like, GenConfig};
 use gpsim_platforms::{Algorithm, JobConfig};
@@ -24,39 +26,77 @@ use granula::experiment::{run_experiment, Platform};
 use granula::metrics::{DomainBreakdown, Phase};
 use granula::regression::RegressionSuite;
 use granula_archive::{
-    from_json, to_json_pretty, ArchiveStore, JobArchive, Query, QueryEngine, QueryMode,
+    from_json, to_json_pretty, ArchiveStore, JobArchive, LoadConfig, Query, QueryEngine, QueryMode,
+    ServeOptions, Server, ShardedEngine,
 };
 use granula_regress::{analyze, render_text, History, Status, Tolerance};
 use granula_viz::tree::{render_operation_tree, render_ops};
 use granula_viz::trend::{render_trend_svg, TrendChart};
 
+/// A CLI failure with a process exit code. Most errors are operational
+/// (code 1); integrity verdicts from `archive fsck` use dedicated codes
+/// so CI and operators can gate on *what* failed:
+/// 2 = damaged but partially recoverable, 3 = total loss.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn with_code(code: u8, message: impl Into<String>) -> Self {
+        CliError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            code: 1,
+            message: message.to_string(),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("inspect") => cmd_inspect(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
-        Some("breakdown") => cmd_breakdown(&args[1..]),
-        Some("chokepoints") => cmd_chokepoints(&args[1..]),
-        Some("diagnose") => cmd_diagnose(&args[1..]),
-        Some("regression") => cmd_regression(&args[1..]),
-        Some("diff") => cmd_diff(&args[1..]),
-        Some("model") => cmd_model(&args[1..]),
-        Some("suite") => cmd_suite(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]).map_err(CliError::from),
+        Some("inspect") => cmd_inspect(&args[1..]).map_err(CliError::from),
+        Some("query") => cmd_query(&args[1..]).map_err(CliError::from),
+        Some("breakdown") => cmd_breakdown(&args[1..]).map_err(CliError::from),
+        Some("chokepoints") => cmd_chokepoints(&args[1..]).map_err(CliError::from),
+        Some("diagnose") => cmd_diagnose(&args[1..]).map_err(CliError::from),
+        Some("regression") => cmd_regression(&args[1..]).map_err(CliError::from),
+        Some("diff") => cmd_diff(&args[1..]).map_err(CliError::from),
+        Some("model") => cmd_model(&args[1..]).map_err(CliError::from),
+        Some("suite") => cmd_suite(&args[1..]).map_err(CliError::from),
+        Some("trace") => cmd_trace(&args[1..]).map_err(CliError::from),
         Some("archive") => cmd_archive(&args[1..]),
-        Some("regress") => cmd_regress(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]).map_err(CliError::from),
+        Some("serve") => cmd_serve(&args[1..]).map_err(CliError::from),
+        Some("loadgen") => cmd_loadgen(&args[1..]).map_err(CliError::from),
         Some("help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand `{other}` (try `help`)")),
+        Some(other) => Err(CliError::from(format!(
+            "unknown subcommand `{other}` (try `help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError { code, message }) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(code.max(1))
         }
     }
 }
@@ -83,7 +123,12 @@ fn print_usage() {
          \x20 archive    fsck  <store.gar> [--repair] [--out <repaired.gar>]\n\
          \x20 archive    fuzz  <store.gar> [--mutations 1000] [--seed 42]\n\
          \x20 regress    <history-dir> [--current <store.gar>] [--out regress.json] [--svg trend.svg]\n\
-         \x20            [--tolerance 0.02] [--alpha 1e-3] [--window 4] [--label <text>]"
+         \x20            [--tolerance 0.02] [--alpha 1e-3] [--window 4] [--label <text>]\n\
+         \x20 serve      <fleet.gar> [more.gar ...] [--addr 127.0.0.1:7071] [--shards 8]\n\
+         \x20            [--resident 64] [--cache 256]\n\
+         \x20 loadgen    --addr <host:port> [--clients 8] [--requests 500] [--batch 8]\n\
+         \x20            [--jobs id,id,...] [--out BENCH_serve.json]\n\n\
+         exit codes: 0 ok | 1 error | 2 fsck: archive damaged | 3 fsck: total loss"
     );
 }
 
@@ -474,15 +519,19 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// persistent binary archive stores (`.gar`). `save` packs shared JSON
 /// envelopes into one indexed store; `query` serves path queries through
 /// the indexed [`QueryEngine`]; `stat` reports per-job index shapes.
-fn cmd_archive(args: &[String]) -> Result<(), String> {
+fn cmd_archive(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
-        Some("save") => cmd_archive_save(&args[1..]),
-        Some("query") => cmd_archive_query(&args[1..]),
-        Some("stat") => cmd_archive_stat(&args[1..]),
+        Some("save") => cmd_archive_save(&args[1..]).map_err(CliError::from),
+        Some("query") => cmd_archive_query(&args[1..]).map_err(CliError::from),
+        Some("stat") => cmd_archive_stat(&args[1..]).map_err(CliError::from),
         Some("fsck") => cmd_archive_fsck(&args[1..]),
-        Some("fuzz") => cmd_archive_fuzz(&args[1..]),
-        Some(other) => Err(format!("unknown archive action `{other}` (try `help`)")),
-        None => Err("usage: archive <save|query|stat|fsck|fuzz> ...".into()),
+        Some("fuzz") => cmd_archive_fuzz(&args[1..]).map_err(CliError::from),
+        Some(other) => Err(CliError::from(format!(
+            "unknown archive action `{other}` (try `help`)"
+        ))),
+        None => Err(CliError::from(
+            "usage: archive <save|query|stat|fsck|fuzz> ...",
+        )),
     }
 }
 
@@ -574,31 +623,56 @@ fn cmd_archive_stat(args: &[String]) -> Result<(), String> {
 }
 
 /// `archive fsck <store.gar>`: verifies every checksum of a `.gar` file
-/// and reports, frame by frame, what a corrupted file still holds. Exits
-/// nonzero when the file is damaged — unless `--repair` is given, which
-/// writes the salvaged store (atomically, durably) and exits zero as
-/// long as anything was recovered.
-fn cmd_archive_fsck(args: &[String]) -> Result<(), String> {
+/// and reports, frame by frame, what a corrupted file still holds. The
+/// last line of output is a machine-parseable summary
+/// (`fsck: status=... key=value ...`), and the exit code is the verdict
+/// CI and operators gate on: 0 clean, 2 damaged-but-recoverable, 3
+/// total loss, 1 operational error (unreadable file, bad flags).
+/// `--repair` writes the salvaged store (atomically, durably) and exits
+/// zero as long as anything was recovered.
+fn cmd_archive_fsck(args: &[String]) -> Result<(), CliError> {
     const USAGE: &str = "usage: archive fsck <store.gar> [--repair] [--out <repaired.gar>]";
     let store_path = positional(args, 0).ok_or(USAGE)?;
     let report = ArchiveStore::salvage(store_path).map_err(|e| format!("{store_path}: {e}"))?;
     print!("{store_path}: {}", report.render_text());
+    let status = if report.clean {
+        "clean"
+    } else if report.is_total_loss() {
+        "lost"
+    } else {
+        "corrupt"
+    };
+    println!(
+        "fsck: status={status} file={store_path} recovered={} lost={} expected={} trailer={} run={}",
+        report.recovered.len(),
+        report.lost.len(),
+        report
+            .expected_jobs
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "?".to_string()),
+        if report.trailer_intact { "intact" } else { "damaged" },
+        if report.run_recovered { "yes" } else { "no" },
+    );
     if report.clean {
         return Ok(());
     }
-    if !args.iter().any(|a| a == "--repair") {
-        return Err(format!(
-            "{store_path} is corrupt ({} of {} job(s) recoverable; re-run with --repair to keep them)",
-            report.recovered.len(),
-            report
-                .expected_jobs
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| "?".to_string()),
+    if report.is_total_loss() {
+        return Err(CliError::with_code(
+            3,
+            format!("{store_path}: total loss, nothing recoverable"),
         ));
     }
-    if report.is_total_loss() {
-        return Err(format!(
-            "{store_path}: nothing recoverable, not writing a repair"
+    if !args.iter().any(|a| a == "--repair") {
+        return Err(CliError::with_code(
+            2,
+            format!(
+                "{store_path} is corrupt ({} of {} job(s) recoverable; re-run with --repair to keep them)",
+                report.recovered.len(),
+                report
+                    .expected_jobs
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+            ),
         ));
     }
     let out = flag(args, "--out").unwrap_or_else(|| store_path.clone());
@@ -740,6 +814,127 @@ fn cmd_regress(args: &[String]) -> Result<(), String> {
     }
     if report.verdict == Status::Regressed {
         return Err("performance regression detected (see report above)".to_string());
+    }
+    Ok(())
+}
+
+/// `serve <fleet.gar ...>`: the long-lived archive daemon. Opens every
+/// fleet file zero-copy (mmap + trailer extents; jobs decode on first
+/// query), shards jobs by id, and serves the line protocol of
+/// `granula_archive::serve` until a client sends `SHUTDOWN`. The first
+/// stdout line (`serving N jobs ... on ADDR`) is flushed before the
+/// accept loop starts, so wrappers can scrape the bound address when
+/// `--addr` ends in `:0`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: serve <fleet.gar> [more.gar ...] [--addr host:port] \
+                         [--shards N] [--resident N] [--cache N]";
+    let mut options = ServeOptions::default();
+    if let Some(v) = flag(args, "--shards") {
+        options.shards = v.parse().map_err(|e| format!("--shards: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--resident") {
+        options.resident_capacity = v.parse().map_err(|e| format!("--resident: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--cache") {
+        options.result_capacity = v.parse().map_err(|e| format!("--cache: {e}"))?;
+    }
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while let Some(path) = positional(args, i) {
+        paths.push(path.clone());
+        i += 1;
+    }
+    if paths.is_empty() {
+        return Err(USAGE.into());
+    }
+    let engine = Arc::new(
+        ShardedEngine::open_fleet(&paths, options).map_err(|e| format!("opening fleet: {e}"))?,
+    );
+    let server =
+        Server::bind(Arc::clone(&engine), &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {} jobs from {} file(s) over {} shards on {bound}",
+        engine.len(),
+        paths.len(),
+        options.shards.max(1)
+    );
+    // Flush before blocking in accept: under a pipe stdout is
+    // block-buffered, and wrappers scrape this line for the bound port.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| format!("serve loop: {e}"))?;
+    println!("shutdown requested; daemon exiting");
+    Ok(())
+}
+
+/// `loadgen`: many-client benchmark against a running daemon. Writes the
+/// latency/throughput report (p50/p90/p99, requests/s) as JSON to
+/// `--out` and prints a one-line summary. With no `--jobs`, asks the
+/// daemon for its roster first.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut config = LoadConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7071".to_string()),
+        ..LoadConfig::default()
+    };
+    if let Some(v) = flag(args, "--clients") {
+        config.clients = v.parse().map_err(|e| format!("--clients: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--requests") {
+        config.requests_per_client = v.parse().map_err(|e| format!("--requests: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--batch") {
+        config.batch = v.parse().map_err(|e| format!("--batch: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--queries") {
+        config.queries = v.split(';').map(str::to_string).collect();
+    }
+    config.jobs = match flag(args, "--jobs") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => {
+            use std::io::{BufRead, BufReader};
+            let stream = std::net::TcpStream::connect(&config.addr)
+                .map_err(|e| format!("connect {}: {e}", config.addr))?;
+            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+            writer.write_all(b"JOBS\n").map_err(|e| e.to_string())?;
+            let mut line = String::new();
+            BufReader::new(stream)
+                .read_line(&mut line)
+                .map_err(|e| e.to_string())?;
+            line.split_whitespace()
+                .skip(2)
+                .map(str::to_string)
+                .collect()
+        }
+    };
+    if config.jobs.is_empty() {
+        return Err("daemon serves no jobs and --jobs was not given".into());
+    }
+    let report = granula_archive::run_load(&config)
+        .map_err(|e| format!("load against {}: {e}", config.addr))?;
+    println!(
+        "loadgen {}: {} clients x batch {} -> {} requests in {:.2}s | {:.0} req/s | \
+         p50 {}us p90 {}us p99 {}us max {}us | {} ok, {} nojob, {} err",
+        config.addr,
+        report.clients,
+        report.batch,
+        report.total_requests,
+        report.elapsed_us as f64 / 1e6,
+        report.throughput_rps,
+        report.latency_us.p50,
+        report.latency_us.p90,
+        report.latency_us.p99,
+        report.latency_us.max,
+        report.ok,
+        report.nojob,
+        report.errors
+    );
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
     }
     Ok(())
 }
