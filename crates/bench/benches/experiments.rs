@@ -19,11 +19,7 @@ fn bench_full_experiment(c: &mut Criterion) {
     group.sample_size(10);
     let (graph, scale) = calibration::dg_graph_small(4_000, calibration::DG_SEED);
     for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
-        let mut cfg = match platform {
-            Platform::Giraph => calibration::giraph_dg1000_job(),
-            Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-            Platform::GraphMat => calibration::graphmat_dg1000_job(),
-        };
+        let mut cfg = platform.dg1000_job();
         cfg.scale_factor = scale;
         group.bench_with_input(
             BenchmarkId::from_parameter(platform.name()),

@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for platform in [Platform::Giraph, Platform::PowerGraph] {
         for algorithm in algorithms {
-            let mut cfg = match platform {
-                Platform::Giraph => calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => calibration::graphmat_dg1000_job(),
-            };
+            let mut cfg = platform.dg1000_job();
             cfg.algorithm = algorithm;
             cfg.scale_factor = scale;
             cfg.job_id = format!(

@@ -25,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scale = dataset.scale_factor(graph.num_vertices());
         let mut totals = Vec::new();
         for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
-            let mut cfg = match platform {
-                Platform::Giraph => calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => calibration::graphmat_dg1000_job(),
-            };
+            let mut cfg = platform.dg1000_job();
             cfg.scale_factor = scale;
             cfg.dataset = dataset.name.to_string();
             cfg.job_id = format!("{}-{}", platform.name().to_lowercase(), dataset.name);
@@ -52,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dataset = granula::datasets::by_name(name).expect("in catalog");
         let scale = dataset.scale_factor(graph.num_vertices());
         for platform in [Platform::Giraph, Platform::PowerGraph] {
-            let mut cfg = match platform {
-                Platform::Giraph => calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => calibration::graphmat_dg1000_job(),
-            };
+            let mut cfg = platform.dg1000_job();
             cfg.scale_factor = scale;
             let r = run_experiment(platform, &graph, &cfg)?;
             let b = &r.breakdown;

@@ -25,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .flat_map(|platform| {
             NODE_COUNTS.into_iter().map(move |nodes| {
-                let mut cfg = match platform {
-                    Platform::Giraph => calibration::giraph_dg1000_job(),
-                    Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                    Platform::GraphMat => calibration::graphmat_dg1000_job(),
-                };
+                let mut cfg = platform.dg1000_job();
                 cfg.nodes = nodes;
                 cfg.scale_factor = scale;
                 cfg.job_id = format!("{}-n{}", platform.name().to_lowercase(), nodes);

@@ -22,11 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut iterations = Vec::new();
         for seed in SEEDS {
             let (graph, scale) = calibration::dg_graph_small(20_000, seed);
-            let mut cfg = match platform {
-                Platform::Giraph => calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => calibration::graphmat_dg1000_job(),
-            };
+            let mut cfg = platform.dg1000_job();
             cfg.scale_factor = scale;
             cfg.job_id = format!("{}-seed{}", platform.name().to_lowercase(), seed);
             let r = run_experiment(platform, &graph, &cfg)?;

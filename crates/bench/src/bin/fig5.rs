@@ -65,7 +65,9 @@ fn main() {
                     "%",
                 );
             }
-            Platform::GraphMat => unreachable!("fig5 compares the paper's two platforms"),
+            Platform::GraphMat | Platform::Grape | Platform::GraphX => {
+                unreachable!("fig5 compares the paper's two platforms")
+            }
             Platform::PowerGraph => {
                 compare("total runtime", PAPER.powergraph_total_s, b.total_s(), "s");
                 compare(

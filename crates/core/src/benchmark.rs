@@ -127,11 +127,7 @@ impl BenchmarkSuite {
                 } else {
                     &graph
                 };
-                let mut cfg = match platform {
-                    Platform::Giraph => calibration::giraph_dg1000_job(),
-                    Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-                    Platform::GraphMat => calibration::graphmat_dg1000_job(),
-                };
+                let mut cfg = platform.dg1000_job();
                 cfg.algorithm = algorithm;
                 cfg.nodes = self.nodes;
                 cfg.scale_factor = scale;

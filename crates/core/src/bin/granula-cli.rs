@@ -105,7 +105,7 @@ fn print_usage() {
     println!(
         "granula-cli — fine-grained performance analysis of graph-processing platforms\n\n\
          subcommands:\n\
-         \x20 run        --platform <giraph|powergraph|graphmat> [--algorithm <bfs|pagerank|wcc|cdlp|sssp>]\n\
+         \x20 run        --platform <giraph|powergraph|graphmat|grape|graphx> [--algorithm <bfs|pagerank|wcc|cdlp|sssp>]\n\
          \x20            [--vertices N] [--nodes K] [--seed S] --out <archive.json> [--report <report.html>]\n\
          \x20 inspect    <archive.json> [--depth N]\n\
          \x20 query      <archive.json> <path-query> [--info <name>]\n\
@@ -114,7 +114,7 @@ fn print_usage() {
          \x20 diagnose   <archive.json>\n\
          \x20 regression <baseline.json> <candidate.json> [--tolerance 0.10]\n\
          \x20 diff       <baseline.json> <candidate.json> [--min-delta-ms 50] [--limit 20]\n\
-         \x20 model      <giraph|powergraph|graphmat> [--out model.json]\n\
+         \x20 model      <giraph|powergraph|graphmat|grape|graphx> [--out model.json]\n\
          \x20 suite      --out-dir <dir> [--vertices N] [--nodes K]\n\
          \x20 trace      <quickstart|fig5> [--out trace.json] [--metrics metrics.txt]\n\
          \x20 archive    save  <store.gar> <archive.json> [more.json ...]\n\
@@ -169,6 +169,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some("giraph") => Platform::Giraph,
         Some("powergraph") => Platform::PowerGraph,
         Some("graphmat") => Platform::GraphMat,
+        Some("grape") => Platform::Grape,
+        Some("graphx") => Platform::GraphX,
         Some(other) => return Err(format!("unknown platform `{other}`")),
         None => return Err("--platform is required".into()),
     };
@@ -214,6 +216,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Platform::Giraph => granula::calibration::giraph_costs(),
         Platform::PowerGraph => granula::calibration::powergraph_costs(),
         Platform::GraphMat => granula::calibration::graphmat_costs(),
+        Platform::Grape => granula::calibration::grape_costs(),
+        Platform::GraphX => granula::calibration::graphx_costs(),
     };
     let cfg = JobConfig::new(
         format!(
@@ -419,8 +423,14 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
         Some("giraph") => granula::models::giraph_model(),
         Some("powergraph") => granula::models::powergraph_model(),
         Some("graphmat") => granula::models::graphmat_model(),
+        Some("grape") => granula::models::grape_model(),
+        Some("graphx") => granula::models::graphx_model(),
         Some(other) => return Err(format!("unknown model `{other}`")),
-        None => return Err("usage: model <giraph|powergraph|graphmat> [--out file]".into()),
+        None => {
+            return Err(
+                "usage: model <giraph|powergraph|graphmat|grape|graphx> [--out file]".into(),
+            )
+        }
     };
     print!("{}", granula_viz::tree::render_model(&model));
     if let Some(out) = flag(args, "--out") {

@@ -158,6 +158,69 @@ pub fn graphmat_costs() -> CostModel {
     }
 }
 
+/// A calibrated GRAPE cost model (the paper does not evaluate GRAPE; the
+/// constants claim plausibility: native C++ compute, but each fragment runs
+/// its sequential algorithm on a single core, and boundary sync is cheap
+/// compared to Giraph's ZooKeeper barrier).
+pub fn grape_costs() -> CostModel {
+    CostModel {
+        parse_cpu_us_per_byte: 0.040,
+        build_cpu_us_per_edge: 0.25,
+        compute_us_per_edge: 0.018,
+        compute_us_per_vertex: 0.025,
+        bytes_per_message: 12.0,
+        bytes_per_vertex_out: 12.0,
+        bytes_per_edge_in: 20.0,
+        bytes_per_edge_mem: 48.0,
+        barrier_us: 30_000.0,
+        worker_threads: 24,
+        serialize_us_per_message: 0.04,
+    }
+}
+
+/// A calibrated GraphX cost model (plausibility, not a paper target: JVM
+/// compute with RDD overhead, expensive shuffle serialization, and
+/// memory-hungry cached partitions).
+pub fn graphx_costs() -> CostModel {
+    CostModel {
+        parse_cpu_us_per_byte: 0.30,
+        build_cpu_us_per_edge: 1.10,
+        compute_us_per_edge: 0.70,
+        compute_us_per_vertex: 0.80,
+        bytes_per_message: 24.0,
+        bytes_per_vertex_out: 16.0,
+        bytes_per_edge_in: 20.0,
+        bytes_per_edge_mem: 160.0,
+        barrier_us: 60_000.0,
+        worker_threads: 24,
+        serialize_us_per_message: 0.60,
+    }
+}
+
+/// The GRAPE BFS-on-dg1000 job (choke-point matrix extension).
+pub fn grape_dg1000_job() -> JobConfig {
+    JobConfig::new(
+        "grape-bfs-dg1000",
+        "dg1000",
+        Algorithm::Bfs { source: 1 },
+        8,
+        grape_costs(),
+    )
+    .with_scale(DG1000_SCALE)
+}
+
+/// The GraphX BFS-on-dg1000 job (choke-point matrix extension).
+pub fn graphx_dg1000_job() -> JobConfig {
+    JobConfig::new(
+        "graphx-bfs-dg1000",
+        "dg1000",
+        Algorithm::Bfs { source: 1 },
+        8,
+        graphx_costs(),
+    )
+    .with_scale(DG1000_SCALE)
+}
+
 /// The GraphMat BFS-on-dg1000 job (extension experiment).
 pub fn graphmat_dg1000_job() -> JobConfig {
     JobConfig::new(

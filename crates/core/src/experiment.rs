@@ -7,7 +7,8 @@
 use gpsim_cluster::{FaultPlan, SimError};
 use gpsim_graph::Graph;
 use gpsim_platforms::{
-    GiraphPlatform, GraphMatPlatform, JobConfig, PlatformRun, PowerGraphPlatform,
+    GiraphPlatform, GrapePlatform, GraphMatPlatform, GraphXPlatform, JobConfig, PlatformRun,
+    PowerGraphPlatform,
 };
 use granula_archive::JobMeta;
 
@@ -25,6 +26,12 @@ pub enum Platform {
     PowerGraph,
     /// The GraphMat-like SpMV platform (Table 1 extension).
     GraphMat,
+    /// The GRAPE-like subgraph-centric platform (choke-point matrix
+    /// extension).
+    Grape,
+    /// The GraphX/Spark-like dataflow platform (choke-point matrix
+    /// extension).
+    GraphX,
 }
 
 impl Platform {
@@ -34,6 +41,8 @@ impl Platform {
             Platform::Giraph => "Giraph",
             Platform::PowerGraph => "PowerGraph",
             Platform::GraphMat => "GraphMat",
+            Platform::Grape => "Grape",
+            Platform::GraphX => "GraphX",
         }
     }
 
@@ -43,6 +52,19 @@ impl Platform {
             Platform::Giraph => models::giraph_model(),
             Platform::PowerGraph => models::powergraph_model(),
             Platform::GraphMat => models::graphmat_model(),
+            Platform::Grape => models::grape_model(),
+            Platform::GraphX => models::graphx_model(),
+        }
+    }
+
+    /// The platform's calibrated BFS-on-dg1000 job configuration.
+    pub fn dg1000_job(self) -> JobConfig {
+        match self {
+            Platform::Giraph => calibration::giraph_dg1000_job(),
+            Platform::PowerGraph => calibration::powergraph_dg1000_job(),
+            Platform::GraphMat => calibration::graphmat_dg1000_job(),
+            Platform::Grape => calibration::grape_dg1000_job(),
+            Platform::GraphX => calibration::graphx_dg1000_job(),
         }
     }
 
@@ -57,6 +79,8 @@ impl Platform {
             Platform::Giraph => models::giraph_fault_model(),
             Platform::PowerGraph => models::powergraph_fault_model(),
             Platform::GraphMat => panic!("fault injection is not modeled for GraphMat"),
+            Platform::Grape => models::grape_fault_model(),
+            Platform::GraphX => models::graphx_fault_model(),
         }
     }
 }
@@ -110,6 +134,8 @@ pub fn run_experiment_on(
             Platform::Giraph => GiraphPlatform::default().run_on(graph, cfg, cluster)?,
             Platform::PowerGraph => PowerGraphPlatform::default().run_on(graph, cfg, cluster)?,
             Platform::GraphMat => GraphMatPlatform::default().run_on(graph, cfg, cluster)?,
+            Platform::Grape => GrapePlatform::default().run_on(graph, cfg, cluster)?,
+            Platform::GraphX => GraphXPlatform::default().run_on(graph, cfg, cluster)?,
         }
     };
     let meta = JobMeta {
@@ -186,6 +212,8 @@ pub fn run_experiment_with_faults(
                 );
                 GraphMatPlatform::default().run(graph, cfg)?
             }
+            Platform::Grape => GrapePlatform::default().run_with_faults(graph, cfg, plan)?,
+            Platform::GraphX => GraphXPlatform::default().run_with_faults(graph, cfg, plan)?,
         }
     };
     let meta = JobMeta {
@@ -283,11 +311,7 @@ pub fn run_experiments(
 /// seconds of real time per platform.
 pub fn dg1000(platform: Platform) -> ExperimentResult {
     let graph = calibration::dg_graph();
-    let cfg = match platform {
-        Platform::Giraph => calibration::giraph_dg1000_job(),
-        Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-        Platform::GraphMat => calibration::graphmat_dg1000_job(),
-    };
+    let cfg = platform.dg1000_job();
     run_experiment(platform, &graph, &cfg).expect("dg1000 simulation is well-formed")
 }
 
@@ -335,11 +359,7 @@ pub fn dg1000_full_sized(vertices: u32) -> ExperimentResult {
 /// factor adjusted to keep emulating the full dataset. Used by tests.
 pub fn dg1000_quick(platform: Platform, vertices: u32) -> ExperimentResult {
     let (graph, scale) = calibration::dg_graph_small(vertices, calibration::DG_SEED);
-    let mut cfg = match platform {
-        Platform::Giraph => calibration::giraph_dg1000_job(),
-        Platform::PowerGraph => calibration::powergraph_dg1000_job(),
-        Platform::GraphMat => calibration::graphmat_dg1000_job(),
-    };
+    let mut cfg = platform.dg1000_job();
     cfg.scale_factor = scale;
     run_experiment(platform, &graph, &cfg).expect("dg1000 simulation is well-formed")
 }
@@ -410,9 +430,16 @@ mod tests {
         use gpsim_cluster::NodeId;
 
         let (graph, scale) = crate::calibration::dg_graph_small(4_000, crate::calibration::DG_SEED);
-        for platform in [Platform::Giraph, Platform::PowerGraph] {
+        for platform in [
+            Platform::Giraph,
+            Platform::PowerGraph,
+            Platform::Grape,
+            Platform::GraphX,
+        ] {
             let mut cfg = match platform {
                 Platform::Giraph => crate::calibration::giraph_dg1000_job(),
+                Platform::Grape => crate::calibration::grape_dg1000_job(),
+                Platform::GraphX => crate::calibration::graphx_dg1000_job(),
                 _ => crate::calibration::powergraph_dg1000_job(),
             };
             cfg.scale_factor = scale;
@@ -475,20 +502,21 @@ mod tests {
     #[test]
     fn parallel_experiments_match_sequential_bitwise() {
         let graph = crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED).0;
-        let jobs: Vec<(Platform, gpsim_platforms::JobConfig)> =
-            [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat]
-                .into_iter()
-                .map(|p| {
-                    let mut cfg = match p {
-                        Platform::Giraph => crate::calibration::giraph_dg1000_job(),
-                        Platform::PowerGraph => crate::calibration::powergraph_dg1000_job(),
-                        Platform::GraphMat => crate::calibration::graphmat_dg1000_job(),
-                    };
-                    cfg.scale_factor =
-                        crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED).1;
-                    (p, cfg)
-                })
-                .collect();
+        let jobs: Vec<(Platform, gpsim_platforms::JobConfig)> = [
+            Platform::Giraph,
+            Platform::PowerGraph,
+            Platform::GraphMat,
+            Platform::Grape,
+            Platform::GraphX,
+        ]
+        .into_iter()
+        .map(|p| {
+            let mut cfg = p.dg1000_job();
+            cfg.scale_factor =
+                crate::calibration::dg_graph_small(3_000, crate::calibration::DG_SEED).1;
+            (p, cfg)
+        })
+        .collect();
         let parallel = run_experiments(&jobs, &graph);
         let sequential: Vec<_> = jobs
             .iter()
@@ -504,7 +532,13 @@ mod tests {
 
     #[test]
     fn experiments_validate_cleanly() {
-        for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
+        for platform in [
+            Platform::Giraph,
+            Platform::PowerGraph,
+            Platform::GraphMat,
+            Platform::Grape,
+            Platform::GraphX,
+        ] {
             let r = dg1000_quick(platform, 4_000);
             assert!(
                 r.report.validation.is_clean(),

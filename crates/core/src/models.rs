@@ -418,6 +418,283 @@ pub fn graphmat_model() -> PerformanceModel {
     m
 }
 
+/// The GRAPE performance model (subgraph-centric workflow: PEval to a
+/// fragment-local fixpoint, IncEval between boundary syncs).
+pub fn grape_model() -> PerformanceModel {
+    let mut m = domain_model("Grape", "GrapeJob");
+    m.name = "grape-v1".into();
+
+    m.refine(
+        &OperationTypeId::new("Job", "Startup"),
+        vec![
+            OperationTypeDef::new("Coordinator", "DeployCoordinator", AbstractionLevel::System)
+                .describe("Start the coordinator process"),
+            OperationTypeDef::new("Coordinator", "DeployWorkers", AbstractionLevel::System)
+                .describe("Launch one fragment worker per node"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Coordinator", "DeployWorkers"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalStartup", AbstractionLevel::System)
+                .parallel()
+                .describe("Worker process start + coordinator registration"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "LoadGraph"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalLoad", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::required("InputBytes"))
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "InputBytes".into(),
+                    output: "LoadThroughput".into(),
+                })
+                .describe("One worker loads its edge-cut fragment"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Worker", "LocalLoad"),
+        vec![
+            OperationTypeDef::new("Worker", "ReadFragment", AbstractionLevel::System)
+                .describe("Shared-filesystem fragment read"),
+            OperationTypeDef::new("Worker", "BuildIndex", AbstractionLevel::System)
+                .describe("Build the fragment's local index + boundary tables"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Job", "Round", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .with_info(InfoRequirement::optional("BoundaryMessages"))
+                .describe("One boundary-synchronized evaluation round"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Round"),
+        vec![
+            OperationTypeDef::new("Worker", "PEval", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("EdgesScanned"))
+                .describe(
+                    "Partial evaluation: the sequential algorithm to a fragment-local fixpoint",
+                ),
+            OperationTypeDef::new("Worker", "IncEval", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("EdgesScanned"))
+                .describe("Incremental evaluation against the received boundary updates"),
+            OperationTypeDef::new("Coordinator", "BoundarySync", AbstractionLevel::System)
+                .describe("Exchange boundary-vertex updates and test the global fixpoint"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "OffloadGraph"),
+        vec![
+            OperationTypeDef::new("Worker", "LocalOffload", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("OutputBytes")),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Cleanup"),
+        vec![OperationTypeDef::new(
+            "Coordinator",
+            "Terminate",
+            AbstractionLevel::System,
+        )],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The GraphX performance model (dataflow workflow: every Pregel iteration
+/// lowers to a map/shuffle/reduce stage pair scheduled by the driver).
+pub fn graphx_model() -> PerformanceModel {
+    let mut m = domain_model("GraphX", "GraphXJob");
+    m.name = "graphx-v1".into();
+
+    m.refine(
+        &OperationTypeId::new("Job", "Startup"),
+        vec![
+            OperationTypeDef::new("Driver", "LaunchDriver", AbstractionLevel::System)
+                .describe("Spark context + driver JVM startup"),
+            OperationTypeDef::new("Driver", "LaunchExecutors", AbstractionLevel::System)
+                .describe("Allocate containers and launch executor JVMs"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Driver", "LaunchExecutors"),
+        vec![
+            OperationTypeDef::new("Executor", "LocalStartup", AbstractionLevel::System)
+                .parallel()
+                .describe("Executor container + JVM start"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "LoadGraph"),
+        vec![
+            OperationTypeDef::new("Executor", "LocalLoad", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::required("InputBytes"))
+                .with_rule(DerivationRule::RatePerSecond {
+                    amount: "InputBytes".into(),
+                    output: "LoadThroughput".into(),
+                })
+                .describe("One executor materializes its RDD partitions"),
+            OperationTypeDef::new("Driver", "PartitionBy", AbstractionLevel::System)
+                .describe("Shuffle the edge RDD into its hash layout"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Executor", "LocalLoad"),
+        vec![
+            OperationTypeDef::new("Executor", "ReadPartition", AbstractionLevel::System)
+                .describe("HDFS input-split read"),
+            OperationTypeDef::new("Executor", "BuildPartition", AbstractionLevel::System)
+                .describe("Build the local edge partition"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Job", "Iteration", AbstractionLevel::System)
+                .iterative()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .with_info(InfoRequirement::optional("ShuffleRecords"))
+                .describe("One Pregel iteration as a join/aggregate stage pair"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Iteration"),
+        vec![
+            OperationTypeDef::new("Driver", "ScheduleTasks", AbstractionLevel::System)
+                .describe("Driver plans the stage pair's tasks"),
+            OperationTypeDef::new("Executor", "MapStage", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("EdgesScanned"))
+                .describe("Join vertex attributes onto edges; shuffle write"),
+            OperationTypeDef::new("Driver", "Shuffle", AbstractionLevel::System)
+                .describe("Cross-executor message-block fetches"),
+            OperationTypeDef::new("Executor", "ReduceStage", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("ActiveVertices"))
+                .describe("Aggregate fetched messages; update vertices"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "OffloadGraph"),
+        vec![
+            OperationTypeDef::new("Executor", "LocalOffload", AbstractionLevel::System)
+                .parallel()
+                .with_info(InfoRequirement::optional("OutputBytes")),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Job", "Cleanup"),
+        vec![OperationTypeDef::new(
+            "Driver",
+            "StopContext",
+            AbstractionLevel::System,
+        )],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The GRAPE model extended with fragment-local replay recovery.
+///
+/// GRAPE keeps no checkpoints and does not restart: on a worker loss the
+/// coordinator reloads only the lost fragment and replays its evaluation
+/// rounds against the boundary updates resent by the surviving workers —
+/// a third recovery style next to Giraph's checkpoint/replay and
+/// PowerGraph's fail-stop restart.
+pub fn grape_fault_model() -> PerformanceModel {
+    let mut m = grape_model();
+    m.name = "grape-v1-faults".into();
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Coordinator", "FailedRound", AbstractionLevel::System)
+                .describe("A round attempt aborted by a worker loss"),
+            OperationTypeDef::new("Coordinator", "Recover", AbstractionLevel::System)
+                .with_info(InfoRequirement::required("FailedNode"))
+                .with_info(InfoRequirement::required("WastedUs"))
+                .describe("Reload the lost fragment and replay its rounds"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Coordinator", "Recover"),
+        vec![
+            OperationTypeDef::new("Coordinator", "DetectFailure", AbstractionLevel::System)
+                .describe("Heartbeat timeout on the lost worker"),
+            OperationTypeDef::new("Coordinator", "ReloadFragment", AbstractionLevel::System)
+                .with_info(InfoRequirement::optional("InputBytes"))
+                .describe("Re-read and re-index only the lost fragment"),
+            OperationTypeDef::new("Coordinator", "Replay", AbstractionLevel::System)
+                .iterative()
+                .describe("Replay one round on the reloaded fragment"),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
+/// The GraphX model extended with lineage-recomputation recovery.
+///
+/// Spark keeps no graph checkpoints: when an executor is lost its cached
+/// partitions and shuffle files vanish, and the driver recomputes the
+/// doomed lineage cut — only the lost partition's stage chain, re-read
+/// from the input split and fed by the shuffle outputs surviving on its
+/// peers — before re-running the interrupted stage pair.
+pub fn graphx_fault_model() -> PerformanceModel {
+    let mut m = graphx_model();
+    m.name = "graphx-v1-faults".into();
+    m.refine(
+        &OperationTypeId::new("Job", "ProcessGraph"),
+        vec![
+            OperationTypeDef::new("Driver", "FailedStage", AbstractionLevel::System)
+                .describe("A stage attempt aborted by an executor loss"),
+            OperationTypeDef::new("Driver", "Recover", AbstractionLevel::System)
+                .with_info(InfoRequirement::required("FailedNode"))
+                .with_info(InfoRequirement::required("WastedUs"))
+                .describe("Reschedule lost tasks and recompute their lineage"),
+        ],
+    )
+    .expect("fresh refinement");
+    m.refine(
+        &OperationTypeId::new("Driver", "Recover"),
+        vec![
+            OperationTypeDef::new("Driver", "DetectFailure", AbstractionLevel::System)
+                .describe("Missed executor heartbeats"),
+            OperationTypeDef::new("Driver", "Reschedule", AbstractionLevel::System)
+                .describe("Relaunch the executor and reschedule the lost tasks"),
+            OperationTypeDef::new("Driver", "Recompute", AbstractionLevel::System)
+                .iterative()
+                .describe("Recompute one lineage stage of the lost partition"),
+        ],
+    )
+    .expect("fresh refinement");
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +830,71 @@ mod tests {
             assert_eq!(
                 t.parent,
                 Some(OperationTypeId::new("Master", "Recover")),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn grape_model_has_subgraph_centric_steps() {
+        let m = grape_model();
+        for kind in ["PEval", "IncEval"] {
+            let t = m.get_type(&OperationTypeId::new("Worker", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Job", "Round")),
+                "{kind}"
+            );
+            assert!(t.parallel, "{kind}");
+        }
+        assert!(m
+            .get_type(&OperationTypeId::new("Coordinator", "BoundarySync"))
+            .is_some());
+        assert!(
+            m.get_type(&OperationTypeId::new("Job", "Round"))
+                .unwrap()
+                .iterative
+        );
+    }
+
+    #[test]
+    fn graphx_model_has_dataflow_stages() {
+        let m = graphx_model();
+        for kind in ["MapStage", "ReduceStage"] {
+            let t = m.get_type(&OperationTypeId::new("Executor", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Job", "Iteration")),
+                "{kind}"
+            );
+        }
+        for kind in ["ScheduleTasks", "Shuffle", "PartitionBy"] {
+            assert!(
+                m.get_type(&OperationTypeId::new("Driver", kind)).is_some(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_fault_models_describe_their_recovery_styles() {
+        let g = grape_fault_model();
+        for kind in ["DetectFailure", "ReloadFragment", "Replay"] {
+            let t = g
+                .get_type(&OperationTypeId::new("Coordinator", kind))
+                .unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Coordinator", "Recover")),
+                "{kind}"
+            );
+        }
+        let x = graphx_fault_model();
+        for kind in ["DetectFailure", "Reschedule", "Recompute"] {
+            let t = x.get_type(&OperationTypeId::new("Driver", kind)).unwrap();
+            assert_eq!(
+                t.parent,
+                Some(OperationTypeId::new("Driver", "Recover")),
                 "{kind}"
             );
         }

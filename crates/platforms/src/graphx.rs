@@ -1,0 +1,1177 @@
+//! The GraphX-like platform driver.
+//!
+//! Dataflow graph processing in the style of GraphX on Spark: the graph is
+//! a pair of hash-partitioned RDDs, every Pregel iteration lowers to a
+//! join/aggregate stage pair with a shuffle between them, and the driver
+//! schedules every stage. The driver:
+//!
+//! 1. hash-partitions the vertices over the executors (edge-cut);
+//! 2. executes the vertex program with the [`crate::pregel`] engine — the
+//!    GraphX Pregel API is BSP, so the per-superstep counters map directly
+//!    onto map/shuffle/reduce stages;
+//! 3. compiles the job into an activity DAG — driver + executor launches,
+//!    HDFS partition reads followed by a `partitionBy` shuffle, per
+//!    iteration a driver scheduling delay, map-side stage, all-to-all
+//!    shuffle, and reduce-side stage, then offload and context stop;
+//! 4. simulates the DAG and emits Granula instrumentation events plus
+//!    environment samples.
+//!
+//! Fault recovery is *lineage recomputation*: no checkpoints and no global
+//! restart — the driver reschedules the lost tasks and recomputes only the
+//! doomed lineage cut (the lost partition's chain of stages, re-read from
+//! the input split, fed by the shuffle outputs surviving on its peers),
+//! then re-runs the interrupted stage pair. This contrasts with Giraph's
+//! checkpoint/replay and PowerGraph's fail-stop restart.
+
+use gpsim_cluster::{
+    ActivityGraph, ActivityId, ActivityKind, ClusterSpec, FaultPlan, FileSystem, NodeCrash, NodeId,
+    SimError, Simulation,
+};
+use gpsim_graph::{EdgeCutPartition, Graph};
+use granula_model::{Actor, InfoValue, Mission};
+
+use crate::common::{
+    memory_samples, trace_to_samples, Algorithm, AlgorithmOutput, JobConfig, MemoryPhase,
+    PlatformRun,
+};
+use crate::ops::{emit_events, OpSpec};
+use crate::pregel::{self, SuperstepStats};
+
+/// GraphX-like platform: configuration knobs beyond the job's cost model.
+#[derive(Debug, Clone)]
+pub struct GraphXPlatform {
+    /// Spark context + driver JVM startup latency, µs.
+    pub driver_startup_us: f64,
+    /// Per-executor container + JVM launch latency, µs.
+    pub executor_launch_us: f64,
+    /// Driver task-scheduling latency per stage, µs.
+    pub task_sched_us: f64,
+    /// HDFS-like storage.
+    pub fs: FileSystem,
+    /// Iteration cap for convergent algorithms.
+    pub max_iterations: u32,
+    /// Time for the driver to notice a lost executor (missed heartbeats),
+    /// µs.
+    pub failure_detect_us: f64,
+}
+
+impl Default for GraphXPlatform {
+    fn default() -> Self {
+        GraphXPlatform {
+            driver_startup_us: 3.0e6,
+            executor_launch_us: 2.5e6,
+            task_sched_us: 120_000.0,
+            fs: FileSystem::hdfs(),
+            max_iterations: 10_000,
+            failure_detect_us: 2.0e6,
+        }
+    }
+}
+
+fn run_program(
+    g: &Graph,
+    part: &EdgeCutPartition,
+    algorithm: Algorithm,
+    max_iterations: u32,
+) -> (AlgorithmOutput, Vec<SuperstepStats>) {
+    match algorithm {
+        Algorithm::Bfs { source } => {
+            let out = pregel::run_bfs(g, part, source, max_iterations);
+            (AlgorithmOutput::Levels(out.values), out.supersteps)
+        }
+        Algorithm::PageRank { iterations } => {
+            let out = pregel::run(
+                g,
+                part,
+                &pregel::PageRankProgram {
+                    iterations,
+                    damping: 0.85,
+                },
+                max_iterations,
+            );
+            (AlgorithmOutput::Ranks(out.values), out.supersteps)
+        }
+        Algorithm::Wcc => {
+            let out = pregel::run(g, part, &pregel::WccProgram, max_iterations);
+            (AlgorithmOutput::Labels(out.values), out.supersteps)
+        }
+        Algorithm::Sssp { source } => {
+            let out = pregel::run(g, part, &pregel::SsspProgram { source }, max_iterations);
+            (AlgorithmOutput::Distances(out.values), out.supersteps)
+        }
+        Algorithm::Cdlp { iterations } => {
+            let out = pregel::run(g, part, &pregel::CdlpProgram { iterations }, max_iterations);
+            (AlgorithmOutput::Labels(out.values), out.supersteps)
+        }
+    }
+}
+
+impl GraphXPlatform {
+    /// Runs a job on a DAS5-like cluster with `cfg.nodes` nodes.
+    pub fn run(&self, g: &Graph, cfg: &JobConfig) -> Result<PlatformRun, SimError> {
+        self.run_on(g, cfg, &ClusterSpec::das5(cfg.nodes))
+    }
+
+    /// Runs a job on a DAS5-like cluster under an injected fault plan.
+    pub fn run_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        plan: &FaultPlan,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, &ClusterSpec::das5(cfg.nodes), plan)
+    }
+
+    /// Runs a job on an explicit cluster (must have at least `cfg.nodes`
+    /// nodes).
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+    ) -> Result<PlatformRun, SimError> {
+        self.run_on_with_faults(g, cfg, cluster, &FaultPlan::default())
+    }
+
+    /// Runs a job on an explicit cluster under an injected fault plan.
+    ///
+    /// Slowdown windows pass straight through to the simulator. A node
+    /// crash triggers Spark's lineage recovery: the driver detects the
+    /// lost executor, relaunches it and reschedules the lost tasks, and
+    /// the lost partition's lineage is recomputed — its input split
+    /// re-read, its stage chain re-executed against the shuffle outputs
+    /// surviving on the healthy executors — before the interrupted stage
+    /// pair re-runs. The recovery is emitted as first-class Granula
+    /// operations (`FailedStage`, `Recover` with `DetectFailure` /
+    /// `Reschedule` / `Recompute` children) so the archive can decompose
+    /// the slowdown.
+    ///
+    /// Only the earliest crash in the plan is modeled; later crashes are
+    /// dropped from the executed plan (single-failure model, as for the
+    /// other platforms).
+    pub fn run_on_with_faults(
+        &self,
+        g: &Graph,
+        cfg: &JobConfig,
+        cluster: &ClusterSpec,
+        plan: &FaultPlan,
+    ) -> Result<PlatformRun, SimError> {
+        assert!(
+            cluster.len() >= cfg.nodes as usize && cfg.nodes > 0,
+            "cluster too small for {} executors",
+            cfg.nodes
+        );
+        let k = cfg.nodes;
+        let costs = &cfg.costs;
+        let scale = cfg.scale_factor;
+        let part = EdgeCutPartition::hash(g.num_vertices(), k);
+        let (output, iterations) = {
+            let _span = granula_trace::span!("platform", "graphx.vertex_program {}", cfg.job_id);
+            run_program(g, &part, cfg.algorithm, self.max_iterations)
+        };
+
+        // Per-executor data sizes (logical counts; scaled at use sites).
+        let mut verts = vec![0u64; k as usize];
+        let mut edges = vec![0u64; k as usize];
+        for v in 0..g.num_vertices() {
+            let w = part.owner_of(v) as usize;
+            verts[w] += 1;
+            edges[w] += g.out_degree(v) as u64;
+        }
+        let input_bytes: Vec<f64> = (0..k as usize)
+            .map(|w| (verts[w] as f64 * 10.0 + edges[w] as f64 * costs.bytes_per_edge_in) * scale)
+            .collect();
+
+        let crash = plan
+            .crashes
+            .iter()
+            .min_by(|a, b| a.at_us.total_cmp(&b.at_us))
+            .cloned()
+            .filter(|_| !iterations.is_empty());
+
+        let Some(crash) = crash else {
+            // Healthy (possibly degraded) layout: no recovery structure.
+            let mut b = Build::new(
+                self,
+                cfg,
+                cluster,
+                &iterations,
+                &verts,
+                &edges,
+                &input_bytes,
+            );
+            {
+                let _span = granula_trace::span!("platform", "graphx.build_dag {}", cfg.job_id);
+                let started = b.startup();
+                let mut prev = b.load(started);
+                b.process_graph();
+                for ii in 0..iterations.len() {
+                    prev = b.iteration(ii, prev, "job/proc/", true);
+                }
+                let offloaded = b.offload(prev);
+                b.cleanup(offloaded);
+            }
+            return b.finish(plan, output);
+        };
+
+        // Phase 1: probe run — the same job under the plan's slowdowns only
+        // — locates the crash inside the stage schedule.
+        let probe_span = granula_trace::span!("platform", "graphx.probe {}", cfg.job_id);
+        let slow_plan = FaultPlan {
+            crashes: Vec::new(),
+            slowdowns: plan.slowdowns.clone(),
+        };
+        let mut probe = Build::new(
+            self,
+            cfg,
+            cluster,
+            &iterations,
+            &verts,
+            &edges,
+            &input_bytes,
+        );
+        let started = probe.startup();
+        let mut prev = probe.load(started);
+        probe.process_graph();
+        for ii in 0..iterations.len() {
+            prev = probe.iteration(ii, prev, "job/proc/", true);
+        }
+        let offloaded = probe.offload(prev);
+        probe.cleanup(offloaded);
+        let probe_sim = Simulation::new(cluster.clone()).run_with_faults(&probe.dag, &slow_plan)?;
+
+        let (proc_start, proc_end) = probe_sim
+            .span_of_tag(&probe.dag, "job/proc/")
+            .expect("jobs run at least one iteration");
+        let t_clamped = crash.at_us.clamp(proc_start + 1.0, proc_end - 1.0);
+        let mut i_idx = iterations.len() - 1;
+        for (ii, it) in iterations.iter().enumerate() {
+            let (_, end) = probe_sim
+                .span_of_tag(&probe.dag, &format!("job/proc/it{}/", it.superstep))
+                .expect("iteration was simulated");
+            if t_clamped < end {
+                i_idx = ii;
+                break;
+            }
+        }
+        let i_star = iterations[i_idx].superstep;
+        let (it_start, it_end) = probe_sim
+            .span_of_tag(&probe.dag, &format!("job/proc/it{i_star}/"))
+            .expect("iteration was simulated");
+        let t_eff = t_clamped.clamp(it_start + 1.0, (it_end - 1.0).max(it_start + 1.0));
+        // Only the interrupted stage pair's partial work is wasted: the
+        // healthy executors keep their cached partitions and shuffle files,
+        // and the lost partition is rebuilt from lineage, not re-run
+        // globally.
+        let wasted_us = t_eff - it_start;
+        drop(probe_span);
+
+        // Phase 2: the recovery layout. Prefix (startup, load, iterations
+        // before i*) is identical to the probe; the interrupted iteration
+        // becomes a doomed attempt killed by the injected crash; detection,
+        // rescheduling and lineage recomputation follow under
+        // `job/proc/recovery/`.
+        let mut b = Build::new(
+            self,
+            cfg,
+            cluster,
+            &iterations,
+            &verts,
+            &edges,
+            &input_bytes,
+        );
+        let recovery_span =
+            granula_trace::span!("platform", "graphx.recovery.build {}", cfg.job_id);
+        let started = b.startup();
+        let mut prev = b.load(started);
+        b.process_graph();
+        for ii in 0..i_idx {
+            prev = b.iteration(ii, prev, "job/proc/", true);
+        }
+        b.doomed_attempt(i_idx, prev);
+
+        let driver = b.driver_node.clone();
+        let lost = crash.node;
+        let lw = lost.0 as usize;
+        let recover_actor = Actor::new("Driver", "0");
+        let recover_key = (recover_actor.clone(), Mission::new("Recover", "0"));
+        let proc_domain = b.domain("ProcessGraph");
+        b.specs.push(
+            OpSpec::new(
+                recover_actor.clone(),
+                Mission::new("Recover", "0"),
+                Some(proc_domain),
+                "job/proc/recovery/",
+                &driver,
+                "driver",
+            )
+            .with_info(
+                "FailedNode",
+                InfoValue::Text(cluster.node(lost).name.clone()),
+            )
+            .with_info("WastedUs", InfoValue::Int(wasted_us.round() as i64)),
+        );
+        // The crash anchor pins failure detection to the injected instant.
+        let anchor = b.dag.add(
+            ActivityKind::Delay { duration_us: t_eff },
+            &[],
+            "job/meta/t-crash",
+        );
+        let detect = b.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.failure_detect_us,
+            },
+            &[anchor],
+            "job/proc/recovery/detect",
+        );
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("DetectFailure", "0"),
+            Some(recover_key.clone()),
+            "job/proc/recovery/detect",
+            &driver,
+            "driver",
+        ));
+        // The driver relaunches the executor and reschedules the lost
+        // tasks.
+        let relaunch = b.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.executor_launch_us,
+            },
+            &[detect],
+            "job/proc/recovery/resched/exec",
+        );
+        let resched = b.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.task_sched_us * 2.0,
+            },
+            &[relaunch],
+            "job/proc/recovery/resched/plan",
+        );
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("Reschedule", "0"),
+            Some(recover_key.clone()),
+            "job/proc/recovery/resched/",
+            &driver,
+            "driver",
+        ));
+        // Lineage recomputation of the doomed cut only: the lost
+        // partition's input split is re-read (the lineage root), then its
+        // stage chain re-executes, fed by the shuffle outputs surviving on
+        // the healthy executors.
+        let mut prev_r = resched;
+        for (ii, it) in iterations.iter().enumerate().take(i_idx) {
+            let t = it.superstep;
+            let rtag = format!("job/proc/recovery/recompute/it{t}/");
+            let mut deps = vec![prev_r];
+            if ii == 0 {
+                let reread = self.fs.read(
+                    cluster,
+                    &mut b.dag,
+                    lost,
+                    input_bytes[lw],
+                    &[prev_r],
+                    &format!("{rtag}split/"),
+                );
+                deps.push(b.dag.add(
+                    ActivityKind::Compute {
+                        node: lost,
+                        work_core_us: input_bytes[lw] * costs.parse_cpu_us_per_byte
+                            + edges[lw] as f64 * scale * costs.build_cpu_us_per_edge,
+                        parallelism: costs.worker_threads,
+                    },
+                    &[reread],
+                    format!("{rtag}rebuild"),
+                ));
+            } else {
+                for (a, row) in iterations[ii - 1].remote_messages.iter().enumerate() {
+                    if a == lw || row[lw] == 0 {
+                        continue;
+                    }
+                    deps.push(b.dag.add(
+                        ActivityKind::Transfer {
+                            src: NodeId(a as u16),
+                            dst: lost,
+                            bytes: row[lw] as f64 * costs.bytes_per_message * scale,
+                        },
+                        &[prev_r],
+                        format!("{rtag}fetch/a{a}"),
+                    ));
+                }
+            }
+            let stats = &it.per_worker[lw];
+            let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                + stats.active_vertices as f64 * costs.compute_us_per_vertex
+                + (stats.messages_sent + stats.messages_received) as f64
+                    * costs.serialize_us_per_message)
+                * scale;
+            prev_r = b.dag.add(
+                ActivityKind::Compute {
+                    node: lost,
+                    work_core_us: work.max(400.0),
+                    parallelism: costs.worker_threads,
+                },
+                &deps,
+                format!("{rtag}tasks"),
+            );
+            b.specs.push(OpSpec::new(
+                recover_actor.clone(),
+                Mission::new("Recompute", t.to_string()),
+                Some(recover_key.clone()),
+                rtag,
+                &driver,
+                "driver",
+            ));
+        }
+        // The interrupted stage pair never committed: it re-runs in full,
+        // covered by the final Recompute op.
+        prev = b.iteration(i_idx, prev_r, "job/proc/recovery/recompute/", false);
+        b.specs.push(OpSpec::new(
+            recover_actor.clone(),
+            Mission::new("Recompute", i_star.to_string()),
+            Some(recover_key.clone()),
+            format!("job/proc/recovery/recompute/it{i_star}/"),
+            &driver,
+            "driver",
+        ));
+        for ii in i_idx + 1..iterations.len() {
+            prev = b.iteration(ii, prev, "job/proc/", true);
+        }
+        let offloaded = b.offload(prev);
+        b.cleanup(offloaded);
+        drop(recovery_span);
+
+        let restart_after = crash.restart_after_us.unwrap_or(self.failure_detect_us);
+        let exec_plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: crash.node,
+                at_us: t_eff,
+                restart_after_us: Some(restart_after),
+            }],
+            slowdowns: plan.slowdowns.clone(),
+        };
+        b.finish(&exec_plan, output)
+    }
+}
+
+/// Incremental DAG + spec builder shared by the healthy and the
+/// fault-recovery job layouts.
+struct Build<'a> {
+    p: &'a GraphXPlatform,
+    cfg: &'a JobConfig,
+    cluster: &'a ClusterSpec,
+    iterations: &'a [SuperstepStats],
+    verts: &'a [u64],
+    edges: &'a [u64],
+    input_bytes: &'a [f64],
+    dag: ActivityGraph,
+    specs: Vec<OpSpec>,
+    job_actor: Actor,
+    job_key: (Actor, Mission),
+    driver_node: String,
+}
+
+impl<'a> Build<'a> {
+    fn new(
+        p: &'a GraphXPlatform,
+        cfg: &'a JobConfig,
+        cluster: &'a ClusterSpec,
+        iterations: &'a [SuperstepStats],
+        verts: &'a [u64],
+        edges: &'a [u64],
+        input_bytes: &'a [f64],
+    ) -> Self {
+        let job_actor = Actor::new("Job", "0");
+        let job_mission = Mission::new("GraphXJob", "0");
+        let job_key = (job_actor.clone(), job_mission.clone());
+        let driver_node = cluster.node(NodeId(0)).name.clone();
+        let specs: Vec<OpSpec> = vec![OpSpec::new(
+            job_actor.clone(),
+            job_mission,
+            None,
+            "job/",
+            &driver_node,
+            "driver",
+        )
+        .with_info("Platform", InfoValue::Text("GraphX".into()))
+        .with_info("Algorithm", InfoValue::Text(cfg.algorithm.name().into()))
+        .with_info("Dataset", InfoValue::Text(cfg.dataset.clone()))
+        .with_info("Executors", InfoValue::Int(cfg.nodes as i64))];
+        Build {
+            p,
+            cfg,
+            cluster,
+            iterations,
+            verts,
+            edges,
+            input_bytes,
+            dag: ActivityGraph::new(),
+            specs,
+            job_actor,
+            job_key,
+            driver_node,
+        }
+    }
+
+    fn exec_node(&self, w: u16) -> String {
+        self.cluster.node(NodeId(w)).name.clone()
+    }
+
+    fn domain(&self, mission: &str) -> (Actor, Mission) {
+        (self.job_actor.clone(), Mission::new(mission, "0"))
+    }
+
+    // -------------------------------------------------- Startup (L1)
+    fn startup(&mut self) -> ActivityId {
+        let k = self.cfg.nodes;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("Startup", "0"),
+            Some(self.job_key.clone()),
+            "job/startup/",
+            &self.driver_node,
+            "driver",
+        ));
+        let driver = self.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.p.driver_startup_us,
+            },
+            &[],
+            "job/startup/driver",
+        );
+        self.specs.push(OpSpec::new(
+            Actor::new("Driver", "0"),
+            Mission::new("LaunchDriver", "0"),
+            Some(self.domain("Startup")),
+            "job/startup/driver",
+            &self.driver_node,
+            "driver",
+        ));
+        self.specs.push(OpSpec::new(
+            Actor::new("Driver", "0"),
+            Mission::new("LaunchExecutors", "0"),
+            Some(self.domain("Startup")),
+            "job/startup/exec/",
+            &self.driver_node,
+            "driver",
+        ));
+        let mut ready: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let launch = self.dag.add(
+                ActivityKind::Delay {
+                    duration_us: self.p.executor_launch_us * (1.0 + 0.08 * w as f64),
+                },
+                &[driver],
+                format!("job/startup/exec/w{w}"),
+            );
+            self.specs.push(OpSpec::new(
+                Actor::new("Executor", w.to_string()),
+                Mission::new("LocalStartup", "0"),
+                Some((
+                    Actor::new("Driver", "0"),
+                    Mission::new("LaunchExecutors", "0"),
+                )),
+                format!("job/startup/exec/w{w}"),
+                self.exec_node(w),
+                format!("executor-{w}"),
+            ));
+            ready.push(launch);
+        }
+        self.dag.barrier(&ready, "job/startup/all-ready")
+    }
+
+    // ------------------------------------------------ LoadGraph (L1)
+    fn load(&mut self, started: ActivityId) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("LoadGraph", "0"),
+            Some(self.job_key.clone()),
+            "job/load/",
+            &self.driver_node,
+            "driver",
+        ));
+        // Each executor reads and parses its input split...
+        let mut parsed: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let node = NodeId(w);
+            let tagp = format!("job/load/w{w}/");
+            self.specs.push(
+                OpSpec::new(
+                    Actor::new("Executor", w.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                    Some(self.domain("LoadGraph")),
+                    tagp.clone(),
+                    self.exec_node(w),
+                    format!("executor-{w}"),
+                )
+                .with_info(
+                    "InputBytes",
+                    InfoValue::Int(self.input_bytes[w as usize].round() as i64),
+                ),
+            );
+            let read = self.p.fs.read(
+                self.cluster,
+                &mut self.dag,
+                node,
+                self.input_bytes[w as usize],
+                &[started],
+                &format!("{tagp}hdfs/"),
+            );
+            self.specs.push(OpSpec::new(
+                Actor::new("Executor", w.to_string()),
+                Mission::new("ReadPartition", "0"),
+                Some((
+                    Actor::new("Executor", w.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                )),
+                format!("{tagp}hdfs/"),
+                self.exec_node(w),
+                format!("executor-{w}"),
+            ));
+            parsed.push(self.dag.add(
+                ActivityKind::Compute {
+                    node,
+                    work_core_us: self.input_bytes[w as usize] * costs.parse_cpu_us_per_byte,
+                    parallelism: costs.worker_threads,
+                },
+                &[read],
+                format!("{tagp}parse"),
+            ));
+        }
+        // ...then `partitionBy` shuffles the edge RDD into its hash layout:
+        // roughly (k-1)/k of every split crosses the network.
+        let mut shuffled: Vec<Vec<ActivityId>> = vec![Vec::new(); k as usize];
+        for a in 0..k {
+            for bdst in 0..k {
+                if a == bdst {
+                    continue;
+                }
+                shuffled[bdst as usize].push(self.dag.add(
+                    ActivityKind::Transfer {
+                        src: NodeId(a),
+                        dst: NodeId(bdst),
+                        bytes: self.input_bytes[a as usize] / k as f64,
+                    },
+                    &[parsed[a as usize]],
+                    format!("job/load/shuffle/a{a}b{bdst}"),
+                ));
+            }
+        }
+        self.specs.push(OpSpec::new(
+            Actor::new("Driver", "0"),
+            Mission::new("PartitionBy", "0"),
+            Some(self.domain("LoadGraph")),
+            "job/load/shuffle/",
+            &self.driver_node,
+            "driver",
+        ));
+        // ...and each executor builds its edge partition.
+        let mut built: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let scale = self.cfg.scale_factor;
+            let mut deps = shuffled[w as usize].clone();
+            deps.push(parsed[w as usize]);
+            let build = self.dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(w),
+                    work_core_us: self.edges[w as usize] as f64
+                        * scale
+                        * costs.build_cpu_us_per_edge,
+                    parallelism: costs.worker_threads,
+                },
+                &deps,
+                format!("job/load/w{w}/build"),
+            );
+            self.specs.push(OpSpec::new(
+                Actor::new("Executor", w.to_string()),
+                Mission::new("BuildPartition", "0"),
+                Some((
+                    Actor::new("Executor", w.to_string()),
+                    Mission::new("LocalLoad", "0"),
+                )),
+                format!("job/load/w{w}/build"),
+                self.exec_node(w),
+                format!("executor-{w}"),
+            ));
+            built.push(build);
+        }
+        self.dag.barrier(&built, "job/load/all-loaded")
+    }
+
+    // ---------------------------------------------- ProcessGraph (L1)
+    fn process_graph(&mut self) {
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("ProcessGraph", "0"),
+            Some(self.job_key.clone()),
+            "job/proc/",
+            &self.driver_node,
+            "driver",
+        ));
+    }
+
+    /// One Pregel iteration lowered to dataflow: driver scheduling, the
+    /// map-side stage (join + message generation), the all-to-all shuffle,
+    /// and the reduce-side stage (message aggregation + vertex update).
+    /// `prefix` places the activities; `with_specs` controls whether the
+    /// iteration emits its own Granula operations (recomputations are
+    /// covered by a single `Recompute` op pushed by the caller).
+    fn iteration(
+        &mut self,
+        ii: usize,
+        prev_barrier: ActivityId,
+        prefix: &str,
+        with_specs: bool,
+    ) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let it = &self.iterations[ii];
+        let t = it.superstep;
+        let it_tag = format!("{prefix}it{t}/");
+        if with_specs {
+            self.specs.push(
+                OpSpec::new(
+                    self.job_actor.clone(),
+                    Mission::new("Iteration", t.to_string()),
+                    Some(self.domain("ProcessGraph")),
+                    it_tag.clone(),
+                    &self.driver_node,
+                    "driver",
+                )
+                .with_info(
+                    "ActiveVertices",
+                    InfoValue::Int((it.total_active() as f64 * scale).round() as i64),
+                )
+                .with_info(
+                    "ShuffleRecords",
+                    InfoValue::Int((it.total_messages() as f64 * scale).round() as i64),
+                ),
+            );
+        }
+        let iter_parent = (
+            self.job_actor.clone(),
+            Mission::new("Iteration", t.to_string()),
+        );
+        // The driver plans the stage pair's tasks before executors start.
+        let sched = self.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.p.task_sched_us,
+            },
+            &[prev_barrier],
+            format!("{it_tag}sched"),
+        );
+        if with_specs {
+            self.specs.push(OpSpec::new(
+                Actor::new("Driver", "0"),
+                Mission::new("ScheduleTasks", t.to_string()),
+                Some(iter_parent.clone()),
+                format!("{it_tag}sched"),
+                &self.driver_node,
+                "driver",
+            ));
+        }
+        // Map-side stage: join vertex attributes onto edges and emit
+        // messages (shuffle write).
+        let mut maps: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let stats = &it.per_worker[w as usize];
+            let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                * scale;
+            let map = self.dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(w),
+                    work_core_us: work.max(500.0),
+                    parallelism: costs.worker_threads,
+                },
+                &[sched],
+                format!("{it_tag}w{w}/map"),
+            );
+            if with_specs {
+                self.specs.push(
+                    OpSpec::new(
+                        Actor::new("Executor", w.to_string()),
+                        Mission::new("MapStage", t.to_string()),
+                        Some(iter_parent.clone()),
+                        format!("{it_tag}w{w}/map"),
+                        self.exec_node(w),
+                        format!("executor-{w}"),
+                    )
+                    .with_info(
+                        "EdgesScanned",
+                        InfoValue::Int((stats.edges_scanned as f64 * scale).round() as i64),
+                    ),
+                );
+            }
+            maps.push(map);
+        }
+        // Shuffle: cross-executor message blocks.
+        let mut fetches: Vec<Vec<ActivityId>> = vec![Vec::new(); k as usize];
+        let mut any_shuffle = false;
+        for (a, row) in it.remote_messages.iter().enumerate() {
+            for (bdst, &count) in row.iter().enumerate() {
+                if a == bdst || count == 0 {
+                    continue;
+                }
+                any_shuffle = true;
+                fetches[bdst].push(self.dag.add(
+                    ActivityKind::Transfer {
+                        src: NodeId(a as u16),
+                        dst: NodeId(bdst as u16),
+                        bytes: count as f64 * costs.bytes_per_message * scale,
+                    },
+                    &[maps[a]],
+                    format!("{it_tag}shuffle/a{a}b{bdst}"),
+                ));
+            }
+        }
+        if with_specs && any_shuffle {
+            self.specs.push(OpSpec::new(
+                Actor::new("Driver", "0"),
+                Mission::new("Shuffle", t.to_string()),
+                Some(iter_parent.clone()),
+                format!("{it_tag}shuffle/"),
+                &self.driver_node,
+                "driver",
+            ));
+        }
+        // Reduce-side stage: aggregate fetched messages, update vertices.
+        let mut reduces: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let stats = &it.per_worker[w as usize];
+            let work = (stats.active_vertices as f64 * costs.compute_us_per_vertex
+                + stats.messages_received as f64 * costs.serialize_us_per_message)
+                * scale;
+            let mut deps = fetches[w as usize].clone();
+            deps.push(maps[w as usize]);
+            let reduce = self.dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(w),
+                    work_core_us: work.max(500.0),
+                    parallelism: costs.worker_threads,
+                },
+                &deps,
+                format!("{it_tag}w{w}/reduce"),
+            );
+            if with_specs {
+                self.specs.push(
+                    OpSpec::new(
+                        Actor::new("Executor", w.to_string()),
+                        Mission::new("ReduceStage", t.to_string()),
+                        Some(iter_parent.clone()),
+                        format!("{it_tag}w{w}/reduce"),
+                        self.exec_node(w),
+                        format!("executor-{w}"),
+                    )
+                    .with_info(
+                        "ActiveVertices",
+                        InfoValue::Int((stats.active_vertices as f64 * scale).round() as i64),
+                    ),
+                );
+            }
+            reduces.push(reduce);
+        }
+        self.dag.barrier(&reduces, format!("{it_tag}done"))
+    }
+
+    /// The attempt at iteration `ii` that the crash interrupts: scheduling
+    /// and map-side tasks, no shuffle commit — the failure means the stage
+    /// pair never completes, and recovery (not this attempt) gates further
+    /// work.
+    fn doomed_attempt(&mut self, ii: usize, prev_barrier: ActivityId) {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let it = &self.iterations[ii];
+        let t = it.superstep;
+        let tag = format!("job/proc/it{t}/");
+        self.specs.push(OpSpec::new(
+            Actor::new("Driver", "0"),
+            Mission::new("FailedStage", t.to_string()),
+            Some(self.domain("ProcessGraph")),
+            tag.clone(),
+            &self.driver_node,
+            "driver",
+        ));
+        let sched = self.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.p.task_sched_us,
+            },
+            &[prev_barrier],
+            format!("{tag}try/sched"),
+        );
+        for w in 0..k {
+            let stats = &it.per_worker[w as usize];
+            let work = (stats.edges_scanned as f64 * costs.compute_us_per_edge
+                + stats.messages_sent as f64 * costs.serialize_us_per_message)
+                * scale;
+            self.dag.add(
+                ActivityKind::Compute {
+                    node: NodeId(w),
+                    work_core_us: work.max(500.0),
+                    parallelism: costs.worker_threads,
+                },
+                &[sched],
+                format!("{tag}try/w{w}/map"),
+            );
+        }
+    }
+
+    // --------------------------------------------- OffloadGraph (L1)
+    fn offload(&mut self, prev_barrier: ActivityId) -> ActivityId {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("OffloadGraph", "0"),
+            Some(self.job_key.clone()),
+            "job/offload/",
+            &self.driver_node,
+            "driver",
+        ));
+        let mut offloads: Vec<ActivityId> = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            let tagp = format!("job/offload/w{w}/");
+            let bytes = self.verts[w as usize] as f64 * costs.bytes_per_vertex_out * scale;
+            let write = self.p.fs.write(
+                self.cluster,
+                &mut self.dag,
+                NodeId(w),
+                bytes,
+                &[prev_barrier],
+                &format!("{tagp}hdfs/"),
+            );
+            self.specs.push(
+                OpSpec::new(
+                    Actor::new("Executor", w.to_string()),
+                    Mission::new("LocalOffload", "0"),
+                    Some(self.domain("OffloadGraph")),
+                    tagp.clone(),
+                    self.exec_node(w),
+                    format!("executor-{w}"),
+                )
+                .with_info("OutputBytes", InfoValue::Int(bytes.round() as i64)),
+            );
+            offloads.push(write);
+        }
+        self.dag.barrier(&offloads, "job/offload/all-done")
+    }
+
+    // -------------------------------------------------- Cleanup (L1)
+    fn cleanup(&mut self, all_offloaded: ActivityId) {
+        self.specs.push(OpSpec::new(
+            self.job_actor.clone(),
+            Mission::new("Cleanup", "0"),
+            Some(self.job_key.clone()),
+            "job/cleanup/",
+            &self.driver_node,
+            "driver",
+        ));
+        self.dag.add(
+            ActivityKind::Delay {
+                duration_us: self.p.driver_startup_us * 0.4,
+            },
+            &[all_offloaded],
+            "job/cleanup/stop",
+        );
+        self.specs.push(OpSpec::new(
+            Actor::new("Driver", "0"),
+            Mission::new("StopContext", "0"),
+            Some(self.domain("Cleanup")),
+            "job/cleanup/stop",
+            &self.driver_node,
+            "driver",
+        ));
+    }
+
+    // ------------------------------------------------------- Simulate
+    fn finish(self, plan: &FaultPlan, output: AlgorithmOutput) -> Result<PlatformRun, SimError> {
+        let k = self.cfg.nodes;
+        let costs = &self.cfg.costs;
+        let scale = self.cfg.scale_factor;
+        let sim = {
+            let _span = granula_trace::span!("platform", "graphx.simulate {}", self.cfg.job_id);
+            Simulation::new(self.cluster.clone()).run_with_faults(&self.dag, plan)?
+        };
+        let events = emit_events(&self.specs, &self.dag, &sim);
+        let mut env_samples = trace_to_samples(&sim.trace);
+        // Memory view: each executor's cached RDD partitions become
+        // resident over its load interval and live until the context stops.
+        let release = sim
+            .span_of_tag(&self.dag, "job/cleanup/")
+            .map(|(s, _)| s.round() as u64)
+            .unwrap_or(sim.makespan_us.round() as u64);
+        let mut phases = Vec::with_capacity(k as usize);
+        for w in 0..k {
+            if let Some((ls, le)) = sim.span_of_tag(&self.dag, &format!("job/load/w{w}/")) {
+                phases.push(MemoryPhase {
+                    node: self.exec_node(w),
+                    ramp_start_us: ls.round() as u64,
+                    ramp_end_us: le.round() as u64,
+                    hold_until_us: release,
+                    bytes: self.edges[w as usize] as f64 * scale * costs.bytes_per_edge_mem,
+                });
+            }
+        }
+        env_samples.extend(memory_samples(&phases, sim.makespan_us.round() as u64));
+        Ok(PlatformRun {
+            events,
+            env_samples,
+            output,
+            makespan_us: sim.makespan_us.round() as u64,
+            iterations: self.iterations.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_output, CostModel};
+    use gpsim_graph::gen::{datagen_like, GenConfig};
+    use granula_monitor::Assembler;
+
+    fn job(algorithm: Algorithm) -> (Graph, JobConfig) {
+        let g = datagen_like(&GenConfig::datagen(2_000, 11));
+        let cfg = JobConfig::new(
+            "test-job",
+            "dg-test",
+            algorithm,
+            8,
+            CostModel::giraph_like(),
+        );
+        (g, cfg)
+    }
+
+    #[test]
+    fn all_algorithms_validate() {
+        for algorithm in [
+            Algorithm::Bfs { source: 3 },
+            Algorithm::PageRank { iterations: 4 },
+            Algorithm::Wcc,
+            Algorithm::Sssp { source: 3 },
+            Algorithm::Cdlp { iterations: 3 },
+        ] {
+            let (g, cfg) = job(algorithm);
+            let run = GraphXPlatform::default().run(&g, &cfg).unwrap();
+            assert!(
+                run.output.matches(&reference_output(&g, algorithm)),
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_assemble_into_a_clean_tree() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let run = GraphXPlatform::default().run(&g, &cfg).unwrap();
+        let outcome = Assembler::new().assemble(run.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        assert_eq!(tree.op(root).mission.kind, "GraphXJob");
+        for m in [
+            "Startup",
+            "LoadGraph",
+            "ProcessGraph",
+            "OffloadGraph",
+            "Cleanup",
+        ] {
+            assert!(tree.child_by_mission(root, m).is_some(), "missing {m}");
+        }
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        let n_it = tree
+            .children(proc_)
+            .filter(|o| o.mission.kind == "Iteration")
+            .count();
+        assert_eq!(n_it as u32, run.iterations);
+        // Every iteration is a map/reduce stage pair on every executor.
+        assert_eq!(
+            tree.by_mission_kind("MapStage").count(),
+            8 * run.iterations as usize
+        );
+        assert_eq!(
+            tree.by_mission_kind("ReduceStage").count(),
+            8 * run.iterations as usize
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_plain_run() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let p = GraphXPlatform::default();
+        let plain = p.run(&g, &cfg).unwrap();
+        let faultless = p.run_with_faults(&g, &cfg, &FaultPlan::new()).unwrap();
+        assert_eq!(plain.makespan_us, faultless.makespan_us);
+        assert_eq!(plain.events, faultless.events);
+    }
+
+    #[test]
+    fn crash_recovery_recomputes_only_the_lost_lineage() {
+        let (g, cfg) = job(Algorithm::PageRank { iterations: 6 });
+        let p = GraphXPlatform::default();
+        let healthy = p.run(&g, &cfg).unwrap();
+        let plan = FaultPlan::new().crash(NodeId(2), healthy.makespan_us as f64 * 0.6);
+        let faulty = p.run_with_faults(&g, &cfg, &plan).unwrap();
+        assert!(
+            faulty.makespan_us > healthy.makespan_us,
+            "recovery must cost time: {} vs {}",
+            faulty.makespan_us,
+            healthy.makespan_us
+        );
+        let outcome = Assembler::new().assemble(faulty.events);
+        assert!(
+            outcome.warnings.is_empty(),
+            "{:?}",
+            &outcome.warnings[..5.min(outcome.warnings.len())]
+        );
+        let tree = outcome.tree;
+        let root = tree.root().unwrap();
+        let proc_ = tree.child_by_mission(root, "ProcessGraph").unwrap();
+        assert!(tree
+            .children(proc_)
+            .any(|o| o.mission.kind == "FailedStage"));
+        let recover = tree
+            .child_by_mission(proc_, "Recover")
+            .expect("Recover operation");
+        for m in ["DetectFailure", "Reschedule"] {
+            assert!(tree.child_by_mission(recover, m).is_some(), "missing {m}");
+        }
+        let recomputes = tree
+            .children(recover)
+            .filter(|o| o.mission.kind == "Recompute")
+            .count();
+        assert!(recomputes >= 1, "the doomed lineage cut must be recomputed");
+        let rec_op = tree.op(recover);
+        assert!(rec_op
+            .infos
+            .iter()
+            .any(|i| i.name == "FailedNode" && i.value == InfoValue::Text("node302".into())));
+        // No iteration is lost or duplicated: the interrupted one moves
+        // from the committed sequence into the recompute set.
+        let committed = tree
+            .children(proc_)
+            .filter(|o| o.mission.kind == "Iteration")
+            .count();
+        assert_eq!(committed + 1, healthy.iterations as usize);
+    }
+
+    #[test]
+    fn scale_factor_stretches_runtime() {
+        let (g, cfg) = job(Algorithm::Bfs { source: 3 });
+        let small = GraphXPlatform::default().run(&g, &cfg).unwrap();
+        let big = GraphXPlatform::default()
+            .run(&g, &cfg.clone().with_scale(50.0))
+            .unwrap();
+        assert!(big.makespan_us > small.makespan_us);
+    }
+}

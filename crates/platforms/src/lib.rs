@@ -2,7 +2,7 @@
 //!
 //! Simulated large-scale graph-processing platforms: the systems under test.
 //!
-//! Two platforms are modeled after the paper's experiments:
+//! The paper's two platforms, plus three more paradigms grown on top:
 //!
 //! * [`giraph`] — a Giraph-like platform: Pregel/BSP programming model,
 //!   vertex hash-partitioning (edge-cut), YARN-like provisioning, HDFS-like
@@ -10,22 +10,36 @@
 //! * [`powergraph`] — a PowerGraph-like platform: GAS programming model,
 //!   greedy vertex-cut partitioning, MPI-like launching and — faithfully to
 //!   the paper's headline finding — a *sequential, single-node* graph loader
-//!   reading from a shared filesystem.
+//!   reading from a shared filesystem;
+//! * [`graphmat`] — a GraphMat-like platform: vertex programs mapped onto
+//!   semiring sparse matrix-vector products over 1D block rows;
+//! * [`grape`] — a GRAPE-like subgraph-centric platform: edge-cut
+//!   fragments (hash or contiguous block), a sequential algorithm per
+//!   fragment (PEval + incremental IncEval rounds), coordinator-mediated
+//!   boundary synchronization, and fragment-local crash recovery;
+//! * [`graphx`] — a GraphX/Spark-like dataflow platform: driver/executor
+//!   architecture, RDD-style load-then-partitionBy shuffle,
+//!   schedule→map→shuffle→reduce stage pairs per iteration, and
+//!   lineage-recomputation fault recovery (no checkpoints).
 //!
-//! Both platforms **really execute** the algorithms: the [`pregel`] and
-//! [`gas`] engines run vertex programs on the in-memory graph at partition
-//! granularity, producing (a) the algorithm output, validated against
-//! `gpsim_graph::algos`, and (b) per-superstep/per-machine counters (active
-//! vertices, edges scanned, messages exchanged) that parameterize the
-//! platform cost models. The drivers compile those counters into an
+//! Every platform **really executes** the algorithms: the [`pregel`],
+//! [`gas`] and [`spmv`] engines run vertex programs on the in-memory graph
+//! at partition granularity, producing (a) the algorithm output, validated
+//! against `gpsim_graph::algos`, and (b) per-superstep/per-machine counters
+//! (active vertices, edges scanned, messages exchanged) that parameterize
+//! the platform cost models. The drivers compile those counters into an
 //! activity DAG for `gpsim_cluster`, simulate it, and emit Granula
 //! instrumentation logs plus environment samples — the exact inputs the
-//! Granula pipeline consumes.
+//! Granula pipeline consumes. The differential suites (`tests/prop.rs`,
+//! `tests/engines.rs`) hold the engines to one semantics and one
+//! instrumentation contract.
 
 pub mod common;
 pub mod gas;
 pub mod giraph;
+pub mod grape;
 pub mod graphmat;
+pub mod graphx;
 pub mod ops;
 pub mod powergraph;
 pub mod pregel;
@@ -33,5 +47,7 @@ pub mod spmv;
 
 pub use common::{Algorithm, AlgorithmOutput, CostModel, JobConfig, PlatformRun};
 pub use giraph::GiraphPlatform;
+pub use grape::{GrapePartitioner, GrapePlatform};
 pub use graphmat::GraphMatPlatform;
+pub use graphx::GraphXPlatform;
 pub use powergraph::PowerGraphPlatform;

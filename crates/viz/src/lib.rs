@@ -11,6 +11,8 @@
 //!   (Figures 6–7),
 //! * [`gantt`] — per-worker operation charts exposing imbalance (Figure 8),
 //! * [`tree`] — performance-model and operation hierarchies (Figures 1, 4),
+//! * [`matrix`] — the cross-platform choke-point matrix (engines ×
+//!   algorithms, each cell naming the dominant domain phase),
 //! * [`report`] — a self-contained HTML report combining everything,
 //! * [`trend`] — metric trends over an archive history, the rendering
 //!   side of the `granula-cli regress` service.
@@ -22,6 +24,7 @@
 pub mod breakdown;
 pub mod diff;
 pub mod gantt;
+pub mod matrix;
 pub mod report;
 pub mod svg;
 pub mod timeline;
@@ -31,6 +34,7 @@ pub mod trend;
 pub use breakdown::{BreakdownChart, BreakdownRow, Segment};
 pub use diff::{diff_archives, render_diff, DiffRow};
 pub use gantt::GanttChart;
+pub use matrix::{MatrixCell, MatrixChart};
 pub use svg::SvgCanvas;
 pub use timeline::TimelineChart;
 pub use trend::{render_trend_svg, TrendChart};

@@ -1,0 +1,223 @@
+//! The cross-platform choke-point matrix: engines × algorithms, every
+//! cell naming the dominant domain phase.
+//!
+//! The paper's comparative claim is that fine-grained decomposition turns
+//! "platform A is slower than B" into "platform A is slower than B
+//! *because its loader serializes*". The matrix renders that claim across
+//! paradigms: one row per (platform, partitioner) configuration, one
+//! column per algorithm, each cell carrying the total runtime and the
+//! choke point — the domain phase with the largest runtime share.
+
+use crate::svg::SvgCanvas;
+
+/// One evaluated cell of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// Total job runtime, µs.
+    pub total_us: u64,
+    /// The dominant domain phase, e.g. `"LoadGraph"`.
+    pub bottleneck: String,
+    /// The dominant phase's share of the total runtime, 0..=1.
+    pub bottleneck_frac: f64,
+}
+
+/// An engines × algorithms grid of [`MatrixCell`]s.
+#[derive(Debug, Clone)]
+pub struct MatrixChart {
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    cells: Vec<Option<MatrixCell>>,
+}
+
+impl MatrixChart {
+    /// Creates an empty matrix with fixed row/column headers.
+    pub fn new<S: Into<String>>(
+        rows: impl IntoIterator<Item = S>,
+        cols: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let row_labels: Vec<String> = rows.into_iter().map(Into::into).collect();
+        let col_labels: Vec<String> = cols.into_iter().map(Into::into).collect();
+        let cells = vec![None; row_labels.len() * col_labels.len()];
+        MatrixChart {
+            row_labels,
+            col_labels,
+            cells,
+        }
+    }
+
+    /// Fills the cell at (`row`, `col`).
+    ///
+    /// # Panics
+    /// When the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, cell: MatrixCell) {
+        assert!(row < self.row_labels.len() && col < self.col_labels.len());
+        self.cells[row * self.col_labels.len() + col] = Some(cell);
+    }
+
+    fn get(&self, row: usize, col: usize) -> Option<&MatrixCell> {
+        self.cells[row * self.col_labels.len() + col].as_ref()
+    }
+
+    fn max_total_us(&self) -> u64 {
+        self.cells
+            .iter()
+            .flatten()
+            .map(|c| c.total_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders as an aligned text table, one `total_s  bottleneck  share`
+    /// triple per cell:
+    ///
+    /// ```text
+    /// engine           | BFS                      | PageRank
+    /// Giraph/hash-ec   |   81.9s LoadGraph    43% |  123.4s ProcessGraph 61%
+    /// ```
+    pub fn render_text(&self) -> String {
+        const CELL: usize = 26;
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(6)
+            .max("engine".len());
+        let mut out = format!("{:<label_w$}", "engine");
+        for col in &self.col_labels {
+            out.push_str(&format!(" | {col:<CELL$}"));
+        }
+        out.push('\n');
+        for (r, row) in self.row_labels.iter().enumerate() {
+            out.push_str(&format!("{row:<label_w$}"));
+            for c in 0..self.col_labels.len() {
+                let body = match self.get(r, c) {
+                    Some(cell) => format!(
+                        "{:>7.1}s {:<12} {:>3.0}%",
+                        cell.total_us as f64 / 1e6,
+                        cell.bottleneck,
+                        100.0 * cell.bottleneck_frac
+                    ),
+                    None => "-".into(),
+                };
+                out.push_str(&format!(" | {body:<CELL$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an SVG heat grid: cell shading scales with total runtime
+    /// relative to the slowest cell, and each cell prints the runtime and
+    /// its choke point.
+    pub fn render_svg(&self) -> String {
+        let (cell_w, cell_h, left, top) = (190.0, 56.0, 150.0, 36.0);
+        let w = left + self.col_labels.len() as f64 * cell_w + 20.0;
+        let h = top + self.row_labels.len() as f64 * cell_h + 20.0;
+        let mut canvas = SvgCanvas::new(w, h);
+        let max = self.max_total_us().max(1) as f64;
+        for (c, col) in self.col_labels.iter().enumerate() {
+            canvas.text(left + c as f64 * cell_w + 6.0, top - 10.0, 13.0, col);
+        }
+        for (r, row) in self.row_labels.iter().enumerate() {
+            let y = top + r as f64 * cell_h;
+            canvas.text(4.0, y + cell_h / 2.0 + 4.0, 12.0, row);
+            for c in 0..self.col_labels.len() {
+                let x = left + c as f64 * cell_w;
+                match self.get(r, c) {
+                    Some(cell) => {
+                        // Shade from near-white (fast) to deep red (the
+                        // slowest cell in the matrix).
+                        let t = cell.total_us as f64 / max;
+                        let chan = (235.0 - 150.0 * t).round() as u8;
+                        let fill = format!("#f0{chan:02x}{chan:02x}");
+                        canvas.rect(x + 2.0, y + 2.0, cell_w - 4.0, cell_h - 4.0, &fill);
+                        canvas.text(
+                            x + 8.0,
+                            y + 22.0,
+                            12.0,
+                            &format!("{:.1}s", cell.total_us as f64 / 1e6),
+                        );
+                        canvas.text(
+                            x + 8.0,
+                            y + 40.0,
+                            11.0,
+                            &format!("{} {:.0}%", cell.bottleneck, 100.0 * cell.bottleneck_frac),
+                        );
+                    }
+                    None => {
+                        canvas.rect(x + 2.0, y + 2.0, cell_w - 4.0, cell_h - 4.0, "#f5f5f5");
+                        canvas.text(x + 8.0, y + 30.0, 12.0, "-");
+                    }
+                }
+            }
+        }
+        canvas.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> MatrixChart {
+        let mut m = MatrixChart::new(["Giraph/hash-ec", "Grape/block-ec"], ["BFS", "PageRank"]);
+        m.set(
+            0,
+            0,
+            MatrixCell {
+                total_us: 81_900_000,
+                bottleneck: "LoadGraph".into(),
+                bottleneck_frac: 0.43,
+            },
+        );
+        m.set(
+            1,
+            1,
+            MatrixCell {
+                total_us: 40_000_000,
+                bottleneck: "ProcessGraph".into(),
+                bottleneck_frac: 0.61,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn text_render_has_headers_cells_and_gaps() {
+        let s = chart().render_text();
+        assert!(s.contains("engine"));
+        assert!(s.contains("BFS"));
+        assert!(s.contains("PageRank"));
+        assert!(s.contains("81.9s"));
+        assert!(s.contains("LoadGraph"));
+        assert!(s.contains("43%"));
+        // The unfilled cells render as dashes.
+        assert_eq!(s.matches(" | -").count(), 2);
+    }
+
+    #[test]
+    fn svg_render_shades_by_total() {
+        let s = chart().render_svg();
+        assert!(s.contains("<svg"));
+        assert!(s.contains("Giraph/hash-ec"));
+        assert!(s.contains("81.9s"));
+        assert!(s.contains("ProcessGraph 61%"));
+        // Four cells: two filled, two empty placeholders.
+        assert_eq!(s.matches("<rect").count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        chart().set(
+            5,
+            0,
+            MatrixCell {
+                total_us: 1,
+                bottleneck: "X".into(),
+                bottleneck_frac: 1.0,
+            },
+        );
+    }
+}

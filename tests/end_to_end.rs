@@ -202,13 +202,15 @@ fn all_algorithms_validate_on_both_platforms() {
         Algorithm::Cdlp { iterations: 3 },
         Algorithm::Sssp { source: 2 },
     ];
-    for platform in [Platform::Giraph, Platform::PowerGraph, Platform::GraphMat] {
+    for platform in [
+        Platform::Giraph,
+        Platform::PowerGraph,
+        Platform::GraphMat,
+        Platform::Grape,
+        Platform::GraphX,
+    ] {
         for algorithm in algorithms {
-            let mut cfg = match platform {
-                Platform::Giraph => granula::calibration::giraph_dg1000_job(),
-                Platform::PowerGraph => granula::calibration::powergraph_dg1000_job(),
-                Platform::GraphMat => granula::calibration::graphmat_dg1000_job(),
-            };
+            let mut cfg = platform.dg1000_job();
             cfg.algorithm = algorithm;
             cfg.scale_factor = 1.0;
             cfg.nodes = 4;

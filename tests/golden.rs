@@ -161,6 +161,57 @@ fn golden_network_timeline() {
     check_golden("network_timeline.txt", &chart.render_text(96, 10));
 }
 
+/// The choke-point matrix over the two new engines, rendered exactly the
+/// way the `choke_matrix` binary does: per cell, total runtime plus the
+/// dominant domain phase read back from the archive.
+#[test]
+fn golden_choke_matrix() {
+    use gpsim_platforms::Algorithm;
+    use granula::calibration;
+    use granula::experiment::run_experiment;
+    use granula_viz::{MatrixCell, MatrixChart};
+
+    let (graph, scale) = calibration::dg_graph_small(8_000, calibration::DG_SEED);
+    let mut chart = MatrixChart::new(["Grape/hash-ec", "GraphX/hash-ec"], ["BFS", "PageRank"]);
+    for (r, platform) in [Platform::Grape, Platform::GraphX].into_iter().enumerate() {
+        for (c, algorithm) in [
+            Algorithm::Bfs { source: 1 },
+            Algorithm::PageRank { iterations: 10 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut cfg = platform.dg1000_job();
+            cfg.algorithm = algorithm;
+            cfg.scale_factor = scale;
+            let result = run_experiment(platform, &graph, &cfg).expect("matrix cell runs");
+            let archive = &result.report.archive;
+            let total_us = archive.total_runtime_us().expect("archived job has a span");
+            let (bottleneck, dominant_us) = [
+                "Startup",
+                "LoadGraph",
+                "ProcessGraph",
+                "OffloadGraph",
+                "Cleanup",
+            ]
+            .iter()
+            .map(|k| (*k, archive.total_duration_of_us(k)))
+            .max_by_key(|(_, us)| *us)
+            .expect("five domain kinds");
+            chart.set(
+                r,
+                c,
+                MatrixCell {
+                    total_us,
+                    bottleneck: bottleneck.into(),
+                    bottleneck_frac: dominant_us as f64 / total_us.max(1) as f64,
+                },
+            );
+        }
+    }
+    check_golden("choke_matrix.txt", &chart.render_text());
+}
+
 /// The archive query listing (`granula-cli archive query` output body):
 /// path, actor, duration, start time of each superstep hit.
 #[test]

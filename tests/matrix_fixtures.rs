@@ -1,0 +1,112 @@
+//! The committed choke-point matrix artifacts are live fixtures: one
+//! `.gar` store per engine row under `tests/fixtures/matrix/` and the
+//! six-run GRAPE headline history under `tests/fixtures/history/grape/`
+//! that `granula-cli regress` gates in CI. This suite pins their shape so
+//! a stale regeneration (or a format change that silently drops them)
+//! fails in `cargo test` before it fails in CI.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! GRANULA_RUN_ID=matrix-r1 GRANULA_RUN_TIMESTAMP=1700000000000000 \
+//!   GRANULA_RUN_LABEL="fixture: choke-point matrix fixtures" \
+//!   cargo run --release -p granula-bench --bin choke_matrix -- \
+//!   --archive-dir tests/fixtures/matrix --update-fixtures
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use granula_archive::ArchiveStore;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Every engine row of the matrix has a committed store holding exactly
+/// its BFS and PageRank runs, loadable through the current reader.
+#[test]
+fn matrix_stores_cover_all_engine_rows() {
+    for (file, prefix) in [
+        ("matrix_giraph_hash-ec.gar", "matrix-giraph-hash-ec"),
+        (
+            "matrix_powergraph_greedy-vc.gar",
+            "matrix-powergraph-greedy-vc",
+        ),
+        ("matrix_grape_hash-ec.gar", "matrix-grape-hash-ec"),
+        ("matrix_grape_block-ec.gar", "matrix-grape-block-ec"),
+        ("matrix_graphx_hash-ec.gar", "matrix-graphx-hash-ec"),
+    ] {
+        let path = fixtures_root().join("matrix").join(file);
+        let store = ArchiveStore::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let mut job_ids: Vec<String> = store.iter().map(|a| a.meta.job_id.clone()).collect();
+        job_ids.sort();
+        assert_eq!(
+            job_ids,
+            vec![format!("{prefix}-bfs"), format!("{prefix}-pagerank")],
+            "{}",
+            path.display()
+        );
+        for archive in store.iter() {
+            assert!(
+                archive.total_runtime_us().is_some(),
+                "{}: archived jobs carry a root span",
+                path.display()
+            );
+            assert!(
+                archive.total_duration_of_us("ProcessGraph") > 0,
+                "{}: archived jobs decompose into domain phases",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The new engines' archives flow through the same domain vocabulary as
+/// the paper's two platforms — that is what makes the matrix comparable.
+#[test]
+fn new_engine_archives_use_the_shared_domain_vocabulary() {
+    for file in ["matrix_grape_hash-ec.gar", "matrix_graphx_hash-ec.gar"] {
+        let path = fixtures_root().join("matrix").join(file);
+        let store = ArchiveStore::load(&path).unwrap();
+        for archive in store.iter() {
+            for kind in [
+                "Startup",
+                "LoadGraph",
+                "ProcessGraph",
+                "OffloadGraph",
+                "Cleanup",
+            ] {
+                assert!(
+                    archive.total_duration_of_us(kind) > 0,
+                    "{}: {} missing domain phase {kind}",
+                    path.display(),
+                    archive.meta.job_id
+                );
+            }
+        }
+    }
+}
+
+/// The GRAPE regress gate's history: six runs, strictly increasing
+/// timestamps, all carrying the headline job.
+#[test]
+fn grape_history_is_six_increasing_runs_of_the_headline() {
+    let dir = fixtures_root().join("history/grape");
+    let mut last_ts = 0u64;
+    for i in 1..=6u32 {
+        let path = dir.join(format!("r{i}.gar"));
+        let store = ArchiveStore::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(store.run().run_id, format!("r{i}"), "{}", path.display());
+        assert!(
+            store.run().timestamp_us > last_ts,
+            "{}: run timestamps must increase",
+            path.display()
+        );
+        last_ts = store.run().timestamp_us;
+        assert!(
+            store.get("matrix-grape-hash-ec-bfs").is_some(),
+            "{}: history tracks the GRAPE headline job",
+            path.display()
+        );
+    }
+}
